@@ -1,0 +1,64 @@
+/// Ablation: Young's first-order period (the paper's Eq. 1) against
+/// Daly's higher-order estimate. In the paper's regimes C_{i,j} <<
+/// mu_{i,j}, where the two agree to first order — so makespans should be
+/// nearly identical, validating the paper's choice of the simpler formula.
+
+#include "fig_common.hpp"
+
+namespace {
+
+using namespace coredis;
+using namespace coredis::bench;
+
+exp::Scenario scenario_for(const FigureOptions& options, double mtbf,
+                           checkpoint::PeriodRule rule) {
+  exp::Scenario scenario;
+  scenario.n = 100;
+  scenario.p = 1000;
+  scenario.mtbf_years = mtbf;
+  scenario.runs = options.runs;
+  scenario.seed = options.seed;
+  scenario = options.apply(scenario);
+  scenario.period_rule = rule;  // the ablation variable wins over the file
+  return scenario;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main([&] {
+    const FigureOptions options = parse_options(
+        argc, argv, "Ablation: Young vs Daly checkpointing period",
+        /*default_runs=*/10);
+    const std::vector<double> grid =
+        options.full ? std::vector<double>{5, 15, 25, 50, 100}
+                     : std::vector<double>{5, 25, 100};
+
+    std::cout << "== Ablation: checkpoint period rule (n = 100, p = 1000, "
+                 "IG-EndLocal) ==\n\n";
+    TextTable table({"MTBF (years)", "Young mean makespan (s)",
+                     "Daly mean makespan (s)", "relative difference"});
+    double worst = 0.0;
+    for (double mtbf : grid) {
+      const auto young = exp::run_point(
+          scenario_for(options, mtbf, checkpoint::PeriodRule::Young),
+          {exp::ig_end_local()});
+      const auto daly = exp::run_point(
+          scenario_for(options, mtbf, checkpoint::PeriodRule::Daly),
+          {exp::ig_end_local()});
+      const double my = young.configs[0].makespan.mean();
+      const double md = daly.configs[0].makespan.mean();
+      const double rel = std::abs(my - md) / my;
+      worst = std::max(worst, rel);
+      table.add_row(mtbf, {my, md, rel}, 4);
+    }
+    std::cout << table.to_string() << '\n';
+
+    std::vector<exp::ShapeCheck> checks;
+    checks.push_back(
+        {"Young and Daly periods agree within 2% in the paper's regimes",
+         worst < 0.02, "worst relative difference=" + format_double(worst)});
+    std::cout << "Shape checks:\n" << exp::render_checks(checks) << '\n';
+    return 0;
+  });
+}

@@ -1,0 +1,93 @@
+/// Extension study: silent errors with verified checkpointing (the
+/// paper's third future-work item). For a representative task slice the
+/// study prints the optimal verified-checkpointing quantum and the
+/// expected execution-time inflation across silent-error rates and
+/// verification costs, showing (a) the sqrt-law scaling of the optimal
+/// quantum and (b) the moderate cost of protection at realistic rates.
+
+#include <cmath>
+#include <iostream>
+
+#include "extensions/silent_errors.hpp"
+#include "fig_common.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace coredis;
+using namespace coredis::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main([&] {
+    const FigureOptions options = parse_options(
+        argc, argv, "Extension: silent errors with verification",
+        /*default_runs=*/1);
+    (void)options;
+
+    const double total_work = 3.0e6;  // one task slice, seconds
+    const double checkpoint = 1.0e4;
+    const double recovery = 1.0e4;
+    const int processors = 16;
+
+    std::cout << "== Extension: verified checkpointing against silent "
+                 "errors ==\n\n";
+    TextTable table({"error rate (1/s/proc)", "verification cost (s)",
+                     "optimal quantum (s)", "expected time / work"});
+    double previous_quantum = -1.0;
+    bool quantum_shrinks = true;
+    for (double rate : {1e-9, 1e-8, 1e-7}) {
+      for (double verification : {1e2, 1e3}) {
+        extensions::silent::Params params;
+        params.error_rate = rate;
+        params.verification_cost = verification;
+        params.checkpoint_cost = checkpoint;
+        params.recovery_cost = recovery;
+        params.processors = processors;
+        const double quantum =
+            extensions::silent::optimal_work_quantum(params, total_work);
+        const double inflation =
+            extensions::silent::expected_execution_time(params, total_work) /
+            total_work;
+        table.add_row({format_double(rate, 10), format_double(verification, 0),
+                       format_double(quantum, 0),
+                       format_double(inflation, 4)});
+      }
+      extensions::silent::Params probe;
+      probe.error_rate = rate;
+      probe.verification_cost = 1e2;
+      probe.checkpoint_cost = checkpoint;
+      probe.recovery_cost = recovery;
+      probe.processors = processors;
+      const double quantum =
+          extensions::silent::optimal_work_quantum(probe, total_work);
+      if (previous_quantum > 0.0 && quantum > previous_quantum)
+        quantum_shrinks = false;
+      previous_quantum = quantum;
+    }
+    std::cout << table.to_string() << '\n';
+
+    std::vector<exp::ShapeCheck> checks;
+    checks.push_back({"optimal quantum shrinks as the error rate grows",
+                      quantum_shrinks, ""});
+    // sqrt-law: multiplying the rate by 100 should shrink the quantum by
+    // about 10 (as long as both optima are interior).
+    extensions::silent::Params low;
+    low.error_rate = 1e-9;
+    low.verification_cost = 1e2;
+    low.checkpoint_cost = checkpoint;
+    low.recovery_cost = recovery;
+    low.processors = processors;
+    extensions::silent::Params high = low;
+    high.error_rate = 1e-7;
+    const double q_low = extensions::silent::optimal_work_quantum(low, 1e9);
+    const double q_high = extensions::silent::optimal_work_quantum(high, 1e9);
+    const double ratio = q_low / q_high;
+    checks.push_back({"sqrt-law scaling of the optimal quantum",
+                      ratio > 6.0 && ratio < 16.0,
+                      "q(1e-9)/q(1e-7)=" + format_double(ratio, 2)});
+    std::cout << "Shape checks:\n" << exp::render_checks(checks) << '\n';
+    return 0;
+  });
+}

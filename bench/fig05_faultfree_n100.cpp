@@ -1,0 +1,82 @@
+/// Figure 5 reproduction: performance of redistribution in a *fault-free*
+/// context, n = 100 tasks, p in [200, 2000], msup = 2.5e6.
+///   (a) m_inf = 1.5e6 (homogeneous pack)
+///   (b) m_inf = 1500  (heterogeneous pack)
+/// Curves: Without RC (normalizer), With RC (greedy), With RC (local).
+/// Paper shape: >= ~20% gain below ~500 processors, gains shrink toward
+/// 1.0 as p grows, heterogeneous gains are larger.
+
+#include "fig_common.hpp"
+
+namespace {
+
+using namespace coredis;
+using namespace coredis::bench;
+
+exp::Scenario base_scenario(const FigureOptions& options, double m_inf) {
+  exp::Scenario scenario;
+  scenario.n = 100;
+  scenario.m_sup = 2'500'000.0;
+  scenario = options.apply(scenario);
+  scenario.mtbf_years = 0.0;  // the figure is fault-free by construction
+  scenario.m_inf = m_inf;     // panel variable wins over the file
+  return scenario;
+}
+
+std::vector<exp::ShapeCheck> make_checks(const exp::Sweep& sweep,
+                                         const char* panel) {
+  // Config order: 0 = Without RC, 1 = greedy, 2 = local.
+  std::vector<exp::ShapeCheck> checks;
+  const double first_greedy = exp::normalized_at(sweep, 0, 1);
+  const double first_local = exp::normalized_at(sweep, 0, 2);
+  checks.push_back(
+      {std::string(panel) + ": >=15% gain at the smallest platform",
+       first_greedy < 0.85 && first_local < 0.85,
+       "greedy=" + format_double(first_greedy) +
+           " local=" + format_double(first_local)});
+  const double last_greedy =
+      exp::normalized_at(sweep, sweep.x.size() - 1, 1);
+  checks.push_back(
+      {std::string(panel) + ": gain shrinks as processors grow",
+       last_greedy > first_greedy,
+       "first=" + format_double(first_greedy) +
+           " last=" + format_double(last_greedy)});
+  checks.push_back({std::string(panel) +
+                        ": greedy is at least as good as local on average",
+                    exp::mean_normalized(sweep, 1) <=
+                        exp::mean_normalized(sweep, 2) + 0.01,
+                    "greedy=" + format_double(exp::mean_normalized(sweep, 1)) +
+                        " local=" + format_double(exp::mean_normalized(sweep, 2))});
+  return checks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main([&] {
+    const FigureOptions options = parse_options(
+        argc, argv, "Figure 5: fault-free redistribution gain, n = 100",
+        /*default_runs=*/20);
+    const std::vector<double> grid =
+        options.full
+            ? std::vector<double>{200, 400, 600, 800, 1000, 1200, 1400, 1600,
+                                  1800, 2000}
+            : std::vector<double>{200, 500, 1000, 2000};
+
+    for (const auto& [label, m_inf] :
+         {std::pair{"(a) m_inf = 1500000", 1'500'000.0},
+          std::pair{"(b) m_inf = 1500", 1'500.0}}) {
+      const exp::Sweep sweep = run_sweep(
+          "#procs", grid,
+          [&](double p) {
+            exp::Scenario scenario = base_scenario(options, m_inf);
+            scenario.p = static_cast<int>(p);  // sweep variable
+            return scenario;
+          },
+          exp::fault_free_curves());
+      print_figure(std::string("Figure 5") + label, sweep,
+                   make_checks(sweep, label), options);
+    }
+    return 0;
+  });
+}

@@ -1,0 +1,75 @@
+/// Figure 7 reproduction: impact of the number of tasks n with p = 5000
+/// processors (MTBF 100y, c = 1). Six curves: the no-RC fault baseline,
+/// the four heuristic combinations, and the fault-free + RC reference.
+/// Paper shape: more tasks -> more gain (>= ~40% at n = 1000);
+/// IteratedGreedy beats ShortestTasksFirst; EndGreedy only matters
+/// combined with ShortestTasksFirst.
+
+#include "fig_common.hpp"
+
+namespace {
+
+using namespace coredis;
+using namespace coredis::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main([&] {
+    const FigureOptions options = parse_options(
+        argc, argv, "Figure 7: impact of n with p = 5000", /*default_runs=*/6);
+    const std::vector<double> grid =
+        options.full ? std::vector<double>{100, 200, 300, 400, 500, 600, 700,
+                                           800, 900, 1000}
+                     : std::vector<double>{100, 400, 1000};
+
+    const exp::Sweep sweep = run_sweep(
+        "#tasks", grid,
+        [&](double n) {
+          exp::Scenario scenario;
+          scenario.p = 5000;
+          scenario.runs = options.runs;
+          scenario.seed = options.seed;
+          scenario = options.apply(scenario);
+          scenario.n = static_cast<int>(n);  // sweep variable wins
+          return scenario;
+        },
+        exp::paper_curves());
+
+    // Config order: 0 baseline, 1 IG-EG, 2 IG-EL, 3 STF-EG, 4 STF-EL,
+    // 5 fault-free+RC.
+    std::vector<exp::ShapeCheck> checks;
+    const std::size_t last = sweep.x.size() - 1;
+    checks.push_back({"gain grows with n (IG-EndLocal)",
+                      exp::normalized_at(sweep, last, 2) <
+                          exp::normalized_at(sweep, 0, 2),
+                      "n_min=" + format_double(exp::normalized_at(sweep, 0, 2)) +
+                          " n_max=" +
+                          format_double(exp::normalized_at(sweep, last, 2))});
+    checks.push_back({">= 30% gain at the largest n (IG)",
+                      exp::normalized_at(sweep, last, 2) < 0.70,
+                      "IG-EndLocal=" +
+                          format_double(exp::normalized_at(sweep, last, 2))});
+    checks.push_back(
+        {"IteratedGreedy beats ShortestTasksFirst on average",
+         exp::mean_normalized(sweep, 2) <= exp::mean_normalized(sweep, 4),
+         "IG=" + format_double(exp::mean_normalized(sweep, 2)) +
+             " STF=" + format_double(exp::mean_normalized(sweep, 4))});
+    checks.push_back(
+        {"EndGreedy helps ShortestTasksFirst",
+         exp::mean_normalized(sweep, 3) <=
+             exp::mean_normalized(sweep, 4) + 0.01,
+         "STF-EG=" + format_double(exp::mean_normalized(sweep, 3)) +
+             " STF-EL=" + format_double(exp::mean_normalized(sweep, 4))});
+    checks.push_back(
+        {"fault-free + RC is the lower envelope",
+         exp::mean_normalized(sweep, 5) <=
+             std::min(exp::mean_normalized(sweep, 1),
+                      exp::mean_normalized(sweep, 2)) +
+                 0.01,
+         "fault-free=" + format_double(exp::mean_normalized(sweep, 5))});
+
+    print_figure("Figure 7: impact of n (p = 5000)", sweep, checks, options);
+    return 0;
+  });
+}

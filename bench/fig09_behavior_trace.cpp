@@ -1,0 +1,142 @@
+/// Figure 9 reproduction: heuristic behavior on a single execution,
+/// n = 100, p = 1000, per-processor MTBF 50 years.
+///   (a) evolving makespan estimate after each handled failure
+///   (b) standard deviation of the per-task allocation after each failure
+/// Three configurations on the *same* fault trace: no redistribution,
+/// IteratedGreedy(+EndLocal), ShortestTasksFirst(+EndLocal).
+/// Paper shape: IteratedGreedy reaches the lowest makespan and shows the
+/// largest allocation spread (it concentrates processors aggressively).
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "util/csv.hpp"
+#include "fault/exponential.hpp"
+#include "fault/trace.hpp"
+#include "fig_common.hpp"
+#include "speedup/synthetic.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace coredis;
+using namespace coredis::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main([&] {
+    const FigureOptions options = parse_options(
+        argc, argv, "Figure 9: single-run heuristic behavior",
+        /*default_runs=*/1);
+
+    const int n = 100;
+    const int p = 1000;
+    const double mtbf = units::years(50.0);
+
+    Rng workload_rng = Rng::child(options.seed, 0);
+    const core::Pack pack = core::Pack::uniform_random(
+        n, 1'500'000.0, 2'500'000.0,
+        std::make_shared<speedup::SyntheticModel>(0.08), workload_rng);
+    const checkpoint::Model resilience(
+        {mtbf, 60.0, 1.0, checkpoint::PeriodRule::Young, 0.0});
+
+    // Record one fault stream, then replay it identically for all three
+    // configurations.
+    fault::RecordingGenerator recorder(
+        std::make_unique<fault::ExponentialGenerator>(
+            p, 1.0 / mtbf, Rng::child(options.seed, 1)));
+    core::Engine baseline_engine(
+        pack, resilience, p,
+        {core::EndPolicy::None, core::FailurePolicy::None, true});
+    const core::RunResult baseline = baseline_engine.run(recorder);
+
+    auto run_with = [&](core::FailurePolicy policy) {
+      fault::TraceGenerator replay(p, recorder.recorded());
+      core::Engine engine(pack, resilience, p,
+                          {core::EndPolicy::Local, policy, true});
+      return engine.run(replay);
+    };
+    const core::RunResult ig = run_with(core::FailurePolicy::IteratedGreedy);
+    const core::RunResult stf =
+        run_with(core::FailurePolicy::ShortestTasksFirst);
+
+    std::cout << "== Figure 9: heuristic behavior on one execution "
+                 "(n=100, p=1000, MTBF=50y) ==\n\n";
+    std::cout << "(a) makespan estimate after each handled failure\n";
+    TextTable table_a({"fault date (s)", "No redistribution",
+                       "Iterated greedy", "Shortest tasks first"});
+    const std::size_t rows =
+        std::min({baseline.trace.size(), ig.trace.size(), stf.trace.size()});
+    for (std::size_t i = 0; i < rows; ++i) {
+      table_a.add_row(baseline.trace[i].time,
+                      {baseline.trace[i].predicted_makespan,
+                       ig.trace[i].predicted_makespan,
+                       stf.trace[i].predicted_makespan},
+                      0);
+    }
+    std::cout << table_a.to_string() << '\n';
+
+    std::cout << "(b) allocation standard deviation after each failure\n";
+    TextTable table_b({"fault date (s)", "No redistribution",
+                       "Iterated greedy", "Shortest tasks first"});
+    for (std::size_t i = 0; i < rows; ++i) {
+      table_b.add_row(baseline.trace[i].time,
+                      {baseline.trace[i].allocation_stddev,
+                       ig.trace[i].allocation_stddev,
+                       stf.trace[i].allocation_stddev},
+                      2);
+    }
+    std::cout << table_b.to_string() << '\n';
+
+    std::cout << "final makespans (s): baseline=" << baseline.makespan
+              << " iterated_greedy=" << ig.makespan
+              << " shortest_tasks_first=" << stf.makespan << "\n\n";
+
+    double ig_spread = 0.0;
+    double stf_spread = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      ig_spread = std::max(ig_spread, ig.trace[i].allocation_stddev);
+      stf_spread = std::max(stf_spread, stf.trace[i].allocation_stddev);
+    }
+    std::vector<exp::ShapeCheck> checks;
+    checks.push_back({"IteratedGreedy reaches the lowest makespan",
+                      ig.makespan <= stf.makespan &&
+                          ig.makespan <= baseline.makespan,
+                      "ig=" + format_double(ig.makespan, 0) +
+                          " stf=" + format_double(stf.makespan, 0) +
+                          " base=" + format_double(baseline.makespan, 0)});
+    // The figure's mechanism: redistribution skews allocations over time
+    // (the paper's single run shows IG spreading most; the IG-vs-STF
+    // ordering is seed-dependent, see EXPERIMENTS.md).
+    const double baseline_spread =
+        rows > 0 ? baseline.trace[rows - 1].allocation_stddev
+                 : 0.0;
+    checks.push_back(
+        {"redistribution grows the allocation spread beyond the static one",
+         ig_spread > baseline_spread && stf_spread > baseline_spread,
+         "ig_max=" + format_double(ig_spread, 2) +
+             " stf_max=" + format_double(stf_spread, 2) +
+             " static=" + format_double(baseline_spread, 2)});
+    std::cout << "Shape checks against the paper:\n"
+              << exp::render_checks(checks) << '\n';
+
+    if (!options.csv.empty()) {
+      CsvWriter csv({"fault_time", "makespan_base", "makespan_ig",
+                     "makespan_stf", "stddev_base", "stddev_ig",
+                     "stddev_stf"});
+      for (std::size_t i = 0; i < rows; ++i) {
+        csv.add_row(std::vector<double>{
+            baseline.trace[i].time, baseline.trace[i].predicted_makespan,
+            ig.trace[i].predicted_makespan, stf.trace[i].predicted_makespan,
+            baseline.trace[i].allocation_stddev,
+            ig.trace[i].allocation_stddev, stf.trace[i].allocation_stddev});
+      }
+      csv.save(options.csv);
+      std::cout << "series written to " << options.csv << '\n';
+    }
+    return 0;
+  });
+}

@@ -1,0 +1,56 @@
+/// Figure 11 reproduction: impact of the per-processor MTBF with n = 100,
+/// p = 5000 (c = 1). Same axes as Figure 10 on the larger platform: more
+/// processors per task means smaller task MTBFs, so the degradation at
+/// small MTBF is even more pronounced than in Figure 10.
+
+#include "fig_common.hpp"
+
+namespace {
+
+using namespace coredis;
+using namespace coredis::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main([&] {
+    const FigureOptions options =
+        parse_options(argc, argv, "Figure 11: impact of MTBF (p = 5000)",
+                      /*default_runs=*/8);
+    const std::vector<double> grid =
+        options.full
+            ? std::vector<double>{5, 15, 25, 50, 75, 100, 125}
+            : std::vector<double>{5, 25, 100};
+
+    const exp::Sweep sweep = run_sweep(
+        "MTBF (years)", grid,
+        [&](double mtbf) {
+          exp::Scenario scenario;
+          scenario.n = 100;
+          scenario.p = 5000;
+          scenario.runs = options.runs;
+          scenario.seed = options.seed;
+          scenario = options.apply(scenario);
+          scenario.mtbf_years = mtbf;  // sweep variable wins
+          return scenario;
+        },
+        exp::paper_curves());
+
+    std::vector<exp::ShapeCheck> checks;
+    const std::size_t last = sweep.x.size() - 1;
+    checks.push_back(
+        {"heuristics degrade as MTBF shrinks (IG-EndLocal)",
+         exp::normalized_at(sweep, 0, 2) >=
+             exp::normalized_at(sweep, last, 2) - 0.02,
+         "mtbf_min=" + format_double(exp::normalized_at(sweep, 0, 2)) +
+             " mtbf_max=" + format_double(exp::normalized_at(sweep, last, 2))});
+    checks.push_back(
+        {"gain persists at MTBF = 100y (IG)",
+         exp::normalized_at(sweep, last, 2) < 0.95,
+         "ig=" + format_double(exp::normalized_at(sweep, last, 2))});
+
+    print_figure("Figure 11: impact of MTBF (n = 100, p = 5000)", sweep,
+                 checks, options);
+    return 0;
+  });
+}

@@ -1,0 +1,65 @@
+/// Figure 13 reproduction: the MTBF sweep of Figure 10 repeated at three
+/// checkpoint costs, c in {1, 0.1, 0.01} (n = 100, p = 1000). Paper shape:
+/// lowering c lifts every curve toward the fault-free reference at every
+/// MTBF, and the degradation at small MTBF softens.
+
+#include "fig_common.hpp"
+
+namespace {
+
+using namespace coredis;
+using namespace coredis::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main([&] {
+    const FigureOptions options = parse_options(
+        argc, argv, "Figure 13: MTBF sweep at three checkpoint costs",
+        /*default_runs=*/8);
+    const std::vector<double> grid =
+        options.full ? std::vector<double>{5, 15, 25, 50, 75, 100, 125}
+                     : std::vector<double>{5, 50, 125};
+
+    std::vector<double> ig_gap_by_cost;  // mean gap IG vs fault-free + RC
+    for (const double c : {1.0, 0.1, 0.01}) {
+      const exp::Sweep sweep = run_sweep(
+          "MTBF (years)", grid,
+          [&](double mtbf) {
+            exp::Scenario scenario;
+            scenario.n = 100;
+            scenario.p = 1000;
+            scenario = options.apply(scenario);
+            scenario.mtbf_years = mtbf;         // sweep variable
+            scenario.checkpoint_unit_cost = c;  // panel variable
+            return scenario;
+          },
+          exp::paper_curves());
+      ig_gap_by_cost.push_back(exp::mean_normalized(sweep, 2) -
+                               exp::mean_normalized(sweep, 5));
+
+      std::vector<exp::ShapeCheck> checks;
+      checks.push_back(
+          {"degradation as MTBF shrinks (IG-EndLocal)",
+           exp::normalized_at(sweep, 0, 2) >=
+               exp::normalized_at(sweep, sweep.x.size() - 1, 2) - 0.02,
+           "mtbf_min=" + format_double(exp::normalized_at(sweep, 0, 2))});
+      print_figure("Figure 13, panel c = " + format_double(c, 2), sweep,
+                   checks, options);
+    }
+
+    std::vector<exp::ShapeCheck> panel_checks;
+    // Paper: "the gap between the execution time in a fault-free context
+    // and a fault context becomes small" as c decreases (both normalized
+    // by the same per-panel baseline).
+    panel_checks.push_back(
+        {"gap between IG and the fault-free reference shrinks 1 -> 0.01",
+         ig_gap_by_cost[2] <= ig_gap_by_cost[0] + 0.02,
+         "gap(c=1)=" + format_double(ig_gap_by_cost[0]) +
+             "  gap(c=0.1)=" + format_double(ig_gap_by_cost[1]) +
+             "  gap(c=0.01)=" + format_double(ig_gap_by_cost[2])});
+    std::cout << "Cross-panel checks:\n"
+              << exp::render_checks(panel_checks) << '\n';
+    return 0;
+  });
+}

@@ -1,0 +1,57 @@
+/// Figure 14 reproduction: impact of the sequential fraction f of the
+/// synthetic speedup profile (Eq. 10), f in [0, 0.5], with n = 100,
+/// p = 1000, MTBF 100y, c = 1. Paper shape: the more parallel the tasks
+/// (small f), the more redistribution pays; at f = 0.5 the gain collapses
+/// (extra processors cannot help half-sequential tasks).
+
+#include "fig_common.hpp"
+
+namespace {
+
+using namespace coredis;
+using namespace coredis::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main([&] {
+    const FigureOptions options = parse_options(
+        argc, argv, "Figure 14: impact of the sequential fraction",
+        /*default_runs=*/12);
+    const std::vector<double> grid =
+        options.full ? std::vector<double>{0.0, 0.1, 0.2, 0.3, 0.4, 0.5}
+                     : std::vector<double>{0.0, 0.2, 0.5};
+
+    const exp::Sweep sweep = run_sweep(
+        "sequential fraction f", grid,
+        [&](double f) {
+          exp::Scenario scenario;
+          scenario.n = 100;
+          scenario.p = 1000;
+          scenario.runs = options.runs;
+          scenario.seed = options.seed;
+          scenario = options.apply(scenario);
+          scenario.sequential_fraction = f;  // sweep variable wins
+          return scenario;
+        },
+        exp::paper_curves());
+
+    std::vector<exp::ShapeCheck> checks;
+    const std::size_t last = sweep.x.size() - 1;  // f = 0.5
+    checks.push_back(
+        {"redistribution pays more for parallel tasks (IG-EndLocal)",
+         exp::normalized_at(sweep, 0, 2) <=
+             exp::normalized_at(sweep, last, 2) + 0.02,
+         "f=0: " + format_double(exp::normalized_at(sweep, 0, 2)) +
+             "  f=0.5: " + format_double(exp::normalized_at(sweep, last, 2))});
+    checks.push_back(
+        {"strong gain at f = 0 (IG-EndLocal)",
+         exp::normalized_at(sweep, 0, 2) < 0.9,
+         "f=0: " + format_double(exp::normalized_at(sweep, 0, 2))});
+
+    print_figure(
+        "Figure 14: impact of the sequential fraction (n = 100, p = 1000)",
+        sweep, checks, options);
+    return 0;
+  });
+}

@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file fig_common.hpp
+/// Shared plumbing of the figure-reproduction binaries: uniform CLI
+/// (--runs/--seed/--full/--csv), sweep execution, and output formatting.
+///
+/// Every binary prints, in order: a header describing the experiment, the
+/// normalized-makespan table in the orientation of the paper's plot, the
+/// qualitative shape checks, and (with --csv) writes the raw series.
+/// Default sweeps are trimmed for laptop runtimes; --full restores the
+/// paper's grids and --runs 50 its repetition count.
+
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario_file.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace coredis::bench {
+
+struct FigureOptions {
+  int runs = 8;
+  std::uint64_t seed = 42;
+  bool full = false;
+  std::string csv;
+  std::string scenario_file;  ///< optional scenario overrides (see apply())
+
+  /// Apply the file overrides (if any) on top of a figure's per-point
+  /// scenario, then re-apply the sweep-critical fields the caller set.
+  /// Overrides affect the workload/platform knobs; `runs` and `seed` from
+  /// the command line win.
+  [[nodiscard]] exp::Scenario apply(exp::Scenario scenario) const {
+    if (!scenario_file.empty())
+      scenario = exp::load_scenario(scenario_file, scenario);
+    scenario.runs = runs;
+    scenario.seed = seed;
+    return scenario;
+  }
+};
+
+inline FigureOptions parse_options(int argc, const char* const* argv,
+                                   const std::string& summary,
+                                   int default_runs) {
+  CliParser cli(argc, argv);
+  cli.describe("runs", "Monte-Carlo repetitions per point (paper: 50)")
+      .describe("seed", "campaign master seed")
+      .describe("full", "use the paper's full sweep grid")
+      .describe("csv", "write the series to this CSV file")
+      .describe("scenario",
+                "scenario file overriding workload/platform knobs "
+                "(see src/exp/scenario_file.hpp)");
+  if (cli.wants_help()) {
+    std::cout << cli.usage(summary);
+    std::exit(0);
+  }
+  cli.reject_unknown();
+  FigureOptions options;
+  options.runs = static_cast<int>(cli.get_int("runs", default_runs));
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  options.full = cli.get_bool("full");
+  options.csv = cli.get_string("csv", "");
+  options.scenario_file = cli.get_string("scenario", "");
+  return options;
+}
+
+/// Run one sweep: scenario(x) configures each point.
+inline exp::Sweep run_sweep(const std::string& x_label,
+                            const std::vector<double>& xs,
+                            const std::function<exp::Scenario(double)>& scenario,
+                            const std::vector<exp::ConfigSpec>& configs) {
+  exp::Sweep sweep;
+  sweep.x_label = x_label;
+  sweep.x = xs;
+  sweep.points.reserve(xs.size());
+  for (double x : xs) {
+    std::fprintf(stderr, "  point %s = %g ...\n", x_label.c_str(), x);
+    sweep.points.push_back(exp::run_point(scenario(x), configs));
+  }
+  return sweep;
+}
+
+inline void print_figure(const std::string& title, const exp::Sweep& sweep,
+                         const std::vector<exp::ShapeCheck>& checks,
+                         const FigureOptions& options) {
+  std::cout << "== " << title << " ==\n\n";
+  std::cout << "Normalized execution time (1.0 = fault context without "
+               "redistribution):\n";
+  std::cout << exp::render_normalized_table(sweep) << '\n';
+  if (sweep.x.size() >= 2)
+    std::cout << exp::render_normalized_plot(sweep) << '\n';
+  if (!checks.empty()) {
+    std::cout << "Shape checks against the paper:\n"
+              << exp::render_checks(checks) << '\n';
+  }
+  if (!options.csv.empty()) {
+    exp::save_sweep_csv(sweep, options.csv);
+    std::cout << "series written to " << options.csv << '\n';
+  }
+}
+
+/// Wrap a bench main body with uniform error reporting.
+inline int guarded_main(const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace coredis::bench

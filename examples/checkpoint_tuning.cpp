@@ -1,0 +1,69 @@
+/// Checkpoint tuning: how the checkpointing period and cost drive the
+/// expected completion time of one task (Eqs. 1-4), and why Young's
+/// period is the right default.
+///
+/// For a single 2e6-data-unit application on a 64-processor slice with a
+/// 10-year per-processor MTBF, the example prints the expected completion
+/// time under (a) Young's period, (b) Daly's period, (c) a grid of fixed
+/// periods around the optimum, demonstrating the classic U-shape.
+
+#include <iostream>
+#include <memory>
+
+#include "core/expected_time.hpp"
+#include "speedup/synthetic.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace coredis;
+
+  const core::Pack pack({{2.0e6}},
+                        std::make_shared<speedup::SyntheticModel>(0.08));
+  const int j = 64;
+  const double mtbf_years = 10.0;
+
+  auto expected_with_rule = [&](checkpoint::PeriodRule rule,
+                                double fixed_work) {
+    const checkpoint::Model resilience({units::years(mtbf_years), 60.0, 1.0,
+                                        rule, fixed_work});
+    const core::ExpectedTimeModel model(pack, resilience);
+    return std::pair{model.period(0, j), model.expected_time_raw(0, j, 1.0)};
+  };
+
+  std::cout << "=== checkpoint tuning: one task (m = 2e6) on " << j
+            << " processors, MTBF " << mtbf_years << "y ===\n\n";
+
+  const auto [young_tau, young_time] =
+      expected_with_rule(checkpoint::PeriodRule::Young, 0.0);
+  const auto [daly_tau, daly_time] =
+      expected_with_rule(checkpoint::PeriodRule::Daly, 0.0);
+
+  TextTable rules({"rule", "period tau (s)", "expected completion (days)"});
+  rules.add_row({"Young (Eq. 1)", format_double(young_tau, 0),
+                 format_double(units::to_days(young_time), 3)});
+  rules.add_row({"Daly", format_double(daly_tau, 0),
+                 format_double(units::to_days(daly_time), 3)});
+  std::cout << rules.to_string() << '\n';
+
+  std::cout << "fixed work quanta around the Young optimum (U-shape):\n";
+  TextTable fixed({"work quantum (s)", "expected completion (days)",
+                   "vs Young"});
+  const checkpoint::Model young_model({units::years(mtbf_years), 60.0, 1.0,
+                                       checkpoint::PeriodRule::Young, 0.0});
+  const core::ExpectedTimeModel reference(pack, young_model);
+  const double young_work = young_tau - reference.checkpoint_cost(0, j);
+  for (double factor : {0.05, 0.2, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+    const auto [tau, time] = expected_with_rule(checkpoint::PeriodRule::Fixed,
+                                                factor * young_work);
+    (void)tau;
+    fixed.add_row({format_double(factor * young_work, 0),
+                   format_double(units::to_days(time), 3),
+                   format_double(time / young_time, 4)});
+  }
+  std::cout << fixed.to_string() << '\n';
+  std::cout << "Young's first-order period sits at the bottom of the "
+               "U-shape, within a fraction of a percent of the best fixed "
+               "quantum.\n";
+  return 0;
+}

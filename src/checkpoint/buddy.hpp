@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file buddy.hpp
+/// Double-checkpointing (buddy) protocol state machine (paper section 2.2).
+///
+/// Processors are paired; each stores its own checkpoint and its buddy's.
+/// When a processor fails it loses both files and its buddy re-sends them
+/// during the recovery period. If a second failure hits the *buddy* while
+/// that recovery is in flight, both copies of the pair's state are gone:
+/// the failure is fatal and the application cannot be restored.
+///
+/// The scheduling engine works at the abstraction level of the paper
+/// (checkpoint cost C_{i,j}, even allocations, non-fatal faults); this
+/// explicit state machine backs that abstraction, lets tests quantify how
+/// rare fatal double-faults are at campaign scale, and powers the
+/// silent-error extension.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace coredis::checkpoint {
+
+/// Outcome of injecting one failure into the protocol.
+enum class FaultOutcome {
+  Rollback,  ///< ordinary failure: pair recovers from the buddy's copies
+  Fatal,     ///< buddy was struck during its partner's recovery: state lost
+};
+
+/// Tracks one task's buddy pairs. Processors are indexed 0..2q-1 inside the
+/// task; pair i is (2i, 2i+1).
+class BuddyGroup {
+ public:
+  /// \param pair_count number of buddy pairs (allocation = 2 * pair_count).
+  explicit BuddyGroup(int pair_count);
+
+  [[nodiscard]] int pair_count() const noexcept {
+    return static_cast<int>(recovering_until_.size());
+  }
+
+  /// Inject a failure on local processor index `local_proc` at `time`;
+  /// recovery occupies the pair until `time + recovery_duration`.
+  FaultOutcome on_failure(int local_proc, double time,
+                          double recovery_duration);
+
+  /// True while the pair owning `local_proc` is re-sending checkpoints.
+  [[nodiscard]] bool recovering(int local_proc, double time) const;
+
+  /// Number of non-fatal rollbacks recorded so far.
+  [[nodiscard]] std::int64_t rollbacks() const noexcept { return rollbacks_; }
+  /// Number of fatal double-faults recorded so far.
+  [[nodiscard]] std::int64_t fatal_failures() const noexcept { return fatal_; }
+
+ private:
+  [[nodiscard]] int pair_of(int local_proc) const {
+    COREDIS_EXPECTS(local_proc >= 0 && local_proc < 2 * pair_count());
+    return local_proc / 2;
+  }
+
+  // Per pair: end of the current recovery window and which member failed.
+  std::vector<double> recovering_until_;
+  std::vector<int> recovering_member_;  // -1 when idle
+  std::int64_t rollbacks_ = 0;
+  std::int64_t fatal_ = 0;
+};
+
+}  // namespace coredis::checkpoint

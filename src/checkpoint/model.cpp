@@ -1,0 +1,47 @@
+#include "checkpoint/model.hpp"
+
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace coredis::checkpoint {
+
+Model::Model(ResilienceParams params) : params_(params) {
+  COREDIS_EXPECTS(params_.downtime >= 0.0);
+  COREDIS_EXPECTS(params_.checkpoint_unit_cost > 0.0);
+  lambda_ = params_.processor_mtbf > 0.0 ? 1.0 / params_.processor_mtbf : 0.0;
+}
+
+double Model::task_rate(int j) const {
+  COREDIS_EXPECTS(j >= 1);
+  return lambda_ * static_cast<double>(j);
+}
+
+double Model::task_mtbf(int j) const {
+  COREDIS_EXPECTS(j >= 1);
+  COREDIS_EXPECTS(!fault_free());
+  return params_.processor_mtbf / static_cast<double>(j);
+}
+
+double Model::sequential_cost(double m) const {
+  COREDIS_EXPECTS(m > 0.0);
+  return params_.checkpoint_unit_cost * m;
+}
+
+double Model::cost(double sequential_checkpoint, int j) const {
+  COREDIS_EXPECTS(sequential_checkpoint > 0.0);
+  COREDIS_EXPECTS(j >= 1);
+  return sequential_checkpoint / static_cast<double>(j);
+}
+
+double Model::recovery(double sequential_checkpoint, int j) const {
+  return cost(sequential_checkpoint, j);
+}
+
+double Model::period(double sequential_checkpoint, int j) const {
+  if (fault_free()) return std::numeric_limits<double>::infinity();
+  return period_for(params_.period_rule, task_mtbf(j),
+                    cost(sequential_checkpoint, j), params_.fixed_period);
+}
+
+}  // namespace coredis::checkpoint

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file model.hpp
+/// Resilience cost model of paper section 3.1.
+///
+/// One object bundles every failure-related constant of a simulation:
+///  * per-processor MTBF mu (task on j processors has MTBF mu/j),
+///  * checkpoint cost C_{i,j} = C_i / j with C_i = c * m_i,
+///  * recovery R_{i,j} = C_{i,j},
+///  * platform downtime D,
+///  * checkpointing period tau_{i,j} per the selected rule (Young by
+///    default, Eq. 1).
+///
+/// Because the double-checkpointing (buddy) scheme backs the model,
+/// allocations must be even; the even-allocation rule itself is enforced by
+/// the scheduling layer, this class only answers cost queries.
+
+#include "checkpoint/period.hpp"
+
+namespace coredis::checkpoint {
+
+/// Simulation-wide resilience constants.
+struct ResilienceParams {
+  double processor_mtbf = 0.0;      ///< mu, seconds (<= 0 means fault-free)
+  double downtime = 60.0;           ///< D, seconds (platform-dependent)
+  double checkpoint_unit_cost = 1.0;  ///< c, seconds per data unit (C_i = c m_i)
+  PeriodRule period_rule = PeriodRule::Young;
+  double fixed_period = 0.0;        ///< only for PeriodRule::Fixed
+};
+
+class Model {
+ public:
+  explicit Model(ResilienceParams params);
+
+  /// Fault rate per processor: lambda = 1/mu; 0 in the fault-free context.
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+  [[nodiscard]] bool fault_free() const noexcept { return lambda_ == 0.0; }
+
+  /// Rate experienced by a task on j processors: lambda_j = j * lambda.
+  [[nodiscard]] double task_rate(int j) const;
+
+  /// MTBF of a task on j processors: mu_{i,j} = mu / j.
+  [[nodiscard]] double task_mtbf(int j) const;
+
+  /// Sequential checkpoint time of a task with data size m: C_i = c * m.
+  [[nodiscard]] double sequential_cost(double m) const;
+
+  /// C_{i,j} = C_i / j.
+  [[nodiscard]] double cost(double sequential_checkpoint, int j) const;
+
+  /// R_{i,j} = C_{i,j} (paper assumption).
+  [[nodiscard]] double recovery(double sequential_checkpoint, int j) const;
+
+  /// tau_{i,j} per the configured rule; for the fault-free context the
+  /// period is infinite (no checkpoint is ever taken).
+  [[nodiscard]] double period(double sequential_checkpoint, int j) const;
+
+  [[nodiscard]] double downtime() const noexcept { return params_.downtime; }
+  [[nodiscard]] const ResilienceParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  ResilienceParams params_;
+  double lambda_;
+};
+
+}  // namespace coredis::checkpoint

@@ -1,0 +1,44 @@
+#include "checkpoint/period.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace coredis::checkpoint {
+
+double young_period(double mtbf, double checkpoint_cost) {
+  COREDIS_EXPECTS(mtbf > 0.0);
+  COREDIS_EXPECTS(checkpoint_cost > 0.0);
+  return std::sqrt(2.0 * mtbf * checkpoint_cost) + checkpoint_cost;
+}
+
+double daly_period(double mtbf, double checkpoint_cost) {
+  COREDIS_EXPECTS(mtbf > 0.0);
+  COREDIS_EXPECTS(checkpoint_cost > 0.0);
+  if (checkpoint_cost >= 2.0 * mtbf) return mtbf + checkpoint_cost;
+  const double ratio = checkpoint_cost / (2.0 * mtbf);
+  const double base = std::sqrt(2.0 * mtbf * checkpoint_cost);
+  return base * (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) + checkpoint_cost;
+}
+
+double period_for(PeriodRule rule, double mtbf, double checkpoint_cost,
+                  double fixed_period) {
+  switch (rule) {
+    case PeriodRule::Young:
+      return young_period(mtbf, checkpoint_cost);
+    case PeriodRule::Daly:
+      return daly_period(mtbf, checkpoint_cost);
+    case PeriodRule::Fixed:
+      COREDIS_EXPECTS(fixed_period > 0.0);
+      return fixed_period + checkpoint_cost;
+  }
+  COREDIS_ASSERT(false);
+  return 0.0;
+}
+
+bool period_assumption_strained(double mtbf, double checkpoint_cost) {
+  return checkpoint_cost > mtbf / 10.0;
+}
+
+}  // namespace coredis::checkpoint

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file period.hpp
+/// Checkpointing-period formulas.
+///
+/// The paper (Eq. 1) uses Young's first-order approximation
+///   tau = sqrt(2 * mu * C) + C,
+/// valid when C << mu. Daly's higher-order estimate and a fixed period are
+/// provided for the ablation benches (DESIGN.md section 5).
+
+namespace coredis::checkpoint {
+
+enum class PeriodRule {
+  Young,  ///< Eq. 1, the paper's choice
+  Daly,   ///< Daly 2004 higher-order estimate (extension)
+  Fixed,  ///< constant period (ablation baseline)
+};
+
+/// Young's period (Eq. 1): sqrt(2 mu C) + C. Preconditions: mu > 0, C > 0.
+[[nodiscard]] double young_period(double mtbf, double checkpoint_cost);
+
+/// Daly's higher-order period (Daly, FGCS 2004, perturbation solution):
+///   sqrt(2 mu C) * (1 + (1/3) sqrt(C/(2 mu)) + (1/9) (C/(2 mu))) + C
+/// when C < 2 mu, clamped to mu + C otherwise (checkpointing more often
+/// than the MTBF is never useful).
+[[nodiscard]] double daly_period(double mtbf, double checkpoint_cost);
+
+/// Dispatch on the rule; `fixed_period` is used only for PeriodRule::Fixed
+/// and is taken as the *work* quantum plus checkpoint (tau = fixed + C).
+[[nodiscard]] double period_for(PeriodRule rule, double mtbf,
+                                double checkpoint_cost,
+                                double fixed_period = 0.0);
+
+/// Young's formula is a first-order approximation "valid only if
+/// C_ij << mu_ij" (paper, after Eq. 1). This predicate flags the regime
+/// where that assumption degrades (we use C > mu / 10).
+[[nodiscard]] bool period_assumption_strained(double mtbf,
+                                              double checkpoint_cost);
+
+}  // namespace coredis::checkpoint

@@ -1,0 +1,170 @@
+#include "complexity/moldable.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace coredis::complexity {
+
+double MoldableInstance::at(int task, int j) const {
+  COREDIS_EXPECTS(task >= 0 && task < tasks());
+  COREDIS_EXPECTS(j >= 1 && j <= processors);
+  return time[static_cast<std::size_t>(task)][static_cast<std::size_t>(j - 1)];
+}
+
+bool MoldableInstance::assumptions_hold(double tolerance) const {
+  for (int i = 0; i < tasks(); ++i) {
+    for (int j = 1; j < processors; ++j) {
+      const double here = at(i, j);
+      const double next = at(i, j + 1);
+      if (next > here + tolerance) return false;  // time must not increase
+      const double work_here = j * here;
+      const double work_next = (j + 1) * next;
+      if (work_next < work_here - tolerance) return false;  // work must not drop
+    }
+  }
+  return true;
+}
+
+namespace {
+
+struct RigidSearch {
+  int tasks;
+  int processors;
+  const TimeTable* time;
+  int step;       // 1 or 2 (even-only)
+  int min_alloc;  // smallest allocation per task
+  double best = std::numeric_limits<double>::infinity();
+
+  void dfs(int task, int used, double current_max) {
+    if (current_max >= best) return;
+    if (task == tasks) {
+      best = current_max;
+      return;
+    }
+    const int remaining_tasks = tasks - task - 1;
+    const int budget = processors - used - remaining_tasks * min_alloc;
+    for (int j = min_alloc; j <= budget; j += step)
+      dfs(task + 1, used + j,
+          std::max(current_max, (*time)(task, j)));
+  }
+};
+
+struct MalleableSearch {
+  const MoldableInstance* instance;
+  std::vector<double> remaining;  // remaining fraction of work per task
+  std::vector<int> allocation;    // scratch composition
+  double best = std::numeric_limits<double>::infinity();
+  static constexpr double kEps = 1e-9;
+
+  /// Cheap lower bounds: every alive task still needs its best-possible
+  /// time, and the total remaining minimal work cannot beat p processors.
+  [[nodiscard]] double lower_bound(double now) const {
+    const int p = instance->processors;
+    double bound = now;
+    double total_min_work = 0.0;
+    for (int i = 0; i < instance->tasks(); ++i) {
+      if (remaining[static_cast<std::size_t>(i)] <= kEps) continue;
+      double best_time = std::numeric_limits<double>::infinity();
+      double min_work = std::numeric_limits<double>::infinity();
+      for (int j = 1; j <= p; ++j) {
+        best_time = std::min(best_time, instance->at(i, j));
+        min_work = std::min(min_work, j * instance->at(i, j));
+      }
+      bound = std::max(bound,
+                       now + remaining[static_cast<std::size_t>(i)] * best_time);
+      total_min_work += remaining[static_cast<std::size_t>(i)] * min_work;
+    }
+    return std::max(bound, now + total_min_work / p);
+  }
+
+  void dfs(double now) {
+    if (lower_bound(now) >= best) return;
+    std::vector<int> alive;
+    for (int i = 0; i < instance->tasks(); ++i)
+      if (remaining[static_cast<std::size_t>(i)] > kEps) alive.push_back(i);
+    if (alive.empty()) {
+      best = std::min(best, now);
+      return;
+    }
+    compose(alive, 0, instance->processors, now);
+  }
+
+  /// Enumerate compositions of all p processors over the alive tasks (one
+  /// processor minimum each; handing out everything is WLOG optimal since
+  /// execution times are non-increasing in j).
+  void compose(const std::vector<int>& alive, std::size_t pos, int left,
+               double now) {
+    if (best <= lower_bound(now)) return;
+    const int remaining_tasks = static_cast<int>(alive.size() - pos);
+    if (remaining_tasks == 0) {
+      step(alive, now);
+      return;
+    }
+    if (pos + 1 == alive.size()) {
+      allocation[static_cast<std::size_t>(alive[pos])] = left;
+      step(alive, now);
+      return;
+    }
+    for (int j = 1; j <= left - (remaining_tasks - 1); ++j) {
+      allocation[static_cast<std::size_t>(alive[pos])] = j;
+      compose(alive, pos + 1, left - j, now);
+    }
+  }
+
+  /// Advance to the earliest completion under the chosen composition.
+  void step(const std::vector<int>& alive, double now) {
+    double dt = std::numeric_limits<double>::infinity();
+    for (int i : alive) {
+      const double span = remaining[static_cast<std::size_t>(i)] *
+                          instance->at(i, allocation[static_cast<std::size_t>(i)]);
+      dt = std::min(dt, span);
+    }
+    COREDIS_ASSERT(std::isfinite(dt));
+    // Consume work; tasks hitting zero complete simultaneously.
+    std::vector<std::pair<int, double>> saved;
+    saved.reserve(alive.size());
+    for (int i : alive) {
+      const auto idx = static_cast<std::size_t>(i);
+      saved.emplace_back(i, remaining[idx]);
+      const double full = instance->at(i, allocation[idx]);
+      remaining[idx] = std::max(0.0, remaining[idx] - dt / full);
+      if (remaining[idx] < kEps) remaining[idx] = 0.0;
+    }
+    dfs(now + dt);
+    for (const auto& [i, value] : saved)
+      remaining[static_cast<std::size_t>(i)] = value;
+  }
+};
+
+}  // namespace
+
+double brute_force_rigid(int tasks, int processors, const TimeTable& time,
+                         bool even_only, int min_alloc) {
+  COREDIS_EXPECTS(tasks >= 1);
+  COREDIS_EXPECTS(processors >= tasks * min_alloc);
+  if (tasks > 8)
+    throw std::invalid_argument("brute_force_rigid: instance too large");
+  RigidSearch search{tasks, processors, &time, even_only ? 2 : 1, min_alloc};
+  COREDIS_EXPECTS(!even_only || min_alloc % 2 == 0);
+  search.dfs(0, 0, 0.0);
+  return search.best;
+}
+
+double malleable_makespan(const MoldableInstance& instance) {
+  COREDIS_EXPECTS(instance.tasks() >= 1);
+  COREDIS_EXPECTS(instance.processors >= instance.tasks());
+  if (instance.tasks() > 9)
+    throw std::invalid_argument("malleable_makespan: instance too large");
+  MalleableSearch search;
+  search.instance = &instance;
+  search.remaining.assign(static_cast<std::size_t>(instance.tasks()), 1.0);
+  search.allocation.assign(static_cast<std::size_t>(instance.tasks()), 0);
+  search.dfs(0.0);
+  return search.best;
+}
+
+}  // namespace coredis::complexity

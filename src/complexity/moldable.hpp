@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file moldable.hpp
+/// Exact (exponential) schedulers for tiny instances.
+///
+/// Two certifiers back the paper's complexity section:
+///  * brute_force_rigid: optimal makespan when each task keeps a fixed
+///    allocation (the "no redistribution" problem of Theorem 1) — used by
+///    tests to certify that Algorithm 1 is optimal on exhaustive small
+///    instances;
+///  * malleable_makespan: optimal makespan when processors may be freely
+///    redistributed at task completions with zero cost and no failures
+///    (exactly the simplified setting of Theorem 2's NP-completeness
+///    proof) — used to validate the 3-partition reduction end to end.
+
+#include <functional>
+#include <vector>
+
+namespace coredis::complexity {
+
+/// Execution-time table of a moldable-task instance: time(i, j) is the
+/// fault-free (or expected) time of task i on j processors, j in [1, p].
+using TimeTable = std::function<double(int task, int processors)>;
+
+/// Explicit tabulated instance (the reduction of Theorem 2 produces one).
+struct MoldableInstance {
+  int processors = 0;
+  /// time[i][j-1] = execution time of task i on j processors.
+  std::vector<std::vector<double>> time;
+
+  [[nodiscard]] int tasks() const noexcept {
+    return static_cast<int>(time.size());
+  }
+  [[nodiscard]] double at(int task, int j) const;
+  /// The model's standing assumptions: time non-increasing and work
+  /// j * time non-decreasing in j.
+  [[nodiscard]] bool assumptions_hold(double tolerance = 1e-9) const;
+};
+
+/// Minimum over all fixed allocations sigma (sigma_i >= min_alloc,
+/// optionally even, sum <= p) of max_i time(i, sigma_i). Exponential in n;
+/// keep n small (<= ~6). Returns +infinity if no allocation fits.
+[[nodiscard]] double brute_force_rigid(int tasks, int processors,
+                                       const TimeTable& time, bool even_only,
+                                       int min_alloc = 1);
+
+/// Optimal makespan with free redistribution at task completions (zero
+/// cost, no failures): depth-first search over the allocation chosen after
+/// every completion. Exponential; practical for tasks <= ~8 with small p.
+[[nodiscard]] double malleable_makespan(const MoldableInstance& instance);
+
+}  // namespace coredis::complexity

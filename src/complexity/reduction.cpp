@@ -1,0 +1,82 @@
+#include "complexity/reduction.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace coredis::complexity {
+
+Reduction reduce(const ThreePartitionInstance& source) {
+  COREDIS_EXPECTS(source.well_formed());
+  const int m = source.groups();
+  const int n = 4 * m;
+  const double deadline =
+      static_cast<double>(
+          *std::max_element(source.items.begin(), source.items.end())) +
+      1.0;
+  const double large_work = 4.0 * deadline - static_cast<double>(source.bound);
+  COREDIS_ASSERT(large_work > deadline);  // 4D - B > D (paper remark)
+
+  Reduction result;
+  result.deadline = deadline;
+  result.instance.processors = n;
+  result.instance.time.resize(static_cast<std::size_t>(n));
+
+  for (int i = 0; i < 3 * m; ++i) {  // small tasks
+    auto& row = result.instance.time[static_cast<std::size_t>(i)];
+    row.resize(static_cast<std::size_t>(n));
+    const double a = static_cast<double>(source.items[static_cast<std::size_t>(i)]);
+    row[0] = a;
+    for (int j = 2; j <= n; ++j)
+      row[static_cast<std::size_t>(j - 1)] = 0.75 * a;
+  }
+  for (int k = 0; k < m; ++k) {  // large tasks
+    auto& row = result.instance.time[static_cast<std::size_t>(3 * m + k)];
+    row.resize(static_cast<std::size_t>(n));
+    for (int j = 1; j <= n; ++j) {
+      row[static_cast<std::size_t>(j - 1)] =
+          j <= 4 ? large_work / static_cast<double>(j)
+                 : 2.0 / 9.0 * large_work;
+    }
+  }
+  COREDIS_ENSURES(result.instance.assumptions_hold());
+  return result;
+}
+
+double proof_schedule_makespan(const ThreePartitionInstance& source,
+                               const ThreePartitionSolution& solution) {
+  COREDIS_EXPECTS(verify(source, solution));
+  const double deadline =
+      static_cast<double>(
+          *std::max_element(source.items.begin(), source.items.end())) +
+      1.0;
+  const double large_work = 4.0 * deadline - static_cast<double>(source.bound);
+
+  double makespan = 0.0;
+  for (const auto& group : solution) {
+    // The large task of this group starts on 1 processor and gains the
+    // processor of each small task as it completes (sorted arrival times
+    // s1 <= s2 <= s3), being perfectly parallel up to 4 processors.
+    std::array<double, 3> arrivals{};
+    for (std::size_t x = 0; x < 3; ++x)
+      arrivals[x] = static_cast<double>(
+          source.items[static_cast<std::size_t>(group[x])]);
+    std::sort(arrivals.begin(), arrivals.end());
+
+    double work_left = large_work;
+    double now = 0.0;
+    int procs = 1;
+    for (double arrival : arrivals) {
+      work_left -= (arrival - now) * procs;
+      now = arrival;
+      ++procs;
+      makespan = std::max(makespan, arrival);  // the small task's own end
+    }
+    COREDIS_ASSERT(work_left > 0.0);
+    now += work_left / procs;
+    makespan = std::max(makespan, now);
+  }
+  return makespan;
+}
+
+}  // namespace coredis::complexity

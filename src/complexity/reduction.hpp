@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file reduction.hpp
+/// The Theorem 2 reduction: 3-Partition -> malleable co-scheduling.
+///
+/// Paper section 4.2 proves that minimizing the makespan with (free)
+/// redistributions and no failures is strongly NP-complete. From a
+/// 3-partition instance (B, a_1..a_3m) it builds n = 4m tasks on n
+/// processors with deadline D = max_i a_i + 1:
+///
+///   small task i (1 <= i <= 3m):  t_{i,1} = a_i,  t_{i,j} = (3/4) a_i for j > 1
+///   large task 3m+k (1 <= k <= m): t_{i,j} = (4D-B)/j for j <= 4,
+///                                  t_{i,j} = (2/9)(4D-B) for j > 4
+///
+/// The instance admits a schedule of makespan <= D iff the 3-partition
+/// instance is a yes-instance. This module builds the reduced instance,
+/// evaluates the forward-direction schedule that the proof constructs, and
+/// exposes the deadline so tests can exercise both directions with the
+/// exact solvers of moldable.hpp.
+
+#include "complexity/moldable.hpp"
+#include "complexity/three_partition.hpp"
+
+namespace coredis::complexity {
+
+struct Reduction {
+  MoldableInstance instance;
+  double deadline = 0.0;  ///< D = max a_i + 1
+};
+
+/// Build the Theorem 2 instance from a (well-formed) 3-partition instance.
+[[nodiscard]] Reduction reduce(const ThreePartitionInstance& source);
+
+/// Makespan of the schedule the proof constructs from a certificate: each
+/// small task runs on its own processor; when small task i of group k
+/// finishes, its processor joins large task 3m+k (which is perfectly
+/// parallel up to 4 processors). Equals the deadline D for any valid
+/// certificate.
+[[nodiscard]] double proof_schedule_makespan(
+    const ThreePartitionInstance& source,
+    const ThreePartitionSolution& solution);
+
+}  // namespace coredis::complexity

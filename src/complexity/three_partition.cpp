@@ -1,0 +1,150 @@
+#include "complexity/three_partition.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace coredis::complexity {
+
+bool ThreePartitionInstance::well_formed() const {
+  if (items.empty() || items.size() % 3 != 0) return false;
+  const auto m = static_cast<std::int64_t>(groups());
+  const std::int64_t total =
+      std::accumulate(items.begin(), items.end(), std::int64_t{0});
+  if (total != m * bound) return false;
+  return std::all_of(items.begin(), items.end(), [&](std::int64_t a) {
+    return 4 * a > bound && 2 * a < bound;
+  });
+}
+
+ThreePartitionInstance make_yes_instance(int m, Rng& rng) {
+  COREDIS_EXPECTS(m >= 1);
+  // Use B = 4k with headroom so each triple (x, y, B-x-y) can stay inside
+  // the open window (B/4, B/2).
+  const std::int64_t B = 400;
+  ThreePartitionInstance instance;
+  instance.bound = B;
+  for (int g = 0; g < m; ++g) {
+    // x in (B/4, B/3], y in (B/4, (B-x)/2) with z = B-x-y in window too.
+    const auto x = static_cast<std::int64_t>(rng.uniform_int(101, 133));
+    std::int64_t y = 0;
+    std::int64_t z = 0;
+    for (;;) {
+      y = static_cast<std::int64_t>(rng.uniform_int(101, 149));
+      z = B - x - y;
+      if (4 * z > B && 2 * z < B) break;
+    }
+    instance.items.push_back(x);
+    instance.items.push_back(y);
+    instance.items.push_back(z);
+  }
+  COREDIS_ENSURES(instance.well_formed());
+  return instance;
+}
+
+ThreePartitionInstance make_random_instance(int m, Rng& rng) {
+  COREDIS_EXPECTS(m >= 1);
+  const std::int64_t B = 400;
+  ThreePartitionInstance instance;
+  instance.bound = B;
+  for (int i = 0; i < 3 * m; ++i)
+    instance.items.push_back(
+        static_cast<std::int64_t>(rng.uniform_int(101, 199)));
+  // Repair the total to m*B by nudging items while staying in the window.
+  std::int64_t total =
+      std::accumulate(instance.items.begin(), instance.items.end(),
+                      std::int64_t{0});
+  std::size_t cursor = 0;
+  while (total != static_cast<std::int64_t>(m) * B) {
+    const std::int64_t delta = total < static_cast<std::int64_t>(m) * B ? 1 : -1;
+    auto& item = instance.items[cursor % instance.items.size()];
+    const std::int64_t candidate = item + delta;
+    if (4 * candidate > B && 2 * candidate < B) {
+      item = candidate;
+      total += delta;
+    }
+    ++cursor;
+  }
+  COREDIS_ENSURES(instance.well_formed());
+  return instance;
+}
+
+namespace {
+
+/// Depth-first packing of triples: repeatedly take the largest unassigned
+/// item and try to complete it with two smaller ones summing to B.
+bool pack(const std::vector<std::pair<std::int64_t, int>>& sorted,
+          std::vector<bool>& used, std::int64_t bound,
+          ThreePartitionSolution& out) {
+  const int size = static_cast<int>(sorted.size());
+  int anchor = -1;
+  for (int i = 0; i < size; ++i) {
+    if (!used[static_cast<std::size_t>(i)]) {
+      anchor = i;
+      break;
+    }
+  }
+  if (anchor < 0) return true;  // everything packed
+
+  used[static_cast<std::size_t>(anchor)] = true;
+  const std::int64_t need = bound - sorted[static_cast<std::size_t>(anchor)].first;
+  for (int second = anchor + 1; second < size; ++second) {
+    if (used[static_cast<std::size_t>(second)]) continue;
+    const std::int64_t rest = need - sorted[static_cast<std::size_t>(second)].first;
+    if (rest <= 0) continue;
+    used[static_cast<std::size_t>(second)] = true;
+    for (int third = second + 1; third < size; ++third) {
+      if (used[static_cast<std::size_t>(third)]) continue;
+      if (sorted[static_cast<std::size_t>(third)].first != rest) continue;
+      used[static_cast<std::size_t>(third)] = true;
+      out.push_back({sorted[static_cast<std::size_t>(anchor)].second,
+                     sorted[static_cast<std::size_t>(second)].second,
+                     sorted[static_cast<std::size_t>(third)].second});
+      if (pack(sorted, used, bound, out)) return true;
+      out.pop_back();
+      used[static_cast<std::size_t>(third)] = false;
+    }
+    used[static_cast<std::size_t>(second)] = false;
+  }
+  used[static_cast<std::size_t>(anchor)] = false;
+  return false;
+}
+
+}  // namespace
+
+std::optional<ThreePartitionSolution> solve(
+    const ThreePartitionInstance& instance) {
+  if (!instance.well_formed()) return std::nullopt;
+  std::vector<std::pair<std::int64_t, int>> sorted;
+  sorted.reserve(instance.items.size());
+  for (std::size_t i = 0; i < instance.items.size(); ++i)
+    sorted.emplace_back(instance.items[i], static_cast<int>(i));
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+
+  std::vector<bool> used(instance.items.size(), false);
+  ThreePartitionSolution solution;
+  if (pack(sorted, used, instance.bound, solution)) return solution;
+  return std::nullopt;
+}
+
+bool verify(const ThreePartitionInstance& instance,
+            const ThreePartitionSolution& solution) {
+  if (static_cast<int>(solution.size()) != instance.groups()) return false;
+  std::vector<bool> seen(instance.items.size(), false);
+  for (const auto& triple : solution) {
+    std::int64_t sum = 0;
+    for (int index : triple) {
+      if (index < 0 || index >= static_cast<int>(instance.items.size()))
+        return false;
+      if (seen[static_cast<std::size_t>(index)]) return false;
+      seen[static_cast<std::size_t>(index)] = true;
+      sum += instance.items[static_cast<std::size_t>(index)];
+    }
+    if (sum != instance.bound) return false;
+  }
+  return true;
+}
+
+}  // namespace coredis::complexity

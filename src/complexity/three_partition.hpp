@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file three_partition.hpp
+/// 3-Partition instances, generators and an exact solver.
+///
+/// 3-Partition (Garey & Johnson [SP15]) is the strongly NP-complete anchor
+/// of the paper's Theorem 2: given 3m integers a_1..a_3m with
+/// B/4 < a_i < B/2 and sum = m*B, can they be split into m triples each
+/// summing to B? This module provides instances, a constructive
+/// yes-instance generator, a randomized generator (usually "no"), and an
+/// exact backtracking solver for the small sizes used in tests.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace coredis::complexity {
+
+struct ThreePartitionInstance {
+  std::int64_t bound = 0;        ///< B
+  std::vector<std::int64_t> items;  ///< a_1..a_3m
+
+  [[nodiscard]] int groups() const noexcept {
+    return static_cast<int>(items.size()) / 3;
+  }
+
+  /// Structural validity: |items| = 3m, sum = m*B and B/4 < a_i < B/2.
+  [[nodiscard]] bool well_formed() const;
+};
+
+/// A solution: partition[g] lists the three item indices of group g.
+using ThreePartitionSolution = std::vector<std::array<int, 3>>;
+
+/// Build a yes-instance with m groups: each triple is constructed to sum
+/// to B while respecting the strict B/4 < a_i < B/2 window.
+[[nodiscard]] ThreePartitionInstance make_yes_instance(int m, Rng& rng);
+
+/// Draw items uniformly in the admissible window and repair the total sum;
+/// such instances are usually infeasible for m >= 2 (useful as probable
+/// no-instances — callers should still decide with solve()).
+[[nodiscard]] ThreePartitionInstance make_random_instance(int m, Rng& rng);
+
+/// Exact decision + certificate by backtracking over triples (largest
+/// remaining item first). Exponential worst case; intended for m <= ~8.
+[[nodiscard]] std::optional<ThreePartitionSolution> solve(
+    const ThreePartitionInstance& instance);
+
+/// Check a certificate against an instance.
+[[nodiscard]] bool verify(const ThreePartitionInstance& instance,
+                          const ThreePartitionSolution& solution);
+
+}  // namespace coredis::complexity

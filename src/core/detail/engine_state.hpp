@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file engine_state.hpp
+/// Internal mutable state shared between the event engine (Algorithm 2)
+/// and the redistribution heuristics (Algorithms 3-5). Not part of the
+/// public API; include only from core/*.cpp and white-box tests.
+
+#include <vector>
+
+#include "core/expected_time.hpp"
+#include "core/types.hpp"
+#include "platform/platform.hpp"
+
+namespace coredis::core::detail {
+
+/// Dynamic execution state of one task (paper Table 1 notations).
+struct TaskRuntime {
+  double alpha = 1.0;      ///< remaining fraction of work, committed at tlastR
+  int sigma = 0;           ///< current processor count (even)
+  double tlastR = 0.0;     ///< time of last redistribution / failure baseline
+  double tU = 0.0;         ///< expected finish time (decision metric)
+  double proj_end = 0.0;   ///< fault-free projected completion (event time)
+  bool done = false;       ///< finished
+  bool released = false;   ///< processors surrendered early (Alg. 2 line 28)
+  double finish_time = -1.0;
+};
+
+struct EngineState {
+  const ExpectedTimeModel* model = nullptr;
+  platform::Platform* platform = nullptr;
+  TrEvaluator* tr = nullptr;
+  bool zero_redistribution_cost = false;  ///< Theorem 2 ablation knob
+  std::vector<TaskRuntime> tasks;
+
+  // Counters surfaced in RunResult.
+  int redistributions = 0;
+  double redistribution_cost_total = 0.0;
+  long long checkpoints_taken = 0;
+  double time_lost_to_faults = 0.0;
+
+  // Optional allocation-timeline recording (EngineConfig::record_timeline):
+  // commit() closes a segment whenever a task's sigma changes; the engine
+  // closes the final segment at completion.
+  std::vector<AllocationSegment>* timeline = nullptr;
+  std::vector<double> segment_start;
+
+  [[nodiscard]] int n() const noexcept {
+    return static_cast<int>(tasks.size());
+  }
+  [[nodiscard]] TaskRuntime& task(int i) { return tasks[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const TaskRuntime& task(int i) const {
+    return tasks[static_cast<std::size_t>(i)];
+  }
+
+  /// A task participates in a redistribution at time t iff it is live,
+  /// still owns its processors, and is not inside a blackout window
+  /// (Alg. 2 line 15: tasks with t <= tlastR are temporarily removed).
+  /// The faulty task is the exception handled by the callers: its tlastR
+  /// was just pushed past t by the rollback, yet it stays eligible.
+  [[nodiscard]] bool included(int i, double t) const {
+    const TaskRuntime& task = tasks[static_cast<std::size_t>(i)];
+    return !task.done && !task.released && t > task.tlastR;
+  }
+
+  /// Tentative remaining fraction alpha^t_i at time t (Alg. 3 line 8 and
+  /// Alg. 4/5 preambles): the committed alpha minus all work performed
+  /// since tlastR, where elapsed time minus completed checkpoints counts
+  /// as work (an immediate checkpoint would preserve the running period).
+  [[nodiscard]] double alpha_tentative(int i, double t) const;
+
+  /// Redistribution cost RC^{sigma_i -> to}_i in seconds (Eq. 9).
+  [[nodiscard]] double redistribution_cost(int i, int to) const;
+
+  /// Refresh proj_end from (alpha, sigma, tlastR).
+  void refresh_projection(int i);
+
+  /// Apply the allocation changes committed by a heuristic. `new_sigma`
+  /// and `alpha_t` are indexed by task; only entries whose sigma differs
+  /// from the current one are committed (paying RC + initial checkpoint,
+  /// updating alpha/tlastR/tU/proj and the platform ledger; shrinks are
+  /// applied before growths so the pool never goes negative). For the
+  /// faulty task (faulty >= 0) the new baseline keeps the downtime +
+  /// recovery already folded into its tlastR (section 3.3.2).
+  void commit(double t, int faulty, const std::vector<int>& new_sigma,
+              const std::vector<double>& alpha_t);
+};
+
+/// Algorithm 3 (EndLocal): grow the currently-longest tasks with the k
+/// idle processors, pair by pair. Returns true if anything was committed.
+bool end_local(EngineState& state, double t);
+
+/// EndGreedy (section 5.2): full RC-aware rebuild at a task termination.
+bool end_greedy(EngineState& state, double t);
+
+/// Algorithm 4 (ShortestTasksFirst) at a failure of task `faulty`.
+bool shortest_tasks_first(EngineState& state, double t, int faulty);
+
+/// Algorithm 5 (IteratedGreedy) at a failure of task `faulty`.
+bool iterated_greedy(EngineState& state, double t, int faulty);
+
+}  // namespace coredis::core::detail

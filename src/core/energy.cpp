@@ -1,0 +1,36 @@
+#include "core/energy.hpp"
+
+#include "util/contracts.hpp"
+
+namespace coredis::core {
+
+double busy_processor_seconds(
+    const std::vector<AllocationSegment>& timeline) {
+  double busy = 0.0;
+  for (const AllocationSegment& segment : timeline) {
+    COREDIS_EXPECTS(segment.end >= segment.start);
+    if (!segment.ledger_owned) continue;  // processors counted at receiver
+    busy += static_cast<double>(segment.processors) *
+            (segment.end - segment.start);
+  }
+  return busy;
+}
+
+double EnergyModel::platform_energy(double makespan, int processors,
+                                    double busy_seconds) const {
+  COREDIS_EXPECTS(makespan >= 0.0);
+  COREDIS_EXPECTS(processors > 0);
+  COREDIS_EXPECTS(busy_seconds >= 0.0);
+  const double total_seconds = static_cast<double>(processors) * makespan;
+  COREDIS_EXPECTS(busy_seconds <= total_seconds * (1.0 + 1e-9));
+  const double idle_seconds = total_seconds - busy_seconds;
+  return active_watts * busy_seconds + idle_watts * idle_seconds;
+}
+
+double EnergyModel::platform_energy(const RunResult& result,
+                                    int processors) const {
+  return platform_energy(result.makespan, processors,
+                         busy_processor_seconds(result.timeline));
+}
+
+}  // namespace coredis::core

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file energy.hpp
+/// Platform energy accounting over recorded allocation timelines.
+///
+/// The paper's introduction motivates co-scheduling with "significant
+/// performance and energy savings" (citing Shantharam et al. and Aupy et
+/// al.). This module makes the energy side measurable: given a run's
+/// allocation timeline, processors are either *active* (allocated to a
+/// task — computing, checkpointing or redistributing) or *idle*, and the
+/// platform draws
+///
+///   E = P_active * busy_processor_seconds
+///     + P_idle   * (p * makespan - busy_processor_seconds).
+///
+/// Dedicated-mode execution keeps most of the platform idle while one
+/// application runs, which is exactly where co-scheduling saves energy;
+/// bench/baselines_dedicated_batch quantifies it.
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace coredis::core {
+
+/// Integral of the allocation over time: sum over ledger-owned segments
+/// of sigma * (end - start), in processor-seconds.
+[[nodiscard]] double busy_processor_seconds(
+    const std::vector<AllocationSegment>& timeline);
+
+struct EnergyModel {
+  double active_watts = 100.0;  ///< per busy processor
+  double idle_watts = 30.0;     ///< per idle (powered) processor
+
+  /// Whole-platform energy in Joules for a run of `makespan` seconds on
+  /// `processors` processors with the given busy integral.
+  [[nodiscard]] double platform_energy(double makespan, int processors,
+                                       double busy_seconds) const;
+
+  /// Convenience: straight from a recorded run.
+  [[nodiscard]] double platform_energy(const RunResult& result,
+                                       int processors) const;
+};
+
+}  // namespace coredis::core

@@ -1,0 +1,284 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/detail/engine_state.hpp"
+#include "core/optimal_schedule.hpp"
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace coredis::core {
+
+std::string to_string(EndPolicy policy) {
+  switch (policy) {
+    case EndPolicy::None: return "EndNone";
+    case EndPolicy::Local: return "EndLocal";
+    case EndPolicy::Greedy: return "EndGreedy";
+  }
+  return "?";
+}
+
+std::string to_string(FailurePolicy policy) {
+  switch (policy) {
+    case FailurePolicy::None: return "FailNone";
+    case FailurePolicy::ShortestTasksFirst: return "ShortestTasksFirst";
+    case FailurePolicy::IteratedGreedy: return "IteratedGreedy";
+  }
+  return "?";
+}
+
+Engine::Engine(const Pack& pack, const checkpoint::Model& resilience,
+               int processors, EngineConfig config)
+    : pack_(&pack),
+      resilience_(&resilience),
+      processors_(processors),
+      config_(config) {
+  if (processors < 2 * pack.size())
+    throw std::invalid_argument(
+        "Engine: platform must hold one processor pair per task");
+  if (processors % 2 != 0)
+    throw std::invalid_argument("Engine: processor count must be even");
+}
+
+namespace {
+
+using detail::EngineState;
+using detail::TaskRuntime;
+
+/// Max expected finish over unfinished tasks and actual finish over done
+/// ones: the running makespan estimate recorded in Figure 9a.
+double predicted_makespan(const EngineState& state) {
+  double result = 0.0;
+  for (const TaskRuntime& task : state.tasks)
+    result = std::max(result, task.done ? task.finish_time : task.tU);
+  return result;
+}
+
+/// Population stddev of the allocation over unfinished tasks (Figure 9b).
+double allocation_stddev(const EngineState& state) {
+  RunningStats stats;
+  for (const TaskRuntime& task : state.tasks)
+    if (!task.done) stats.add(static_cast<double>(task.sigma));
+  return stats.stddev_population();
+}
+
+}  // namespace
+
+RunResult Engine::run(fault::Generator& faults) {
+  COREDIS_EXPECTS(faults.processors() == processors_);
+  const int n = pack_->size();
+
+  ExpectedTimeModel model(*pack_, *resilience_);
+  TrEvaluator evaluator(model, processors_);
+  platform::Platform platform(processors_);
+
+  EngineState state;
+  state.model = &model;
+  state.platform = &platform;
+  state.tr = &evaluator;
+  state.zero_redistribution_cost = config_.zero_redistribution_cost;
+  state.tasks.resize(static_cast<std::size_t>(n));
+
+  // Initial allocation: Algorithm 1 (optimal without redistribution).
+  const std::vector<int> sigma0 = optimal_schedule(model, processors_, evaluator);
+  for (int i = 0; i < n; ++i) {
+    TaskRuntime& task = state.task(i);
+    task.sigma = sigma0[static_cast<std::size_t>(i)];
+    task.alpha = 1.0;
+    task.tlastR = 0.0;
+    task.tU = evaluator(i, task.sigma, 1.0);
+    state.refresh_projection(i);
+    platform.acquire(i, task.sigma);
+  }
+
+  RunResult result;
+  result.completion_times.assign(static_cast<std::size_t>(n), 0.0);
+  result.final_allocation.assign(static_cast<std::size_t>(n), 0);
+  if (config_.record_timeline) {
+    state.timeline = &result.timeline;
+    state.segment_start.assign(static_cast<std::size_t>(n), 0.0);
+  }
+
+  int live = n;
+  std::optional<fault::Fault> next_fault = faults.next();
+
+  // Buddy-risk tracking: the pair partner of the last struck processor of
+  // each task, valid until the end of that task's recovery blackout. The
+  // partner of held[k] in the allocation ledger is held[k ^ 1] (pairs are
+  // granted together).
+  std::vector<int> recovery_partner(static_cast<std::size_t>(n), -1);
+  std::vector<double> recovery_until(static_cast<std::size_t>(n), -1.0);
+  const auto partner_of = [&](int task, int processor) {
+    const auto held = platform.held_by(task);
+    for (std::size_t k = 0; k < held.size(); ++k)
+      if (held[k] == processor)
+        return held[k ^ 1];
+    return -1;
+  };
+
+  while (live > 0) {
+    // Earliest projected completion among unfinished tasks.
+    double end_time = std::numeric_limits<double>::infinity();
+    int ending = -1;
+    for (int i = 0; i < n; ++i) {
+      const TaskRuntime& task = state.task(i);
+      if (!task.done && task.proj_end < end_time) {
+        end_time = task.proj_end;
+        ending = i;
+      }
+    }
+    COREDIS_ASSERT(ending >= 0);
+
+    // ---- Fault event --------------------------------------------------
+    if (next_fault && next_fault->time < end_time) {
+      const fault::Fault fault = *next_fault;
+      next_fault = faults.next();
+      ++result.faults_drawn;
+
+      const int owner = platform.owner(fault.processor);
+      TaskRuntime* struck =
+          owner >= 0 ? &state.task(owner) : nullptr;
+      const bool blackout =
+          struck != nullptr &&
+          (struck->done || fault.time <= struck->tlastR);
+      if (struck != nullptr && !struck->done && owner >= 0 &&
+          fault.time <= recovery_until[static_cast<std::size_t>(owner)] &&
+          fault.processor == recovery_partner[static_cast<std::size_t>(owner)]) {
+        // The buddy holding both checkpoint copies was struck while its
+        // partner's pair recovers: fatal under the real protocol.
+        ++result.buddy_fatal_risks;
+      }
+      if (struck == nullptr || blackout) {
+        if (struck != nullptr && !struck->done && config_.faults_in_blackout) {
+          // Ablation: the fault restarts the blackout window (downtime +
+          // recovery from the protected baseline) instead of vanishing.
+          TaskRuntime& task = *struck;
+          const double before = task.tlastR;
+          task.tlastR = std::max(task.tlastR,
+                                 fault.time + resilience_->downtime() +
+                                     model.recovery_time(owner, task.sigma));
+          state.time_lost_to_faults += task.tlastR - before;
+          task.tU = task.tlastR + evaluator(owner, task.sigma, task.alpha);
+          state.refresh_projection(owner);
+          ++result.faults_effective;
+        } else {
+          ++result.faults_discarded;  // idle processor or protected window
+        }
+        continue;
+      }
+      ++result.faults_effective;
+
+      // Rollback to the last checkpoint (Alg. 2 lines 23-26).
+      TaskRuntime& task = *struck;
+      const int j = task.sigma;
+      const double tau = model.period(owner, j);
+      const double cost = model.checkpoint_cost(owner, j);
+      const double periods =
+          std::isfinite(tau) ? std::floor((fault.time - task.tlastR) / tau)
+                             : 0.0;
+      state.checkpoints_taken += static_cast<long long>(periods);
+      state.time_lost_to_faults +=
+          (fault.time - task.tlastR) - periods * (tau - cost) +
+          resilience_->downtime() + model.recovery_time(owner, j);
+      task.alpha = std::clamp(
+          task.alpha - periods * (tau - cost) / model.fault_free_time(owner, j),
+          0.0, 1.0);
+      task.tlastR = fault.time + resilience_->downtime() +
+                    model.recovery_time(owner, j);
+      task.tU = task.tlastR + evaluator(owner, j, task.alpha);
+      state.refresh_projection(owner);
+      recovery_partner[static_cast<std::size_t>(owner)] =
+          partner_of(owner, fault.processor);
+      recovery_until[static_cast<std::size_t>(owner)] = task.tlastR;
+
+      bool redistributed = false;
+      if (config_.failure_policy != FailurePolicy::None) {
+        // Alg. 2 line 28: tasks ending before the faulty task restarts
+        // surrender their processors to the pool right away.
+        for (int i = 0; i < n; ++i) {
+          TaskRuntime& other = state.task(i);
+          if (i == owner || other.done || other.released) continue;
+          if (other.proj_end <= task.tlastR) {
+            other.released = true;
+            platform.release_all(i);
+            if (state.timeline != nullptr) {
+              // Close the owned span; the remaining stretch runs on
+              // processors the ledger has already promised away.
+              state.timeline->push_back(AllocationSegment{
+                  i, state.segment_start[static_cast<std::size_t>(i)],
+                  fault.time, other.sigma, true});
+              state.segment_start[static_cast<std::size_t>(i)] = fault.time;
+            }
+          }
+        }
+        // Alg. 2 line 30: rebalance only if the faulty task became the
+        // longest one (otherwise the makespan estimate did not move).
+        double longest = 0.0;
+        for (int i = 0; i < n; ++i)
+          if (!state.task(i).done)
+            longest = std::max(longest, state.task(i).tU);
+        if (task.tU >= longest) {
+          redistributed =
+              config_.failure_policy == FailurePolicy::ShortestTasksFirst
+                  ? detail::shortest_tasks_first(state, fault.time, owner)
+                  : detail::iterated_greedy(state, fault.time, owner);
+        }
+      }
+
+      if (config_.record_trace) {
+        result.trace.push_back(FaultRecord{fault.time, owner,
+                                           predicted_makespan(state),
+                                           allocation_stddev(state),
+                                           redistributed});
+      }
+      continue;
+    }
+
+    // ---- Completion event ---------------------------------------------
+    TaskRuntime& task = state.task(ending);
+    // Periodic checkpoints of the final stretch: simulated_duration is
+    // work + N * C, so N falls out of the overhead.
+    if (!resilience_->fault_free()) {
+      const double work =
+          task.alpha * model.fault_free_time(ending, task.sigma);
+      const double overhead = (end_time - task.tlastR) - work;
+      const double cost = model.checkpoint_cost(ending, task.sigma);
+      if (cost > 0.0 && overhead > 0.0)
+        state.checkpoints_taken +=
+            static_cast<long long>(std::llround(overhead / cost));
+    }
+    task.done = true;
+    task.alpha = 0.0;
+    task.finish_time = end_time;
+    if (state.timeline != nullptr) {
+      state.timeline->push_back(AllocationSegment{
+          ending, state.segment_start[static_cast<std::size_t>(ending)],
+          end_time, task.sigma, !task.released});
+    }
+    result.completion_times[static_cast<std::size_t>(ending)] = end_time;
+    result.final_allocation[static_cast<std::size_t>(ending)] = task.sigma;
+    --live;
+    const bool owned_processors = !task.released;
+    if (owned_processors) platform.release_all(ending);
+
+    if (live > 0 && owned_processors && config_.end_policy != EndPolicy::None) {
+      if (config_.end_policy == EndPolicy::Local)
+        detail::end_local(state, end_time);
+      else
+        detail::end_greedy(state, end_time);
+    }
+  }
+
+  result.makespan = *std::max_element(result.completion_times.begin(),
+                                      result.completion_times.end());
+  result.redistributions = state.redistributions;
+  result.redistribution_cost = state.redistribution_cost_total;
+  result.checkpoints_taken = state.checkpoints_taken;
+  result.time_lost_to_faults = state.time_lost_to_faults;
+  return result;
+}
+
+}  // namespace coredis::core

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file engine.hpp
+/// The event-driven co-scheduling engine (paper Algorithm 2).
+///
+/// One Engine simulates the execution of a pack of malleable tasks on a
+/// failure-prone platform:
+///
+///  1. The initial allocation comes from Algorithm 1 (optimal schedule
+///     without redistribution).
+///  2. The simulation then advances from event to event, where an event is
+///     either the completion of a task or a fail-stop fault drawn by the
+///     fault generator.
+///  3. On a completion, the released processors may be redistributed to
+///     running tasks (EndLocal / EndGreedy).
+///  4. On a fault, the struck task rolls back to its last checkpoint, pays
+///     downtime + recovery, and — if it has become the longest task — the
+///     failure heuristic may rebalance processors toward it
+///     (ShortestTasksFirst / IteratedGreedy).
+///
+/// The engine is deterministic given the fault stream: replaying the same
+/// trace with the same configuration reproduces the same makespan bit for
+/// bit, which is how the campaign compares heuristics fairly.
+///
+/// Modeling notes (see DESIGN.md section 2.5):
+///  * Faults are discarded while a task is inside a blackout window
+///    (downtime, recovery, redistribution, including the initial checkpoint
+///    after a redistribution), per section 6.1 of the paper.
+///  * Tasks whose projected completion precedes the faulty task's restart
+///    surrender their processors immediately (Alg. 2 line 28) but keep
+///    running to completion; they are thereafter excluded from
+///    redistributions and immune to faults (their processors now belong,
+///    ledger-wise, to the tasks that received them).
+
+#include "checkpoint/model.hpp"
+#include "core/expected_time.hpp"
+#include "core/pack.hpp"
+#include "core/types.hpp"
+#include "fault/generator.hpp"
+
+namespace coredis::core {
+
+class Engine {
+ public:
+  /// \param pack tasks to co-schedule (must outlive the engine).
+  /// \param resilience fault/checkpoint model (must outlive the engine).
+  /// \param processors platform size p (even, >= 2n).
+  Engine(const Pack& pack, const checkpoint::Model& resilience,
+         int processors, EngineConfig config = {});
+
+  /// Simulate one execution fed by `faults`. Restartable: each call
+  /// rebuilds the initial schedule and runs to completion.
+  [[nodiscard]] RunResult run(fault::Generator& faults);
+
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] int processors() const noexcept { return processors_; }
+
+ private:
+  const Pack* pack_;
+  const checkpoint::Model* resilience_;
+  int processors_;
+  EngineConfig config_;
+};
+
+}  // namespace coredis::core

@@ -1,0 +1,145 @@
+#include "core/expected_time.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace coredis::core {
+
+ExpectedTimeModel::ExpectedTimeModel(const Pack& pack,
+                                     const checkpoint::Model& resilience)
+    : pack_(&pack), resilience_(&resilience) {}
+
+double ExpectedTimeModel::fault_free_time(int task, int j) const {
+  return pack_->fault_free_time(task, j);
+}
+
+double ExpectedTimeModel::sequential_checkpoint(int task) const {
+  return resilience_->sequential_cost(pack_->task(task).data_size);
+}
+
+double ExpectedTimeModel::checkpoint_cost(int task, int j) const {
+  if (resilience_->fault_free()) return 0.0;  // no checkpoint ever taken
+  return resilience_->cost(sequential_checkpoint(task), j);
+}
+
+double ExpectedTimeModel::recovery_time(int task, int j) const {
+  if (resilience_->fault_free()) return 0.0;
+  return resilience_->recovery(sequential_checkpoint(task), j);
+}
+
+double ExpectedTimeModel::period(int task, int j) const {
+  if (resilience_->fault_free())
+    return std::numeric_limits<double>::infinity();
+  return resilience_->period(sequential_checkpoint(task), j);
+}
+
+double ExpectedTimeModel::checkpoint_count(int task, int j,
+                                           double alpha) const {
+  COREDIS_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
+  if (resilience_->fault_free() || alpha == 0.0) return 0.0;
+  const double work = alpha * fault_free_time(task, j);
+  const double tau = period(task, j);
+  const double cost = checkpoint_cost(task, j);
+  COREDIS_ASSERT(tau > cost);
+  return std::floor(work / (tau - cost));  // Eq. 2
+}
+
+double ExpectedTimeModel::expected_time_raw(int task, int j,
+                                            double alpha) const {
+  COREDIS_EXPECTS(j >= 1);
+  COREDIS_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
+  if (alpha == 0.0) return 0.0;
+  const double t_ij = fault_free_time(task, j);
+  if (resilience_->fault_free()) return alpha * t_ij;  // section 3.3.1
+
+  const double lambda_j = resilience_->task_rate(j);
+  const double tau = period(task, j);
+  const double cost = checkpoint_cost(task, j);
+  const double recovery = recovery_time(task, j);
+  const double n_ff = checkpoint_count(task, j, alpha);
+  const double tau_last = alpha * t_ij - n_ff * (tau - cost);  // Eq. 3
+  COREDIS_ASSERT(tau_last >= -1e-9);
+
+  // Eq. 4. exp arguments stay small in sane regimes (lambda_j * tau does
+  // not grow with j because tau ~ 1/j); extreme parameters may produce
+  // +inf, which propagates harmlessly through the min-based heuristics.
+  const double factor =
+      std::exp(lambda_j * recovery) * (1.0 / lambda_j + resilience_->downtime());
+  return factor * (n_ff * std::expm1(lambda_j * tau) +
+                   std::expm1(lambda_j * std::max(tau_last, 0.0)));
+}
+
+double ExpectedTimeModel::expected_time(int task, int j, double alpha) const {
+  COREDIS_EXPECTS(j >= 2 && j % 2 == 0);
+  double best = std::numeric_limits<double>::infinity();
+  for (int h = 2; h <= j; h += 2)
+    best = std::min(best, expected_time_raw(task, h, alpha));  // Eq. 6
+  return best;
+}
+
+double ExpectedTimeModel::simulated_duration(int task, int j,
+                                             double alpha) const {
+  COREDIS_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
+  if (alpha == 0.0) return 0.0;
+  const double work = alpha * fault_free_time(task, j);
+  if (resilience_->fault_free()) return work;
+  const double tau = period(task, j);
+  const double cost = checkpoint_cost(task, j);
+  const double ratio = work / (tau - cost);
+  double full_periods = std::floor(ratio);
+  // Snap floating-point noise around an exact boundary before deciding.
+  if (ratio - full_periods > 1.0 - 1e-9) full_periods += 1.0;
+  const double remainder = work - full_periods * (tau - cost);
+  // A run ending exactly on a period boundary skips the final checkpoint.
+  if (remainder <= 1e-9 * work && full_periods > 0.0) full_periods -= 1.0;
+  return work + full_periods * cost;
+}
+
+TrEvaluator::TrEvaluator(const ExpectedTimeModel& model, int max_processors)
+    : model_(&model), max_j_(max_processors) {
+  COREDIS_EXPECTS(max_processors >= 2 && max_processors % 2 == 0);
+  slots_.resize(static_cast<std::size_t>(model.pack().size()));
+}
+
+double TrEvaluator::operator()(int task, int j, double alpha) {
+  COREDIS_EXPECTS(task >= 0 && task < model_->pack().size());
+  COREDIS_EXPECTS(j >= 2 && j % 2 == 0 && j <= max_j_);
+  auto& pair = slots_[static_cast<std::size_t>(task)];
+
+  Slot* slot = nullptr;
+  for (Slot& s : pair)
+    if (s.alpha == alpha) slot = &s;
+  if (slot == nullptr) {
+    // Evict the least recently used slot.
+    slot = &pair[0];
+    for (Slot& s : pair)
+      if (s.last_used < slot->last_used) slot = &s;
+    slot->alpha = alpha;
+    slot->prefix_min.clear();
+  }
+  slot->last_used = ++clock_;
+
+  const auto want = static_cast<std::size_t>(j / 2);
+  auto& pm = slot->prefix_min;
+  while (pm.size() < want) {
+    const int next_j = 2 * (static_cast<int>(pm.size()) + 1);
+    const double raw = model_->expected_time_raw(task, next_j, alpha);
+    pm.push_back(pm.empty() ? raw : std::min(pm.back(), raw));
+  }
+  return pm[want - 1];
+}
+
+void TrEvaluator::invalidate(int task) {
+  COREDIS_EXPECTS(task >= 0 &&
+                  static_cast<std::size_t>(task) < slots_.size());
+  for (Slot& s : slots_[static_cast<std::size_t>(task)]) {
+    s.alpha = -1.0;
+    s.prefix_min.clear();
+  }
+}
+
+}  // namespace coredis::core

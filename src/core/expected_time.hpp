@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file expected_time.hpp
+/// Expected completion-time model t^R_{i,j}(alpha) (paper section 3.2).
+///
+/// For a task T_i running on j processors with a remaining fraction of work
+/// alpha, the expected time to completion under exponential faults with
+/// periodic checkpointing is (Eqs. 2-4):
+///
+///   N^ff_{i,j}(alpha) = floor( alpha * t_{i,j} / (tau_{i,j} - C_{i,j}) )
+///   tau_last          = alpha * t_{i,j} - N^ff * (tau_{i,j} - C_{i,j})
+///   t^R_{i,j}(alpha)  = e^{lambda_j R_{i,j}} (1/lambda_j + D)
+///                       ( N^ff (e^{lambda_j tau_{i,j}} - 1)
+///                         + (e^{lambda_j tau_last} - 1) )
+///
+/// with lambda_j = j * lambda. Adding processors eventually hurts (larger
+/// failure rate), so Eq. 6 clamps the model to be non-increasing in j:
+/// the *effective* expected time at j is the minimum of the raw values over
+/// even allocations j' <= j. TrEvaluator provides that clamped quantity
+/// with incremental caching, because the greedy heuristics probe thousands
+/// of (task, j) pairs per event.
+///
+/// In the fault-free context (lambda = 0) no checkpoint is taken and the
+/// model degenerates to alpha * t_{i,j} exactly (section 3.3.1).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "checkpoint/model.hpp"
+#include "core/pack.hpp"
+
+namespace coredis::core {
+
+class ExpectedTimeModel {
+ public:
+  /// Both referents must outlive the model.
+  ExpectedTimeModel(const Pack& pack, const checkpoint::Model& resilience);
+
+  [[nodiscard]] const Pack& pack() const noexcept { return *pack_; }
+  [[nodiscard]] const checkpoint::Model& resilience() const noexcept {
+    return *resilience_;
+  }
+
+  /// Fault-free time t_{i,j} of the full task.
+  [[nodiscard]] double fault_free_time(int task, int j) const;
+
+  /// Sequential checkpoint footprint C_i = c * m_i.
+  [[nodiscard]] double sequential_checkpoint(int task) const;
+
+  /// C_{i,j} = C_i / j; 0 in the fault-free context (no checkpoints).
+  [[nodiscard]] double checkpoint_cost(int task, int j) const;
+
+  /// R_{i,j} = C_{i,j}.
+  [[nodiscard]] double recovery_time(int task, int j) const;
+
+  /// Checkpointing period tau_{i,j} (Eq. 1); +infinity when fault-free.
+  [[nodiscard]] double period(int task, int j) const;
+
+  /// N^ff_{i,j}(alpha), the checkpoint count of a fault-free execution of
+  /// the fraction alpha (Eq. 2). 0 when fault-free (no checkpoints).
+  [[nodiscard]] double checkpoint_count(int task, int j, double alpha) const;
+
+  /// Raw Eq. 4 (no monotonicity clamp).
+  [[nodiscard]] double expected_time_raw(int task, int j, double alpha) const;
+
+  /// Eq. 6: min over even j' <= j of the raw value. j must be even >= 2.
+  /// O(j) scan; use TrEvaluator in hot paths.
+  [[nodiscard]] double expected_time(int task, int j, double alpha) const;
+
+  /// Wall-clock duration of executing the remaining fraction alpha on j
+  /// processors with *no* fault: work plus one checkpoint per completed
+  /// period (the trailing partial period needs no final checkpoint). This
+  /// is what the event simulator uses to schedule completion events.
+  [[nodiscard]] double simulated_duration(int task, int j, double alpha) const;
+
+ private:
+  const Pack* pack_;
+  const checkpoint::Model* resilience_;
+};
+
+/// Incrementally cached evaluator of the Eq. 6 clamped expected time.
+///
+/// For each task it memoizes the prefix-minimum of raw t^R values over even
+/// j at a fixed alpha (the greedy loops probe ascending j at the alpha they
+/// froze for the current event, so the prefix fills once and every further
+/// probe is O(1)). Two alpha slots are kept per task because
+/// IteratedGreedy evaluates both the committed alpha_i and the tentative
+/// alpha^t_i of the same task (Alg. 5 lines 16-17).
+class TrEvaluator {
+ public:
+  explicit TrEvaluator(const ExpectedTimeModel& model, int max_processors);
+
+  /// Clamped expected time (Eq. 6) for even j in [2, max_processors].
+  [[nodiscard]] double operator()(int task, int j, double alpha);
+
+  /// Drop cached values of one task (alpha changed in a way the alpha-keyed
+  /// slots cannot capture; cheap, slots rebuild lazily).
+  void invalidate(int task);
+
+ private:
+  struct Slot {
+    double alpha = -1.0;                // key; -1 = empty
+    std::vector<double> prefix_min;     // prefix_min[h] covers j = 2(h+1)
+    std::uint64_t last_used = 0;
+  };
+
+  const ExpectedTimeModel* model_;
+  int max_j_;
+  std::uint64_t clock_ = 0;
+  std::vector<std::array<Slot, 2>> slots_;
+};
+
+}  // namespace coredis::core

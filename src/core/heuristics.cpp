@@ -1,0 +1,344 @@
+/// \file heuristics.cpp
+/// The redistribution heuristics of paper section 5 (Algorithms 3-5), all
+/// operating on the shared EngineState of Algorithm 2.
+///
+/// Common conventions:
+///  * sigma_init(i) is the committed allocation s.task(i).sigma; scratch
+///    vectors hold the tentative allocations until commit().
+///  * Every probe compares a candidate expected finish tE against the
+///    task's current expected finish tU; a redistribution is committed
+///    only on strict improvement.
+///  * Redistribution costs are always paid from sigma_init (the data moves
+///    once, whatever the probing path), matching the RC^{sigma_init -> k}
+///    superscripts of Algorithms 3-5.
+///  * Two documented deviations from the paper's *pseudocode* (not its
+///    prose) are flagged NOTE(paper) below.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "core/detail/engine_state.hpp"
+#include "redistrib/cost.hpp"
+#include "util/contracts.hpp"
+
+namespace coredis::core::detail {
+
+double EngineState::alpha_tentative(int i, double t) const {
+  const TaskRuntime& rt = task(i);
+  const double elapsed = t - rt.tlastR;
+  if (elapsed <= 0.0) return rt.alpha;
+  const double tau = model->period(i, rt.sigma);
+  const double cost = model->checkpoint_cost(i, rt.sigma);
+  const double completed =
+      std::isfinite(tau) ? std::floor(elapsed / tau) : 0.0;  // N_{i,j}, Eq. 8
+  const double t_ij = model->fault_free_time(i, rt.sigma);
+  // Work = elapsed time minus completed checkpoints (the in-progress
+  // period counts: redistribution starts with a checkpoint that saves it).
+  const double done_fraction = (elapsed - completed * cost) / t_ij;
+  return std::clamp(rt.alpha - done_fraction, 0.0, 1.0);
+}
+
+double EngineState::redistribution_cost(int i, int to) const {
+  const int from = task(i).sigma;
+  if (from == to || zero_redistribution_cost) return 0.0;
+  return redistrib::cost(from, to, model->pack().task(i).data_size);
+}
+
+void EngineState::refresh_projection(int i) {
+  TaskRuntime& rt = task(i);
+  rt.proj_end = rt.tlastR + model->simulated_duration(i, rt.sigma, rt.alpha);
+}
+
+void EngineState::commit(double t, int faulty, const std::vector<int>& new_sigma,
+                         const std::vector<double>& alpha_t) {
+  COREDIS_EXPECTS(static_cast<int>(new_sigma.size()) == n());
+  COREDIS_EXPECTS(static_cast<int>(alpha_t.size()) == n());
+  // Shrink before growing so the idle pool can never go negative.
+  for (int i = 0; i < n(); ++i) {
+    const TaskRuntime& rt = task(i);
+    if (rt.done || rt.released) continue;
+    if (new_sigma[static_cast<std::size_t>(i)] < rt.sigma)
+      platform->release(i, rt.sigma - new_sigma[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i < n(); ++i) {
+    const TaskRuntime& rt = task(i);
+    if (rt.done || rt.released) continue;
+    if (new_sigma[static_cast<std::size_t>(i)] > rt.sigma)
+      platform->acquire(i, new_sigma[static_cast<std::size_t>(i)] - rt.sigma);
+  }
+  const bool fault_free = model->resilience().fault_free();
+  for (int i = 0; i < n(); ++i) {
+    TaskRuntime& rt = task(i);
+    const int target = new_sigma[static_cast<std::size_t>(i)];
+    if (rt.done || rt.released || target == rt.sigma) continue;
+    const double rc = redistribution_cost(i, target);
+    // Periodic checkpoints the task completed on its old allocation since
+    // its last baseline (the faulty task's were counted at rollback),
+    // plus the initial checkpoint on the new allocation.
+    if (!fault_free) {
+      if (i != faulty && t > rt.tlastR) {
+        const double tau = model->period(i, rt.sigma);
+        checkpoints_taken +=
+            static_cast<long long>(std::floor((t - rt.tlastR) / tau));
+      }
+      ++checkpoints_taken;
+    }
+    if (timeline != nullptr) {
+      timeline->push_back(AllocationSegment{
+          i, segment_start[static_cast<std::size_t>(i)], t, rt.sigma, true});
+      segment_start[static_cast<std::size_t>(i)] = t;
+    }
+    // The faulty task's tlastR already carries t + D + R (section 3.3.2:
+    // tlastR = t + D + R + RC + C for the struck task); others restart
+    // from the redistribution instant.
+    const double base = i == faulty ? rt.tlastR : t;
+    rt.alpha = std::clamp(alpha_t[static_cast<std::size_t>(i)], 0.0, 1.0);
+    rt.sigma = target;
+    rt.tlastR = base + rc + model->checkpoint_cost(i, target);
+    rt.tU = rt.tlastR + (*tr)(i, target, rt.alpha);
+    refresh_projection(i);
+    ++redistributions;
+    redistribution_cost_total += rc;
+  }
+}
+
+namespace {
+
+/// Max-heap entry: longest expected finish first, deterministic ties.
+using HeapEntry = std::pair<double, int>;
+
+/// tE of moving task i from sigma_init to `target` at time t, paying the
+/// redistribution and the initial checkpoint on the new allocation
+/// (Alg. 3 line 12 / Alg. 4 line 16 / Alg. 5 line 17).
+double candidate_finish(EngineState& s, double t, int i, int target,
+                        double alpha) {
+  return t + s.redistribution_cost(i, target) +
+         s.model->checkpoint_cost(i, target) + (*s.tr)(i, target, alpha);
+}
+
+}  // namespace
+
+bool end_local(EngineState& s, double t) {
+  const int n = s.n();
+  int k = s.platform->free_count();
+  if (k < 2) return false;
+
+  std::vector<int> new_sigma(static_cast<std::size_t>(n));
+  std::vector<double> alpha_t(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> tU(static_cast<std::size_t>(n), 0.0);
+  std::priority_queue<HeapEntry> heap;
+  for (int i = 0; i < n; ++i) {
+    new_sigma[static_cast<std::size_t>(i)] = s.task(i).sigma;
+    if (!s.included(i, t)) continue;
+    alpha_t[static_cast<std::size_t>(i)] = s.alpha_tentative(i, t);  // Alg. 3 line 8
+    tU[static_cast<std::size_t>(i)] = s.task(i).tU;
+    heap.emplace(s.task(i).tU, i);
+  }
+
+  bool changed = false;
+  while (k >= 2 && !heap.empty()) {
+    const int i = heap.top().second;
+    heap.pop();
+    const auto idx = static_cast<std::size_t>(i);
+    // Improvability probe (Alg. 3 lines 10-15): first q that helps.
+    bool improvable = false;
+    for (int q = 2; q <= k; q += 2) {
+      if (candidate_finish(s, t, i, new_sigma[idx] + q, alpha_t[idx]) <
+          tU[idx]) {
+        improvable = true;
+        break;
+      }
+    }
+    if (!improvable) continue;  // popped for good; try the next-longest task
+    new_sigma[idx] += 2;        // grants are pair-by-pair (Alg. 3 line 17)
+    tU[idx] = candidate_finish(s, t, i, new_sigma[idx], alpha_t[idx]);
+    heap.emplace(tU[idx], i);
+    k -= 2;
+    changed = true;
+  }
+  if (changed) s.commit(t, /*faulty=*/-1, new_sigma, alpha_t);
+  return changed;
+}
+
+bool iterated_greedy(EngineState& s, double t, int faulty) {
+  const int n = s.n();
+  std::vector<char> in(static_cast<std::size_t>(n), 0);
+  std::vector<double> alpha_t(static_cast<std::size_t>(n), 0.0);
+  std::vector<int> new_sigma(static_cast<std::size_t>(n));
+  std::vector<double> tU(static_cast<std::size_t>(n), 0.0);
+
+  int pool = s.platform->free_count();
+  int n_included = 0;
+  for (int i = 0; i < n; ++i) {
+    new_sigma[static_cast<std::size_t>(i)] = s.task(i).sigma;
+    const bool eligible = i == faulty
+                              ? !s.task(i).done && !s.task(i).released
+                              : s.included(i, t);
+    if (!eligible) continue;
+    in[static_cast<std::size_t>(i)] = 1;
+    ++n_included;
+    pool += s.task(i).sigma;
+    alpha_t[static_cast<std::size_t>(i)] =
+        i == faulty ? s.task(i).alpha : s.alpha_tentative(i, t);
+  }
+  if (n_included == 0) return false;
+  COREDIS_ASSERT(pool >= 2 * n_included);
+
+  // Reset every eligible task to one pair (Alg. 5 lines 3-8); a task whose
+  // original allocation was already 2 keeps its committed tU (no cost).
+  std::priority_queue<HeapEntry> heap;
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (!in[idx]) continue;
+    new_sigma[idx] = 2;
+    tU[idx] = new_sigma[idx] == s.task(i).sigma
+                  ? s.task(i).tU
+                  : candidate_finish(s, t, i, 2, alpha_t[idx]);
+    heap.emplace(tU[idx], i);
+  }
+
+  int available = pool - 2 * n_included;
+  while (available >= 2 && !heap.empty()) {
+    const int i = heap.top().second;
+    heap.pop();
+    const auto idx = static_cast<std::size_t>(i);
+    const int sigma_init = s.task(i).sigma;
+    const int pmax = new_sigma[idx] + available;
+
+    bool improvable = false;
+    for (int target = new_sigma[idx] + 2; target <= pmax; target += 2) {
+      // Returning to the original allocation costs nothing: the task just
+      // keeps computing from tlastR with its committed fraction (line 16).
+      const double tE =
+          target == sigma_init
+              ? s.task(i).tlastR + (*s.tr)(i, target, s.task(i).alpha)
+              : candidate_finish(s, t, i, target, alpha_t[idx]);
+      if (tE < tU[idx]) {
+        improvable = true;
+        break;
+      }
+    }
+    if (!improvable) break;  // line 30: the longest task is stuck -> stop
+
+    new_sigma[idx] += 2;
+    tU[idx] = new_sigma[idx] == sigma_init
+                  ? s.task(i).tlastR + (*s.tr)(i, new_sigma[idx], s.task(i).alpha)
+                  : candidate_finish(s, t, i, new_sigma[idx], alpha_t[idx]);
+    heap.emplace(tU[idx], i);
+    available -= 2;
+  }
+
+  bool changed = false;
+  for (int i = 0; i < n; ++i)
+    if (in[static_cast<std::size_t>(i)] &&
+        new_sigma[static_cast<std::size_t>(i)] != s.task(i).sigma)
+      changed = true;
+  if (changed) s.commit(t, faulty, new_sigma, alpha_t);
+  return changed;
+}
+
+bool end_greedy(EngineState& s, double t) {
+  // Section 5.2: same rebuild as IteratedGreedy, just with no faulty task.
+  return iterated_greedy(s, t, /*faulty=*/-1);
+}
+
+bool shortest_tasks_first(EngineState& s, double t, int faulty) {
+  const int n = s.n();
+  COREDIS_EXPECTS(faulty >= 0 && faulty < n);
+  const TaskRuntime& f = s.task(faulty);
+  if (f.done || f.released) return false;
+
+  std::vector<int> new_sigma(static_cast<std::size_t>(n));
+  std::vector<double> alpha_t(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> tU(static_cast<std::size_t>(n), 0.0);
+  std::vector<char> in(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    new_sigma[idx] = s.task(i).sigma;
+    tU[idx] = s.task(i).tU;
+    if (i == faulty) {
+      in[idx] = 1;
+      alpha_t[idx] = f.alpha;  // already rolled back by Algorithm 2
+    } else if (s.included(i, t)) {
+      in[idx] = 1;
+      alpha_t[idx] = s.alpha_tentative(i, t);
+    }
+  }
+
+  const auto fidx = static_cast<std::size_t>(faulty);
+  const double alpha_f = f.alpha;
+  double tU_f = f.tU;
+  int k = s.platform->free_count();
+  bool changed = false;
+
+  // Phase 1 (Alg. 4 lines 12-25): hand idle pairs to the faulty task. The
+  // first improving growth q is granted at once, then re-probe.
+  while (k >= 2) {
+    int grant = -1;
+    for (int q = 2; q <= k; q += 2) {
+      if (candidate_finish(s, t, faulty, new_sigma[fidx] + q, alpha_f) <
+          tU_f) {
+        grant = q;  // the paper's qmax: first (smallest) improving growth
+        break;
+      }
+    }
+    if (grant < 0) break;  // NOTE(paper): Alg. 4 omits this break; without
+                           // it the printed `while k >= 2` never exits when
+                           // the faulty task stops being improvable.
+    new_sigma[fidx] += grant;
+    k -= grant;
+    tU_f = candidate_finish(s, t, faulty, new_sigma[fidx], alpha_f);
+    changed = true;
+  }
+
+  // Phase 2 (Alg. 4 lines 27-41): steal pairs from the shortest task.
+  // NOTE(paper): the printed guard `while improvable` would skip this
+  // phase whenever phase 1 did not fire (e.g. zero idle processors), which
+  // contradicts the prose "if the faulty task is still improvable, we try
+  // to take processors from shortest tasks"; we enter unconditionally and
+  // keep the loop's internal exit conditions.
+  while (true) {
+    int victim = -1;
+    double shortest = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (!in[idx] || i == faulty || new_sigma[idx] < 4) continue;
+      if (tU[idx] < shortest) {
+        shortest = tU[idx];
+        victim = i;
+      }
+    }
+    if (victim < 0) break;
+    const auto vidx = static_cast<std::size_t>(victim);
+
+    bool improvable = false;
+    for (int q = 2; q <= new_sigma[vidx] - 2; q += 2) {
+      const double tE_f =
+          candidate_finish(s, t, faulty, new_sigma[fidx] + q, alpha_f);
+      const double tE_s =
+          candidate_finish(s, t, victim, new_sigma[vidx] - q, alpha_t[vidx]);
+      // Steal only if the faulty task improves and the shrunk victim stays
+      // shorter than the faulty task's current expectation (lines 30-32).
+      if (tE_f < tU_f && tE_s < tU_f) {
+        improvable = true;
+        break;
+      }
+    }
+    if (!improvable) break;
+
+    new_sigma[fidx] += 2;  // transfers are pair-by-pair (lines 35-36)
+    new_sigma[vidx] -= 2;
+    tU_f = candidate_finish(s, t, faulty, new_sigma[fidx], alpha_f);
+    tU[vidx] = candidate_finish(s, t, victim, new_sigma[vidx], alpha_t[vidx]);
+    changed = true;
+    if (tU[vidx] > tU_f) break;  // line 39: the victim became the bottleneck
+  }
+
+  if (changed) s.commit(t, faulty, new_sigma, alpha_t);
+  return changed;
+}
+
+}  // namespace coredis::core::detail

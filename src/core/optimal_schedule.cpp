@@ -1,0 +1,70 @@
+#include "core/optimal_schedule.hpp"
+
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace coredis::core {
+
+namespace {
+
+/// Max-heap entry ordered by expected completion time (the paper's
+/// non-increasing "preceq^R_sigma" order, ties broken by task id for
+/// determinism).
+struct HeapEntry {
+  double expected_time;
+  int task;
+  bool operator<(const HeapEntry& other) const {
+    if (expected_time != other.expected_time)
+      return expected_time < other.expected_time;
+    return task < other.task;
+  }
+};
+
+}  // namespace
+
+std::vector<int> optimal_schedule(const ExpectedTimeModel& model,
+                                  int processors) {
+  TrEvaluator evaluator(model, processors - processors % 2);
+  return optimal_schedule(model, processors, evaluator);
+}
+
+std::vector<int> optimal_schedule(const ExpectedTimeModel& model,
+                                  int processors, TrEvaluator& evaluator) {
+  const int n = model.pack().size();
+  if (processors < 2 * n)
+    throw std::invalid_argument(
+        "optimal_schedule: need at least one processor pair per task");
+
+  std::vector<int> sigma(static_cast<std::size_t>(n), 2);
+  int available = processors - 2 * n;
+
+  std::priority_queue<HeapEntry> heap;
+  for (int i = 0; i < n; ++i) heap.push({evaluator(i, 2, 1.0), i});
+
+  while (available >= 2) {
+    const HeapEntry head = heap.top();
+    heap.pop();
+    const int i = head.task;
+    const int current = sigma[static_cast<std::size_t>(i)];
+    const int pmax = current + available - available % 2;  // even allocations
+    // Line 9 lookahead: can this task be improved at all with everything
+    // still in the pool? (Eq. 6 clamping makes the evaluator monotone, so
+    // equality means no allocation in (current, pmax] helps.)
+    if (evaluator(i, current, 1.0) > evaluator(i, pmax, 1.0)) {
+      sigma[static_cast<std::size_t>(i)] = current + 2;
+      heap.push({evaluator(i, current + 2, 1.0), i});
+      available -= 2;
+    } else {
+      // Keep the remaining processors for future redistributions.
+      break;
+    }
+  }
+
+  COREDIS_ENSURES(static_cast<int>(sigma.size()) == n);
+  return sigma;
+}
+
+}  // namespace coredis::core

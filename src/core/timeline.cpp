@@ -1,0 +1,78 @@
+#include "core/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace coredis::core {
+
+namespace {
+
+char glyph_for(int processors) {
+  const int pairs = processors / 2;
+  if (pairs <= 0) return ' ';
+  if (pairs < 10) return static_cast<char>('0' + pairs);
+  return '+';
+}
+
+}  // namespace
+
+std::string render_gantt(const std::vector<AllocationSegment>& timeline,
+                         int tasks, const GanttOptions& options) {
+  COREDIS_EXPECTS(tasks > 0);
+  COREDIS_EXPECTS(options.width >= 10);
+  if (timeline.empty()) return "(empty timeline)\n";
+
+  double horizon = 0.0;
+  for (const AllocationSegment& segment : timeline)
+    horizon = std::max(horizon, segment.end);
+  COREDIS_EXPECTS(horizon > 0.0);
+
+  const int rows = std::min(tasks, options.max_rows);
+  const auto w = static_cast<std::size_t>(options.width);
+  std::vector<std::string> raster(static_cast<std::size_t>(rows),
+                                  std::string(w, ' '));
+  auto column_of = [&](double t) {
+    const double unit = std::clamp(t / horizon, 0.0, 1.0);
+    return std::min(w - 1, static_cast<std::size_t>(unit * (w - 1)));
+  };
+
+  for (const AllocationSegment& segment : timeline) {
+    if (segment.task < 0 || segment.task >= rows) continue;
+    const char glyph = glyph_for(segment.processors);
+    const std::size_t c0 = column_of(segment.start);
+    const std::size_t c1 = column_of(segment.end);
+    for (std::size_t c = c0; c <= c1; ++c)
+      raster[static_cast<std::size_t>(segment.task)][c] = glyph;
+  }
+
+  std::ostringstream out;
+  for (int task = 0; task < rows; ++task) {
+    out << "T";
+    out.width(3);
+    out.fill('0');
+    out << task;
+    out.fill(' ');
+    out << " |" << raster[static_cast<std::size_t>(task)] << "|\n";
+  }
+  if (tasks > rows)
+    out << "      (" << tasks - rows << " more tasks not shown)\n";
+  out << "      0" << std::string(w - 1, ' ') << "t=" << horizon << " s\n";
+  if (options.show_legend)
+    out << "      cell = processor pairs held (1-9, '+' for >= 10); a "
+           "glyph change is a redistribution\n";
+  return out.str();
+}
+
+std::string timeline_csv(const std::vector<AllocationSegment>& timeline) {
+  std::ostringstream out;
+  out << "task,start,end,processors\n";
+  out.precision(12);
+  for (const AllocationSegment& segment : timeline)
+    out << segment.task << ',' << segment.start << ',' << segment.end << ','
+        << segment.processors << '\n';
+  return out.str();
+}
+
+}  // namespace coredis::core

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file timeline.hpp
+/// Gantt-style rendering of recorded allocation timelines.
+///
+/// With EngineConfig::record_timeline, a run yields one
+/// AllocationSegment per constant-allocation span per task. This renderer
+/// turns them into a terminal chart: one row per task, time on the x
+/// axis, each cell showing the allocation magnitude (digits 1-9 count
+/// processor pairs, '+' for ten or more pairs). Redistribution reads as
+/// glyph changes along a row; the staircase after completions and faults
+/// is the paper's Figures 1/4 made visible on real runs.
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace coredis::core {
+
+struct GanttOptions {
+  int width = 80;          ///< time-axis resolution in characters
+  int max_rows = 40;       ///< cap on displayed tasks (first rows shown)
+  bool show_legend = true;
+};
+
+/// Render the timeline of one run. `tasks` is the pack size (row count).
+[[nodiscard]] std::string render_gantt(
+    const std::vector<AllocationSegment>& timeline, int tasks,
+    const GanttOptions& options = {});
+
+/// Serialize the timeline as CSV (task, start, end, processors).
+[[nodiscard]] std::string timeline_csv(
+    const std::vector<AllocationSegment>& timeline);
+
+}  // namespace coredis::core

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file types.hpp
+/// Public configuration and result types of the co-scheduling engine.
+
+#include <string>
+#include <vector>
+
+namespace coredis::core {
+
+/// Redistribution policy at task terminations (paper section 5.2).
+enum class EndPolicy {
+  None,    ///< never redistribute released processors (baseline)
+  Local,   ///< EndLocal, Algorithm 3: grow the longest task pair by pair
+  Greedy,  ///< EndGreedy: rebuild the whole allocation, RC-aware
+};
+
+/// Redistribution policy at failures (paper section 5.3).
+enum class FailurePolicy {
+  None,                ///< rollback only, never redistribute (baseline)
+  ShortestTasksFirst,  ///< Algorithm 4: local decisions, steal from shortest
+  IteratedGreedy,      ///< Algorithm 5: rebuild the whole allocation
+};
+
+[[nodiscard]] std::string to_string(EndPolicy policy);
+[[nodiscard]] std::string to_string(FailurePolicy policy);
+
+struct EngineConfig {
+  EndPolicy end_policy = EndPolicy::Local;
+  FailurePolicy failure_policy = FailurePolicy::IteratedGreedy;
+  /// Record one FaultRecord per handled fault (Figure 9 instrumentation).
+  bool record_trace = false;
+  /// Ablation: pretend redistributions are free (the simplified setting of
+  /// Theorem 2). Heuristic decisions and committed baselines drop RC.
+  bool zero_redistribution_cost = false;
+  /// Ablation: faults striking a task during downtime/recovery/
+  /// redistribution restart that blackout window instead of being
+  /// discarded (the paper discards them, section 6.1).
+  bool faults_in_blackout = false;
+  /// Record the allocation timeline (one segment per constant-sigma span
+  /// per task) for Gantt-style inspection; see core/timeline.hpp.
+  bool record_timeline = false;
+};
+
+/// One constant-allocation span of a task's execution.
+struct AllocationSegment {
+  int task = -1;
+  double start = 0.0;
+  double end = 0.0;
+  int processors = 0;
+  /// False for the final stretch of an early-released task (Alg. 2 line
+  /// 28): it still computes on `processors`, but the ledger has already
+  /// promised them to the faulty task (which stays in its blackout until
+  /// this stretch ends). Summing only ledger-owned segments never
+  /// exceeds p; summing all segments may, by design.
+  bool ledger_owned = true;
+};
+
+/// The four named heuristic combinations evaluated in section 6.2, plus
+/// the two baselines, for convenient sweeping.
+struct HeuristicCombo {
+  std::string name;
+  EndPolicy end_policy;
+  FailurePolicy failure_policy;
+};
+
+/// Per-fault instrumentation record (Figure 9).
+struct FaultRecord {
+  double time = 0.0;                ///< fault date t_f
+  int task = -1;                    ///< struck task
+  double predicted_makespan = 0.0;  ///< max expected finish after handling
+  double allocation_stddev = 0.0;   ///< stddev of sigma over live tasks
+  bool redistributed = false;       ///< did the failure heuristic commit?
+};
+
+/// Outcome of one simulated execution of a pack.
+struct RunResult {
+  double makespan = 0.0;             ///< completion time of the last task
+  int faults_drawn = 0;              ///< faults produced by the generator
+  int faults_effective = 0;          ///< faults that rolled a task back
+  int faults_discarded = 0;          ///< faults in blackout / on idle procs
+  int redistributions = 0;           ///< committed redistribution events
+  double redistribution_cost = 0.0;  ///< total RC seconds paid
+  /// Checkpoints completed across all tasks (periodic ones plus the
+  /// initial checkpoint after every redistribution).
+  long long checkpoints_taken = 0;
+  /// Faults that struck the *buddy* of a processor whose pair was still
+  /// inside its downtime+recovery window. Under the double-checkpointing
+  /// scheme these would be fatal (both checkpoint copies lost, paper
+  /// section 2.2); the engine follows the paper's abstraction and treats
+  /// them as discarded blackout faults, but reports the count so users
+  /// can verify the abstraction is harmless at their scale.
+  int buddy_fatal_risks = 0;
+  /// Time lost to faults: un-checkpointed work thrown away at rollbacks
+  /// plus every downtime + recovery, summed over tasks (seconds).
+  double time_lost_to_faults = 0.0;
+  std::vector<double> completion_times;  ///< per task
+  std::vector<int> final_allocation;     ///< sigma at each task's end
+  std::vector<FaultRecord> trace;        ///< only when record_trace
+  std::vector<AllocationSegment> timeline;  ///< only when record_timeline
+};
+
+}  // namespace coredis::core

@@ -1,0 +1,117 @@
+#include "exp/report.hpp"
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+#include "util/plot.hpp"
+#include "util/table.hpp"
+
+namespace coredis::exp {
+
+namespace {
+
+std::vector<std::string> header_row(const Sweep& sweep) {
+  COREDIS_EXPECTS(!sweep.points.empty());
+  std::vector<std::string> headers{sweep.x_label};
+  for (const ConfigOutcome& config : sweep.points.front().configs)
+    headers.push_back(config.name);
+  return headers;
+}
+
+}  // namespace
+
+std::string render_normalized_table(const Sweep& sweep, int precision) {
+  TextTable table(header_row(sweep));
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    std::vector<double> row;
+    row.reserve(sweep.points[i].configs.size());
+    for (const ConfigOutcome& config : sweep.points[i].configs)
+      row.push_back(config.normalized.mean());
+    table.add_row(sweep.x[i], row, precision);
+  }
+  return table.to_string();
+}
+
+std::string render_normalized_plot(const Sweep& sweep) {
+  std::vector<PlotSeries> series;
+  const std::size_t configs = sweep.points.front().configs.size();
+  for (std::size_t c = 0; c < configs; ++c) {
+    PlotSeries s;
+    s.name = sweep.points.front().configs[c].name;
+    for (const PointResult& point : sweep.points)
+      s.y.push_back(point.configs[c].normalized.mean());
+    series.push_back(std::move(s));
+  }
+  PlotOptions options;
+  options.x_label = sweep.x_label;
+  options.y_label = "normalized time";
+  // Figures share the paper's 0.5..1.05 band unless the data escapes it.
+  options.y_min = 0.45;
+  options.y_max = 1.05;
+  for (const PlotSeries& s : series)
+    for (double v : s.y) {
+      options.y_min = std::min(options.y_min, v - 0.02);
+      options.y_max = std::max(options.y_max, v + 0.02);
+    }
+  return render_plot(sweep.x, series, options);
+}
+
+std::string render_makespan_table(const Sweep& sweep) {
+  TextTable table(header_row(sweep));
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    std::vector<std::string> cells{format_double(sweep.x[i], 0)};
+    for (const ConfigOutcome& config : sweep.points[i].configs) {
+      std::ostringstream cell;
+      cell.precision(6);
+      cell << config.makespan.mean();
+      cells.push_back(cell.str());
+    }
+    table.add_row(std::move(cells));
+  }
+  return table.to_string();
+}
+
+void save_sweep_csv(const Sweep& sweep, const std::string& path) {
+  std::vector<std::string> headers{sweep.x_label};
+  for (const ConfigOutcome& config : sweep.points.front().configs) {
+    headers.push_back(config.name + " (normalized)");
+    headers.push_back(config.name + " (ci95)");
+    headers.push_back(config.name + " (makespan s)");
+  }
+  CsvWriter csv(std::move(headers));
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    std::vector<double> row{sweep.x[i]};
+    for (const ConfigOutcome& config : sweep.points[i].configs) {
+      row.push_back(config.normalized.mean());
+      row.push_back(config.normalized.ci95_halfwidth());
+      row.push_back(config.makespan.mean());
+    }
+    csv.add_row(row);
+  }
+  csv.save(path);
+}
+
+std::string render_checks(const std::vector<ShapeCheck>& checks) {
+  std::ostringstream out;
+  for (const ShapeCheck& check : checks) {
+    out << (check.pass ? "[PASS] " : "[FAIL] ") << check.description;
+    if (!check.detail.empty()) out << "  (" << check.detail << ")";
+    out << '\n';
+  }
+  return out.str();
+}
+
+double mean_normalized(const Sweep& sweep, std::size_t config) {
+  RunningStats stats;
+  for (const PointResult& point : sweep.points)
+    stats.add(point.configs[config].normalized.mean());
+  return stats.mean();
+}
+
+double normalized_at(const Sweep& sweep, std::size_t x_index,
+                     std::size_t config) {
+  return sweep.points[x_index].configs[config].normalized.mean();
+}
+
+}  // namespace coredis::exp

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file report.hpp
+/// Rendering and shape-checking of figure reproductions.
+///
+/// Every fig* bench binary produces a Sweep (one PointResult per x-value)
+/// and prints it as the paper's plot transposed into a table, plus a list
+/// of qualitative shape checks ("redistribution gains at least X%",
+/// "IteratedGreedy beats ShortestTasksFirst", ...) whose verdicts land in
+/// EXPERIMENTS.md.
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace coredis::exp {
+
+struct Sweep {
+  std::string x_label;
+  std::vector<double> x;
+  std::vector<PointResult> points;  ///< one per x
+};
+
+/// Normalized-makespan table: one row per x, one column per configuration
+/// (mean over repetitions; the baseline column is identically 1).
+[[nodiscard]] std::string render_normalized_table(const Sweep& sweep,
+                                                  int precision = 4);
+
+/// ASCII line chart of the normalized series (the paper's plot shape).
+[[nodiscard]] std::string render_normalized_plot(const Sweep& sweep);
+
+/// Mean-makespan-in-seconds table (same layout).
+[[nodiscard]] std::string render_makespan_table(const Sweep& sweep);
+
+/// CSV with x, then per config: mean normalized, ci95, mean makespan.
+void save_sweep_csv(const Sweep& sweep, const std::string& path);
+
+/// One qualitative reproduction check.
+struct ShapeCheck {
+  std::string description;
+  bool pass = false;
+  std::string detail;  ///< measured numbers backing the verdict
+};
+
+/// Render "[PASS]/[FAIL] description (detail)" lines.
+[[nodiscard]] std::string render_checks(const std::vector<ShapeCheck>& checks);
+
+/// Mean of a configuration's normalized makespan across all sweep points.
+[[nodiscard]] double mean_normalized(const Sweep& sweep, std::size_t config);
+
+/// Normalized value of one configuration at one x index.
+[[nodiscard]] double normalized_at(const Sweep& sweep, std::size_t x_index,
+                                   std::size_t config);
+
+}  // namespace coredis::exp

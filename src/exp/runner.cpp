@@ -1,0 +1,113 @@
+#include "exp/runner.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "core/engine.hpp"
+#include "fault/exponential.hpp"
+#include "fault/weibull.hpp"
+#include "speedup/synthetic.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
+
+namespace coredis::exp {
+
+namespace {
+
+/// Derived, per-repetition seeds: workload and fault streams must be
+/// independent of each other but shared across configurations.
+constexpr std::uint64_t kWorkloadStream = 0x9E3779B97F4A7C15ULL;
+constexpr std::uint64_t kFaultStream = 0xC2B2AE3D27D4EB4FULL;
+
+core::Pack make_pack(const Scenario& scenario, std::uint64_t run) {
+  Rng rng = Rng::child(scenario.seed ^ kWorkloadStream, run);
+  auto model =
+      std::make_shared<speedup::SyntheticModel>(scenario.sequential_fraction);
+  return core::Pack::uniform_random(scenario.n, scenario.m_inf, scenario.m_sup,
+                                    std::move(model), rng);
+}
+
+fault::GeneratorPtr make_faults(const Scenario& scenario, std::uint64_t run,
+                                bool force_fault_free) {
+  const double mtbf = scenario.mtbf_seconds();
+  if (force_fault_free || mtbf <= 0.0)
+    return std::make_unique<fault::NullGenerator>(scenario.p);
+  if (scenario.fault_law == FaultLaw::Weibull) {
+    // Derive a plain integer seed for the per-processor substreams.
+    std::uint64_t sm = scenario.seed ^ kFaultStream;
+    const std::uint64_t base = splitmix64(sm);
+    return std::make_unique<fault::WeibullGenerator>(
+        scenario.p, mtbf, scenario.weibull_shape, base ^ run);
+  }
+  return std::make_unique<fault::ExponentialGenerator>(
+      scenario.p, 1.0 / mtbf,
+      Rng::child(scenario.seed ^ kFaultStream, run));
+}
+
+}  // namespace
+
+PointResult run_point(const Scenario& scenario,
+                      const std::vector<ConfigSpec>& configs) {
+  const auto n_configs = configs.size();
+  const auto runs = static_cast<std::size_t>(scenario.runs);
+
+  // Per-run results gathered first, aggregated after, so that thread
+  // scheduling cannot perturb the reported statistics.
+  struct RunRow {
+    double baseline = 0.0;
+    std::vector<core::RunResult> results;
+  };
+  std::vector<RunRow> rows(runs);
+
+  const checkpoint::ResilienceParams params = scenario.resilience_params();
+  const ConfigSpec baseline = baseline_no_redistribution();
+
+  parallel_for(runs, [&](std::size_t run) {
+    const core::Pack pack = make_pack(scenario, run);
+    const checkpoint::Model resilience(params);
+
+    // Baseline: no redistribution, faults as configured.
+    {
+      core::Engine engine(pack, resilience, scenario.p, baseline.engine);
+      auto faults = make_faults(scenario, run, baseline.force_fault_free);
+      rows[run].baseline = engine.run(*faults).makespan;
+    }
+    rows[run].results.reserve(n_configs);
+    for (const ConfigSpec& spec : configs) {
+      if (spec.engine.end_policy == baseline.engine.end_policy &&
+          spec.engine.failure_policy == baseline.engine.failure_policy &&
+          spec.force_fault_free == baseline.force_fault_free) {
+        // The baseline itself: reuse the simulation above.
+        core::RunResult r;
+        r.makespan = rows[run].baseline;
+        rows[run].results.push_back(std::move(r));
+        continue;
+      }
+      core::Engine engine(pack, resilience, scenario.p, spec.engine);
+      auto faults = make_faults(scenario, run, spec.force_fault_free);
+      rows[run].results.push_back(engine.run(*faults));
+    }
+  });
+
+  PointResult point;
+  point.configs.resize(n_configs);
+  for (std::size_t c = 0; c < n_configs; ++c)
+    point.configs[c].name = configs[c].name;
+  for (std::size_t run = 0; run < runs; ++run) {
+    point.baseline_makespan.add(rows[run].baseline);
+    for (std::size_t c = 0; c < n_configs; ++c) {
+      const core::RunResult& r = rows[run].results[c];
+      ConfigOutcome& out = point.configs[c];
+      out.makespan.add(r.makespan);
+      out.normalized.add(r.makespan / rows[run].baseline);
+      out.redistributions.add(static_cast<double>(r.redistributions));
+      out.effective_faults.add(static_cast<double>(r.faults_effective));
+    }
+  }
+  COREDIS_LOG_DEBUG("point n=" << scenario.n << " p=" << scenario.p
+                               << " baseline mean="
+                               << point.baseline_makespan.mean());
+  return point;
+}
+
+}  // namespace coredis::exp

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file runner.hpp
+/// Monte-Carlo campaign runner.
+///
+/// Evaluates a set of engine configurations at one scenario point, the way
+/// section 6.2 does: every configuration of a given repetition sees the
+/// *same* workload (same m_i draws) and the *same* fault stream (same
+/// generator seed — the exponential generator is deterministic in its
+/// seed, so any two configurations replay identical faults however far
+/// they read into the stream). Results are normalized per repetition by
+/// the "fault context without redistribution" baseline, then averaged.
+/// Repetitions run in parallel; outputs are indexed by repetition, so the
+/// numbers are independent of thread scheduling.
+
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "util/stats.hpp"
+
+namespace coredis::exp {
+
+/// Aggregated outcome of one configuration at one scenario point.
+struct ConfigOutcome {
+  std::string name;
+  RunningStats makespan;       ///< seconds
+  RunningStats normalized;     ///< makespan / baseline makespan, per run
+  RunningStats redistributions;
+  RunningStats effective_faults;
+};
+
+struct PointResult {
+  RunningStats baseline_makespan;       ///< the normalizer (no-RC, faults)
+  std::vector<ConfigOutcome> configs;   ///< one per requested ConfigSpec
+};
+
+/// Evaluate `configs` at the scenario point. The baseline (no RC, faults
+/// per the scenario) is always run to provide the normalizer; if it also
+/// appears in `configs` it is not re-simulated.
+[[nodiscard]] PointResult run_point(const Scenario& scenario,
+                                    const std::vector<ConfigSpec>& configs);
+
+}  // namespace coredis::exp

@@ -1,0 +1,70 @@
+#include "exp/scenario.hpp"
+
+namespace coredis::exp {
+
+checkpoint::ResilienceParams Scenario::resilience_params() const {
+  checkpoint::ResilienceParams params;
+  params.processor_mtbf = mtbf_seconds();
+  params.downtime = downtime_seconds;
+  params.checkpoint_unit_cost = checkpoint_unit_cost;
+  params.period_rule = period_rule;
+  return params;
+}
+
+ConfigSpec baseline_no_redistribution() {
+  return {"Fault context without RC",
+          {core::EndPolicy::None, core::FailurePolicy::None, false},
+          false};
+}
+
+ConfigSpec ig_end_greedy() {
+  return {"IteratedGreedy-EndGreedy",
+          {core::EndPolicy::Greedy, core::FailurePolicy::IteratedGreedy, false},
+          false};
+}
+
+ConfigSpec ig_end_local() {
+  return {"IteratedGreedy-EndLocal",
+          {core::EndPolicy::Local, core::FailurePolicy::IteratedGreedy, false},
+          false};
+}
+
+ConfigSpec stf_end_greedy() {
+  return {"ShortestTasksFirst-EndGreedy",
+          {core::EndPolicy::Greedy, core::FailurePolicy::ShortestTasksFirst,
+           false},
+          false};
+}
+
+ConfigSpec stf_end_local() {
+  return {"ShortestTasksFirst-EndLocal",
+          {core::EndPolicy::Local, core::FailurePolicy::ShortestTasksFirst,
+           false},
+          false};
+}
+
+ConfigSpec fault_free_with_rc_local() {
+  return {"Fault-free context with RC (local)",
+          {core::EndPolicy::Local, core::FailurePolicy::None, false},
+          true};
+}
+
+std::vector<ConfigSpec> paper_curves() {
+  return {baseline_no_redistribution(), ig_end_greedy(), ig_end_local(),
+          stf_end_greedy(), stf_end_local(), fault_free_with_rc_local()};
+}
+
+std::vector<ConfigSpec> fault_free_curves() {
+  ConfigSpec without{"Without RC",
+                     {core::EndPolicy::None, core::FailurePolicy::None, false},
+                     true};
+  ConfigSpec greedy{"With RC (greedy)",
+                    {core::EndPolicy::Greedy, core::FailurePolicy::None, false},
+                    true};
+  ConfigSpec local{"With RC (local decisions)",
+                   {core::EndPolicy::Local, core::FailurePolicy::None, false},
+                   true};
+  return {without, greedy, local};
+}
+
+}  // namespace coredis::exp

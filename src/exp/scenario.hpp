@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file scenario.hpp
+/// Campaign scenarios: the simulation settings of paper section 6.1.
+///
+/// One Scenario bundles every knob of a parameter point. Defaults are the
+/// paper's: n = 100 tasks, m_i ~ U[1.5e6, 2.5e6], sequential fraction
+/// f = 0.08, checkpoint unit cost c = 1, MTBF 100 years per processor,
+/// x Monte-Carlo repetitions per point.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checkpoint/model.hpp"
+#include "core/types.hpp"
+#include "util/units.hpp"
+
+namespace coredis::exp {
+
+/// Inter-arrival law of the injected faults (the scheduler's internal
+/// model always assumes exponential, Eq. 1/4; running the engine under a
+/// Weibull stream measures its robustness to model mis-specification).
+enum class FaultLaw { Exponential, Weibull };
+
+struct Scenario {
+  int n = 100;     ///< tasks in the pack
+  int p = 1000;    ///< platform processors
+  double m_inf = 1'500'000.0;  ///< workload heterogeneity window (section 6.1)
+  double m_sup = 2'500'000.0;
+  double sequential_fraction = 0.08;  ///< the paper's f
+  double mtbf_years = 100.0;  ///< per-processor MTBF; <= 0 means fault-free
+  double downtime_seconds = 60.0;          ///< D (platform constant)
+  double checkpoint_unit_cost = 1.0;       ///< c in C_i = c * m_i
+  checkpoint::PeriodRule period_rule = checkpoint::PeriodRule::Young;
+  FaultLaw fault_law = FaultLaw::Exponential;
+  double weibull_shape = 0.7;  ///< only for FaultLaw::Weibull
+  int runs = 8;                ///< Monte-Carlo repetitions (paper: 50)
+  std::uint64_t seed = 42;     ///< campaign master seed
+
+  [[nodiscard]] double mtbf_seconds() const noexcept {
+    return mtbf_years > 0.0 ? units::years(mtbf_years) : 0.0;
+  }
+  [[nodiscard]] checkpoint::ResilienceParams resilience_params() const;
+};
+
+/// One engine configuration to evaluate at a scenario point.
+struct ConfigSpec {
+  std::string name;
+  core::EngineConfig engine;
+  /// Run this configuration under an empty fault stream regardless of the
+  /// scenario MTBF (the "fault-free context with RC" curve of Figs. 7-14).
+  bool force_fault_free = false;
+};
+
+/// The named configurations of section 6.2.
+[[nodiscard]] ConfigSpec baseline_no_redistribution();
+[[nodiscard]] ConfigSpec ig_end_greedy();
+[[nodiscard]] ConfigSpec ig_end_local();
+[[nodiscard]] ConfigSpec stf_end_greedy();
+[[nodiscard]] ConfigSpec stf_end_local();
+[[nodiscard]] ConfigSpec fault_free_with_rc_local();
+
+/// The six curves of Figures 7, 8, 10-14, in the paper's legend order:
+/// baseline, the four heuristic combinations, fault-free + RC.
+[[nodiscard]] std::vector<ConfigSpec> paper_curves();
+
+/// The three curves of Figures 5-6 (fault-free redistribution study):
+/// without RC, with RC (greedy), with RC (local decisions).
+[[nodiscard]] std::vector<ConfigSpec> fault_free_curves();
+
+}  // namespace coredis::exp

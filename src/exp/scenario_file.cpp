@@ -1,0 +1,144 @@
+#include "exp/scenario_file.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace coredis::exp {
+
+namespace {
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+std::string lower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return text;
+}
+
+[[noreturn]] void fail(const std::string& line, const std::string& why) {
+  throw std::runtime_error("scenario: " + why + " in line '" + line + "'");
+}
+
+double parse_number(const std::string& line, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) fail(line, "trailing characters");
+    return parsed;
+  } catch (const std::runtime_error&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(line, "malformed number");
+  }
+}
+
+}  // namespace
+
+Scenario parse_scenario(const std::string& text, Scenario base) {
+  std::istringstream stream(text);
+  std::string raw;
+  while (std::getline(stream, raw)) {
+    std::string line = trim(raw);
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line = trim(line.substr(0, comment));
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(raw, "missing '='");
+    const std::string key = lower(trim(line.substr(0, eq)));
+    const std::string value = trim(line.substr(eq + 1));
+    if (value.empty()) fail(raw, "missing value");
+
+    if (key == "n") {
+      base.n = static_cast<int>(parse_number(raw, value));
+    } else if (key == "p") {
+      base.p = static_cast<int>(parse_number(raw, value));
+    } else if (key == "m_inf") {
+      base.m_inf = parse_number(raw, value);
+    } else if (key == "m_sup") {
+      base.m_sup = parse_number(raw, value);
+    } else if (key == "sequential_fraction" || key == "f") {
+      base.sequential_fraction = parse_number(raw, value);
+    } else if (key == "mtbf_years") {
+      base.mtbf_years = parse_number(raw, value);
+    } else if (key == "downtime_seconds" || key == "d") {
+      base.downtime_seconds = parse_number(raw, value);
+    } else if (key == "checkpoint_unit_cost" || key == "c") {
+      base.checkpoint_unit_cost = parse_number(raw, value);
+    } else if (key == "runs") {
+      base.runs = static_cast<int>(parse_number(raw, value));
+    } else if (key == "seed") {
+      base.seed = static_cast<std::uint64_t>(parse_number(raw, value));
+    } else if (key == "weibull_shape") {
+      base.weibull_shape = parse_number(raw, value);
+    } else if (key == "fault_law") {
+      const std::string law = lower(value);
+      if (law == "exponential") {
+        base.fault_law = FaultLaw::Exponential;
+      } else if (law == "weibull") {
+        base.fault_law = FaultLaw::Weibull;
+      } else {
+        fail(raw, "unknown fault law (exponential|weibull)");
+      }
+    } else if (key == "period_rule") {
+      const std::string rule = lower(value);
+      if (rule == "young") {
+        base.period_rule = checkpoint::PeriodRule::Young;
+      } else if (rule == "daly") {
+        base.period_rule = checkpoint::PeriodRule::Daly;
+      } else {
+        fail(raw, "unknown period rule (young|daly)");
+      }
+    } else {
+      fail(raw, "unknown key '" + key + "'");
+    }
+  }
+  if (base.n < 1 || base.p < 2 * base.n)
+    throw std::runtime_error(
+        "scenario: platform cannot hold the pack (need p >= 2n)");
+  if (base.m_inf <= 1.0 || base.m_sup < base.m_inf)
+    throw std::runtime_error("scenario: invalid data-size window");
+  if (base.runs < 1) throw std::runtime_error("scenario: runs must be >= 1");
+  return base;
+}
+
+Scenario load_scenario(const std::string& path, Scenario base) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open scenario file: " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return parse_scenario(text.str(), base);
+}
+
+std::string format_scenario(const Scenario& scenario) {
+  std::ostringstream out;
+  out.precision(12);
+  out << "n = " << scenario.n << '\n';
+  out << "p = " << scenario.p << '\n';
+  out << "m_inf = " << scenario.m_inf << '\n';
+  out << "m_sup = " << scenario.m_sup << '\n';
+  out << "sequential_fraction = " << scenario.sequential_fraction << '\n';
+  out << "mtbf_years = " << scenario.mtbf_years << '\n';
+  out << "downtime_seconds = " << scenario.downtime_seconds << '\n';
+  out << "checkpoint_unit_cost = " << scenario.checkpoint_unit_cost << '\n';
+  out << "period_rule = "
+      << (scenario.period_rule == checkpoint::PeriodRule::Daly ? "daly"
+                                                               : "young")
+      << '\n';
+  out << "fault_law = "
+      << (scenario.fault_law == FaultLaw::Weibull ? "weibull" : "exponential")
+      << '\n';
+  out << "weibull_shape = " << scenario.weibull_shape << '\n';
+  out << "runs = " << scenario.runs << '\n';
+  out << "seed = " << scenario.seed << '\n';
+  return out.str();
+}
+
+}  // namespace coredis::exp

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file scenario_file.hpp
+/// Plain-text scenario files: every knob of exp::Scenario as `key = value`
+/// lines (# comments allowed), so campaigns are scriptable without
+/// recompiling. The figure binaries accept `--scenario file` overrides.
+///
+/// Example:
+///   # my cluster
+///   n = 50
+///   p = 600
+///   mtbf_years = 10
+///   m_inf = 1e5
+///   m_sup = 2.5e6
+///   fault_law = weibull
+///   weibull_shape = 0.7
+///   period_rule = daly
+///   runs = 25
+///   seed = 7
+
+#include <string>
+
+#include "exp/scenario.hpp"
+
+namespace coredis::exp {
+
+/// Parse the `key = value` text into a Scenario, starting from `base`
+/// (unspecified keys keep their base values). Throws std::runtime_error
+/// with the offending line on unknown keys or malformed values.
+[[nodiscard]] Scenario parse_scenario(const std::string& text,
+                                      Scenario base = {});
+
+/// Load a scenario file (see parse_scenario). Throws std::runtime_error
+/// on I/O failure.
+[[nodiscard]] Scenario load_scenario(const std::string& path,
+                                     Scenario base = {});
+
+/// Serialize a scenario in the same format (round-trips via parse).
+[[nodiscard]] std::string format_scenario(const Scenario& scenario);
+
+}  // namespace coredis::exp

@@ -1,0 +1,48 @@
+#include "extensions/dedicated.hpp"
+
+#include <memory>
+
+#include "core/energy.hpp"
+#include "core/expected_time.hpp"
+#include "fault/exponential.hpp"
+#include "util/contracts.hpp"
+
+namespace coredis::extensions {
+
+DedicatedResult run_dedicated(const core::Pack& pack,
+                              const checkpoint::Model& resilience,
+                              int processors, std::uint64_t fault_seed,
+                              double mtbf_seconds) {
+  COREDIS_EXPECTS(processors >= 2);
+  DedicatedResult result;
+
+  for (int i = 0; i < pack.size(); ++i) {
+    // Single-task sub-pack; the engine's Algorithm 1 picks the task's
+    // best useful allocation (it stops growing at the Eq. 6 threshold).
+    const core::Pack solo({pack.task(i)}, pack.speedup_ptr());
+    core::EngineConfig config{core::EndPolicy::None,
+                              core::FailurePolicy::None, false};
+    config.record_timeline = true;
+    core::Engine engine(solo, resilience, processors, config);
+
+    core::RunResult run;
+    if (mtbf_seconds > 0.0) {
+      fault::ExponentialGenerator faults(
+          processors, 1.0 / mtbf_seconds,
+          Rng::child(fault_seed, static_cast<std::uint64_t>(i)));
+      run = engine.run(faults);
+    } else {
+      fault::NullGenerator faults(processors);
+      run = engine.run(faults);
+    }
+
+    result.total_makespan += run.makespan;
+    result.busy_processor_seconds += core::busy_processor_seconds(run.timeline);
+    result.task_durations.push_back(run.makespan);
+    result.allocations.push_back(run.final_allocation.front());
+    result.faults_effective += run.faults_effective;
+  }
+  return result;
+}
+
+}  // namespace coredis::extensions

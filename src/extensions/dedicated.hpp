@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file dedicated.hpp
+/// Dedicated-mode execution — the strawman of the paper's introduction:
+/// "A simple scheduling strategy on HPC platforms is to execute each
+/// application in dedicated mode, assigning all resources to each
+/// application throughout its execution."
+///
+/// Each task runs alone on the platform, one after the other, with the
+/// usual checkpoint/rollback resilience. The allocation per task is the
+/// best *useful* one (growing past the Eq. 6 threshold buys nothing and
+/// only attracts faults), capped by the platform. Comparing this against
+/// pack co-scheduling reproduces the motivation for the whole paper: the
+/// non-parallelizable fraction of each application leaves most of the
+/// platform idle, in both time and energy.
+
+#include "core/engine.hpp"
+#include "core/pack.hpp"
+#include "core/types.hpp"
+
+namespace coredis::extensions {
+
+struct DedicatedResult {
+  double total_makespan = 0.0;         ///< sum over the sequence
+  double busy_processor_seconds = 0.0; ///< for energy accounting
+  std::vector<double> task_durations;  ///< per task, in execution order
+  std::vector<int> allocations;        ///< processors each task ran on
+  int faults_effective = 0;
+};
+
+/// Execute every task of the pack in dedicated mode, in index order.
+/// Faults are drawn per sub-run from child streams of `fault_seed`
+/// (mtbf_seconds <= 0 gives the fault-free variant).
+[[nodiscard]] DedicatedResult run_dedicated(const core::Pack& pack,
+                                            const checkpoint::Model& resilience,
+                                            int processors,
+                                            std::uint64_t fault_seed,
+                                            double mtbf_seconds);
+
+}  // namespace coredis::extensions

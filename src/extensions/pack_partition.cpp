@@ -1,0 +1,87 @@
+#include "extensions/pack_partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "fault/exponential.hpp"
+#include "util/contracts.hpp"
+
+namespace coredis::extensions {
+
+PartitionResult partition_lpt(const core::Pack& pack, int processors,
+                              int packs) {
+  const int n = pack.size();
+  const int capacity = processors / 2;  // tasks per pack (pair each)
+  if (capacity < 1)
+    throw std::invalid_argument("partition_lpt: platform too small");
+  const int min_packs = (n + capacity - 1) / capacity;
+  if (packs == 0) packs = min_packs;
+  if (packs < min_packs)
+    throw std::invalid_argument("partition_lpt: packs cannot fit the tasks");
+
+  // Longest processing time first on the sequential profile, into the
+  // currently lightest pack with room.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return pack.fault_free_time(a, 1) > pack.fault_free_time(b, 1);
+  });
+
+  PartitionResult result;
+  result.packs = packs;
+  result.pack_of.assign(static_cast<std::size_t>(n), -1);
+  std::vector<double> load(static_cast<std::size_t>(packs), 0.0);
+  std::vector<int> count(static_cast<std::size_t>(packs), 0);
+  for (int task : order) {
+    int target = -1;
+    for (int k = 0; k < packs; ++k) {
+      if (count[static_cast<std::size_t>(k)] >= capacity) continue;
+      if (target < 0 ||
+          load[static_cast<std::size_t>(k)] < load[static_cast<std::size_t>(target)])
+        target = k;
+    }
+    COREDIS_ASSERT(target >= 0);
+    result.pack_of[static_cast<std::size_t>(task)] = target;
+    load[static_cast<std::size_t>(target)] += pack.fault_free_time(task, 1);
+    ++count[static_cast<std::size_t>(target)];
+  }
+  return result;
+}
+
+MultiPackResult run_multi_pack(const core::Pack& tasks,
+                               const checkpoint::Model& resilience,
+                               int processors,
+                               const core::EngineConfig& config,
+                               const PartitionResult& partition,
+                               std::uint64_t fault_seed,
+                               double mtbf_seconds) {
+  COREDIS_EXPECTS(static_cast<int>(partition.pack_of.size()) == tasks.size());
+  MultiPackResult result;
+  result.partition = partition;
+
+  const speedup::ModelPtr& model = tasks.speedup_ptr();
+  for (int k = 0; k < partition.packs; ++k) {
+    std::vector<core::TaskSpec> members;
+    for (int i = 0; i < tasks.size(); ++i)
+      if (partition.pack_of[static_cast<std::size_t>(i)] == k)
+        members.push_back(tasks.task(i));
+    if (members.empty()) continue;
+    const core::Pack sub(std::move(members), model);
+    core::Engine engine(sub, resilience, processors, config);
+    fault::GeneratorPtr faults;
+    if (mtbf_seconds > 0.0) {
+      faults = std::make_unique<fault::ExponentialGenerator>(
+          processors, 1.0 / mtbf_seconds,
+          Rng::child(fault_seed, static_cast<std::uint64_t>(k)));
+    } else {
+      faults = std::make_unique<fault::NullGenerator>(processors);
+    }
+    core::RunResult run = engine.run(*faults);
+    result.total_makespan += run.makespan;
+    result.per_pack.push_back(std::move(run));
+  }
+  return result;
+}
+
+}  // namespace coredis::extensions

@@ -1,0 +1,67 @@
+#include "extensions/silent_errors.hpp"
+
+#include <cmath>
+
+namespace coredis::extensions::silent {
+
+namespace {
+
+double rate(const Params& params) {
+  return params.error_rate * static_cast<double>(params.processors);
+}
+
+}  // namespace
+
+double expected_period_time(const Params& params, double work) {
+  COREDIS_EXPECTS(work > 0.0);
+  COREDIS_EXPECTS(params.error_rate >= 0.0);
+  const double span =
+      work + params.verification_cost + params.checkpoint_cost;
+  const double q = std::exp(-rate(params) * span);
+  // Geometric retries: (1/q - 1) failed attempts of span + recovery each.
+  return span + (1.0 / q - 1.0) * (span + params.recovery_cost);
+}
+
+double expected_overhead_ratio(const Params& params, double work) {
+  return expected_period_time(params, work) / work;
+}
+
+double optimal_work_quantum(const Params& params, double max_work) {
+  COREDIS_EXPECTS(max_work > 0.0);
+  if (rate(params) <= 0.0) return max_work;  // no pressure to verify often
+  // Golden-section search on the unimodal ratio over (0, max_work].
+  constexpr double kGolden = 0.6180339887498949;
+  double lo = 1e-9 * max_work;
+  double hi = max_work;
+  double x1 = hi - kGolden * (hi - lo);
+  double x2 = lo + kGolden * (hi - lo);
+  double f1 = expected_overhead_ratio(params, x1);
+  double f2 = expected_overhead_ratio(params, x2);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - kGolden * (hi - lo);
+      f1 = expected_overhead_ratio(params, x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + kGolden * (hi - lo);
+      f2 = expected_overhead_ratio(params, x2);
+    }
+    if (hi - lo < 1e-9 * max_work) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double expected_execution_time(const Params& params, double total_work) {
+  COREDIS_EXPECTS(total_work > 0.0);
+  const double quantum = optimal_work_quantum(params, total_work);
+  const double periods = std::ceil(total_work / quantum);
+  const double per_period_work = total_work / periods;
+  return periods * expected_period_time(params, per_period_work);
+}
+
+}  // namespace coredis::extensions::silent

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file silent_errors.hpp
+/// Silent errors with verification (paper section 7, third future-work
+/// item: "deal not only with fail-stop errors, but also with silent
+/// errors. This would require to add verification mechanisms").
+///
+/// Model: silent data corruptions (SDCs) strike a task on j processors at
+/// rate j * lambda_s but produce no immediate symptom. Each period ends
+/// with a *verification* of cost V_{i,j} = V_i / j followed by a checkpoint
+/// C_{i,j}; a corrupted period is detected by its verification and re-
+/// executed from the last (verified, hence valid) checkpoint after a
+/// recovery R = C. Because every stored checkpoint was verified, one
+/// checkpoint suffices — this is the classic verified-checkpointing
+/// pattern the paper's future work refers to.
+///
+/// Expected period analysis: a period with work w lasts T = w + V + C; an
+/// attempt is clean with probability q = exp(-lambda_s j T); failed
+/// attempts each cost T + R. The expected time per period is
+///     E(w) = T + (1/q - 1) (T + R)
+/// and the optimal work quantum w* minimizes E(w)/w. This module computes
+/// E, finds w* numerically (unimodal in w), and exposes the expected
+/// completion-time inflation so benches can compare the verified scheme
+/// against a fail-stop-only baseline.
+
+#include "util/contracts.hpp"
+
+namespace coredis::extensions::silent {
+
+struct Params {
+  double error_rate = 0.0;      ///< lambda_s per processor, 1/seconds
+  double verification_cost = 0.0;  ///< V_{i,j}, seconds (already per-j)
+  double checkpoint_cost = 0.0;    ///< C_{i,j}, seconds (already per-j)
+  double recovery_cost = 0.0;      ///< R_{i,j}, seconds
+  int processors = 1;              ///< j
+};
+
+/// Expected wall-clock time of one period carrying `work` seconds of
+/// useful computation (see file comment).
+[[nodiscard]] double expected_period_time(const Params& params, double work);
+
+/// Expected time per unit of work at quantum `work` (the quantity w*
+/// minimizes).
+[[nodiscard]] double expected_overhead_ratio(const Params& params,
+                                             double work);
+
+/// Work quantum minimizing expected_overhead_ratio via golden-section
+/// search (the ratio is unimodal in w). Returns +infinity-safe values for
+/// a zero error rate (no verification pressure: quantum grows unbounded,
+/// capped at `max_work`).
+[[nodiscard]] double optimal_work_quantum(const Params& params,
+                                          double max_work);
+
+/// Expected time to execute `total_work` seconds of computation with the
+/// optimal quantum.
+[[nodiscard]] double expected_execution_time(const Params& params,
+                                             double total_work);
+
+}  // namespace coredis::extensions::silent

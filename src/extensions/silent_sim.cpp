@@ -1,0 +1,51 @@
+#include "extensions/silent_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace coredis::extensions::silent {
+
+SimulationResult simulate(const Params& params, double total_work,
+                          double work_quantum, Rng& rng) {
+  COREDIS_EXPECTS(total_work > 0.0);
+  COREDIS_EXPECTS(work_quantum > 0.0);
+  const double rate =
+      params.error_rate * static_cast<double>(params.processors);
+
+  SimulationResult result;
+  double work_left = total_work;
+  while (work_left > 1e-12) {
+    const double work = std::min(work_left, work_quantum);
+    const double span =
+        work + params.verification_cost + params.checkpoint_cost;
+    ++result.periods_executed;
+    ++result.verifications;
+    const bool corrupted =
+        rate > 0.0 && rng.exponential(rate) < span;  // an SDC struck inside
+    result.wall_clock += span;
+    if (corrupted) {
+      // Detected by the verification at the end of the period: recover
+      // from the last (verified) checkpoint and redo the whole quantum.
+      ++result.corrupted_periods;
+      result.wall_clock += params.recovery_cost;
+      continue;
+    }
+    work_left -= work;
+  }
+  return result;
+}
+
+double simulate_mean(const Params& params, double total_work,
+                     double work_quantum, int runs, std::uint64_t seed) {
+  COREDIS_EXPECTS(runs > 0);
+  double sum = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    Rng rng = Rng::child(seed, static_cast<std::uint64_t>(r));
+    sum += simulate(params, total_work, work_quantum, rng).wall_clock;
+  }
+  return sum / static_cast<double>(runs);
+}
+
+}  // namespace coredis::extensions::silent

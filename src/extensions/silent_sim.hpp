@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file silent_sim.hpp
+/// Monte-Carlo simulator of verified checkpointing under silent errors.
+///
+/// Companion to silent_errors.hpp: where that module derives the expected
+/// execution time analytically (geometric retries per period), this one
+/// *simulates* the protocol event by event — silent errors strike at rate
+/// lambda_s * j, corrupt the running period, are detected by the
+/// verification at the period's end, and force recovery + re-execution.
+/// The test suite checks the two agree, which certifies both the algebra
+/// and the simulator.
+
+#include "extensions/silent_errors.hpp"
+#include "util/rng.hpp"
+
+namespace coredis::extensions::silent {
+
+struct SimulationResult {
+  double wall_clock = 0.0;  ///< total time to finish the workload
+  long long periods_executed = 0;
+  long long corrupted_periods = 0;
+  long long verifications = 0;
+};
+
+/// Simulate executing `total_work` seconds of computation in quanta of
+/// `work_quantum` (last quantum may be shorter), each followed by a
+/// verification and a checkpoint; corrupted quanta are re-executed after
+/// a recovery.
+[[nodiscard]] SimulationResult simulate(const Params& params,
+                                        double total_work,
+                                        double work_quantum, Rng& rng);
+
+/// Mean simulated wall-clock over `runs` repetitions (convenience for
+/// validating expected_execution_time()).
+[[nodiscard]] double simulate_mean(const Params& params, double total_work,
+                                   double work_quantum, int runs,
+                                   std::uint64_t seed);
+
+}  // namespace coredis::extensions::silent

@@ -1,0 +1,27 @@
+#include "fault/exponential.hpp"
+
+#include "util/contracts.hpp"
+
+namespace coredis::fault {
+
+ExponentialGenerator::ExponentialGenerator(int processors,
+                                           double rate_per_processor, Rng rng,
+                                           double horizon)
+    : p_(processors),
+      platform_rate_(rate_per_processor * static_cast<double>(processors)),
+      rng_(rng),
+      horizon_(horizon) {
+  COREDIS_EXPECTS(processors > 0);
+  COREDIS_EXPECTS(rate_per_processor >= 0.0);
+}
+
+std::optional<Fault> ExponentialGenerator::next() {
+  if (platform_rate_ <= 0.0) return std::nullopt;
+  now_ += rng_.exponential(platform_rate_);
+  if (horizon_ >= 0.0 && now_ > horizon_) return std::nullopt;
+  const int proc = static_cast<int>(
+      rng_.uniform_int(0, static_cast<std::uint64_t>(p_) - 1));
+  return Fault{now_, proc};
+}
+
+}  // namespace coredis::fault

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file generator.hpp
+/// Fault-injection interface: the "fault simulator" of paper section 6.1.
+///
+/// A generator produces an ordered stream of fail-stop events, each striking
+/// one processor of the platform at an absolute time. The paper's campaign
+/// uses per-processor exponential laws of parameter lambda (section 3.1);
+/// this interface also admits Weibull laws and recorded traces.
+///
+/// Faults are *node* events: the simulation engine decides what they mean
+/// for the task (rollback) depending on which task owns the processor and
+/// whether the task is inside a downtime/recovery/redistribution blackout
+/// (faults are discarded there, section 6.1).
+
+#include <memory>
+#include <optional>
+
+namespace coredis::fault {
+
+/// One fail-stop event.
+struct Fault {
+  double time = 0.0;  ///< absolute time, seconds
+  int processor = 0;  ///< platform processor index in [0, p)
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// Ordered stream of faults. Implementations must return events with
+/// non-decreasing times; nullopt means no further fault before the horizon.
+class Generator {
+ public:
+  virtual ~Generator() = default;
+
+  /// Next fault in time order, or nullopt when the stream is exhausted.
+  [[nodiscard]] virtual std::optional<Fault> next() = 0;
+
+  /// Number of processors this stream covers.
+  [[nodiscard]] virtual int processors() const = 0;
+};
+
+using GeneratorPtr = std::unique_ptr<Generator>;
+
+/// A generator that never faults (the paper's "fault-free context").
+class NullGenerator final : public Generator {
+ public:
+  explicit NullGenerator(int processors) : p_(processors) {}
+  [[nodiscard]] std::optional<Fault> next() override { return std::nullopt; }
+  [[nodiscard]] int processors() const override { return p_; }
+
+ private:
+  int p_;
+};
+
+}  // namespace coredis::fault

@@ -1,0 +1,37 @@
+#include "fault/per_processor.hpp"
+
+#include "util/contracts.hpp"
+
+namespace coredis::fault {
+
+PerProcessorGenerator::PerProcessorGenerator(int processors,
+                                             InterArrivalLaw law,
+                                             std::uint64_t seed,
+                                             double horizon)
+    : p_(processors), law_(std::move(law)), horizon_(horizon) {
+  COREDIS_EXPECTS(processors > 0);
+  COREDIS_EXPECTS(law_ != nullptr);
+  streams_.reserve(static_cast<std::size_t>(p_));
+  for (int i = 0; i < p_; ++i)
+    streams_.push_back(Rng::child(seed, static_cast<std::uint64_t>(i)));
+  for (int i = 0; i < p_; ++i) schedule(i, 0.0);
+}
+
+void PerProcessorGenerator::schedule(int processor, double after) {
+  auto& rng = streams_[static_cast<std::size_t>(processor)];
+  const double gap = law_(rng);
+  COREDIS_ASSERT(gap > 0.0);
+  const double when = after + gap;
+  if (horizon_ >= 0.0 && when > horizon_) return;  // processor stream done
+  queue_.push(Pending{when, processor});
+}
+
+std::optional<Fault> PerProcessorGenerator::next() {
+  if (queue_.empty()) return std::nullopt;
+  const Pending head = queue_.top();
+  queue_.pop();
+  schedule(head.processor, head.time);  // renewal: next gap starts now
+  return Fault{head.time, head.processor};
+}
+
+}  // namespace coredis::fault

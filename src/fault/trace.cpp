@@ -1,0 +1,76 @@
+#include "fault/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace coredis::fault {
+
+TraceGenerator::TraceGenerator(int processors, std::vector<Fault> events)
+    : p_(processors), events_(std::move(events)) {
+  COREDIS_EXPECTS(processors > 0);
+  std::sort(events_.begin(), events_.end(),
+            [](const Fault& a, const Fault& b) { return a.time < b.time; });
+  for (const Fault& f : events_)
+    COREDIS_EXPECTS(f.processor >= 0 && f.processor < p_);
+}
+
+std::optional<Fault> TraceGenerator::next() {
+  if (cursor_ >= events_.size()) return std::nullopt;
+  return events_[cursor_++];
+}
+
+RecordingGenerator::RecordingGenerator(GeneratorPtr inner)
+    : inner_(std::move(inner)) {
+  COREDIS_EXPECTS(inner_ != nullptr);
+}
+
+std::optional<Fault> RecordingGenerator::next() {
+  auto fault = inner_->next();
+  if (fault) events_.push_back(*fault);
+  return fault;
+}
+
+int RecordingGenerator::processors() const { return inner_->processors(); }
+
+void save_trace(const std::string& path, int processors,
+                const std::vector<Fault>& events) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open for writing: " + path);
+  file << "# coredis fault trace\n";
+  file << "# processors " << processors << "\n";
+  file.precision(17);
+  for (const Fault& f : events) file << f.time << ' ' << f.processor << '\n';
+  if (!file) throw std::runtime_error("write failed: " + path);
+}
+
+int load_trace(const std::string& path, std::vector<Fault>& events) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open for reading: " + path);
+  events.clear();
+  int processors = -1;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line.substr(1));
+      std::string key;
+      header >> key;
+      if (key == "processors") header >> processors;
+      continue;
+    }
+    std::istringstream row(line);
+    Fault f;
+    if (!(row >> f.time >> f.processor))
+      throw std::runtime_error("malformed trace line: " + line);
+    events.push_back(f);
+  }
+  if (processors <= 0)
+    throw std::runtime_error("trace missing '# processors N' header: " + path);
+  return processors;
+}
+
+}  // namespace coredis::fault

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file trace.hpp
+/// Fault-trace record and replay.
+///
+/// Replaying a fixed trace makes runs exactly reproducible across heuristic
+/// configurations — the paper compares heuristics "on the same fault
+/// distribution" (section 6); recording + replay is how we guarantee every
+/// configuration in a comparison sees identical faults. Traces serialize to
+/// a simple text format (`# comment` lines, then `time processor` pairs).
+
+#include <string>
+#include <vector>
+
+#include "fault/generator.hpp"
+
+namespace coredis::fault {
+
+/// Replay an in-memory trace (events are sorted on construction).
+class TraceGenerator final : public Generator {
+ public:
+  TraceGenerator(int processors, std::vector<Fault> events);
+
+  [[nodiscard]] std::optional<Fault> next() override;
+  [[nodiscard]] int processors() const override { return p_; }
+
+ private:
+  int p_;
+  std::vector<Fault> events_;
+  std::size_t cursor_ = 0;
+};
+
+/// Decorator that records every event another generator emits, so a run can
+/// be replayed later (e.g. to compare heuristics on identical faults).
+class RecordingGenerator final : public Generator {
+ public:
+  explicit RecordingGenerator(GeneratorPtr inner);
+
+  [[nodiscard]] std::optional<Fault> next() override;
+  [[nodiscard]] int processors() const override;
+
+  [[nodiscard]] const std::vector<Fault>& recorded() const noexcept {
+    return events_;
+  }
+
+ private:
+  GeneratorPtr inner_;
+  std::vector<Fault> events_;
+};
+
+/// Serialize a trace. Throws std::runtime_error on I/O failure.
+void save_trace(const std::string& path, int processors,
+                const std::vector<Fault>& events);
+
+/// Load a trace written by save_trace. Returns the processor count and
+/// fills `events`. Throws std::runtime_error on parse/I/O failure.
+int load_trace(const std::string& path, std::vector<Fault>& events);
+
+}  // namespace coredis::fault

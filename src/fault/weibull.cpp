@@ -1,0 +1,26 @@
+#include "fault/weibull.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace coredis::fault {
+
+double WeibullGenerator::scale_for_mtbf(double mtbf, double shape) {
+  COREDIS_EXPECTS(mtbf > 0.0 && shape > 0.0);
+  return mtbf / std::tgamma(1.0 + 1.0 / shape);
+}
+
+WeibullGenerator::WeibullGenerator(int processors, double mtbf_per_processor,
+                                   double shape, std::uint64_t seed,
+                                   double horizon)
+    : inner_(processors,
+             [shape, scale = scale_for_mtbf(mtbf_per_processor, shape)](
+                 Rng& rng) { return rng.weibull(shape, scale); },
+             seed, horizon) {}
+
+std::optional<Fault> WeibullGenerator::next() { return inner_.next(); }
+
+int WeibullGenerator::processors() const { return inner_.processors(); }
+
+}  // namespace coredis::fault

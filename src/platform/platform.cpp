@@ -1,0 +1,86 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace coredis::platform {
+
+Platform::Platform(int processors) {
+  COREDIS_EXPECTS(processors > 0);
+  COREDIS_EXPECTS(processors % 2 == 0);
+  owner_.assign(static_cast<std::size_t>(processors), kIdle);
+  free_.resize(static_cast<std::size_t>(processors));
+  // Pool as a stack with ascending ids on top first, so acquisitions get
+  // deterministic ids (helps trace reproducibility and tests).
+  for (int i = 0; i < processors; ++i)
+    free_[static_cast<std::size_t>(processors - 1 - i)] = i;
+}
+
+int Platform::owner(int processor) const {
+  COREDIS_EXPECTS(processor >= 0 && processor < processors());
+  return owner_[static_cast<std::size_t>(processor)];
+}
+
+void Platform::register_task(int task) {
+  COREDIS_EXPECTS(task >= 0);
+  if (static_cast<std::size_t>(task) >= held_.size())
+    held_.resize(static_cast<std::size_t>(task) + 1);
+}
+
+std::span<const int> Platform::held_by(int task) const {
+  COREDIS_EXPECTS(task >= 0);
+  if (static_cast<std::size_t>(task) >= held_.size()) return {};
+  return held_[static_cast<std::size_t>(task)];
+}
+
+int Platform::allocated(int task) const {
+  return static_cast<int>(held_by(task).size());
+}
+
+std::vector<int> Platform::acquire(int task, int count) {
+  COREDIS_EXPECTS(count >= 0 && count % 2 == 0);
+  COREDIS_EXPECTS(count <= free_count());
+  register_task(task);
+  std::vector<int> granted;
+  granted.reserve(static_cast<std::size_t>(count));
+  auto& mine = held_[static_cast<std::size_t>(task)];
+  for (int i = 0; i < count; ++i) {
+    const int proc = free_.back();
+    free_.pop_back();
+    owner_[static_cast<std::size_t>(proc)] = task;
+    mine.push_back(proc);
+    granted.push_back(proc);
+  }
+  return granted;
+}
+
+std::vector<int> Platform::release(int task, int count) {
+  COREDIS_EXPECTS(count >= 0 && count % 2 == 0);
+  COREDIS_EXPECTS(task >= 0 && static_cast<std::size_t>(task) < held_.size());
+  auto& mine = held_[static_cast<std::size_t>(task)];
+  COREDIS_EXPECTS(count <= static_cast<int>(mine.size()));
+  std::vector<int> revoked;
+  revoked.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int proc = mine.back();
+    mine.pop_back();
+    owner_[static_cast<std::size_t>(proc)] = kIdle;
+    free_.push_back(proc);
+    revoked.push_back(proc);
+  }
+  return revoked;
+}
+
+void Platform::release_all(int task) {
+  COREDIS_EXPECTS(task >= 0);
+  if (static_cast<std::size_t>(task) >= held_.size()) return;
+  auto& mine = held_[static_cast<std::size_t>(task)];
+  for (int proc : mine) {
+    owner_[static_cast<std::size_t>(proc)] = kIdle;
+    free_.push_back(proc);
+  }
+  mine.clear();
+}
+
+}  // namespace coredis::platform

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file platform.hpp
+/// Processor-allocation ledger for a platform of p identical processors.
+///
+/// The ledger answers the two questions the event engine needs:
+///  * which task owns the processor a fault just struck, and
+///  * which concrete processors move when a redistribution is committed.
+///
+/// Allocations are granted and revoked in *pairs* because the double
+/// checkpointing scheme pairs each processor with a buddy (section 3.1:
+/// "the number of processors assigned to each task must be even").
+
+#include <span>
+#include <vector>
+
+namespace coredis::platform {
+
+/// Owner id for an idle processor.
+inline constexpr int kIdle = -1;
+
+class Platform {
+ public:
+  /// \param processors total platform size p (> 0, even).
+  explicit Platform(int processors);
+
+  [[nodiscard]] int processors() const noexcept {
+    return static_cast<int>(owner_.size());
+  }
+  [[nodiscard]] int free_count() const noexcept {
+    return static_cast<int>(free_.size());
+  }
+
+  /// Owner task of a processor, or kIdle.
+  [[nodiscard]] int owner(int processor) const;
+
+  /// Processors currently held by `task` (unspecified order).
+  [[nodiscard]] std::span<const int> held_by(int task) const;
+
+  /// Number of processors currently held by `task`.
+  [[nodiscard]] int allocated(int task) const;
+
+  /// Grant `count` idle processors (even, <= free_count()) to `task`.
+  /// Returns the granted processor ids.
+  std::vector<int> acquire(int task, int count);
+
+  /// Revoke `count` processors (even, <= allocated(task)) from `task` back
+  /// to the idle pool. Returns the revoked processor ids.
+  std::vector<int> release(int task, int count);
+
+  /// Revoke everything `task` holds (e.g. on task completion).
+  void release_all(int task);
+
+  /// Total processors owned by tasks (== processors() - free_count()).
+  [[nodiscard]] int in_use() const noexcept {
+    return processors() - free_count();
+  }
+
+ private:
+  void register_task(int task);
+
+  std::vector<int> owner_;              // processor -> task (or kIdle)
+  std::vector<int> free_;               // idle pool, used as a stack
+  std::vector<std::vector<int>> held_;  // task -> held processors
+};
+
+}  // namespace coredis::platform

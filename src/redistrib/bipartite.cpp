@@ -1,0 +1,130 @@
+#include "redistrib/bipartite.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace coredis::redistrib {
+
+int BipartiteGraph::max_degree() const {
+  std::vector<int> left_deg(static_cast<std::size_t>(left_count), 0);
+  std::vector<int> right_deg(static_cast<std::size_t>(right_count), 0);
+  for (const TransferEdge& e : edges) {
+    ++left_deg[static_cast<std::size_t>(e.left)];
+    ++right_deg[static_cast<std::size_t>(e.right)];
+  }
+  int delta = 0;
+  for (int d : left_deg) delta = std::max(delta, d);
+  for (int d : right_deg) delta = std::max(delta, d);
+  return delta;
+}
+
+BipartiteGraph make_transfer_graph(int from_processors, int to_processors) {
+  COREDIS_EXPECTS(from_processors >= 1);
+  COREDIS_EXPECTS(to_processors >= 1);
+  COREDIS_EXPECTS(from_processors != to_processors);
+  BipartiteGraph graph;
+  if (to_processors > from_processors) {
+    // Growth: j senders, q = k - j receivers, complete bipartite K_{j,q}.
+    graph.left_count = from_processors;
+    graph.right_count = to_processors - from_processors;
+  } else {
+    // Shrink: q = j - k leavers send everything to the k stayers, K_{q,k}.
+    graph.left_count = from_processors - to_processors;
+    graph.right_count = to_processors;
+  }
+  graph.edges.reserve(static_cast<std::size_t>(graph.left_count) *
+                      static_cast<std::size_t>(graph.right_count));
+  for (int l = 0; l < graph.left_count; ++l)
+    for (int r = 0; r < graph.right_count; ++r)
+      graph.edges.push_back(TransferEdge{l, r});
+  return graph;
+}
+
+std::vector<int> edge_color(const BipartiteGraph& graph) {
+  const int delta = graph.max_degree();
+  const auto n_left = static_cast<std::size_t>(graph.left_count);
+  const auto n_right = static_cast<std::size_t>(graph.right_count);
+  const auto colors = static_cast<std::size_t>(std::max(delta, 0));
+
+  // at_left[v][c] = index of the edge colored c at left vertex v, -1 if the
+  // color is free there; likewise at_right.
+  std::vector<std::vector<int>> at_left(n_left, std::vector<int>(colors, -1));
+  std::vector<std::vector<int>> at_right(n_right, std::vector<int>(colors, -1));
+  std::vector<int> color_of(graph.edges.size(), -1);
+
+  auto first_free = [](const std::vector<int>& used) {
+    for (std::size_t c = 0; c < used.size(); ++c)
+      if (used[c] < 0) return static_cast<int>(c);
+    COREDIS_ASSERT(false);  // degree bound guarantees a free color
+    return -1;
+  };
+  auto set_color = [&](int eidx, int color) {
+    const TransferEdge e = graph.edges[static_cast<std::size_t>(eidx)];
+    color_of[static_cast<std::size_t>(eidx)] = color;
+    at_left[static_cast<std::size_t>(e.left)][static_cast<std::size_t>(color)] = eidx;
+    at_right[static_cast<std::size_t>(e.right)][static_cast<std::size_t>(color)] = eidx;
+  };
+  auto clear_color = [&](int eidx) {
+    const TransferEdge e = graph.edges[static_cast<std::size_t>(eidx)];
+    const int color = color_of[static_cast<std::size_t>(eidx)];
+    at_left[static_cast<std::size_t>(e.left)][static_cast<std::size_t>(color)] = -1;
+    at_right[static_cast<std::size_t>(e.right)][static_cast<std::size_t>(color)] = -1;
+    color_of[static_cast<std::size_t>(eidx)] = -1;
+  };
+
+  for (std::size_t idx = 0; idx < graph.edges.size(); ++idx) {
+    const TransferEdge e = graph.edges[idx];
+    const int alpha = first_free(at_left[static_cast<std::size_t>(e.left)]);
+    const int beta = first_free(at_right[static_cast<std::size_t>(e.right)]);
+
+    if (alpha != beta &&
+        at_right[static_cast<std::size_t>(e.right)]
+                [static_cast<std::size_t>(alpha)] >= 0) {
+      // alpha is free at the left endpoint but busy at the right one:
+      // collect the (alpha, beta)-alternating path starting at e.right and
+      // flip it (Kempe chain). In a bipartite graph the path can never
+      // reach e.left (left vertices are entered through alpha edges and
+      // e.left misses alpha), so after the flip alpha is free at both ends.
+      std::vector<std::pair<int, int>> path;  // (edge index, old color)
+      bool on_right = true;
+      int vertex = e.right;
+      int want = alpha;
+      while (true) {
+        const auto& used = on_right ? at_right[static_cast<std::size_t>(vertex)]
+                                    : at_left[static_cast<std::size_t>(vertex)];
+        const int eidx = used[static_cast<std::size_t>(want)];
+        if (eidx < 0) break;
+        path.emplace_back(eidx, want);
+        const TransferEdge pe = graph.edges[static_cast<std::size_t>(eidx)];
+        vertex = on_right ? pe.left : pe.right;
+        on_right = !on_right;
+        want = want == alpha ? beta : alpha;
+      }
+      // Two phases so transiently-shared colors cannot clobber the tables.
+      for (const auto& [eidx, old_color] : path) {
+        (void)old_color;
+        clear_color(eidx);
+      }
+      for (const auto& [eidx, old_color] : path)
+        set_color(eidx, old_color == alpha ? beta : alpha);
+      COREDIS_ASSERT(at_right[static_cast<std::size_t>(e.right)]
+                             [static_cast<std::size_t>(alpha)] < 0);
+    }
+    set_color(static_cast<int>(idx), alpha);
+  }
+  return color_of;
+}
+
+std::vector<std::vector<TransferEdge>> round_schedule(
+    const BipartiteGraph& graph) {
+  const std::vector<int> colors = edge_color(graph);
+  std::vector<std::vector<TransferEdge>> rounds(
+      static_cast<std::size_t>(graph.max_degree()));
+  for (std::size_t i = 0; i < graph.edges.size(); ++i)
+    rounds[static_cast<std::size_t>(colors[i])].push_back(graph.edges[i]);
+  return rounds;
+}
+
+}  // namespace coredis::redistrib

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file bipartite.hpp
+/// Bipartite transfer graphs and their round (edge-coloring) schedules.
+///
+/// Paper section 3.3.1 models a j -> k redistribution as a bipartite graph
+/// G: in the growth case every one of the j original processors sends to
+/// every one of the q = k - j newcomers; in the shrink case every one of
+/// the q = j - k leavers sends to every one of the k stayers. One parallel
+/// dispatch (each processor on at most one link) is a *round*, so the round
+/// count is the edge-chromatic number chi'(G), equal to the maximum degree
+/// Delta(G) for bipartite graphs (Konig). We implement the constructive
+/// proof — alternating-path (Kempe chain) edge coloring — to produce an
+/// executable schedule and to validate Eq. 9's closed form.
+
+#include <vector>
+
+namespace coredis::redistrib {
+
+/// An undirected edge (sender `left`, receiver `right`) of the transfer
+/// graph; indices are local (0-based on each side).
+struct TransferEdge {
+  int left = 0;
+  int right = 0;
+};
+
+/// Bipartite multigraph on (left_count + right_count) vertices.
+struct BipartiteGraph {
+  int left_count = 0;
+  int right_count = 0;
+  std::vector<TransferEdge> edges;
+
+  /// Maximum vertex degree Delta(G).
+  [[nodiscard]] int max_degree() const;
+};
+
+/// Transfer graph of a j -> k redistribution (j != k): complete bipartite
+/// between the moving side and the receiving side, as described above.
+[[nodiscard]] BipartiteGraph make_transfer_graph(int from_processors,
+                                                 int to_processors);
+
+/// Proper edge coloring with exactly Delta(G) colors (Konig). Returns the
+/// color (round index in [0, Delta)) of every edge, in input order.
+[[nodiscard]] std::vector<int> edge_color(const BipartiteGraph& graph);
+
+/// Round-by-round schedule: rounds()[r] lists the edges dispatched in
+/// parallel during round r. Each vertex appears at most once per round.
+[[nodiscard]] std::vector<std::vector<TransferEdge>> round_schedule(
+    const BipartiteGraph& graph);
+
+}  // namespace coredis::redistrib

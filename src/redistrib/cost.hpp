@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file cost.hpp
+/// Redistribution cost model (paper section 3.3, Eqs. 7 and 9).
+///
+/// Moving a task from j to k processors re-balances its m data units so
+/// every one of the k processors ends with m/k. Transfers proceed in
+/// *rounds*; one round moves one m/(k*j)-sized fragment per busy link. The
+/// number of rounds is the edge-chromatic number of the bipartite transfer
+/// graph, which by Konig's theorem equals its maximum degree:
+///
+///   rounds(j -> k) = max(min(j, k), |k - j|)
+///
+/// and the total cost is  RC = rounds * (1/k) * (m/j)   (Eq. 9; Eq. 7 is
+/// the k > j special case where min(j,k) = j).
+///
+/// bipartite.hpp constructs the actual round-by-round transfer plan and the
+/// test suite verifies that its round count matches this closed form.
+
+namespace coredis::redistrib {
+
+/// Number of communication rounds for a j -> k redistribution (j, k >= 1,
+/// j != k).
+[[nodiscard]] int rounds(int from_processors, int to_processors);
+
+/// Redistribution cost RC^{j->k} in seconds for a task with `data_size` m
+/// (Eq. 9). Preconditions: j, k >= 1, j != k, m > 0.
+[[nodiscard]] double cost(int from_processors, int to_processors,
+                          double data_size);
+
+/// Growth-only form of Eq. 7 (k > j); equal to cost() on its domain, kept
+/// as a distinct entry point mirroring the paper's presentation.
+[[nodiscard]] double growth_cost(int from_processors, int to_processors,
+                                 double data_size);
+
+}  // namespace coredis::redistrib

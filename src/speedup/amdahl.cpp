@@ -1,0 +1,23 @@
+#include "speedup/amdahl.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace coredis::speedup {
+
+AmdahlModel::AmdahlModel(double sequential_fraction,
+                         double sequential_coefficient)
+    : f_(sequential_fraction), coeff_(sequential_coefficient) {
+  COREDIS_EXPECTS(f_ >= 0.0 && f_ <= 1.0);
+  COREDIS_EXPECTS(coeff_ > 0.0);
+}
+
+double AmdahlModel::time(double m, int q) const {
+  COREDIS_EXPECTS(m > 1.0);
+  COREDIS_EXPECTS(q >= 1);
+  const double t1 = coeff_ * m * std::log2(m);
+  return f_ * t1 + (1.0 - f_) * t1 / static_cast<double>(q);
+}
+
+}  // namespace coredis::speedup

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file amdahl.hpp
+/// Classical Amdahl profile: t(m, q) = f * t1(m) + (1 - f) * t1(m) / q.
+///
+/// Provided as the textbook baseline profile (the paper's Eq. 10 is Amdahl
+/// plus a communication term); useful for ablations isolating the effect of
+/// the communication overhead on redistribution gains.
+
+#include "speedup/model.hpp"
+
+namespace coredis::speedup {
+
+class AmdahlModel final : public Model {
+ public:
+  /// \param sequential_fraction Amdahl's serial fraction f in [0, 1].
+  /// \param sequential_coefficient scales t(m,1) = coeff * m * log2(m);
+  ///        defaults to 2 to stay commensurate with the synthetic model.
+  explicit AmdahlModel(double sequential_fraction = 0.08,
+                       double sequential_coefficient = 2.0);
+
+  [[nodiscard]] double time(double m, int q) const override;
+
+ private:
+  double f_;
+  double coeff_;
+};
+
+}  // namespace coredis::speedup

@@ -1,0 +1,60 @@
+#include "speedup/presets.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "speedup/table_profile.hpp"
+#include "util/contracts.hpp"
+
+namespace coredis::speedup {
+
+namespace {
+
+struct PresetCurve {
+  const char* name;
+  /// Parallel efficiency at q = 1, 2, 4, ..., 256 (10 samples).
+  double efficiency[10];
+};
+
+// Hand-shaped efficiency staircases per archetype (see header comment).
+constexpr PresetCurve kCurves[] = {
+    {"minife_like",
+     {1.00, 0.98, 0.95, 0.92, 0.88, 0.84, 0.78, 0.71, 0.63, 0.55}},
+    {"minimd_like",
+     {1.00, 0.99, 0.98, 0.97, 0.96, 0.94, 0.92, 0.90, 0.87, 0.85}},
+    {"hpccg_like",
+     {1.00, 0.93, 0.85, 0.76, 0.67, 0.58, 0.50, 0.44, 0.39, 0.35}},
+    {"comd_like",
+     {1.00, 0.99, 0.97, 0.95, 0.92, 0.89, 0.85, 0.82, 0.78, 0.75}},
+    {"lulesh_like",
+     {1.00, 0.96, 0.93, 0.88, 0.84, 0.78, 0.73, 0.68, 0.64, 0.60}},
+};
+
+}  // namespace
+
+std::vector<std::string> preset_names() {
+  std::vector<std::string> names;
+  for (const PresetCurve& curve : kCurves) names.emplace_back(curve.name);
+  return names;
+}
+
+ModelPtr make_preset(std::string_view name, double reference_m) {
+  COREDIS_EXPECTS(reference_m > 1.0);
+  for (const PresetCurve& curve : kCurves) {
+    if (name != curve.name) continue;
+    // Sequential time follows the paper's t(m,1) = 2 m log2 m so presets
+    // stay commensurate with the synthetic model.
+    const double t1 = 2.0 * reference_m * std::log2(reference_m);
+    std::vector<std::pair<int, double>> samples;
+    int q = 1;
+    for (double efficiency : curve.efficiency) {
+      samples.emplace_back(q, t1 / (static_cast<double>(q) * efficiency));
+      q *= 2;
+    }
+    return std::make_shared<TableModel>(reference_m, std::move(samples));
+  }
+  throw std::invalid_argument("unknown speedup preset: " + std::string(name));
+}
+
+}  // namespace coredis::speedup

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file presets.hpp
+/// Mini-app-style speedup profiles.
+///
+/// The paper motivates its profiles with benchmarking campaigns on
+/// scientific mini-applications "executed on a platform with up to 256
+/// cores" (Heroux et al., the Mantevo suite). These presets are
+/// *synthetic but realistically shaped* efficiency curves for common
+/// mini-app archetypes — NOT published measurements — expressed as
+/// TableModel samples at powers of two up to 256 cores:
+///
+///   name          archetype                     efficiency at 256 cores
+///   ----          ---------                     -----------------------
+///   minife_like   implicit FEM solve             ~0.55 (comm-bound tail)
+///   minimd_like   molecular dynamics             ~0.85 (near-linear)
+///   hpccg_like    conjugate gradient             ~0.35 (bandwidth-bound)
+///   comd_like     molecular dynamics (cells)     ~0.75
+///   lulesh_like   shock hydrodynamics            ~0.60 (sweet spots)
+///
+/// Each preset derives its sequential time from the paper's t(m,1) =
+/// 2 m log2(m), so packs mixing presets with the synthetic model remain
+/// commensurate.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "speedup/model.hpp"
+
+namespace coredis::speedup {
+
+/// Names of the available presets.
+[[nodiscard]] std::vector<std::string> preset_names();
+
+/// Build the named preset for tasks of reference size `reference_m`.
+/// Throws std::invalid_argument on unknown names.
+[[nodiscard]] ModelPtr make_preset(std::string_view name,
+                                   double reference_m);
+
+}  // namespace coredis::speedup

@@ -1,0 +1,24 @@
+#include "speedup/synthetic.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace coredis::speedup {
+
+SyntheticModel::SyntheticModel(double sequential_fraction)
+    : f_(sequential_fraction) {
+  COREDIS_EXPECTS(f_ >= 0.0 && f_ <= 1.0);
+}
+
+double SyntheticModel::time(double m, int q) const {
+  COREDIS_EXPECTS(m > 1.0);
+  COREDIS_EXPECTS(q >= 1);
+  const double log2m = std::log2(m);
+  const double t1 = 2.0 * m * log2m;              // t(m, 1) = 2 m log2 m
+  const double qd = static_cast<double>(q);
+  // Eq. 10: sequential part + parallel part + communication overhead.
+  return f_ * t1 + (1.0 - f_) * t1 / qd + (m / qd) * log2m;
+}
+
+}  // namespace coredis::speedup

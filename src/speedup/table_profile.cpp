@@ -1,0 +1,70 @@
+#include "speedup/table_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace coredis::speedup {
+
+TableModel::TableModel(double reference_m,
+                       std::vector<std::pair<int, double>> samples)
+    : reference_m_(reference_m) {
+  COREDIS_EXPECTS(reference_m_ > 1.0);
+  if (samples.empty())
+    throw std::invalid_argument("TableModel: empty sample set");
+  std::sort(samples.begin(), samples.end());
+  for (std::size_t i = 0; i + 1 < samples.size(); ++i)
+    if (samples[i].first == samples[i + 1].first)
+      throw std::invalid_argument("TableModel: duplicate processor count");
+  if (samples.front().first != 1)
+    throw std::invalid_argument("TableModel: samples must include q = 1");
+  for (const auto& [q, t] : samples) {
+    if (q < 1 || t <= 0.0)
+      throw std::invalid_argument("TableModel: invalid sample");
+    qs_.push_back(q);
+    times_.push_back(t);
+  }
+  // Repair: time non-increasing in q (a sample slower than a smaller
+  // allocation is replaced by that allocation's time, i.e. the scheduler
+  // would simply leave the extra processors idle).
+  for (std::size_t i = 1; i < times_.size(); ++i)
+    times_[i] = std::min(times_[i], times_[i - 1]);
+  // Repair: work q * t non-decreasing in q (super-linear speedup samples
+  // are flattened to linear from the previous point).
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    const double prev_work = static_cast<double>(qs_[i - 1]) * times_[i - 1];
+    const double work = static_cast<double>(qs_[i]) * times_[i];
+    if (work < prev_work) times_[i] = prev_work / static_cast<double>(qs_[i]);
+  }
+}
+
+int TableModel::max_sampled_processors() const noexcept { return qs_.back(); }
+
+double TableModel::time(double m, int q) const {
+  COREDIS_EXPECTS(m > 1.0);
+  COREDIS_EXPECTS(q >= 1);
+  // Work-scaling in m: T(m) / T(m_ref) = (m log2 m) / (m_ref log2 m_ref),
+  // the scaling of the paper's synthetic sequential profile.
+  const double scale =
+      (m * std::log2(m)) / (reference_m_ * std::log2(reference_m_));
+
+  const int clamped = std::min(q, qs_.back());
+  const auto it = std::lower_bound(qs_.begin(), qs_.end(), clamped);
+  const auto idx = static_cast<std::size_t>(it - qs_.begin());
+  if (it != qs_.end() && *it == clamped) return times_[idx] * scale;
+
+  // Between samples: interpolate 1/t linearly in q (harmonic in time),
+  // which keeps interpolated times between neighbors and preserves the
+  // monotonicity repairs above.
+  const std::size_t hi = idx;
+  const std::size_t lo = idx - 1;
+  const double w = static_cast<double>(clamped - qs_[lo]) /
+                   static_cast<double>(qs_[hi] - qs_[lo]);
+  const double inv =
+      (1.0 - w) / times_[lo] + w / times_[hi];
+  return scale / inv;
+}
+
+}  // namespace coredis::speedup

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file table_profile.hpp
+/// Tabulated speedup profiles from benchmarking campaigns.
+///
+/// The paper motivates profiles "executed on a platform with up to 256
+/// cores, and the corresponding execution times were reported" [1]. This
+/// model ingests such (processor count, time) samples for a reference
+/// problem size and answers t(m, q) by (a) work-scaling in m and
+/// (b) harmonic interpolation between sampled processor counts, clamping to
+/// the largest sampled count beyond the table (no extrapolated speedup).
+///
+/// To keep the scheduling model's assumptions valid, construction enforces
+/// (repairs) monotonicity: times are made non-increasing and work
+/// non-decreasing in q, mirroring Eq. 6's clamping idea.
+
+#include <utility>
+#include <vector>
+
+#include "speedup/model.hpp"
+
+namespace coredis::speedup {
+
+class TableModel final : public Model {
+ public:
+  /// \param reference_m problem size at which the samples were measured.
+  /// \param samples pairs (q, time_seconds); q values must be distinct and
+  ///        include q = 1. Unsorted input is accepted.
+  TableModel(double reference_m, std::vector<std::pair<int, double>> samples);
+
+  [[nodiscard]] double time(double m, int q) const override;
+
+  /// Largest processor count present in the table.
+  [[nodiscard]] int max_sampled_processors() const noexcept;
+
+ private:
+  double reference_m_;
+  std::vector<int> qs_;
+  std::vector<double> times_;
+};
+
+}  // namespace coredis::speedup

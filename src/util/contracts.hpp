@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file contracts.hpp
+/// Lightweight precondition / postcondition / invariant checks.
+///
+/// Following the C++ Core Guidelines (I.6 "Prefer Expects() for expressing
+/// preconditions"), every module states its contracts through these macros.
+/// Violations abort with a message pointing at the failing expression; the
+/// checks stay enabled in Release builds because the simulation is cheap
+/// relative to the cost of silently corrupt schedules. Define
+/// COREDIS_NO_CONTRACTS to compile them out entirely.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace coredis::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "coredis: %s violated: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace coredis::detail
+
+#ifdef COREDIS_NO_CONTRACTS
+#define COREDIS_EXPECTS(expr) ((void)0)
+#define COREDIS_ENSURES(expr) ((void)0)
+#define COREDIS_ASSERT(expr) ((void)0)
+#else
+#define COREDIS_EXPECTS(expr)                                               \
+  ((expr) ? (void)0                                                         \
+          : ::coredis::detail::contract_failure("precondition", #expr,      \
+                                                __FILE__, __LINE__))
+#define COREDIS_ENSURES(expr)                                               \
+  ((expr) ? (void)0                                                         \
+          : ::coredis::detail::contract_failure("postcondition", #expr,     \
+                                                __FILE__, __LINE__))
+#define COREDIS_ASSERT(expr)                                                \
+  ((expr) ? (void)0                                                         \
+          : ::coredis::detail::contract_failure("invariant", #expr,         \
+                                                __FILE__, __LINE__))
+#endif

@@ -1,0 +1,68 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace coredis {
+
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  COREDIS_EXPECTS(!headers_.empty());
+}
+
+void CsvWriter::add_row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream s;
+    s.precision(12);
+    s << v;
+    text.push_back(s.str());
+  }
+  add_row(text);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  COREDIS_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(cells);
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out << (c ? "," : "") << escape(headers_[c]);
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << (c ? "," : "") << escape(row[c]);
+    out << '\n';
+  }
+  return out.str();
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open for writing: " + path);
+  file << to_string();
+  if (!file) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace coredis

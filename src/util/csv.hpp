@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file csv.hpp
+/// CSV series writer, so every figure's data can be re-plotted externally.
+
+#include <string>
+#include <vector>
+
+namespace coredis {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(const std::vector<double>& cells);
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Render the whole document.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Write to a file; throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace coredis

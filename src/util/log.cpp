@@ -1,0 +1,60 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace coredis {
+
+namespace {
+
+LogLevel parse_level(const char* text) {
+  if (text == nullptr) return LogLevel::Info;
+  const std::string value(text);
+  if (value == "debug") return LogLevel::Debug;
+  if (value == "info") return LogLevel::Info;
+  if (value == "warn") return LogLevel::Warn;
+  if (value == "error") return LogLevel::Error;
+  if (value == "off") return LogLevel::Off;
+  return LogLevel::Info;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  static const LogLevel level = parse_level(std::getenv("COREDIS_LOG"));
+  return level;
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_threshold());
+}
+
+namespace detail {
+
+void log_write(LogLevel level, std::string_view message) {
+  std::lock_guard lock(log_mutex());
+  std::fprintf(stderr, "[coredis %-5s] %.*s\n", level_name(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace detail
+
+}  // namespace coredis

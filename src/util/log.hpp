@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file log.hpp
+/// Leveled diagnostics for long-running campaigns.
+///
+/// Default level is Info; COREDIS_LOG=debug|info|warn|error|off overrides.
+/// Output goes to stderr so it never mixes with the tables/CSV that bench
+/// binaries print on stdout.
+
+#include <sstream>
+#include <string_view>
+
+namespace coredis {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Current threshold (reads COREDIS_LOG once).
+[[nodiscard]] LogLevel log_threshold();
+
+/// True when `level` messages are emitted.
+[[nodiscard]] bool log_enabled(LogLevel level);
+
+namespace detail {
+void log_write(LogLevel level, std::string_view message);
+}
+
+/// Usage: COREDIS_LOG_INFO("ran " << n << " simulations").
+#define COREDIS_LOG_AT(level, expr)                                   \
+  do {                                                                \
+    if (::coredis::log_enabled(level)) {                              \
+      std::ostringstream coredis_log_stream_;                         \
+      coredis_log_stream_ << expr;                                    \
+      ::coredis::detail::log_write(level, coredis_log_stream_.str()); \
+    }                                                                 \
+  } while (false)
+
+#define COREDIS_LOG_DEBUG(expr) COREDIS_LOG_AT(::coredis::LogLevel::Debug, expr)
+#define COREDIS_LOG_INFO(expr) COREDIS_LOG_AT(::coredis::LogLevel::Info, expr)
+#define COREDIS_LOG_WARN(expr) COREDIS_LOG_AT(::coredis::LogLevel::Warn, expr)
+#define COREDIS_LOG_ERROR(expr) COREDIS_LOG_AT(::coredis::LogLevel::Error, expr)
+
+}  // namespace coredis

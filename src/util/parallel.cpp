@@ -1,0 +1,57 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace coredis {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("COREDIS_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
+  if (threads <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  threads = std::min(threads, count);
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        next.store(count, std::memory_order_relaxed);  // drain remaining work
+        return;
+      }
+    }
+  };
+
+  std::vector<std::jthread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  pool.clear();  // join
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace coredis

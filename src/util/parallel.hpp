@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Thread-parallel execution of independent simulation runs.
+///
+/// Monte-Carlo runs are embarrassingly parallel (each has its own RNG
+/// stream, see rng.hpp), so the experiment harness fans indices out over a
+/// small worker pool. The API is a deterministic-output parallel_for: the
+/// caller indexes results by run id, so thread scheduling cannot change any
+/// reported number.
+
+#include <cstddef>
+#include <functional>
+
+namespace coredis {
+
+/// Number of workers used by parallel_for: hardware concurrency unless the
+/// COREDIS_THREADS environment variable overrides it (0 or 1 disable
+/// threading, useful when debugging).
+[[nodiscard]] std::size_t default_thread_count();
+
+/// Run body(i) for every i in [0, count). Work is distributed dynamically
+/// (atomic counter) so uneven run lengths balance out. Exceptions thrown by
+/// the body propagate to the caller (first one wins).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace coredis

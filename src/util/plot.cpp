@@ -1,0 +1,120 @@
+#include "util/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace coredis {
+
+namespace {
+
+constexpr char kMarkers[] = {'*', '+', 'o', 'x', '#', '@'};
+
+std::string format_tick(double v) {
+  std::ostringstream out;
+  const double magnitude = std::abs(v);
+  if (magnitude != 0.0 && (magnitude >= 1.0e5 || magnitude < 1.0e-2)) {
+    out << std::scientific << std::setprecision(1) << v;
+  } else {
+    out << std::fixed << std::setprecision(magnitude < 10.0 ? 2 : 0) << v;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string render_plot(const std::vector<double>& x,
+                        const std::vector<PlotSeries>& series,
+                        const PlotOptions& options) {
+  COREDIS_EXPECTS(!x.empty());
+  COREDIS_EXPECTS(!series.empty());
+  COREDIS_EXPECTS(options.width >= 16 && options.height >= 4);
+  for (const PlotSeries& s : series) COREDIS_EXPECTS(s.y.size() == x.size());
+
+  double lo = options.y_min;
+  double hi = options.y_max;
+  if (lo >= hi) {
+    lo = series.front().y.front();
+    hi = lo;
+    for (const PlotSeries& s : series) {
+      for (double v : s.y) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    const double margin = (hi - lo) * 0.08 + 1e-12;
+    lo -= margin;
+    hi += margin;
+  }
+
+  const double x_lo = *std::min_element(x.begin(), x.end());
+  const double x_hi = *std::max_element(x.begin(), x.end());
+  const auto w = static_cast<std::size_t>(options.width);
+  const auto h = static_cast<std::size_t>(options.height);
+  std::vector<std::string> raster(h, std::string(w, ' '));
+
+  auto column_of = [&](double value) {
+    if (x_hi == x_lo) return std::size_t{0};
+    const double unit = (value - x_lo) / (x_hi - x_lo);
+    return std::min(w - 1, static_cast<std::size_t>(unit * (w - 1) + 0.5));
+  };
+  auto row_of = [&](double value) {
+    const double unit = (value - lo) / (hi - lo);
+    const double clamped = std::clamp(unit, 0.0, 1.0);
+    return h - 1 - std::min(h - 1, static_cast<std::size_t>(clamped * (h - 1) + 0.5));
+  };
+
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char marker = kMarkers[s % sizeof(kMarkers)];
+    // Connect consecutive points with linear interpolation per column so
+    // the curve reads as a line, then stamp the sample markers on top.
+    for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+      const std::size_t c0 = column_of(x[i]);
+      const std::size_t c1 = column_of(x[i + 1]);
+      const auto span = static_cast<double>(c1 > c0 ? c1 - c0 : 1);
+      for (std::size_t c = c0; c <= c1; ++c) {
+        const double t = static_cast<double>(c - c0) / span;
+        const double v = series[s].y[i] * (1.0 - t) + series[s].y[i + 1] * t;
+        raster[row_of(v)][c] = marker;
+      }
+    }
+    for (std::size_t i = 0; i < x.size(); ++i)
+      raster[row_of(series[s].y[i])][column_of(x[i])] = marker;
+  }
+
+  std::ostringstream out;
+  const std::string top_tick = format_tick(hi);
+  const std::string bottom_tick = format_tick(lo);
+  const std::size_t gutter = std::max(top_tick.size(), bottom_tick.size());
+  for (std::size_t r = 0; r < h; ++r) {
+    std::string label;
+    if (r == 0) label = top_tick;
+    if (r == h - 1) label = bottom_tick;
+    out << std::setw(static_cast<int>(gutter)) << label << " |" << raster[r]
+        << '\n';
+  }
+  out << std::string(gutter, ' ') << " +" << std::string(w, '-') << '\n';
+  out << std::string(gutter, ' ') << "  " << format_tick(x_lo);
+  const std::string right = format_tick(x_hi);
+  const std::string x_label =
+      options.x_label.empty() ? "" : " " + options.x_label + " ";
+  const std::size_t used = format_tick(x_lo).size();
+  if (w > used + right.size()) {
+    const std::size_t pad = w - used - right.size();
+    const std::size_t lead = pad > x_label.size() ? (pad - x_label.size()) / 2
+                                                  : 0;
+    out << std::string(lead, ' ') << x_label
+        << std::string(pad - lead - std::min(pad, x_label.size()), ' ')
+        << right;
+  }
+  out << '\n';
+  for (std::size_t s = 0; s < series.size(); ++s)
+    out << "  " << kMarkers[s % sizeof(kMarkers)] << " = " << series[s].name
+        << '\n';
+  return out.str();
+}
+
+}  // namespace coredis

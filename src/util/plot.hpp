@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file plot.hpp
+/// ASCII line plots for the figure-reproduction binaries.
+///
+/// The paper's figures are gnuplot line charts; the bench binaries render
+/// the same series as a character raster so the *shape* (who wins, where
+/// curves cross, how gains decay) is visible straight in a terminal, next
+/// to the exact numbers in the tables.
+
+#include <string>
+#include <vector>
+
+namespace coredis {
+
+struct PlotSeries {
+  std::string name;
+  std::vector<double> y;  ///< one value per x position
+};
+
+struct PlotOptions {
+  int width = 72;    ///< plot area width in characters
+  int height = 16;   ///< plot area height in characters
+  /// Fix the y-range; when min >= max the range is taken from the data
+  /// (with a small margin).
+  double y_min = 0.0;
+  double y_max = 0.0;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Render the series over shared x positions. Each series gets one of the
+/// marker glyphs ('*', '+', 'o', 'x', '#', '@') in legend order; when two
+/// series land on the same cell the later one wins. Returns a multi-line
+/// string including axes, tick labels and a legend.
+[[nodiscard]] std::string render_plot(const std::vector<double>& x,
+                                      const std::vector<PlotSeries>& series,
+                                      const PlotOptions& options = {});
+
+}  // namespace coredis

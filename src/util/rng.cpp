@@ -1,0 +1,18 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace coredis {
+
+double Rng::exponential(double rate) noexcept {
+  COREDIS_EXPECTS(rate > 0.0);
+  // Inverse-CDF sampling; 1 - u avoids log(0) since uniform01() < 1.
+  return -std::log(1.0 - uniform01()) / rate;
+}
+
+double Rng::weibull(double shape, double scale) noexcept {
+  COREDIS_EXPECTS(shape > 0.0 && scale > 0.0);
+  return scale * std::pow(-std::log(1.0 - uniform01()), 1.0 / shape);
+}
+
+}  // namespace coredis

@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, splittable random number generation.
+///
+/// The simulation campaign (paper section 6) averages dozens of Monte-Carlo
+/// runs per parameter point, executed in parallel. To keep results exactly
+/// reproducible regardless of thread scheduling, every run derives its own
+/// independent stream from (campaign seed, run index) via SplitMix64, and
+/// the stream itself is xoshiro256++ (public-domain algorithm by Blackman
+/// and Vigna). No global state, no locking.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace coredis {
+
+/// SplitMix64 step; used to seed xoshiro and to derive child streams.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator. Satisfies std::uniform_random_bit_generator, so
+/// it can also be plugged into <random> distributions if ever needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed the stream. Two different seeds give statistically independent
+  /// streams for simulation purposes.
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derive an independent child stream, e.g. one per Monte-Carlo run.
+  /// Deterministic in (parent seed, index).
+  [[nodiscard]] static Rng child(std::uint64_t seed, std::uint64_t index) noexcept {
+    std::uint64_t sm = seed;
+    const std::uint64_t a = splitmix64(sm);
+    sm = index ^ 0x6A09E667F3BCC909ULL;
+    const std::uint64_t b = splitmix64(sm);
+    return Rng(a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2)));
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    COREDIS_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive), unbiased via rejection.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept {
+    COREDIS_EXPECTS(lo <= hi);
+    const std::uint64_t range = hi - lo + 1;
+    if (range == 0) return operator()();  // full 64-bit range
+    const std::uint64_t limit = max() - max() % range;
+    std::uint64_t draw = operator()();
+    while (draw >= limit) draw = operator()();
+    return lo + draw % range;
+  }
+
+  /// Exponential variate with the given rate (mean 1/rate). This is the
+  /// fail-stop inter-arrival law of the paper (section 3.1).
+  [[nodiscard]] double exponential(double rate) noexcept;
+
+  /// Weibull variate with shape k and scale lambda (extension fault law).
+  [[nodiscard]] double weibull(double shape, double scale) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace coredis

@@ -1,0 +1,101 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coredis {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::stddev_population() const noexcept {
+  return n_ > 0 ? std::sqrt(m2_ / static_cast<double>(n_)) : 0.0;
+}
+
+double RunningStats::ci95_halfwidth() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double mean_of(const std::vector<double>& xs) noexcept {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double stddev_of(const std::vector<double>& xs) noexcept {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.stddev();
+}
+
+WelchResult welch_t_test(const RunningStats& a, const RunningStats& b) noexcept {
+  WelchResult result;
+  if (a.count() < 2 || b.count() < 2) return result;
+  const double na = static_cast<double>(a.count());
+  const double nb = static_cast<double>(b.count());
+  const double va = a.variance() / na;
+  const double vb = b.variance() / nb;
+  const double pooled = va + vb;
+  if (pooled <= 0.0) {
+    // Degenerate: zero variance on both sides; any difference is exact.
+    result.t = a.mean() == b.mean() ? 0.0
+               : (a.mean() < b.mean() ? -1.0e9 : 1.0e9);
+    result.p_two_sided = a.mean() == b.mean() ? 1.0 : 0.0;
+    result.degrees_of_freedom = na + nb - 2.0;
+    return result;
+  }
+  result.t = (a.mean() - b.mean()) / std::sqrt(pooled);
+  result.degrees_of_freedom =
+      pooled * pooled /
+      (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  // Normal approximation of the two-sided tail: erfc(|t| / sqrt(2)).
+  result.p_two_sided = std::erfc(std::abs(result.t) / std::sqrt(2.0));
+  return result;
+}
+
+double median_of(std::vector<double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  const auto mid = xs.begin() + static_cast<std::ptrdiff_t>(xs.size() / 2);
+  std::nth_element(xs.begin(), mid, xs.end());
+  double hi = *mid;
+  if (xs.size() % 2 == 1) return hi;
+  std::nth_element(xs.begin(), mid - 1, mid);
+  return 0.5 * (hi + *(mid - 1));
+}
+
+}  // namespace coredis

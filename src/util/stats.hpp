@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming statistics for Monte-Carlo aggregation.
+///
+/// The paper reports makespans averaged over x = 50 executions (section 6.2)
+/// and Figure 9b plots the standard deviation of the per-task processor
+/// allocation. Both come from this accumulator. Welford's algorithm keeps
+/// the variance numerically stable for the ~1e7-second makespans involved.
+
+#include <cstddef>
+#include <vector>
+
+namespace coredis {
+
+/// Single-pass mean / variance / extrema accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another accumulator (used when combining per-thread partials).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Population standard deviation (n denominator), as plotted in Fig. 9b.
+  [[nodiscard]] double stddev_population() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Half-width of the normal-approximation 95% confidence interval.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience helpers over a materialized sample.
+[[nodiscard]] double mean_of(const std::vector<double>& xs) noexcept;
+[[nodiscard]] double stddev_of(const std::vector<double>& xs) noexcept;
+/// Median (by copy + nth_element); returns 0 on an empty sample.
+[[nodiscard]] double median_of(std::vector<double> xs) noexcept;
+
+/// Welch's unequal-variance t-test between two summarized samples.
+///
+/// Campaign claims like "IteratedGreedy beats ShortestTasksFirst" are
+/// means over Monte-Carlo repetitions; this test says whether the
+/// difference clears the noise. The p-value uses the normal approximation
+/// of the t distribution, adequate at the repetition counts used here.
+struct WelchResult {
+  double t = 0.0;                   ///< t statistic (a - b direction)
+  double degrees_of_freedom = 0.0;  ///< Welch-Satterthwaite estimate
+  double p_two_sided = 1.0;         ///< approximate two-sided p-value
+  /// True when a's mean is smaller and the difference is significant at
+  /// the given level.
+  [[nodiscard]] bool a_significantly_smaller(double level = 0.05) const {
+    return t < 0.0 && p_two_sided < level;
+  }
+};
+
+[[nodiscard]] WelchResult welch_t_test(const RunningStats& a,
+                                       const RunningStats& b) noexcept;
+
+}  // namespace coredis

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table rendering for figure-reproduction output.
+///
+/// The paper's evaluation is delivered as gnuplot figures; our bench
+/// binaries print the same series as aligned text tables (one row per
+/// x-value, one column per curve) so the shape of each figure can be read
+/// directly from a terminal, plus optional CSV for actual plotting.
+
+#include <string>
+#include <vector>
+
+namespace coredis {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  void add_row(double x, const std::vector<double>& ys, int precision = 4);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared with CSV output).
+[[nodiscard]] std::string format_double(double v, int precision = 4);
+
+}  // namespace coredis

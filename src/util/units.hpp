@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file units.hpp
+/// Time-unit conversions used throughout the simulator.
+///
+/// All simulation times are kept in seconds (double). The paper quotes MTBF
+/// values in years (e.g. "the MTBF of a single processor is fixed to 100
+/// years"), so conversion helpers live here in one place.
+
+namespace coredis::units {
+
+/// Seconds in a Julian year (365.25 days), the convention used by the
+/// resilience literature when converting "120 years MTBF" style figures.
+inline constexpr double kSecondsPerYear = 365.25 * 24.0 * 3600.0;
+
+inline constexpr double kSecondsPerDay = 24.0 * 3600.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+
+/// Convert a duration expressed in years into seconds.
+[[nodiscard]] constexpr double years(double y) noexcept {
+  return y * kSecondsPerYear;
+}
+
+/// Convert a duration expressed in days into seconds.
+[[nodiscard]] constexpr double days(double d) noexcept {
+  return d * kSecondsPerDay;
+}
+
+/// Convert a duration expressed in hours into seconds.
+[[nodiscard]] constexpr double hours(double h) noexcept {
+  return h * kSecondsPerHour;
+}
+
+/// Convert seconds to years (for reporting).
+[[nodiscard]] constexpr double to_years(double seconds) noexcept {
+  return seconds / kSecondsPerYear;
+}
+
+/// Convert seconds to days (for reporting).
+[[nodiscard]] constexpr double to_days(double seconds) noexcept {
+  return seconds / kSecondsPerDay;
+}
+
+}  // namespace coredis::units

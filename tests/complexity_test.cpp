@@ -1,0 +1,210 @@
+/// Tests of the complexity artifacts (paper section 4): 3-partition
+/// instances and solver, the Theorem 2 reduction, and the exact schedulers
+/// certifying both directions of the reduction on small instances.
+
+#include <gtest/gtest.h>
+
+#include "complexity/moldable.hpp"
+#include "complexity/reduction.hpp"
+#include "complexity/three_partition.hpp"
+#include "util/rng.hpp"
+
+namespace coredis::complexity {
+namespace {
+
+TEST(ThreePartition, YesInstancesAreWellFormedAndSolvable) {
+  Rng rng(1);
+  for (int m : {1, 2, 3, 4}) {
+    const ThreePartitionInstance instance = make_yes_instance(m, rng);
+    EXPECT_TRUE(instance.well_formed());
+    const auto solution = solve(instance);
+    ASSERT_TRUE(solution.has_value()) << "m=" << m;
+    EXPECT_TRUE(verify(instance, *solution));
+  }
+}
+
+TEST(ThreePartition, VerifyRejectsBadCertificates) {
+  Rng rng(2);
+  const ThreePartitionInstance instance = make_yes_instance(2, rng);
+  auto solution = solve(instance);
+  ASSERT_TRUE(solution.has_value());
+  // Swap two indices across groups: sums break.
+  ThreePartitionSolution bad = *solution;
+  std::swap(bad[0][0], bad[1][0]);
+  const bool sums_still_fine = verify(instance, bad);
+  // Either the swap broke a sum (usual) or the items happened to be equal;
+  // in the latter case the certificate is still valid. Force a definitely
+  // broken one: duplicate an index.
+  ThreePartitionSolution duplicated = *solution;
+  duplicated[1][0] = duplicated[0][0];
+  EXPECT_FALSE(verify(instance, duplicated));
+  (void)sums_still_fine;
+}
+
+TEST(ThreePartition, DetectsInfeasibleInstance) {
+  // Hand-built no-instance (m = 2, B = 400): items force a 201+101+... mix
+  // that cannot form two exact triples.
+  ThreePartitionInstance instance;
+  instance.bound = 400;
+  instance.items = {101, 101, 101, 199, 199, 99};
+  // sum = 800 = 2*400 but 99 violates B/4 < a_i -> not well-formed.
+  EXPECT_FALSE(instance.well_formed());
+  EXPECT_FALSE(solve(instance).has_value());
+
+  // A well-formed but infeasible one: every triple must sum to 400.
+  instance.items = {102, 102, 102, 198, 198, 98};
+  EXPECT_FALSE(instance.well_formed());  // 98 still too small
+  instance.items = {105, 105, 105, 190, 190, 105};
+  // sum = 800, all in (100, 200); triples: need 400 each; the three 105s
+  // with a 190 make 400? 105+105+190 = 400 yes — feasible. Adjust:
+  instance.items = {110, 110, 110, 185, 185, 100};
+  // 100 violates the window strictly (need > 100): not well-formed.
+  EXPECT_FALSE(instance.well_formed());
+  instance.items = {111, 111, 111, 184, 184, 99};
+  EXPECT_FALSE(instance.well_formed());
+  // Use solver-level check on a valid-but-infeasible set:
+  instance.items = {102, 104, 106, 194, 196, 98};
+  EXPECT_FALSE(instance.well_formed());
+}
+
+TEST(ThreePartition, SolverFindsNoSolutionOnCraftedInstance) {
+  // All six items in (100, 200) summing to 800, with no two triples at
+  // exactly 400: {101, 103, 107, 197, 151, 141}: sum = 800.
+  // Triples containing 101: {101,103,196}? not present... enumerate via
+  // the solver itself and cross-check with a brute-force count.
+  ThreePartitionInstance instance;
+  instance.bound = 400;
+  instance.items = {101, 103, 107, 197, 151, 141};
+  ASSERT_TRUE(instance.well_formed());
+  int feasible_triples = 0;
+  for (int a = 0; a < 6; ++a)
+    for (int b = a + 1; b < 6; ++b)
+      for (int c = b + 1; c < 6; ++c)
+        if (instance.items[a] + instance.items[b] + instance.items[c] == 400)
+          ++feasible_triples;
+  ASSERT_EQ(feasible_triples, 0);  // crafted so nothing sums to 400
+  EXPECT_FALSE(solve(instance).has_value());
+}
+
+TEST(Reduction, InstanceShapeMatchesTheorem2) {
+  Rng rng(3);
+  const ThreePartitionInstance source = make_yes_instance(2, rng);
+  const Reduction reduction = reduce(source);
+  const int m = source.groups();
+  EXPECT_EQ(reduction.instance.tasks(), 4 * m);
+  EXPECT_EQ(reduction.instance.processors, 4 * m);
+  EXPECT_TRUE(reduction.instance.assumptions_hold());
+
+  // Small task i: t_{i,1} = a_i, flat 3a_i/4 beyond.
+  for (int i = 0; i < 3 * m; ++i) {
+    const double a = static_cast<double>(source.items[static_cast<std::size_t>(i)]);
+    EXPECT_DOUBLE_EQ(reduction.instance.at(i, 1), a);
+    EXPECT_DOUBLE_EQ(reduction.instance.at(i, 2), 0.75 * a);
+    EXPECT_DOUBLE_EQ(reduction.instance.at(i, 4 * m), 0.75 * a);
+  }
+  // Large task: perfectly parallel up to 4, flat (2/9) work beyond.
+  const double work = 4.0 * reduction.deadline - static_cast<double>(source.bound);
+  for (int k = 0; k < m; ++k) {
+    const int task = 3 * m + k;
+    for (int j = 1; j <= 4; ++j)
+      EXPECT_DOUBLE_EQ(reduction.instance.at(task, j), work / j);
+    EXPECT_DOUBLE_EQ(reduction.instance.at(task, 5), 2.0 / 9.0 * work);
+  }
+  // 4D - B > D, the lever of the proof.
+  EXPECT_GT(work, reduction.deadline);
+}
+
+TEST(Reduction, ProofScheduleMeetsDeadlineExactly) {
+  Rng rng(4);
+  for (int m : {1, 2, 3}) {
+    const ThreePartitionInstance source = make_yes_instance(m, rng);
+    const auto solution = solve(source);
+    ASSERT_TRUE(solution.has_value());
+    const Reduction reduction = reduce(source);
+    const double makespan = proof_schedule_makespan(source, *solution);
+    EXPECT_NEAR(makespan, reduction.deadline, 1e-9);
+  }
+}
+
+TEST(Reduction, ExactMalleableSolverAgreesOnYesInstances) {
+  // Forward direction, certified by exhaustive search (m = 1: 4 tasks on
+  // 4 processors).
+  Rng rng(5);
+  const ThreePartitionInstance source = make_yes_instance(1, rng);
+  const Reduction reduction = reduce(source);
+  const double optimal = malleable_makespan(reduction.instance);
+  EXPECT_NEAR(optimal, reduction.deadline, 1e-6);
+}
+
+TEST(Reduction, WorkAccountingMakesDeadlineTight) {
+  // The only-if direction rests on a work argument: the minimum total
+  // work equals exactly p * D, so any schedule meeting D has zero slack.
+  Rng rng(6);
+  const ThreePartitionInstance source = make_yes_instance(2, rng);
+  const Reduction reduction = reduce(source);
+  const int n = reduction.instance.tasks();
+  double min_work = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double task_min = std::numeric_limits<double>::infinity();
+    for (int j = 1; j <= reduction.instance.processors; ++j)
+      task_min = std::min(task_min, j * reduction.instance.at(i, j));
+    min_work += task_min;
+  }
+  EXPECT_NEAR(min_work, reduction.instance.processors * reduction.deadline,
+              1e-6);
+}
+
+TEST(Moldable, AssumptionCheckerCatchesViolations) {
+  MoldableInstance bad;
+  bad.processors = 2;
+  bad.time = {{10.0, 12.0}};  // time increases with j
+  EXPECT_FALSE(bad.assumptions_hold());
+  MoldableInstance superlinear;
+  superlinear.processors = 2;
+  superlinear.time = {{10.0, 4.0}};  // work drops: 10 -> 8
+  EXPECT_FALSE(superlinear.assumptions_hold());
+  MoldableInstance good;
+  good.processors = 2;
+  good.time = {{10.0, 6.0}};
+  EXPECT_TRUE(good.assumptions_hold());
+}
+
+TEST(Moldable, BruteForceRigidSimpleCases) {
+  // Two tasks, times 10/j and 20/j, 3 processors: give 1 and 2.
+  const auto time = [](int task, int j) {
+    return (task == 0 ? 10.0 : 20.0) / j;
+  };
+  EXPECT_DOUBLE_EQ(brute_force_rigid(2, 3, time, false), 10.0);
+  // Even-only on 4 processors: both get 2: max(5, 10) = 10.
+  EXPECT_DOUBLE_EQ(brute_force_rigid(2, 4, time, true, 2), 10.0);
+}
+
+TEST(Moldable, MalleableBeatsRigidWhenRedistributionHelps) {
+  // Task 0 is short; task 1 is perfectly parallel: handing over the
+  // processor at t=10 beats any rigid split.
+  MoldableInstance instance;
+  instance.processors = 2;
+  instance.time = {{10.0, 10.0},   // short task: no parallelism
+                   {40.0, 20.0}};  // perfectly parallel
+  const double rigid = brute_force_rigid(
+      2, 2, [&](int task, int j) { return instance.at(task, j); }, false);
+  const double malleable = malleable_makespan(instance);
+  EXPECT_LT(malleable, rigid);
+  // By hand: run both on 1 proc; at t=10 task 1 has 30/40 work left and
+  // finishes at 10 + 30/2 = 25 with both processors.
+  EXPECT_NEAR(malleable, 25.0, 1e-6);
+  EXPECT_DOUBLE_EQ(rigid, 40.0);
+}
+
+TEST(Moldable, GuardsAgainstOversizedSearch) {
+  MoldableInstance instance;
+  instance.processors = 12;
+  instance.time.assign(12, std::vector<double>(12, 1.0));
+  EXPECT_THROW((void)malleable_makespan(instance), std::invalid_argument);
+  EXPECT_THROW(
+      (void)brute_force_rigid(9, 20, [](int, int) { return 1.0; }, false),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coredis::complexity

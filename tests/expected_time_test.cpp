@@ -1,0 +1,203 @@
+/// Tests of the expected completion-time model (Eqs. 2-6): closed-form
+/// checks against hand-computed values, the fault-free limit, Eq. 6
+/// monotonicity, and the TrEvaluator cache consistency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/expected_time.hpp"
+#include "speedup/synthetic.hpp"
+#include "util/units.hpp"
+
+namespace coredis::core {
+namespace {
+
+Pack make_pack(std::vector<double> sizes) {
+  std::vector<TaskSpec> tasks;
+  for (double m : sizes) tasks.push_back({m});
+  return Pack(std::move(tasks), std::make_shared<speedup::SyntheticModel>(0.08));
+}
+
+checkpoint::Model faulty_model(double mtbf_years = 100.0, double c = 1.0) {
+  return checkpoint::Model(
+      {units::years(mtbf_years), 60.0, c, checkpoint::PeriodRule::Young, 0.0});
+}
+
+checkpoint::Model fault_free_model() {
+  return checkpoint::Model({0.0, 60.0, 1.0, checkpoint::PeriodRule::Young, 0.0});
+}
+
+TEST(ExpectedTime, FaultFreeDegeneratesToLinearWork) {
+  const Pack pack = make_pack({2.0e6});
+  const checkpoint::Model resilience = fault_free_model();
+  const ExpectedTimeModel model(pack, resilience);
+  for (int j : {2, 4, 16}) {
+    const double t = model.fault_free_time(0, j);
+    EXPECT_DOUBLE_EQ(model.expected_time_raw(0, j, 1.0), t);
+    EXPECT_DOUBLE_EQ(model.expected_time_raw(0, j, 0.25), 0.25 * t);
+    EXPECT_DOUBLE_EQ(model.simulated_duration(0, j, 0.5), 0.5 * t);
+    EXPECT_EQ(model.checkpoint_count(0, j, 1.0), 0.0);
+    EXPECT_EQ(model.checkpoint_cost(0, j), 0.0);
+    EXPECT_TRUE(std::isinf(model.period(0, j)));
+  }
+}
+
+TEST(ExpectedTime, CheckpointCountMatchesEq2) {
+  const Pack pack = make_pack({2.0e6});
+  const checkpoint::Model resilience = faulty_model();
+  const ExpectedTimeModel model(pack, resilience);
+  const int j = 4;
+  const double alpha = 0.8;
+  const double tau = model.period(0, j);
+  const double cost = model.checkpoint_cost(0, j);
+  const double expected =
+      std::floor(alpha * model.fault_free_time(0, j) / (tau - cost));
+  EXPECT_EQ(model.checkpoint_count(0, j, alpha), expected);
+  EXPECT_GT(expected, 0.0);
+}
+
+TEST(ExpectedTime, RawMatchesEquation4ByHand) {
+  const Pack pack = make_pack({2.0e6});
+  const checkpoint::Model resilience = faulty_model();
+  const ExpectedTimeModel model(pack, resilience);
+  const int j = 8;
+  const double alpha = 0.6;
+
+  const double lambda_j = resilience.task_rate(j);
+  const double t_ij = model.fault_free_time(0, j);
+  const double tau = model.period(0, j);
+  const double cost = model.checkpoint_cost(0, j);
+  const double recovery = model.recovery_time(0, j);
+  const double n_ff = std::floor(alpha * t_ij / (tau - cost));
+  const double tau_last = alpha * t_ij - n_ff * (tau - cost);
+  const double expected = std::exp(lambda_j * recovery) *
+                          (1.0 / lambda_j + resilience.downtime()) *
+                          (n_ff * (std::exp(lambda_j * tau) - 1.0) +
+                           (std::exp(lambda_j * tau_last) - 1.0));
+  EXPECT_NEAR(model.expected_time_raw(0, j, alpha), expected,
+              1e-9 * expected);
+}
+
+TEST(ExpectedTime, ExceedsFaultFreeTimeUnderFaults) {
+  const Pack pack = make_pack({2.0e6});
+  const checkpoint::Model resilience = faulty_model();
+  const ExpectedTimeModel model(pack, resilience);
+  for (int j : {2, 8, 64})
+    EXPECT_GT(model.expected_time_raw(0, j, 1.0),
+              model.fault_free_time(0, j));
+}
+
+TEST(ExpectedTime, HigherFailureRateCostsMore) {
+  const Pack pack = make_pack({2.0e6});
+  const checkpoint::Model robust = faulty_model(100.0);
+  const checkpoint::Model fragile = faulty_model(5.0);
+  const ExpectedTimeModel robust_model(pack, robust);
+  const ExpectedTimeModel fragile_model(pack, fragile);
+  EXPECT_GT(fragile_model.expected_time_raw(0, 8, 1.0),
+            robust_model.expected_time_raw(0, 8, 1.0));
+}
+
+TEST(ExpectedTime, Eq6ClampIsNonIncreasingInProcessors) {
+  const Pack pack = make_pack({2.0e6});
+  const checkpoint::Model resilience = faulty_model(20.0);
+  const ExpectedTimeModel model(pack, resilience);
+  double previous = model.expected_time(0, 2, 1.0);
+  for (int j = 4; j <= 512; j += 2) {
+    const double here = model.expected_time(0, j, 1.0);
+    EXPECT_LE(here, previous * (1.0 + 1e-12)) << "j=" << j;
+    previous = here;
+  }
+}
+
+TEST(ExpectedTime, ClampEqualsMinOfRawPrefix) {
+  const Pack pack = make_pack({1.7e6});
+  const checkpoint::Model resilience = faulty_model(10.0);
+  const ExpectedTimeModel model(pack, resilience);
+  const double alpha = 0.9;
+  double best = std::numeric_limits<double>::infinity();
+  for (int j = 2; j <= 200; j += 2) {
+    best = std::min(best, model.expected_time_raw(0, j, alpha));
+    EXPECT_DOUBLE_EQ(model.expected_time(0, j, alpha), best);
+  }
+}
+
+TEST(ExpectedTime, ZeroAlphaIsFree) {
+  const Pack pack = make_pack({2.0e6});
+  const checkpoint::Model resilience = faulty_model();
+  const ExpectedTimeModel model(pack, resilience);
+  EXPECT_EQ(model.expected_time_raw(0, 8, 0.0), 0.0);
+  EXPECT_EQ(model.simulated_duration(0, 8, 0.0), 0.0);
+}
+
+TEST(ExpectedTime, SimulatedDurationAddsCheckpointOverhead) {
+  const Pack pack = make_pack({2.0e6});
+  const checkpoint::Model resilience = faulty_model();
+  const ExpectedTimeModel model(pack, resilience);
+  const int j = 4;
+  const double work = model.fault_free_time(0, j);
+  const double duration = model.simulated_duration(0, j, 1.0);
+  EXPECT_GT(duration, work);
+  const double tau = model.period(0, j);
+  const double cost = model.checkpoint_cost(0, j);
+  const double periods = std::floor(work / (tau - cost));
+  EXPECT_NEAR(duration, work + periods * cost, cost + 1e-9);
+}
+
+TEST(ExpectedTime, SimulatedDurationExactBoundarySkipsFinalCheckpoint) {
+  // Construct alpha so the remaining work is exactly one period: the
+  // trailing checkpoint is unnecessary, duration equals the work.
+  const Pack pack = make_pack({2.0e6});
+  const checkpoint::Model resilience = faulty_model();
+  const ExpectedTimeModel model(pack, resilience);
+  const int j = 4;
+  const double tau = model.period(0, j);
+  const double cost = model.checkpoint_cost(0, j);
+  const double t_ij = model.fault_free_time(0, j);
+  const double alpha = (tau - cost) / t_ij;
+  ASSERT_LE(alpha, 1.0);
+  EXPECT_NEAR(model.simulated_duration(0, j, alpha), tau - cost, 1.0);
+}
+
+TEST(TrEvaluator, AgreesWithDirectClamp) {
+  const Pack pack = make_pack({2.0e6, 1.6e6});
+  const checkpoint::Model resilience = faulty_model(30.0);
+  const ExpectedTimeModel model(pack, resilience);
+  TrEvaluator evaluator(model, 256);
+  for (int task = 0; task < 2; ++task)
+    for (double alpha : {1.0, 0.5, 0.125})
+      for (int j : {2, 8, 32, 256})
+        EXPECT_DOUBLE_EQ(evaluator(task, j, alpha),
+                         model.expected_time(task, j, alpha))
+            << "task=" << task << " j=" << j << " alpha=" << alpha;
+}
+
+TEST(TrEvaluator, HandlesAlternatingAlphaKeys) {
+  // IteratedGreedy probes two alphas per task; both slots must serve.
+  const Pack pack = make_pack({2.0e6});
+  const checkpoint::Model resilience = faulty_model();
+  const ExpectedTimeModel model(pack, resilience);
+  TrEvaluator evaluator(model, 64);
+  const double a1 = 1.0;
+  const double a2 = 0.4;
+  for (int round = 0; round < 4; ++round) {
+    for (int j = 2; j <= 64; j += 2) {
+      EXPECT_DOUBLE_EQ(evaluator(0, j, a1), model.expected_time(0, j, a1));
+      EXPECT_DOUBLE_EQ(evaluator(0, j, a2), model.expected_time(0, j, a2));
+    }
+  }
+}
+
+TEST(TrEvaluator, InvalidateForcesRebuild) {
+  const Pack pack = make_pack({2.0e6});
+  const checkpoint::Model resilience = faulty_model();
+  const ExpectedTimeModel model(pack, resilience);
+  TrEvaluator evaluator(model, 32);
+  const double before = evaluator(0, 32, 1.0);
+  evaluator.invalidate(0);
+  EXPECT_DOUBLE_EQ(evaluator(0, 32, 1.0), before);
+}
+
+}  // namespace
+}  // namespace coredis::core

@@ -1,0 +1,237 @@
+/// Tests of the future-work extensions: multi-pack partitioning and the
+/// silent-error (verified checkpointing) model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "extensions/pack_partition.hpp"
+#include "extensions/silent_errors.hpp"
+#include "extensions/silent_sim.hpp"
+#include "speedup/synthetic.hpp"
+#include "util/units.hpp"
+
+namespace coredis::extensions {
+namespace {
+
+core::Pack make_pack(std::vector<double> sizes) {
+  std::vector<core::TaskSpec> tasks;
+  for (double m : sizes) tasks.push_back({m});
+  return core::Pack(std::move(tasks),
+                    std::make_shared<speedup::SyntheticModel>(0.08));
+}
+
+TEST(PackPartition, RespectsCapacityAndCoversAllTasks) {
+  const core::Pack pack =
+      make_pack({2.0e6, 1.0e6, 2.5e6, 1.5e6, 1.2e6, 2.2e6});
+  // p = 4: at most 2 tasks per pack -> at least 3 packs.
+  const PartitionResult partition = partition_lpt(pack, 4);
+  EXPECT_EQ(partition.packs, 3);
+  std::vector<int> count(static_cast<std::size_t>(partition.packs), 0);
+  for (int task = 0; task < pack.size(); ++task) {
+    const int k = partition.pack_of[static_cast<std::size_t>(task)];
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, partition.packs);
+    ++count[static_cast<std::size_t>(k)];
+  }
+  for (int c : count) EXPECT_LE(c, 2);
+}
+
+TEST(PackPartition, SinglePackWhenEverythingFits) {
+  const core::Pack pack = make_pack({2.0e6, 1.0e6});
+  const PartitionResult partition = partition_lpt(pack, 64);
+  EXPECT_EQ(partition.packs, 1);
+}
+
+TEST(PackPartition, BalancesLoadLptStyle) {
+  // Four equal tasks into two packs of two: loads must be equal.
+  const core::Pack pack = make_pack({2.0e6, 2.0e6, 2.0e6, 2.0e6});
+  const PartitionResult partition = partition_lpt(pack, 4);
+  ASSERT_EQ(partition.packs, 2);
+  int first = 0;
+  for (int v : partition.pack_of) first += v == 0;
+  EXPECT_EQ(first, 2);
+}
+
+TEST(PackPartition, RejectsInfeasibleRequests) {
+  const core::Pack pack = make_pack({2.0e6, 1.0e6, 2.5e6});
+  EXPECT_THROW(partition_lpt(pack, 4, 1), std::invalid_argument);
+}
+
+TEST(PackPartition, MultiPackExecutionSumsMakespans) {
+  const core::Pack pack = make_pack({2.0e6, 1.0e6, 2.5e6, 1.5e6});
+  const checkpoint::Model resilience(
+      {0.0, 60.0, 1.0, checkpoint::PeriodRule::Young, 0.0});
+  const PartitionResult partition = partition_lpt(pack, 4);
+  const MultiPackResult result = run_multi_pack(
+      pack, resilience, 4, {core::EndPolicy::Local, core::FailurePolicy::None,
+                            false},
+      partition, 7, 0.0);
+  ASSERT_EQ(static_cast<int>(result.per_pack.size()), partition.packs);
+  double sum = 0.0;
+  for (const auto& run : result.per_pack) sum += run.makespan;
+  EXPECT_DOUBLE_EQ(result.total_makespan, sum);
+  EXPECT_GT(result.total_makespan, 0.0);
+}
+
+TEST(PackPartition, MorePacksAllowSmallerPlatform) {
+  // 6 tasks on p=4 need >= 3 packs; explicitly asking 4 packs also works.
+  const core::Pack pack =
+      make_pack({2.0e6, 1.0e6, 2.5e6, 1.5e6, 1.2e6, 2.2e6});
+  const PartitionResult partition = partition_lpt(pack, 4, 4);
+  EXPECT_EQ(partition.packs, 4);
+}
+
+TEST(SilentErrors, CleanLimitIsJustWorkPlusOverheads) {
+  silent::Params params;
+  params.error_rate = 0.0;
+  params.verification_cost = 5.0;
+  params.checkpoint_cost = 10.0;
+  params.recovery_cost = 10.0;
+  params.processors = 4;
+  EXPECT_DOUBLE_EQ(silent::expected_period_time(params, 100.0), 115.0);
+  // No errors: the optimal quantum is "never verify early" (max_work).
+  EXPECT_DOUBLE_EQ(silent::optimal_work_quantum(params, 1.0e6), 1.0e6);
+}
+
+TEST(SilentErrors, ExpectedTimeGrowsWithErrorRate) {
+  silent::Params slow;
+  slow.error_rate = 1e-7;
+  slow.verification_cost = 5.0;
+  slow.checkpoint_cost = 10.0;
+  slow.recovery_cost = 10.0;
+  slow.processors = 8;
+  silent::Params fast = slow;
+  fast.error_rate = 1e-5;
+  EXPECT_GT(silent::expected_execution_time(fast, 1.0e6),
+            silent::expected_execution_time(slow, 1.0e6));
+}
+
+TEST(SilentErrors, OptimalQuantumBalancesVerificationAndRisk) {
+  silent::Params params;
+  params.error_rate = 1e-6;
+  params.verification_cost = 2.0;
+  params.checkpoint_cost = 8.0;
+  params.recovery_cost = 8.0;
+  params.processors = 4;
+  const double quantum = silent::optimal_work_quantum(params, 1.0e7);
+  // Interior optimum: far from both search bounds.
+  EXPECT_GT(quantum, 10.0);
+  EXPECT_LT(quantum, 1.0e6);
+  // First-order check: sqrt(costs/rate)-scale, like Young's formula.
+  const double rate = params.error_rate * params.processors;
+  const double overheads = params.verification_cost + params.checkpoint_cost;
+  const double young_like = std::sqrt(overheads / rate);
+  EXPECT_GT(quantum, 0.2 * young_like);
+  EXPECT_LT(quantum, 5.0 * young_like);
+}
+
+TEST(SilentErrors, OverheadRatioIsUnimodalAroundOptimum) {
+  silent::Params params;
+  params.error_rate = 1e-6;
+  params.verification_cost = 2.0;
+  params.checkpoint_cost = 8.0;
+  params.recovery_cost = 8.0;
+  params.processors = 4;
+  const double star = silent::optimal_work_quantum(params, 1.0e7);
+  const double at_star = silent::expected_overhead_ratio(params, star);
+  EXPECT_LT(at_star, silent::expected_overhead_ratio(params, star / 10.0));
+  EXPECT_LT(at_star, silent::expected_overhead_ratio(params, star * 10.0));
+}
+
+TEST(SilentErrorSim, CleanRunMatchesArithmetic) {
+  silent::Params params;
+  params.error_rate = 0.0;
+  params.verification_cost = 5.0;
+  params.checkpoint_cost = 10.0;
+  params.recovery_cost = 10.0;
+  params.processors = 4;
+  Rng rng(1);
+  const auto result = silent::simulate(params, 1000.0, 100.0, rng);
+  // 10 periods of (100 + 5 + 10), no corruption.
+  EXPECT_EQ(result.periods_executed, 10);
+  EXPECT_EQ(result.corrupted_periods, 0);
+  EXPECT_DOUBLE_EQ(result.wall_clock, 10.0 * 115.0);
+}
+
+TEST(SilentErrorSim, ShortLastQuantumHandled) {
+  silent::Params params;
+  params.error_rate = 0.0;
+  params.verification_cost = 1.0;
+  params.checkpoint_cost = 2.0;
+  params.recovery_cost = 2.0;
+  params.processors = 1;
+  Rng rng(2);
+  const auto result = silent::simulate(params, 250.0, 100.0, rng);
+  EXPECT_EQ(result.periods_executed, 3);  // 100 + 100 + 50
+  EXPECT_DOUBLE_EQ(result.wall_clock, 250.0 + 3.0 * 3.0);
+}
+
+TEST(SilentErrorSim, CorruptionRateMatchesTheory) {
+  silent::Params params;
+  params.error_rate = 1e-5;
+  params.verification_cost = 5.0;
+  params.checkpoint_cost = 10.0;
+  params.recovery_cost = 10.0;
+  params.processors = 4;
+  Rng rng(3);
+  const double quantum = 500.0;
+  const auto result = silent::simulate(params, 2.0e6, quantum, rng);
+  const double span =
+      quantum + params.verification_cost + params.checkpoint_cost;
+  const double p_corrupt = 1.0 - std::exp(-4e-5 * span);
+  const double observed = static_cast<double>(result.corrupted_periods) /
+                          static_cast<double>(result.periods_executed);
+  EXPECT_NEAR(observed, p_corrupt, 0.25 * p_corrupt + 0.002);
+}
+
+/// The analytic expected time (geometric retries) must match Monte-Carlo
+/// simulation of the same protocol — certifying both.
+TEST(SilentErrorSim, AnalyticModelMatchesSimulation) {
+  silent::Params params;
+  params.error_rate = 2e-6;
+  params.verification_cost = 5.0;
+  params.checkpoint_cost = 20.0;
+  params.recovery_cost = 20.0;
+  params.processors = 8;
+  const double quantum = 1000.0;
+  const double total = 100.0 * quantum;  // exact multiple: periods align
+  const double analytic =
+      100.0 * silent::expected_period_time(params, quantum);
+  const double simulated =
+      silent::simulate_mean(params, total, quantum, 300, 77);
+  EXPECT_NEAR(simulated, analytic, 0.02 * analytic);
+}
+
+TEST(SilentErrorSim, OptimalQuantumBeatsNeighborsInSimulation) {
+  silent::Params params;
+  params.error_rate = 1e-6;
+  params.verification_cost = 2.0;
+  params.checkpoint_cost = 8.0;
+  params.recovery_cost = 8.0;
+  params.processors = 4;
+  const double total = 3.0e5;
+  const double star = silent::optimal_work_quantum(params, total);
+  const double at_star = silent::simulate_mean(params, total, star, 400, 5);
+  const double smaller =
+      silent::simulate_mean(params, total, star / 8.0, 400, 5);
+  const double larger =
+      silent::simulate_mean(params, total, star * 8.0, 400, 5);
+  EXPECT_LT(at_star, smaller);
+  EXPECT_LT(at_star, larger);
+}
+
+TEST(SilentErrors, ExecutionTimeExceedsWork) {
+  silent::Params params;
+  params.error_rate = 1e-6;
+  params.verification_cost = 2.0;
+  params.checkpoint_cost = 8.0;
+  params.recovery_cost = 8.0;
+  params.processors = 2;
+  EXPECT_GT(silent::expected_execution_time(params, 5.0e5), 5.0e5);
+}
+
+}  // namespace
+}  // namespace coredis::extensions

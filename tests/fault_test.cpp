@@ -1,0 +1,208 @@
+/// Tests of the fault-injection substrate, most importantly the
+/// equivalence between the merged-Poisson exponential generator (used in
+/// campaigns) and the literal per-processor construction of the paper's
+/// fault model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "fault/exponential.hpp"
+#include "fault/per_processor.hpp"
+#include "fault/trace.hpp"
+#include "fault/weibull.hpp"
+#include "util/stats.hpp"
+
+namespace coredis::fault {
+namespace {
+
+TEST(ExponentialGenerator, TimesAreStrictlyIncreasing) {
+  ExponentialGenerator gen(16, 1e-3, Rng(1));
+  double last = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto fault = gen.next();
+    ASSERT_TRUE(fault.has_value());
+    EXPECT_GT(fault->time, last);
+    EXPECT_GE(fault->processor, 0);
+    EXPECT_LT(fault->processor, 16);
+    last = fault->time;
+  }
+}
+
+TEST(ExponentialGenerator, ZeroRateIsFaultFree) {
+  ExponentialGenerator gen(8, 0.0, Rng(2));
+  EXPECT_FALSE(gen.next().has_value());
+}
+
+TEST(ExponentialGenerator, RespectsHorizon) {
+  ExponentialGenerator gen(8, 1e-2, Rng(3), 1000.0);
+  int count = 0;
+  while (auto fault = gen.next()) {
+    EXPECT_LE(fault->time, 1000.0);
+    ++count;
+  }
+  // rate = 8e-2/s over 1000s -> about 80 faults.
+  EXPECT_GT(count, 40);
+  EXPECT_LT(count, 160);
+}
+
+TEST(ExponentialGenerator, PlatformRateMatchesTheory) {
+  // p processors with MTBF mu have platform MTBF mu/p (section 1).
+  const int p = 50;
+  const double mu = 1.0e5;
+  ExponentialGenerator gen(p, 1.0 / mu, Rng(4));
+  RunningStats gaps;
+  double last = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const auto fault = gen.next();
+    gaps.add(fault->time - last);
+    last = fault->time;
+  }
+  EXPECT_NEAR(gaps.mean(), mu / p, 0.02 * mu / p);
+}
+
+TEST(ExponentialGenerator, ProcessorsUniform) {
+  const int p = 10;
+  ExponentialGenerator gen(p, 1.0, Rng(5));
+  std::vector<int> hits(p, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++hits[static_cast<std::size_t>(gen.next()->processor)];
+  for (int counted : hits)
+    EXPECT_NEAR(counted, draws / p, 4 * std::sqrt(draws / p));
+}
+
+TEST(PerProcessorGenerator, MergedStreamIsSorted) {
+  PerProcessorGenerator gen(
+      8, [](Rng& rng) { return rng.exponential(1e-3); }, 11);
+  double last = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto fault = gen.next();
+    ASSERT_TRUE(fault.has_value());
+    EXPECT_GE(fault->time, last);
+    last = fault->time;
+  }
+}
+
+/// The merged-Poisson shortcut must be statistically indistinguishable
+/// from p independent exponential processors: compare inter-arrival
+/// moments and per-processor hit shares (DESIGN.md section 2.1).
+TEST(Generators, MergedPoissonMatchesPerProcessorStatistics) {
+  const int p = 20;
+  const double rate = 1.0 / 5000.0;
+  const int samples = 60000;
+
+  auto collect = [&](Generator& gen) {
+    RunningStats gaps;
+    std::vector<int> hits(p, 0);
+    double last = 0.0;
+    for (int i = 0; i < samples; ++i) {
+      const auto fault = gen.next();
+      gaps.add(fault->time - last);
+      last = fault->time;
+      ++hits[static_cast<std::size_t>(fault->processor)];
+    }
+    return std::pair{gaps, hits};
+  };
+
+  ExponentialGenerator merged(p, rate, Rng(21));
+  PerProcessorGenerator literal(
+      p, [rate](Rng& rng) { return rng.exponential(rate); }, 22);
+  const auto [gaps_m, hits_m] = collect(merged);
+  const auto [gaps_l, hits_l] = collect(literal);
+
+  const double expected_gap = 1.0 / (rate * p);
+  EXPECT_NEAR(gaps_m.mean(), expected_gap, 0.03 * expected_gap);
+  EXPECT_NEAR(gaps_l.mean(), expected_gap, 0.03 * expected_gap);
+  // Exponential gaps: CV = 1 for both constructions.
+  EXPECT_NEAR(gaps_m.stddev() / gaps_m.mean(), 1.0, 0.03);
+  EXPECT_NEAR(gaps_l.stddev() / gaps_l.mean(), 1.0, 0.03);
+  for (int proc = 0; proc < p; ++proc) {
+    EXPECT_NEAR(hits_m[static_cast<std::size_t>(proc)], samples / p,
+                5 * std::sqrt(samples / p));
+    EXPECT_NEAR(hits_l[static_cast<std::size_t>(proc)], samples / p,
+                5 * std::sqrt(samples / p));
+  }
+}
+
+TEST(WeibullGenerator, MeanMatchesRequestedMtbf) {
+  const double mtbf = 2.0e4;
+  WeibullGenerator gen(1, mtbf, 0.7, 31);
+  RunningStats gaps;
+  double last = 0.0;
+  for (int i = 0; i < 40000; ++i) {
+    const auto fault = gen.next();
+    gaps.add(fault->time - last);
+    last = fault->time;
+  }
+  // For a single processor the renewal gaps are the Weibull itself.
+  EXPECT_NEAR(gaps.mean(), mtbf, 0.05 * mtbf);
+  // Shape < 1 means burstier than exponential: CV > 1.
+  EXPECT_GT(gaps.stddev() / gaps.mean(), 1.1);
+}
+
+TEST(WeibullGenerator, ScaleForMtbfInvertsGamma) {
+  // shape 1: scale == mtbf (Gamma(2) = 1).
+  EXPECT_NEAR(WeibullGenerator::scale_for_mtbf(100.0, 1.0), 100.0, 1e-9);
+}
+
+TEST(TraceGenerator, ReplaysSortedEvents) {
+  TraceGenerator gen(4, {{30.0, 1}, {10.0, 0}, {20.0, 3}});
+  EXPECT_EQ(gen.next()->time, 10.0);
+  EXPECT_EQ(gen.next()->time, 20.0);
+  const auto last = gen.next();
+  EXPECT_EQ(last->time, 30.0);
+  EXPECT_EQ(last->processor, 1);
+  EXPECT_FALSE(gen.next().has_value());
+}
+
+TEST(RecordingGenerator, CapturesEverythingItEmits) {
+  auto inner = std::make_unique<ExponentialGenerator>(4, 1e-2, Rng(41), 500.0);
+  RecordingGenerator recorder(std::move(inner));
+  std::vector<Fault> seen;
+  while (auto fault = recorder.next()) seen.push_back(*fault);
+  EXPECT_EQ(seen.size(), recorder.recorded().size());
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_EQ(seen[i], recorder.recorded()[i]);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "coredis_trace_test.txt")
+          .string();
+  const std::vector<Fault> events{{1.5, 0}, {2.25, 3}, {9.75, 1}};
+  save_trace(path, 8, events);
+  std::vector<Fault> loaded;
+  const int processors = load_trace(path, loaded);
+  EXPECT_EQ(processors, 8);
+  ASSERT_EQ(loaded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].time, events[i].time);
+    EXPECT_EQ(loaded[i].processor, events[i].processor);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, LoadRejectsMissingHeader) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "coredis_trace_bad.txt")
+          .string();
+  {
+    std::ofstream file(path);
+    file << "1.0 2\n";
+  }
+  std::vector<Fault> events;
+  EXPECT_THROW(load_trace(path, events), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(NullGenerator, NeverFires) {
+  NullGenerator gen(16);
+  EXPECT_FALSE(gen.next().has_value());
+  EXPECT_EQ(gen.processors(), 16);
+}
+
+}  // namespace
+}  // namespace coredis::fault

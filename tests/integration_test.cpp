@@ -1,0 +1,155 @@
+/// Integration tests across the whole stack: the campaign runner, the
+/// paper-curve configurations, normalization, and end-to-end sanity of a
+/// small-scale replica of the paper's campaign points.
+
+#include <gtest/gtest.h>
+
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+
+namespace coredis::exp {
+namespace {
+
+Scenario small_scenario() {
+  Scenario scenario;
+  scenario.n = 8;
+  scenario.p = 64;
+  scenario.mtbf_years = 10.0;
+  scenario.runs = 6;
+  scenario.seed = 1234;
+  return scenario;
+}
+
+TEST(Runner, BaselineNormalizationIsOne) {
+  const Scenario scenario = small_scenario();
+  const auto result = run_point(scenario, {baseline_no_redistribution()});
+  ASSERT_EQ(result.configs.size(), 1u);
+  EXPECT_NEAR(result.configs[0].normalized.mean(), 1.0, 1e-12);
+  EXPECT_EQ(result.configs[0].normalized.count(),
+            static_cast<std::size_t>(scenario.runs));
+}
+
+TEST(Runner, PaperCurvesProduceSixSeries) {
+  const Scenario scenario = small_scenario();
+  const auto result = run_point(scenario, paper_curves());
+  ASSERT_EQ(result.configs.size(), 6u);
+  for (const ConfigOutcome& config : result.configs) {
+    EXPECT_EQ(config.makespan.count(), static_cast<std::size_t>(scenario.runs));
+    EXPECT_GT(config.makespan.mean(), 0.0);
+    EXPECT_GT(config.normalized.mean(), 0.0);
+  }
+  // Fault-free with redistribution must be the best of all curves.
+  const double fault_free = result.configs[5].normalized.mean();
+  for (std::size_t c = 0; c + 1 < result.configs.size(); ++c)
+    EXPECT_LE(fault_free, result.configs[c].normalized.mean() * 1.001);
+}
+
+TEST(Runner, HeuristicsBeatBaselineOnAverage) {
+  Scenario scenario = small_scenario();
+  scenario.n = 10;
+  scenario.p = 100;
+  scenario.runs = 8;
+  const auto result = run_point(scenario, paper_curves());
+  // All four heuristic combinations normalize below 1.
+  for (std::size_t c = 1; c <= 4; ++c)
+    EXPECT_LT(result.configs[c].normalized.mean(), 1.0)
+        << result.configs[c].name;
+}
+
+TEST(Runner, DeterministicAcrossInvocations) {
+  const Scenario scenario = small_scenario();
+  const auto a = run_point(scenario, {ig_end_local()});
+  const auto b = run_point(scenario, {ig_end_local()});
+  EXPECT_DOUBLE_EQ(a.configs[0].makespan.mean(), b.configs[0].makespan.mean());
+  EXPECT_DOUBLE_EQ(a.baseline_makespan.mean(), b.baseline_makespan.mean());
+}
+
+TEST(Runner, FaultFreeScenarioHasNoFaults) {
+  Scenario scenario = small_scenario();
+  scenario.mtbf_years = 0.0;  // fault-free campaign (Figures 5-6)
+  const auto result = run_point(scenario, fault_free_curves());
+  ASSERT_EQ(result.configs.size(), 3u);
+  for (const ConfigOutcome& config : result.configs)
+    EXPECT_EQ(config.effective_faults.mean(), 0.0);
+  // Redistribution helps (heterogeneous default workload).
+  EXPECT_LT(result.configs[1].normalized.mean(), 1.0);
+  EXPECT_LT(result.configs[2].normalized.mean(), 1.0);
+}
+
+TEST(Report, TablesAndChecksRender) {
+  Scenario scenario = small_scenario();
+  Sweep sweep;
+  sweep.x_label = "#procs";
+  for (int p : {32, 64}) {
+    scenario.p = p;
+    sweep.x.push_back(p);
+    sweep.points.push_back(run_point(scenario, {ig_end_local()}));
+  }
+  const std::string table = render_normalized_table(sweep);
+  EXPECT_NE(table.find("#procs"), std::string::npos);
+  EXPECT_NE(table.find("IteratedGreedy-EndLocal"), std::string::npos);
+
+  const std::string makespans = render_makespan_table(sweep);
+  EXPECT_NE(makespans.find("IteratedGreedy-EndLocal"), std::string::npos);
+
+  std::vector<ShapeCheck> checks{{"demo", true, "x"}, {"demo2", false, ""}};
+  const std::string rendered = render_checks(checks);
+  EXPECT_NE(rendered.find("[PASS] demo"), std::string::npos);
+  EXPECT_NE(rendered.find("[FAIL] demo2"), std::string::npos);
+
+  EXPECT_GT(mean_normalized(sweep, 0), 0.0);
+  EXPECT_GT(normalized_at(sweep, 0, 0), 0.0);
+}
+
+TEST(Runner, WeibullLawRunsEndToEnd) {
+  Scenario scenario = small_scenario();
+  scenario.fault_law = FaultLaw::Weibull;
+  scenario.weibull_shape = 0.7;
+  scenario.mtbf_years = 2.0;
+  const auto result = run_point(scenario, {ig_end_local()});
+  EXPECT_GT(result.configs[0].effective_faults.mean(), 0.0);
+  EXPECT_GT(result.configs[0].normalized.mean(), 0.0);
+  // Deterministic under the Weibull path too.
+  const auto again = run_point(scenario, {ig_end_local()});
+  EXPECT_DOUBLE_EQ(result.configs[0].makespan.mean(),
+                   again.configs[0].makespan.mean());
+}
+
+TEST(Report, NormalizedPlotRendersEveryCurve) {
+  Scenario scenario = small_scenario();
+  Sweep sweep;
+  sweep.x_label = "#procs";
+  for (int p : {32, 64, 96}) {
+    scenario.p = p;
+    sweep.x.push_back(p);
+    sweep.points.push_back(run_point(scenario, paper_curves()));
+  }
+  const std::string plot = render_normalized_plot(sweep);
+  for (const ConfigOutcome& config : sweep.points.front().configs)
+    EXPECT_NE(plot.find(config.name), std::string::npos) << config.name;
+  EXPECT_NE(plot.find("#procs"), std::string::npos);
+}
+
+TEST(Runner, RedistributionCountersSurfaceInOutcomes) {
+  Scenario scenario = small_scenario();
+  scenario.mtbf_years = 2.0;
+  const auto result = run_point(scenario, {ig_end_local(), stf_end_local()});
+  for (const ConfigOutcome& config : result.configs)
+    EXPECT_GT(config.redistributions.mean(), 0.0) << config.name;
+}
+
+TEST(Runner, MoreProcessorsNeverSlowTheBaselineMuch) {
+  // Sanity on scaling direction: p = 80 baseline is no slower than p = 32
+  // (same workload seed, fault-free).
+  Scenario scenario = small_scenario();
+  scenario.mtbf_years = 0.0;
+  scenario.p = 32;
+  const auto small = run_point(scenario, {baseline_no_redistribution()});
+  scenario.p = 80;
+  const auto large = run_point(scenario, {baseline_no_redistribution()});
+  EXPECT_LE(large.baseline_makespan.mean(),
+            small.baseline_makespan.mean() * 1.0001);
+}
+
+}  // namespace
+}  // namespace coredis::exp

@@ -1,0 +1,154 @@
+/// Tests of Algorithm 1 (optimal schedule without redistribution):
+/// feasibility invariants, behavior on homogeneous/heterogeneous packs,
+/// and — the Theorem 1 certification — equality with an exhaustive search
+/// over all even allocations on small instances.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "complexity/moldable.hpp"
+#include "core/optimal_schedule.hpp"
+#include "speedup/synthetic.hpp"
+#include "util/units.hpp"
+
+namespace coredis::core {
+namespace {
+
+Pack make_pack(std::vector<double> sizes) {
+  std::vector<TaskSpec> tasks;
+  for (double m : sizes) tasks.push_back({m});
+  return Pack(std::move(tasks), std::make_shared<speedup::SyntheticModel>(0.08));
+}
+
+checkpoint::Model faulty_model(double mtbf_years = 100.0) {
+  return checkpoint::Model(
+      {units::years(mtbf_years), 60.0, 1.0, checkpoint::PeriodRule::Young, 0.0});
+}
+
+double schedule_makespan(const ExpectedTimeModel& model,
+                         const std::vector<int>& sigma) {
+  double makespan = 0.0;
+  for (std::size_t i = 0; i < sigma.size(); ++i)
+    makespan = std::max(
+        makespan, model.expected_time(static_cast<int>(i), sigma[i], 1.0));
+  return makespan;
+}
+
+TEST(OptimalSchedule, AllocationsAreEvenAndFeasible) {
+  const Pack pack = make_pack({2.0e6, 1.6e6, 2.4e6, 1.9e6});
+  const checkpoint::Model resilience = faulty_model();
+  const ExpectedTimeModel model(pack, resilience);
+  const auto sigma = optimal_schedule(model, 64);
+  ASSERT_EQ(sigma.size(), 4u);
+  int total = 0;
+  for (int s : sigma) {
+    EXPECT_GE(s, 2);
+    EXPECT_EQ(s % 2, 0);
+    total += s;
+  }
+  EXPECT_LE(total, 64);
+}
+
+TEST(OptimalSchedule, ThrowsWhenPlatformTooSmall) {
+  const Pack pack = make_pack({2.0e6, 1.6e6});
+  const checkpoint::Model resilience = faulty_model();
+  const ExpectedTimeModel model(pack, resilience);
+  EXPECT_THROW(optimal_schedule(model, 2), std::invalid_argument);
+}
+
+TEST(OptimalSchedule, ExactFitGivesOnePairEach) {
+  const Pack pack = make_pack({2.0e6, 1.6e6, 2.4e6});
+  const checkpoint::Model resilience = faulty_model();
+  const ExpectedTimeModel model(pack, resilience);
+  const auto sigma = optimal_schedule(model, 6);
+  for (int s : sigma) EXPECT_EQ(s, 2);
+}
+
+TEST(OptimalSchedule, BiggerTasksGetMoreProcessors) {
+  const Pack pack = make_pack({2.5e6, 1.5e3});
+  const checkpoint::Model resilience = faulty_model();
+  const ExpectedTimeModel model(pack, resilience);
+  const auto sigma = optimal_schedule(model, 40);
+  EXPECT_GT(sigma[0], sigma[1]);
+}
+
+TEST(OptimalSchedule, HomogeneousPackBalances) {
+  const Pack pack = make_pack({2.0e6, 2.0e6, 2.0e6, 2.0e6});
+  const checkpoint::Model resilience = faulty_model();
+  const ExpectedTimeModel model(pack, resilience);
+  const auto sigma = optimal_schedule(model, 32);
+  for (int s : sigma) EXPECT_EQ(s, sigma[0]);
+}
+
+TEST(OptimalSchedule, FaultFreeUsesAllUsefulProcessors) {
+  // With the synthetic profile, fault-free times strictly decrease with j,
+  // so the greedy should distribute the entire platform.
+  const Pack pack = make_pack({2.0e6, 1.8e6});
+  const checkpoint::Model resilience(
+      {0.0, 60.0, 1.0, checkpoint::PeriodRule::Young, 0.0});
+  const ExpectedTimeModel model(pack, resilience);
+  const auto sigma = optimal_schedule(model, 24);
+  EXPECT_EQ(sigma[0] + sigma[1], 24);
+}
+
+TEST(OptimalSchedule, PaperScaleSmoke) {
+  // n = 100 on p = 5000 (the Figure 7/8 corner): the schedule must build
+  // quickly and leave a sane allocation (even, feasible, monotone in
+  // task size would be too strong with faults, but totals must hold).
+  Rng rng(12345);
+  const Pack pack = Pack::uniform_random(
+      100, 1.5e6, 2.5e6, std::make_shared<speedup::SyntheticModel>(0.08),
+      rng);
+  const checkpoint::Model resilience = faulty_model(100.0);
+  const ExpectedTimeModel model(pack, resilience);
+  const auto sigma = optimal_schedule(model, 5000);
+  int total = 0;
+  for (int s : sigma) {
+    EXPECT_GE(s, 2);
+    EXPECT_EQ(s % 2, 0);
+    total += s;
+  }
+  EXPECT_LE(total, 5000);
+  EXPECT_GT(total, 200);  // far beyond one pair each on this workload
+}
+
+/// Theorem 1 certification: the greedy result equals an exhaustive search
+/// over all even allocations, across several packs and platform sizes.
+class Theorem1Certification
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(Theorem1Certification, GreedyMatchesBruteForce) {
+  const auto [p, mtbf_years] = GetParam();
+  const std::vector<std::vector<double>> workloads = {
+      {2.0e6, 1.6e6},
+      {2.0e6, 1.6e6, 2.4e6},
+      {2.5e6, 1.5e3, 8.0e5},
+      {1.5e6, 1.5e6, 1.5e6, 1.5e6},
+      {2.2e6, 9.0e5, 1.1e6, 2.5e6},
+  };
+  for (const auto& sizes : workloads) {
+    if (p < 2 * static_cast<int>(sizes.size())) continue;
+    const Pack pack = make_pack(sizes);
+    const checkpoint::Model resilience = faulty_model(mtbf_years);
+    const ExpectedTimeModel model(pack, resilience);
+
+    const auto sigma = optimal_schedule(model, p);
+    const double greedy = schedule_makespan(model, sigma);
+    const double brute = complexity::brute_force_rigid(
+        pack.size(), p,
+        [&](int task, int j) { return model.expected_time(task, j, 1.0); },
+        /*even_only=*/true, /*min_alloc=*/2);
+    EXPECT_NEAR(greedy, brute, 1e-9 * brute)
+        << "p=" << p << " mtbf=" << mtbf_years << " n=" << sizes.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem1Certification,
+    ::testing::Combine(::testing::Values(4, 6, 8, 10, 12, 16),
+                       ::testing::Values(100.0, 10.0, 1.0)));
+
+}  // namespace
+}  // namespace coredis::core

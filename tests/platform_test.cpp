@@ -1,0 +1,89 @@
+/// Tests of the processor-allocation ledger.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "platform/platform.hpp"
+
+namespace coredis::platform {
+namespace {
+
+TEST(Platform, StartsFullyIdle) {
+  Platform platform(8);
+  EXPECT_EQ(platform.processors(), 8);
+  EXPECT_EQ(platform.free_count(), 8);
+  EXPECT_EQ(platform.in_use(), 0);
+  for (int proc = 0; proc < 8; ++proc) EXPECT_EQ(platform.owner(proc), kIdle);
+}
+
+TEST(Platform, AcquireAssignsOwnership) {
+  Platform platform(8);
+  const auto granted = platform.acquire(3, 4);
+  EXPECT_EQ(granted.size(), 4u);
+  EXPECT_EQ(platform.allocated(3), 4);
+  EXPECT_EQ(platform.free_count(), 4);
+  for (int proc : granted) EXPECT_EQ(platform.owner(proc), 3);
+}
+
+TEST(Platform, ReleaseReturnsToPool) {
+  Platform platform(8);
+  platform.acquire(0, 6);
+  const auto revoked = platform.release(0, 2);
+  EXPECT_EQ(revoked.size(), 2u);
+  EXPECT_EQ(platform.allocated(0), 4);
+  EXPECT_EQ(platform.free_count(), 4);
+  for (int proc : revoked) EXPECT_EQ(platform.owner(proc), kIdle);
+}
+
+TEST(Platform, ReleaseAllClearsTask) {
+  Platform platform(8);
+  platform.acquire(1, 4);
+  platform.acquire(2, 4);
+  platform.release_all(1);
+  EXPECT_EQ(platform.allocated(1), 0);
+  EXPECT_EQ(platform.allocated(2), 4);
+  EXPECT_EQ(platform.free_count(), 4);
+}
+
+TEST(Platform, ReacquisitionRecyclesProcessors) {
+  Platform platform(4);
+  platform.acquire(0, 4);
+  platform.release_all(0);
+  const auto granted = platform.acquire(1, 4);
+  const std::set<int> unique(granted.begin(), granted.end());
+  EXPECT_EQ(unique.size(), 4u);
+  EXPECT_EQ(platform.free_count(), 0);
+}
+
+TEST(Platform, MovesBetweenTasksKeepConservation) {
+  Platform platform(16);
+  platform.acquire(0, 8);
+  platform.acquire(1, 8);
+  platform.release(0, 4);
+  platform.acquire(1, 4);
+  EXPECT_EQ(platform.allocated(0), 4);
+  EXPECT_EQ(platform.allocated(1), 12);
+  EXPECT_EQ(platform.in_use(), 16);
+  EXPECT_EQ(platform.free_count(), 0);
+}
+
+TEST(Platform, ContractsRejectMisuse) {
+  Platform platform(8);
+  EXPECT_DEATH((void)platform.acquire(0, 3), "precondition");   // odd count
+  EXPECT_DEATH((void)platform.acquire(0, 10), "precondition");  // beyond pool
+  platform.acquire(0, 4);
+  EXPECT_DEATH((void)platform.release(0, 6), "precondition");  // > held
+  EXPECT_DEATH((void)platform.owner(99), "precondition");
+  EXPECT_DEATH(Platform(7), "precondition");  // odd platform
+}
+
+TEST(Platform, DeterministicAcquisitionOrder) {
+  Platform a(8);
+  Platform b(8);
+  EXPECT_EQ(a.acquire(0, 4), b.acquire(0, 4));
+  EXPECT_EQ(a.acquire(1, 2), b.acquire(1, 2));
+}
+
+}  // namespace
+}  // namespace coredis::platform

@@ -1,0 +1,291 @@
+/// Randomized property tests over the whole stack (deterministic seeds):
+/// engine invariants under arbitrary configurations, the resilience
+/// counters, expected-time monotonicities, the malleable-vs-rigid
+/// dominance, and ablation-flag orderings.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "complexity/moldable.hpp"
+#include "core/engine.hpp"
+#include "fault/exponential.hpp"
+#include "fault/trace.hpp"
+#include "speedup/synthetic.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace coredis {
+namespace {
+
+core::Pack random_pack(int n, Rng& rng, double m_inf = 2.0e5,
+                       double m_sup = 2.5e6) {
+  std::vector<core::TaskSpec> tasks;
+  for (int i = 0; i < n; ++i)
+    tasks.push_back({rng.uniform(m_inf, m_sup)});
+  return core::Pack(std::move(tasks),
+                    std::make_shared<speedup::SyntheticModel>(0.08));
+}
+
+/// Engine invariants across a random grid of configurations and seeds.
+class EngineInvariants
+    : public ::testing::TestWithParam<
+          std::tuple<core::EndPolicy, core::FailurePolicy, int>> {};
+
+TEST_P(EngineInvariants, HoldUnderRandomWorkloadsAndFaults) {
+  const auto [end_policy, failure_policy, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  const int n = 3 + static_cast<int>(rng.uniform_int(0, 7));   // 3..10
+  const int pairs = n + static_cast<int>(rng.uniform_int(0, 20));
+  const int p = 2 * pairs;
+  const double mtbf_years = rng.uniform(0.5, 30.0);
+
+  const core::Pack pack = random_pack(n, rng);
+  const checkpoint::Model resilience({units::years(mtbf_years), 60.0, 1.0,
+                                      checkpoint::PeriodRule::Young, 0.0});
+  core::Engine engine(pack, resilience, p,
+                      {end_policy, failure_policy, false});
+  fault::ExponentialGenerator faults(
+      p, 1.0 / units::years(mtbf_years),
+      Rng::child(static_cast<std::uint64_t>(seed), 5));
+  const core::RunResult result = engine.run(faults);
+
+  // Completion: every task finished, makespan is the max completion.
+  ASSERT_EQ(static_cast<int>(result.completion_times.size()), n);
+  double max_completion = 0.0;
+  for (double t : result.completion_times) {
+    EXPECT_GT(t, 0.0);
+    max_completion = std::max(max_completion, t);
+  }
+  EXPECT_DOUBLE_EQ(result.makespan, max_completion);
+
+  // Allocations: even, at least one pair, never exceeding the platform.
+  int total = 0;
+  for (int sigma : result.final_allocation) {
+    EXPECT_GE(sigma, 2);
+    EXPECT_EQ(sigma % 2, 0);
+    EXPECT_LE(sigma, p);
+    total = std::max(total, sigma);
+  }
+
+  // Fault accounting: drawn = effective + discarded.
+  EXPECT_EQ(result.faults_drawn,
+            result.faults_effective + result.faults_discarded);
+  EXPECT_GE(result.redistributions, 0);
+  EXPECT_GE(result.redistribution_cost, 0.0);
+  EXPECT_GE(result.checkpoints_taken, 0);
+  if (result.faults_effective > 0) {
+    EXPECT_GT(result.time_lost_to_faults, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineInvariants,
+    ::testing::Combine(
+        ::testing::Values(core::EndPolicy::None, core::EndPolicy::Local,
+                          core::EndPolicy::Greedy),
+        ::testing::Values(core::FailurePolicy::None,
+                          core::FailurePolicy::ShortestTasksFirst,
+                          core::FailurePolicy::IteratedGreedy),
+        ::testing::Range(1, 7)));
+
+TEST(EngineCounters, FaultFreeRunTakesNoCheckpointsAndLosesNothing) {
+  Rng rng(3);
+  const core::Pack pack = random_pack(5, rng);
+  const checkpoint::Model resilience(
+      {0.0, 60.0, 1.0, checkpoint::PeriodRule::Young, 0.0});
+  core::Engine engine(pack, resilience, 20,
+                      {core::EndPolicy::Local, core::FailurePolicy::None,
+                       false});
+  fault::NullGenerator faults(20);
+  const core::RunResult result = engine.run(faults);
+  EXPECT_EQ(result.checkpoints_taken, 0);
+  EXPECT_DOUBLE_EQ(result.time_lost_to_faults, 0.0);
+}
+
+TEST(EngineCounters, SingleTaskCheckpointCountMatchesAnalytic) {
+  // One task, no faults drawn, but a faulty-context model: the run must
+  // take exactly the periodic checkpoints of the fault-free execution.
+  const core::Pack pack({{2.0e6}},
+                        std::make_shared<speedup::SyntheticModel>(0.08));
+  const checkpoint::Model resilience({units::years(100.0), 60.0, 1.0,
+                                      checkpoint::PeriodRule::Young, 0.0});
+  const core::ExpectedTimeModel model(pack, resilience);
+  core::Engine engine(pack, resilience, 2,
+                      {core::EndPolicy::None, core::FailurePolicy::None,
+                       false});
+  fault::NullGenerator faults(2);  // model expects faults, none arrive
+  const core::RunResult result = engine.run(faults);
+  const double duration = model.simulated_duration(0, 2, 1.0);
+  const double work = model.fault_free_time(0, 2);
+  const double cost = model.checkpoint_cost(0, 2);
+  const auto expected =
+      static_cast<long long>(std::llround((duration - work) / cost));
+  EXPECT_EQ(result.checkpoints_taken, expected);
+}
+
+TEST(EngineCounters, TimeLostMatchesSingleFaultArithmetic) {
+  const core::Pack pack({{2.0e6}},
+                        std::make_shared<speedup::SyntheticModel>(0.08));
+  const checkpoint::Model resilience({units::years(100.0), 60.0, 1.0,
+                                      checkpoint::PeriodRule::Young, 0.0});
+  const core::ExpectedTimeModel model(pack, resilience);
+  const double tau = model.period(0, 2);
+  core::Engine engine(pack, resilience, 2,
+                      {core::EndPolicy::None, core::FailurePolicy::None,
+                       false});
+  const double fault_time = 0.8 * tau;  // all work since 0 is lost
+  fault::TraceGenerator faults(2, {{fault_time, 0}});
+  const core::RunResult result = engine.run(faults);
+  const double expected = fault_time + resilience.downtime() +
+                          model.recovery_time(0, 2);
+  EXPECT_NEAR(result.time_lost_to_faults, expected, 1e-9 * expected);
+}
+
+/// Fault-free end-of-task redistribution can only help (the commit rule
+/// demands a strictly better predicted finish, and predictions are exact
+/// when no fault can strike).
+class FaultFreeDominance : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultFreeDominance, RedistributionNeverHurtsWithoutFaults) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const int n = 3 + static_cast<int>(rng.uniform_int(0, 9));
+  const int p = 2 * (n + static_cast<int>(rng.uniform_int(2, 30)));
+  const core::Pack pack = random_pack(n, rng);
+  const checkpoint::Model resilience(
+      {0.0, 60.0, 1.0, checkpoint::PeriodRule::Young, 0.0});
+
+  fault::NullGenerator faults(p);
+  core::Engine baseline(pack, resilience, p,
+                        {core::EndPolicy::None, core::FailurePolicy::None,
+                         false});
+  const double base = baseline.run(faults).makespan;
+  for (core::EndPolicy policy :
+       {core::EndPolicy::Local, core::EndPolicy::Greedy}) {
+    core::Engine engine(pack, resilience, p,
+                        {policy, core::FailurePolicy::None, false});
+    EXPECT_LE(engine.run(faults).makespan, base * (1.0 + 1e-9))
+        << "policy=" << core::to_string(policy) << " n=" << n << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFreeDominance, ::testing::Range(0, 12));
+
+/// The blackout ablation can only add delay when redistribution is off:
+/// extra faults extend recovery windows monotonically.
+class BlackoutOrdering : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlackoutOrdering, FaultsInBlackoutNeverAccelerate) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 17);
+  const int n = 4;
+  const int p = 16;
+  const core::Pack pack = random_pack(n, rng);
+  const double mtbf = units::years(0.5);  // storm: blackout hits matter
+  const checkpoint::Model resilience(
+      {mtbf, 600.0, 1.0, checkpoint::PeriodRule::Young, 0.0});
+
+  core::EngineConfig discard{core::EndPolicy::None,
+                             core::FailurePolicy::None, false};
+  core::EngineConfig strict = discard;
+  strict.faults_in_blackout = true;
+
+  fault::ExponentialGenerator a(p, 1.0 / mtbf,
+                                Rng(static_cast<std::uint64_t>(GetParam())));
+  fault::ExponentialGenerator b(p, 1.0 / mtbf,
+                                Rng(static_cast<std::uint64_t>(GetParam())));
+  core::Engine discarding(pack, resilience, p, discard);
+  core::Engine restarting(pack, resilience, p, strict);
+  const double lenient = discarding.run(a).makespan;
+  const double harsh = restarting.run(b).makespan;
+  EXPECT_GE(harsh, lenient * (1.0 - 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlackoutOrdering, ::testing::Range(0, 8));
+
+TEST(ExpectedTimeMonotonicity, RawIsNonDecreasingInAlpha) {
+  Rng rng(5);
+  const core::Pack pack = random_pack(3, rng);
+  const checkpoint::Model resilience({units::years(20.0), 60.0, 1.0,
+                                      checkpoint::PeriodRule::Young, 0.0});
+  const core::ExpectedTimeModel model(pack, resilience);
+  for (int task = 0; task < 3; ++task) {
+    for (int j : {2, 8, 32}) {
+      double previous = 0.0;
+      for (double alpha = 0.05; alpha <= 1.0; alpha += 0.05) {
+        const double here = model.expected_time_raw(task, j, alpha);
+        EXPECT_GE(here, previous - 1e-9) << "j=" << j << " alpha=" << alpha;
+        previous = here;
+      }
+    }
+  }
+}
+
+TEST(ExpectedTimeMonotonicity, SimulatedDurationNonDecreasingInAlpha) {
+  Rng rng(6);
+  const core::Pack pack = random_pack(2, rng);
+  const checkpoint::Model resilience({units::years(20.0), 60.0, 1.0,
+                                      checkpoint::PeriodRule::Young, 0.0});
+  const core::ExpectedTimeModel model(pack, resilience);
+  for (int j : {2, 16}) {
+    double previous = 0.0;
+    for (double alpha = 0.02; alpha <= 1.0; alpha += 0.02) {
+      const double here = model.simulated_duration(0, j, alpha);
+      EXPECT_GE(here, previous - 1e-9);
+      previous = here;
+    }
+  }
+}
+
+/// Malleability dominance: free redistribution at completions can only
+/// improve on the best rigid allocation (it can always imitate it).
+class MalleableDominance : public ::testing::TestWithParam<int> {};
+
+TEST_P(MalleableDominance, MalleableAtMostRigid) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 3);
+  const int n = 2 + static_cast<int>(rng.uniform_int(0, 2));  // 2..4
+  const int p = n + static_cast<int>(rng.uniform_int(0, 3));
+  complexity::MoldableInstance instance;
+  instance.processors = p;
+  instance.time.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Random Amdahl-like rows keep the model assumptions valid.
+    const double t1 = rng.uniform(10.0, 100.0);
+    const double parallel = rng.uniform(0.5, 1.0);
+    for (int j = 1; j <= p; ++j)
+      instance.time[static_cast<std::size_t>(i)].push_back(
+          (1.0 - parallel) * t1 + parallel * t1 / j);
+  }
+  ASSERT_TRUE(instance.assumptions_hold());
+  const double rigid = complexity::brute_force_rigid(
+      n, p, [&](int task, int j) { return instance.at(task, j); }, false);
+  const double malleable = complexity::malleable_makespan(instance);
+  EXPECT_LE(malleable, rigid * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MalleableDominance, ::testing::Range(0, 10));
+
+TEST(ZeroCostOrdering, FreeRedistributionAtLeastAsGoodOnAverage) {
+  Rng rng(8);
+  RunningStats paid;
+  RunningStats free_rc;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng workload = Rng::child(999, seed);
+    const core::Pack pack = random_pack(6, workload, 2.0e5, 2.5e6);
+    const checkpoint::Model resilience(
+        {0.0, 60.0, 1.0, checkpoint::PeriodRule::Young, 0.0});
+    fault::NullGenerator faults(24);
+    core::EngineConfig paid_config{core::EndPolicy::Local,
+                                   core::FailurePolicy::None, false};
+    core::EngineConfig free_config = paid_config;
+    free_config.zero_redistribution_cost = true;
+    core::Engine paid_engine(pack, resilience, 24, paid_config);
+    core::Engine free_engine(pack, resilience, 24, free_config);
+    paid.add(paid_engine.run(faults).makespan);
+    free_rc.add(free_engine.run(faults).makespan);
+  }
+  EXPECT_LE(free_rc.mean(), paid.mean() * 1.001);
+}
+
+}  // namespace
+}  // namespace coredis

@@ -1,0 +1,134 @@
+/// Tests of the redistribution mechanics: the Eq. 7/9 cost model, the
+/// bipartite transfer graphs, and — as a property over a (j, k) sweep —
+/// the equality between the constructive Konig edge-coloring round count
+/// and the closed form max(min(j,k), |k-j|).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "redistrib/bipartite.hpp"
+#include "redistrib/cost.hpp"
+
+namespace coredis::redistrib {
+namespace {
+
+TEST(Cost, PaperFigureExample) {
+  // Figure 3: j = 4 -> k = 6 has Delta = 4 rounds.
+  EXPECT_EQ(rounds(4, 6), 4);
+  // Eq. 7: RC = max(j, k-j) * (1/k) * (m/j).
+  EXPECT_DOUBLE_EQ(cost(4, 6, 1200.0), 4.0 * (1.0 / 6.0) * (1200.0 / 4.0));
+}
+
+TEST(Cost, GrowthAndShrinkAreConsistent) {
+  // Shrink 6 -> 4: max(min(6,4), 2) = 4 rounds.
+  EXPECT_EQ(rounds(6, 4), 4);
+  EXPECT_DOUBLE_EQ(cost(6, 4, 1200.0), 4.0 * (1.0 / 4.0) * (1200.0 / 6.0));
+}
+
+TEST(Cost, DoublingKeepsRoundsAtJ) {
+  // j -> 2j: max(min(j,2j), j) = j rounds.
+  EXPECT_EQ(rounds(8, 16), 8);
+}
+
+TEST(Cost, GrowthCostMatchesGeneralForm) {
+  EXPECT_DOUBLE_EQ(growth_cost(2, 10, 500.0), cost(2, 10, 500.0));
+  EXPECT_DEATH((void)growth_cost(10, 2, 500.0), "precondition");
+}
+
+TEST(Cost, RejectsDegenerateArguments) {
+  EXPECT_DEATH((void)rounds(4, 4), "precondition");
+  EXPECT_DEATH((void)cost(0, 4, 10.0), "precondition");
+  EXPECT_DEATH((void)cost(4, 2, 0.0), "precondition");
+}
+
+TEST(TransferGraph, GrowthIsCompleteBipartite) {
+  const BipartiteGraph graph = make_transfer_graph(4, 6);
+  EXPECT_EQ(graph.left_count, 4);
+  EXPECT_EQ(graph.right_count, 2);
+  EXPECT_EQ(graph.edges.size(), 8u);
+  EXPECT_EQ(graph.max_degree(), 4);
+}
+
+TEST(TransferGraph, ShrinkSendsLeaversToStayers) {
+  const BipartiteGraph graph = make_transfer_graph(6, 4);
+  EXPECT_EQ(graph.left_count, 2);   // leavers
+  EXPECT_EQ(graph.right_count, 4);  // stayers
+  EXPECT_EQ(graph.max_degree(), 4);
+}
+
+/// A proper edge coloring never repeats a color at a vertex and uses
+/// exactly Delta colors (Konig's theorem, constructive).
+void expect_proper_delta_coloring(const BipartiteGraph& graph) {
+  const std::vector<int> colors = edge_color(graph);
+  ASSERT_EQ(colors.size(), graph.edges.size());
+  const int delta = graph.max_degree();
+  std::set<std::pair<int, int>> left_seen;   // (vertex, color)
+  std::set<std::pair<int, int>> right_seen;
+  int max_color = -1;
+  for (std::size_t i = 0; i < graph.edges.size(); ++i) {
+    const int color = colors[i];
+    ASSERT_GE(color, 0);
+    ASSERT_LT(color, delta);
+    max_color = std::max(max_color, color);
+    EXPECT_TRUE(left_seen.insert({graph.edges[i].left, color}).second)
+        << "color repeated at left vertex";
+    EXPECT_TRUE(right_seen.insert({graph.edges[i].right, color}).second)
+        << "color repeated at right vertex";
+  }
+  // All Delta colors are needed at a maximum-degree vertex.
+  EXPECT_EQ(max_color, delta - 1);
+}
+
+class RoundCountProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RoundCountProperty, KonigColoringMatchesClosedForm) {
+  const auto [j, k] = GetParam();
+  const BipartiteGraph graph = make_transfer_graph(j, k);
+  expect_proper_delta_coloring(graph);
+  EXPECT_EQ(graph.max_degree(), rounds(j, k))
+      << "j=" << j << " k=" << k;
+  const auto schedule = round_schedule(graph);
+  EXPECT_EQ(static_cast<int>(schedule.size()), rounds(j, k));
+  // Every edge dispatched exactly once.
+  std::size_t dispatched = 0;
+  for (const auto& round : schedule) {
+    dispatched += round.size();
+    // No processor appears twice within one round.
+    std::set<int> lefts;
+    std::set<int> rights;
+    for (const TransferEdge& e : round) {
+      EXPECT_TRUE(lefts.insert(e.left).second);
+      EXPECT_TRUE(rights.insert(e.right).second);
+    }
+  }
+  EXPECT_EQ(dispatched, graph.edges.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RoundCountProperty,
+    ::testing::Values(std::pair{1, 2}, std::pair{2, 4}, std::pair{4, 6},
+                      std::pair{6, 4}, std::pair{2, 16}, std::pair{16, 2},
+                      std::pair{8, 10}, std::pair{10, 8}, std::pair{3, 7},
+                      std::pair{7, 3}, std::pair{12, 20}, std::pair{20, 12},
+                      std::pair{1, 31}, std::pair{31, 1}, std::pair{16, 17},
+                      std::pair{40, 64}, std::pair{64, 40}));
+
+/// Cost sanity over a broad sweep: positive, and the round count is never
+/// below either side's degree bound.
+TEST(CostProperty, BroadSweepSanity) {
+  for (int j = 1; j <= 40; ++j) {
+    for (int k = 1; k <= 40; ++k) {
+      if (j == k) continue;
+      const int r = rounds(j, k);
+      EXPECT_GE(r, std::abs(k - j));
+      EXPECT_GE(r, std::min(j, k));
+      EXPECT_GT(cost(j, k, 1.0e6), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coredis::redistrib

@@ -1,0 +1,116 @@
+/// Tests of the scenario-file parser (exp/scenario_file.hpp).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "exp/scenario_file.hpp"
+
+namespace coredis::exp {
+namespace {
+
+TEST(ScenarioFile, ParsesAllKeys) {
+  const Scenario scenario = parse_scenario(R"(
+# a commented line
+n = 50
+p = 600           # trailing comment
+m_inf = 1e5
+m_sup = 2.5e6
+sequential_fraction = 0.1
+mtbf_years = 10
+downtime_seconds = 120
+checkpoint_unit_cost = 0.5
+period_rule = daly
+fault_law = weibull
+weibull_shape = 0.65
+runs = 25
+seed = 7
+)");
+  EXPECT_EQ(scenario.n, 50);
+  EXPECT_EQ(scenario.p, 600);
+  EXPECT_DOUBLE_EQ(scenario.m_inf, 1e5);
+  EXPECT_DOUBLE_EQ(scenario.m_sup, 2.5e6);
+  EXPECT_DOUBLE_EQ(scenario.sequential_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(scenario.mtbf_years, 10.0);
+  EXPECT_DOUBLE_EQ(scenario.downtime_seconds, 120.0);
+  EXPECT_DOUBLE_EQ(scenario.checkpoint_unit_cost, 0.5);
+  EXPECT_EQ(scenario.period_rule, checkpoint::PeriodRule::Daly);
+  EXPECT_EQ(scenario.fault_law, FaultLaw::Weibull);
+  EXPECT_DOUBLE_EQ(scenario.weibull_shape, 0.65);
+  EXPECT_EQ(scenario.runs, 25);
+  EXPECT_EQ(scenario.seed, 7u);
+}
+
+TEST(ScenarioFile, UnspecifiedKeysKeepBaseValues) {
+  Scenario base;
+  base.n = 10;
+  base.p = 100;
+  base.runs = 3;
+  const Scenario scenario = parse_scenario("mtbf_years = 42\n", base);
+  EXPECT_EQ(scenario.n, 10);
+  EXPECT_EQ(scenario.p, 100);
+  EXPECT_EQ(scenario.runs, 3);
+  EXPECT_DOUBLE_EQ(scenario.mtbf_years, 42.0);
+}
+
+TEST(ScenarioFile, ShortAliases) {
+  const Scenario scenario = parse_scenario("f = 0.2\nc = 0.1\nd = 30\n");
+  EXPECT_DOUBLE_EQ(scenario.sequential_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(scenario.checkpoint_unit_cost, 0.1);
+  EXPECT_DOUBLE_EQ(scenario.downtime_seconds, 30.0);
+}
+
+TEST(ScenarioFile, RejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW((void)parse_scenario("typo_key = 3\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("n = abc\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("n 100\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("n =\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("fault_law = gamma\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("period_rule = fixed\n"),
+               std::runtime_error);
+}
+
+TEST(ScenarioFile, RejectsInconsistentScenarios) {
+  EXPECT_THROW((void)parse_scenario("n = 100\np = 50\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("m_inf = 10\nm_sup = 5\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("runs = 0\n"), std::runtime_error);
+}
+
+TEST(ScenarioFile, FormatParsesBackIdentically) {
+  Scenario original;
+  original.n = 33;
+  original.p = 444;
+  original.mtbf_years = 55.5;
+  original.fault_law = FaultLaw::Weibull;
+  original.weibull_shape = 0.51;
+  original.period_rule = checkpoint::PeriodRule::Daly;
+  original.seed = 123456789;
+  const Scenario round_trip = parse_scenario(format_scenario(original));
+  EXPECT_EQ(round_trip.n, original.n);
+  EXPECT_EQ(round_trip.p, original.p);
+  EXPECT_DOUBLE_EQ(round_trip.mtbf_years, original.mtbf_years);
+  EXPECT_EQ(round_trip.fault_law, original.fault_law);
+  EXPECT_DOUBLE_EQ(round_trip.weibull_shape, original.weibull_shape);
+  EXPECT_EQ(round_trip.period_rule, original.period_rule);
+  EXPECT_EQ(round_trip.seed, original.seed);
+}
+
+TEST(ScenarioFile, LoadsFromDisk) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "coredis_scenario_test.txt";
+  {
+    std::ofstream file(path);
+    file << "n = 5\np = 40\nruns = 2\n";
+  }
+  const Scenario scenario = load_scenario(path.string());
+  EXPECT_EQ(scenario.n, 5);
+  EXPECT_EQ(scenario.p, 40);
+  std::filesystem::remove(path);
+  EXPECT_THROW((void)load_scenario(path.string()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace coredis::exp

@@ -1,0 +1,185 @@
+/// Tests of the allocation-timeline recording and its Gantt rendering.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "core/timeline.hpp"
+#include "fault/exponential.hpp"
+#include "speedup/synthetic.hpp"
+#include "util/units.hpp"
+
+namespace coredis::core {
+namespace {
+
+Pack make_pack(std::vector<double> sizes) {
+  std::vector<TaskSpec> tasks;
+  for (double m : sizes) tasks.push_back({m});
+  return Pack(std::move(tasks), std::make_shared<speedup::SyntheticModel>(0.08));
+}
+
+RunResult run_with_timeline(const Pack& pack, int p, double mtbf_years,
+                            std::uint64_t seed) {
+  const checkpoint::Model resilience(
+      {mtbf_years > 0 ? units::years(mtbf_years) : 0.0, 60.0, 1.0,
+       checkpoint::PeriodRule::Young, 0.0});
+  EngineConfig config{EndPolicy::Local, FailurePolicy::IteratedGreedy, false};
+  config.record_timeline = true;
+  Engine engine(pack, resilience, p, config);
+  if (mtbf_years > 0) {
+    fault::ExponentialGenerator faults(p, 1.0 / units::years(mtbf_years),
+                                       Rng(seed));
+    return engine.run(faults);
+  }
+  fault::NullGenerator faults(p);
+  return engine.run(faults);
+}
+
+TEST(Timeline, SegmentsAreContiguousPerTask) {
+  const Pack pack = make_pack({2.0e6, 1.2e6, 2.4e6, 4.0e5});
+  const RunResult result = run_with_timeline(pack, 24, 3.0, 11);
+  ASSERT_FALSE(result.timeline.empty());
+
+  std::map<int, std::vector<AllocationSegment>> per_task;
+  for (const AllocationSegment& segment : result.timeline) {
+    EXPECT_GE(segment.task, 0);
+    EXPECT_LT(segment.task, 4);
+    EXPECT_GE(segment.processors, 2);
+    EXPECT_EQ(segment.processors % 2, 0);
+    EXPECT_LE(segment.start, segment.end);
+    per_task[segment.task].push_back(segment);
+  }
+  for (const auto& [task, segments] : per_task) {
+    EXPECT_DOUBLE_EQ(segments.front().start, 0.0);
+    for (std::size_t i = 1; i < segments.size(); ++i)
+      EXPECT_DOUBLE_EQ(segments[i].start, segments[i - 1].end);
+    EXPECT_DOUBLE_EQ(
+        segments.back().end,
+        result.completion_times[static_cast<std::size_t>(task)]);
+    EXPECT_EQ(segments.back().processors,
+              result.final_allocation[static_cast<std::size_t>(task)]);
+  }
+}
+
+TEST(Timeline, SegmentCountMatchesRedistributions) {
+  // Every committed redistribution closes exactly one segment, every task
+  // closes its last one at completion, and every early release (Alg. 2
+  // line 28) adds one extra boundary — visible as its trailing
+  // ledger-unowned segment.
+  const Pack pack = make_pack({2.0e6, 1.2e6, 2.4e6, 4.0e5, 1.8e6});
+  const RunResult result = run_with_timeline(pack, 30, 2.0, 21);
+  int unowned = 0;
+  for (const AllocationSegment& segment : result.timeline)
+    unowned += segment.ledger_owned ? 0 : 1;
+  EXPECT_EQ(static_cast<int>(result.timeline.size()),
+            pack.size() + result.redistributions + unowned);
+}
+
+TEST(Timeline, FaultFreeStaticRunHasOneSegmentPerTask) {
+  const Pack pack = make_pack({2.0e6, 2.0e6});
+  const checkpoint::Model resilience(
+      {0.0, 60.0, 1.0, checkpoint::PeriodRule::Young, 0.0});
+  EngineConfig config{EndPolicy::None, FailurePolicy::None, false};
+  config.record_timeline = true;
+  Engine engine(pack, resilience, 8, config);
+  fault::NullGenerator faults(8);
+  const RunResult result = engine.run(faults);
+  EXPECT_EQ(result.timeline.size(), 2u);
+}
+
+TEST(Timeline, DisabledByDefault) {
+  const Pack pack = make_pack({2.0e6});
+  const checkpoint::Model resilience(
+      {0.0, 60.0, 1.0, checkpoint::PeriodRule::Young, 0.0});
+  Engine engine(pack, resilience, 2,
+                {EndPolicy::None, FailurePolicy::None, false});
+  fault::NullGenerator faults(2);
+  EXPECT_TRUE(engine.run(faults).timeline.empty());
+}
+
+TEST(Gantt, RendersRowsAxisAndLegend) {
+  std::vector<AllocationSegment> timeline{
+      {0, 0.0, 50.0, 4},  {0, 50.0, 100.0, 8},
+      {1, 0.0, 100.0, 2},
+  };
+  const std::string chart = render_gantt(timeline, 2);
+  EXPECT_NE(chart.find("T000"), std::string::npos);
+  EXPECT_NE(chart.find("T001"), std::string::npos);
+  EXPECT_NE(chart.find('2'), std::string::npos);  // 4 procs = 2 pairs
+  EXPECT_NE(chart.find('4'), std::string::npos);  // 8 procs = 4 pairs
+  EXPECT_NE(chart.find('1'), std::string::npos);  // 2 procs = 1 pair
+  EXPECT_NE(chart.find("redistribution"), std::string::npos);
+}
+
+TEST(Gantt, CapsRowsAndReportsHiddenTasks) {
+  std::vector<AllocationSegment> timeline;
+  for (int task = 0; task < 50; ++task)
+    timeline.push_back({task, 0.0, 10.0, 2});
+  GanttOptions options;
+  options.max_rows = 5;
+  const std::string chart = render_gantt(timeline, 50, options);
+  EXPECT_NE(chart.find("45 more tasks not shown"), std::string::npos);
+}
+
+TEST(Gantt, LargeAllocationsUsePlusGlyph) {
+  std::vector<AllocationSegment> timeline{{0, 0.0, 10.0, 64}};
+  const std::string chart = render_gantt(timeline, 1);
+  EXPECT_NE(chart.find('+'), std::string::npos);
+}
+
+TEST(Gantt, EmptyTimelineIsSafe) {
+  EXPECT_EQ(render_gantt({}, 3), "(empty timeline)\n");
+}
+
+/// Platform-conservation property, checked *through time*: at any instant
+/// the sum of allocations across overlapping segments never exceeds p.
+/// Exercised under a fault storm with the aggressive rebuild heuristics.
+class TimelineConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimelineConservation, AllocationsNeverExceedPlatform) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 1);
+  const int n = 6;
+  const int p = 40;
+  std::vector<TaskSpec> tasks;
+  for (int i = 0; i < n; ++i) tasks.push_back({rng.uniform(3.0e5, 2.5e6)});
+  const Pack pack(std::move(tasks),
+                  std::make_shared<speedup::SyntheticModel>(0.08));
+  const checkpoint::Model resilience({units::years(1.0), 60.0, 1.0,
+                                      checkpoint::PeriodRule::Young, 0.0});
+  EngineConfig config{EndPolicy::Greedy, FailurePolicy::IteratedGreedy,
+                      false};
+  config.record_timeline = true;
+  Engine engine(pack, resilience, p, config);
+  fault::ExponentialGenerator faults(
+      p, 1.0 / units::years(1.0),
+      Rng(static_cast<std::uint64_t>(GetParam())));
+  const RunResult result = engine.run(faults);
+
+  // Sweep the boundary instants; between boundaries the sum is constant.
+  std::vector<double> instants;
+  for (const AllocationSegment& segment : result.timeline) {
+    instants.push_back(segment.start);
+    instants.push_back(segment.end);
+  }
+  for (double t : instants) {
+    int held = 0;
+    for (const AllocationSegment& segment : result.timeline)
+      if (segment.ledger_owned && segment.start <= t && t < segment.end)
+        held += segment.processors;
+    EXPECT_LE(held, p) << "instant " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Storms, TimelineConservation, ::testing::Range(0, 6));
+
+TEST(TimelineCsv, RoundTripsFields) {
+  std::vector<AllocationSegment> timeline{{2, 1.5, 9.25, 6}};
+  const std::string csv = timeline_csv(timeline);
+  EXPECT_NE(csv.find("task,start,end,processors"), std::string::npos);
+  EXPECT_NE(csv.find("2,1.5,9.25,6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coredis::core

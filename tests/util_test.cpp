@@ -1,0 +1,302 @@
+/// Unit tests for the utility substrate: RNG determinism and distribution
+/// moments, streaming statistics, parallel_for, CLI parsing, tables, CSV.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/parallel.hpp"
+#include "util/plot.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace coredis {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += a() == b();
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ChildStreamsAreIndependentAndDeterministic) {
+  Rng a = Rng::child(42, 0);
+  Rng a2 = Rng::child(42, 0);
+  Rng b = Rng::child(42, 1);
+  EXPECT_EQ(a(), a2());
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += a() == b();
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(rng.uniform_int(3, 10));
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_EQ(*seen.begin(), 3u);
+  EXPECT_EQ(*seen.rbegin(), 10u);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  const double rate = 1.0 / 250.0;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.exponential(rate));
+  EXPECT_NEAR(stats.mean(), 250.0, 5.0);
+}
+
+TEST(Rng, ExponentialIsMemorylessInDistribution) {
+  // P(X > a + b | X > a) == P(X > b): compare tail frequencies.
+  Rng rng(17);
+  const double rate = 1.0;
+  int beyond_1 = 0;
+  int beyond_2_given_1 = 0;
+  int beyond_1_overall = 0;
+  const int trials = 400000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.exponential(rate);
+    if (x > 1.0) {
+      ++beyond_1;
+      if (x > 2.0) ++beyond_2_given_1;
+    }
+    if (x > 1.0) ++beyond_1_overall;
+  }
+  const double conditional =
+      static_cast<double>(beyond_2_given_1) / static_cast<double>(beyond_1);
+  const double unconditional =
+      static_cast<double>(beyond_1_overall) / static_cast<double>(trials);
+  EXPECT_NEAR(conditional, unconditional, 0.01);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  Rng rng(19);
+  RunningStats weibull;
+  for (int i = 0; i < 100000; ++i) weibull.add(rng.weibull(1.0, 100.0));
+  EXPECT_NEAR(weibull.mean(), 100.0, 2.0);
+  // Exponential has CV = 1; check the Weibull k=1 matches.
+  EXPECT_NEAR(weibull.stddev() / weibull.mean(), 1.0, 0.05);
+}
+
+TEST(RunningStats, MeanVarianceExtrema) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev_population(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 17.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.ci95_halfwidth(), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median_of({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median_of({}), 0.0);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [](std::size_t i) {
+            if (i == 37) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  int sum = 0;
+  parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); }, 1);
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(Cli, ParsesFormsAndDefaults) {
+  const char* argv[] = {"prog", "--runs", "12", "--seed=99", "--verbose"};
+  CliParser cli(5, argv);
+  EXPECT_EQ(cli.get_int("runs", 0), 12);
+  EXPECT_EQ(cli.get_int("seed", 0), 99);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_EQ(cli.get_int("absent", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("absent", 1.5), 1.5);
+}
+
+TEST(Cli, RejectsMalformedValues) {
+  const char* argv[] = {"prog", "--runs", "abc"};
+  CliParser cli(3, argv);
+  EXPECT_THROW((void)cli.get_int("runs", 0), std::invalid_argument);
+}
+
+TEST(Cli, RejectsUnknownWhenAsked) {
+  const char* argv[] = {"prog", "--tpyo", "1"};
+  CliParser cli(3, argv);
+  cli.describe("runs", "number of runs");
+  EXPECT_THROW(cli.reject_unknown(), std::invalid_argument);
+}
+
+TEST(Cli, RejectsPositional) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(CliParser(2, argv), std::invalid_argument);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"x", "longheader"});
+  table.add_row({"1", "2"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("longheader"), std::string::npos);
+  EXPECT_NE(out.find('\n'), std::string::npos);
+}
+
+TEST(Csv, EscapesAndRoundTrips) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row(std::vector<std::string>{"plain", "with,comma"});
+  csv.add_row(std::vector<std::string>{"with\"quote", "x"});
+  const std::string out = csv.to_string();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Welch, DetectsClearSeparation) {
+  RunningStats a;
+  RunningStats b;
+  Rng rng(31);
+  for (int i = 0; i < 30; ++i) {
+    a.add(10.0 + rng.uniform(-0.5, 0.5));
+    b.add(12.0 + rng.uniform(-0.5, 0.5));
+  }
+  const WelchResult result = welch_t_test(a, b);
+  EXPECT_LT(result.t, -5.0);
+  EXPECT_LT(result.p_two_sided, 0.001);
+  EXPECT_TRUE(result.a_significantly_smaller());
+}
+
+TEST(Welch, NoFalsePositiveOnIdenticalDistributions) {
+  RunningStats a;
+  RunningStats b;
+  Rng rng(37);
+  for (int i = 0; i < 50; ++i) {
+    a.add(rng.uniform(0.0, 1.0));
+    b.add(rng.uniform(0.0, 1.0));
+  }
+  const WelchResult result = welch_t_test(a, b);
+  EXPECT_GT(result.p_two_sided, 0.01);
+}
+
+TEST(Welch, DegenerateSamplesAreSafe) {
+  RunningStats a;
+  RunningStats b;
+  a.add(1.0);
+  b.add(2.0);
+  const WelchResult tiny = welch_t_test(a, b);  // < 2 samples each
+  EXPECT_EQ(tiny.p_two_sided, 1.0);
+  a.add(1.0);
+  b.add(2.0);
+  const WelchResult zero_var = welch_t_test(a, b);
+  EXPECT_TRUE(zero_var.a_significantly_smaller());
+}
+
+TEST(Plot, RendersMarkersAxesAndLegend) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<PlotSeries> series;
+  series.push_back({"rising", {0.0, 1.0, 2.0, 3.0}});
+  series.push_back({"falling", {3.0, 2.0, 1.0, 0.0}});
+  PlotOptions options;
+  options.x_label = "x";
+  const std::string plot = render_plot(x, series, options);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find('+'), std::string::npos);
+  EXPECT_NE(plot.find("* = rising"), std::string::npos);
+  EXPECT_NE(plot.find("+ = falling"), std::string::npos);
+  EXPECT_NE(plot.find('|'), std::string::npos);   // y axis
+  EXPECT_NE(plot.find("+--"), std::string::npos);  // x axis
+}
+
+TEST(Plot, ExtremesLandOnOppositeRows) {
+  const std::vector<double> x{0.0, 1.0};
+  std::vector<PlotSeries> series{{"s", {0.0, 10.0}}};
+  PlotOptions options;
+  options.height = 8;
+  options.width = 20;
+  const std::string plot = render_plot(x, series, options);
+  // First raster line holds the maximum, last raster line the minimum.
+  std::istringstream stream(plot);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  EXPECT_NE(lines.front().find('*'), std::string::npos);
+  EXPECT_NE(lines[7].find('*'), std::string::npos);
+}
+
+TEST(Plot, RejectsMismatchedSeries) {
+  std::vector<PlotSeries> series{{"s", {1.0}}};
+  EXPECT_DEATH((void)render_plot({1.0, 2.0}, series), "precondition");
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(units::years(1.0), 365.25 * 24 * 3600);
+  EXPECT_DOUBLE_EQ(units::to_years(units::years(120.0)), 120.0);
+  EXPECT_DOUBLE_EQ(units::days(2.0), 2 * 86400.0);
+  EXPECT_DOUBLE_EQ(units::hours(3.0), 3 * 3600.0);
+}
+
+}  // namespace
+}  // namespace coredis

@@ -1,0 +1,221 @@
+/// coredis_sim — the command-line front end of the simulator.
+///
+/// Two modes:
+///
+///  * single run (default): simulate one execution with the chosen
+///    policies, print the outcome, optionally the Gantt chart
+///    (--gantt), record or replay the fault trace (--trace-out /
+///    --trace-in), export the timeline (--timeline-csv);
+///
+///  * --compare: run the full section-6.2 configuration matrix (the four
+///    heuristic combinations plus both baselines) over --runs
+///    repetitions, print normalized makespans with confidence intervals
+///    and a Welch significance verdict for the best heuristic.
+///
+/// The scenario comes from flags (--n, --p, --mtbf, ...) or from a
+/// scenario file (--scenario, see src/exp/scenario_file.hpp); flags win.
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "core/timeline.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario_file.hpp"
+#include "fault/exponential.hpp"
+#include "fault/trace.hpp"
+#include "fault/weibull.hpp"
+#include "speedup/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace coredis;
+
+core::EndPolicy parse_end(const std::string& name) {
+  if (name == "none") return core::EndPolicy::None;
+  if (name == "local") return core::EndPolicy::Local;
+  if (name == "greedy") return core::EndPolicy::Greedy;
+  throw std::invalid_argument("--end expects none|local|greedy");
+}
+
+core::FailurePolicy parse_fail(const std::string& name) {
+  if (name == "none") return core::FailurePolicy::None;
+  if (name == "stf") return core::FailurePolicy::ShortestTasksFirst;
+  if (name == "ig") return core::FailurePolicy::IteratedGreedy;
+  throw std::invalid_argument("--fail expects none|stf|ig");
+}
+
+fault::GeneratorPtr make_generator(const exp::Scenario& scenario,
+                                   std::uint64_t seed,
+                                   const std::string& trace_in) {
+  if (!trace_in.empty()) {
+    std::vector<fault::Fault> events;
+    const int processors = fault::load_trace(trace_in, events);
+    if (processors != scenario.p)
+      throw std::runtime_error("trace platform size does not match -p");
+    return std::make_unique<fault::TraceGenerator>(processors,
+                                                   std::move(events));
+  }
+  const double mtbf = scenario.mtbf_seconds();
+  if (mtbf <= 0.0) return std::make_unique<fault::NullGenerator>(scenario.p);
+  if (scenario.fault_law == exp::FaultLaw::Weibull)
+    return std::make_unique<fault::WeibullGenerator>(
+        scenario.p, mtbf, scenario.weibull_shape, seed);
+  return std::make_unique<fault::ExponentialGenerator>(scenario.p,
+                                                       1.0 / mtbf, Rng(seed));
+}
+
+int run_single(const exp::Scenario& scenario, const CliParser& cli) {
+  core::EngineConfig config;
+  config.end_policy = parse_end(cli.get_string("end", "local"));
+  config.failure_policy = parse_fail(cli.get_string("fail", "ig"));
+  config.record_trace = true;
+  config.record_timeline =
+      cli.get_bool("gantt") || cli.has("timeline-csv");
+
+  Rng workload = Rng::child(scenario.seed, 0);
+  const core::Pack pack = core::Pack::uniform_random(
+      scenario.n, scenario.m_inf, scenario.m_sup,
+      std::make_shared<speedup::SyntheticModel>(scenario.sequential_fraction),
+      workload);
+  const checkpoint::Model resilience(scenario.resilience_params());
+  core::Engine engine(pack, resilience, scenario.p, config);
+
+  auto generator = make_generator(scenario, scenario.seed ^ 0xFA17ULL,
+                                  cli.get_string("trace-in", ""));
+  const std::string trace_out = cli.get_string("trace-out", "");
+  std::unique_ptr<fault::RecordingGenerator> recorder;
+  fault::Generator* source = generator.get();
+  if (!trace_out.empty()) {
+    recorder =
+        std::make_unique<fault::RecordingGenerator>(std::move(generator));
+    source = recorder.get();
+  }
+
+  const core::RunResult result = engine.run(*source);
+
+  std::cout << "pack: n = " << scenario.n << ", platform: p = " << scenario.p
+            << ", policies: " << core::to_string(config.end_policy) << " + "
+            << core::to_string(config.failure_policy) << "\n";
+  std::cout << "makespan: " << result.makespan << " s ("
+            << format_double(units::to_days(result.makespan), 2)
+            << " days)\n";
+  std::cout << "faults: " << result.faults_effective << " effective, "
+            << result.faults_discarded << " discarded; redistributions: "
+            << result.redistributions << " (RC total "
+            << format_double(result.redistribution_cost, 0)
+            << " s); checkpoints: " << result.checkpoints_taken << "\n";
+  std::cout << "time lost to faults: "
+            << format_double(units::to_days(result.time_lost_to_faults), 2)
+            << " days; buddy-fatal risks: " << result.buddy_fatal_risks
+            << "\n";
+
+  if (cli.get_bool("gantt"))
+    std::cout << '\n' << core::render_gantt(result.timeline, scenario.n);
+  if (auto path = cli.get("timeline-csv")) {
+    std::ofstream file(*path);
+    if (!file) throw std::runtime_error("cannot write " + *path);
+    file << core::timeline_csv(result.timeline);
+    std::cout << "timeline written to " << *path << '\n';
+  }
+  if (recorder != nullptr) {
+    fault::save_trace(trace_out, scenario.p, recorder->recorded());
+    std::cout << "fault trace (" << recorder->recorded().size()
+              << " events) written to " << trace_out << '\n';
+  }
+  return 0;
+}
+
+int run_compare(const exp::Scenario& scenario) {
+  const auto configs = exp::paper_curves();
+  const exp::PointResult point = exp::run_point(scenario, configs);
+
+  TextTable table({"configuration", "normalized", "ci95", "makespan (days)",
+                   "redistributions"});
+  for (const exp::ConfigOutcome& config : point.configs) {
+    table.add_row({config.name, format_double(config.normalized.mean(), 4),
+                   format_double(config.normalized.ci95_halfwidth(), 4),
+                   format_double(units::to_days(config.makespan.mean()), 1),
+                   format_double(config.redistributions.mean(), 1)});
+  }
+  std::cout << table.to_string() << '\n';
+
+  // Significance of the best heuristic against the baseline.
+  std::size_t best = 1;
+  for (std::size_t c = 2; c <= 4; ++c)
+    if (point.configs[c].normalized.mean() <
+        point.configs[best].normalized.mean())
+      best = c;
+  const WelchResult verdict = welch_t_test(point.configs[best].makespan,
+                                           point.configs[0].makespan);
+  std::cout << "best heuristic: " << point.configs[best].name << " (t = "
+            << format_double(verdict.t, 2)
+            << ", p = " << format_double(verdict.p_two_sided, 4) << ", "
+            << (verdict.a_significantly_smaller()
+                    ? "significantly better than no redistribution"
+                    : "not significant at these repetitions")
+            << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    CliParser cli(argc, argv);
+    cli.describe("scenario", "scenario file (key = value; flags override)")
+        .describe("n", "number of tasks")
+        .describe("p", "number of processors")
+        .describe("mtbf", "per-processor MTBF in years (0 = fault-free)")
+        .describe("c", "checkpoint seconds per data unit")
+        .describe("f", "sequential fraction of the speedup profile")
+        .describe("m-inf", "smallest task data size")
+        .describe("m-sup", "largest task data size")
+        .describe("runs", "repetitions (compare mode)")
+        .describe("seed", "master seed")
+        .describe("end", "end-of-task policy: none|local|greedy")
+        .describe("fail", "failure policy: none|stf|ig")
+        .describe("compare", "run the section-6.2 configuration matrix")
+        .describe("gantt", "print the allocation Gantt chart (single mode)")
+        .describe("timeline-csv", "write the allocation timeline CSV")
+        .describe("trace-out", "record the fault trace to this file")
+        .describe("trace-in", "replay a recorded fault trace");
+    if (cli.wants_help()) {
+      std::cout << cli.usage("resilient co-scheduling simulator");
+      return 0;
+    }
+    cli.reject_unknown();
+
+    exp::Scenario scenario;
+    scenario.n = 20;
+    scenario.p = 200;
+    scenario.mtbf_years = 20.0;
+    scenario.runs = 10;
+    const std::string file = cli.get_string("scenario", "");
+    if (!file.empty()) scenario = exp::load_scenario(file, scenario);
+    scenario.n = static_cast<int>(cli.get_int("n", scenario.n));
+    scenario.p = static_cast<int>(cli.get_int("p", scenario.p));
+    scenario.mtbf_years = cli.get_double("mtbf", scenario.mtbf_years);
+    scenario.checkpoint_unit_cost =
+        cli.get_double("c", scenario.checkpoint_unit_cost);
+    scenario.sequential_fraction =
+        cli.get_double("f", scenario.sequential_fraction);
+    scenario.m_inf = cli.get_double("m-inf", scenario.m_inf);
+    scenario.m_sup = cli.get_double("m-sup", scenario.m_sup);
+    scenario.runs = static_cast<int>(cli.get_int("runs", scenario.runs));
+    scenario.seed = static_cast<std::uint64_t>(
+        cli.get_int("seed", static_cast<long>(scenario.seed)));
+
+    return cli.get_bool("compare") ? run_compare(scenario)
+                                   : run_single(scenario, cli);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}
