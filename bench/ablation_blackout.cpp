@@ -7,6 +7,11 @@
 
 #include "fig_common.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
 namespace {
 
 using namespace coredis;

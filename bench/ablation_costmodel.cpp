@@ -6,6 +6,10 @@
 
 #include "fig_common.hpp"
 
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
 namespace {
 
 using namespace coredis;

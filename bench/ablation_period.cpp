@@ -5,6 +5,11 @@
 
 #include "fig_common.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
 namespace {
 
 using namespace coredis;

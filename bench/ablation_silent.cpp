@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "extensions/silent_errors.hpp"
 #include "fig_common.hpp"

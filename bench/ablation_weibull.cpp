@@ -7,6 +7,9 @@
 
 #include "fig_common.hpp"
 
+#include <cstddef>
+#include <vector>
+
 namespace {
 
 using namespace coredis;

@@ -13,8 +13,11 @@
 /// mode. Expected shape: co-scheduling wins both metrics, redistribution
 /// widens the gap under faults — the claims of the paper's introduction.
 
+#include <cstdint>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/energy.hpp"
 #include "core/engine.hpp"

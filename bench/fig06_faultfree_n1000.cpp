@@ -5,6 +5,10 @@
 
 #include "fig_common.hpp"
 
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace {
 
 using namespace coredis;

@@ -4,6 +4,10 @@
 
 #include "fig_common.hpp"
 
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
 namespace {
 
 using namespace coredis;

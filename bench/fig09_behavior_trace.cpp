@@ -8,8 +8,10 @@
 /// largest allocation spread (it concentrates processors aggressively).
 
 #include <algorithm>
+#include <cstddef>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "util/csv.hpp"

@@ -6,6 +6,9 @@
 
 #include "fig_common.hpp"
 
+#include <cstddef>
+#include <vector>
+
 namespace {
 
 using namespace coredis;

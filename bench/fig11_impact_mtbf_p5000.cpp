@@ -5,6 +5,9 @@
 
 #include "fig_common.hpp"
 
+#include <cstddef>
+#include <vector>
+
 namespace {
 
 using namespace coredis;

@@ -10,6 +10,7 @@
 /// Default sweeps are trimmed for laptop runtimes; --full restores the
 /// paper's grids and --runs 50 its repetition count.
 
+#include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <functional>

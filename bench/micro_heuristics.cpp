@@ -6,7 +6,7 @@
 /// real platform (one decision per fault/termination) is negligible.
 
 #include <benchmark/benchmark.h>
-
+#include <cstdint>
 #include <memory>
 
 #include "core/engine.hpp"

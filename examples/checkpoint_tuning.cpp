@@ -9,6 +9,7 @@
 
 #include <iostream>
 #include <memory>
+#include <utility>
 
 #include "core/expected_time.hpp"
 #include "speedup/synthetic.hpp"

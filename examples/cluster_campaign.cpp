@@ -7,7 +7,9 @@
 /// per-processor MTBF) and prints the normalized makespans plus
 /// redistribution/fault counters.
 
+#include <cstddef>
 #include <iostream>
+#include <string>
 
 #include "exp/report.hpp"
 #include "exp/runner.hpp"

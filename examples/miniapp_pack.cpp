@@ -10,8 +10,13 @@
 /// on small slices. Redistribution then shuttles capacity toward
 /// whichever application the failures push behind.
 
+#include <cstddef>
+#include <cstdint>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "fault/exponential.hpp"

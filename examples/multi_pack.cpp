@@ -10,8 +10,10 @@
 ///     absorbs intra-pack imbalance (an observation the single-pack paper
 ///     makes plausible, quantified here).
 
+#include <cstddef>
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "extensions/pack_partition.hpp"
 #include "speedup/synthetic.hpp"

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "fault/exponential.hpp"

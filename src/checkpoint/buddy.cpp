@@ -1,5 +1,7 @@
 #include "checkpoint/buddy.hpp"
 
+#include <cstddef>
+
 namespace coredis::checkpoint {
 
 BuddyGroup::BuddyGroup(int pair_count) {

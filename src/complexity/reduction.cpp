@@ -1,6 +1,8 @@
 #include "complexity/reduction.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstddef>
 
 #include "util/contracts.hpp"
 

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "util/contracts.hpp"
 

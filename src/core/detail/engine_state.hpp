@@ -5,6 +5,7 @@
 /// and the redistribution heuristics (Algorithms 3-5). Not part of the
 /// public API; include only from core/*.cpp and white-box tests.
 
+#include <cstddef>
 #include <vector>
 
 #include "core/expected_time.hpp"

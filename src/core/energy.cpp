@@ -1,5 +1,7 @@
 #include "core/energy.hpp"
 
+#include <vector>
+
 #include "util/contracts.hpp"
 
 namespace coredis::core {

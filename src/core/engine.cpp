@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
+#include <optional>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "core/detail/engine_state.hpp"
 #include "core/optimal_schedule.hpp"

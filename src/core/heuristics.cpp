@@ -16,8 +16,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "core/detail/engine_state.hpp"

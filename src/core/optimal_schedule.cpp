@@ -1,8 +1,10 @@
 #include "core/optimal_schedule.hpp"
 
+#include <cstddef>
 #include <queue>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "util/contracts.hpp"
 

@@ -1,6 +1,9 @@
 #include "core/pack.hpp"
 
+#include <cstddef>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "util/contracts.hpp"
 

@@ -1,7 +1,10 @@
 #include "core/timeline.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/contracts.hpp"
 

@@ -1,6 +1,11 @@
 #include "exp/report.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/contracts.hpp"
 #include "util/csv.hpp"

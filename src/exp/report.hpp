@@ -9,6 +9,7 @@
 /// "IteratedGreedy beats ShortestTasksFirst", ...) whose verdicts land in
 /// EXPERIMENTS.md.
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -1,7 +1,11 @@
 #include "exp/runner.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "fault/exponential.hpp"

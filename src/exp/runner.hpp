@@ -13,6 +13,7 @@
 /// Repetitions run in parallel; outputs are indexed by repetition, so the
 /// numbers are independent of thread scheduling.
 
+#include <string>
 #include <vector>
 
 #include "exp/scenario.hpp"

@@ -1,5 +1,7 @@
 #include "exp/scenario.hpp"
 
+#include <vector>
+
 namespace coredis::exp {
 
 checkpoint::ResilienceParams Scenario::resilience_params() const {

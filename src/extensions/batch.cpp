@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "core/expected_time.hpp"
 #include "fault/exponential.hpp"

@@ -1,5 +1,6 @@
 #include "extensions/dedicated.hpp"
 
+#include <cstdint>
 #include <memory>
 
 #include "core/energy.hpp"

@@ -14,6 +14,9 @@
 /// non-parallelizable fraction of each application leaves most of the
 /// platform idle, in both time and energy.
 
+#include <cstdint>
+#include <vector>
+
 #include "core/engine.hpp"
 #include "core/pack.hpp"
 #include "core/types.hpp"

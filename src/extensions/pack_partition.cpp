@@ -1,8 +1,13 @@
 #include "extensions/pack_partition.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "fault/exponential.hpp"
 #include "util/contracts.hpp"

@@ -16,6 +16,7 @@
 /// (it contains the single-pack problem), which is why a heuristic is the
 /// right tool here too.
 
+#include <cstdint>
 #include <vector>
 
 #include "core/engine.hpp"

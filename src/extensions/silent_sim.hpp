@@ -11,6 +11,8 @@
 /// The test suite checks the two agree, which certifies both the algebra
 /// and the simulator.
 
+#include <cstdint>
+
 #include "extensions/silent_errors.hpp"
 #include "util/rng.hpp"
 

@@ -1,5 +1,8 @@
 #include "fault/exponential.hpp"
 
+#include <cstdint>
+#include <optional>
+
 #include "util/contracts.hpp"
 
 namespace coredis::fault {

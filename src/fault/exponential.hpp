@@ -11,6 +11,8 @@
 /// equivalence with explicit per-processor streams is property-tested
 /// against fault::PerProcessorGenerator.
 
+#include <optional>
+
 #include "fault/generator.hpp"
 #include "util/rng.hpp"
 

@@ -1,5 +1,10 @@
 #include "fault/per_processor.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
 #include "util/contracts.hpp"
 
 namespace coredis::fault {

@@ -10,7 +10,9 @@
 /// exponential laws; this one serves as ground truth in tests and as the
 /// engine for non-memoryless laws (Weibull).
 
+#include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <vector>
 

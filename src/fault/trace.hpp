@@ -9,6 +9,8 @@
 /// configuration in a comparison sees identical faults. Traces serialize to
 /// a simple text format (`# comment` lines, then `time processor` pairs).
 
+#include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 

@@ -1,6 +1,8 @@
 #include "fault/weibull.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <optional>
 
 #include "util/contracts.hpp"
 

@@ -12,6 +12,9 @@
 /// The scale is chosen so the *mean* inter-arrival matches the requested
 /// MTBF: mean = scale * Gamma(1 + 1/shape).
 
+#include <cstdint>
+#include <optional>
+
 #include "fault/generator.hpp"
 #include "fault/per_processor.hpp"
 

@@ -1,6 +1,9 @@
 #include "platform/platform.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
 
 #include "util/contracts.hpp"
 

@@ -1,7 +1,9 @@
 #include "redistrib/bipartite.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <utility>
+#include <vector>
 
 #include "util/contracts.hpp"
 

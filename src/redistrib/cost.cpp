@@ -1,6 +1,7 @@
 #include "redistrib/cost.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/contracts.hpp"

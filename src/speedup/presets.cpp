@@ -3,6 +3,9 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "speedup/table_profile.hpp"
 #include "util/contracts.hpp"

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "util/contracts.hpp"
 

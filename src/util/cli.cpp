@@ -1,8 +1,10 @@
 #include "util/cli.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace coredis {
 

@@ -1,8 +1,12 @@
 #include "util/csv.hpp"
 
+#include <cstddef>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/contracts.hpp"
 

@@ -1,8 +1,11 @@
 #include "util/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <cstdlib>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>

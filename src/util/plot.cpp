@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <iomanip>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/contracts.hpp"
 

@@ -1,8 +1,12 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <iomanip>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/contracts.hpp"
 

@@ -3,9 +3,12 @@
 /// backfilling (section 2.3), and the energy accounting used to compare
 /// them with co-scheduling.
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
-
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/energy.hpp"
 #include "core/engine.hpp"

@@ -2,7 +2,13 @@
 /// instances and solver, the Theorem 2 reduction, and the exact schedulers
 /// certifying both directions of the reduction on small instances.
 
+#include <algorithm>
+#include <cstddef>
 #include <gtest/gtest.h>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "complexity/moldable.hpp"
 #include "complexity/reduction.hpp"

@@ -3,10 +3,10 @@
 /// baselines (tlastR = t + RC + C, plus D + R for the faulty task),
 /// blackout exclusion, and the revert-at-no-cost rule of IteratedGreedy.
 
-#include <gtest/gtest.h>
-
 #include <cmath>
+#include <gtest/gtest.h>
 #include <memory>
+#include <vector>
 
 #include "core/detail/engine_state.hpp"
 #include "redistrib/cost.hpp"
@@ -185,7 +185,9 @@ TEST_F(EngineStateTest, IteratedGreedyRevertingToOriginalCostsNothing) {
     }
   }
   // Whatever happened, total redistribution cost only counts real moves.
-  if (!changed) EXPECT_EQ(state_.redistributions, 0);
+  if (!changed) {
+    EXPECT_EQ(state_.redistributions, 0);
+  }
 }
 
 TEST_F(EngineStateTest, ShortestTasksFirstStealsFromShortest) {

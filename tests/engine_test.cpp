@@ -2,9 +2,14 @@
 /// makespans, determinism under trace replay, rollback accounting, blackout
 /// windows, and baseline behavior without redistribution.
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
-
 #include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "core/optimal_schedule.hpp"

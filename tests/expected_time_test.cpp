@@ -2,10 +2,13 @@
 /// checks against hand-computed values, the fault-free limit, Eq. 6
 /// monotonicity, and the TrEvaluator cache consistency.
 
-#include <gtest/gtest.h>
-
+#include <algorithm>
 #include <cmath>
+#include <gtest/gtest.h>
+#include <limits>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/expected_time.hpp"
 #include "speedup/synthetic.hpp"

@@ -1,11 +1,14 @@
 /// Tests of the future-work extensions: multi-pack partitioning and the
 /// silent-error (verified checkpointing) model.
 
-#include <gtest/gtest.h>
-
 #include <cmath>
+#include <cstddef>
+#include <gtest/gtest.h>
 #include <memory>
 #include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "extensions/pack_partition.hpp"
 #include "extensions/silent_errors.hpp"

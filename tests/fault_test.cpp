@@ -3,11 +3,15 @@
 /// campaigns) and the literal per-processor construction of the paper's
 /// fault model.
 
-#include <gtest/gtest.h>
-
 #include <cmath>
+#include <cstddef>
 #include <filesystem>
 #include <fstream>
+#include <gtest/gtest.h>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "fault/exponential.hpp"

@@ -4,9 +4,11 @@
 /// predicted regression, and the engine invariants (even allocations,
 /// conservation) hold throughout.
 
+#include <cstdint>
 #include <gtest/gtest.h>
-
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "core/optimal_schedule.hpp"

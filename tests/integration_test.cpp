@@ -2,7 +2,10 @@
 /// paper-curve configurations, normalization, and end-to-end sanity of a
 /// small-scale replica of the paper's campaign points.
 
+#include <cstddef>
 #include <gtest/gtest.h>
+#include <string>
+#include <vector>
 
 #include "exp/report.hpp"
 #include "exp/runner.hpp"

@@ -3,10 +3,15 @@
 /// and — the Theorem 1 certification — equality with an exhaustive search
 /// over all even allocations on small instances.
 
+#include <algorithm>
+#include <cstddef>
 #include <gtest/gtest.h>
-
 #include <memory>
 #include <numeric>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 #include "complexity/moldable.hpp"
 #include "core/optimal_schedule.hpp"

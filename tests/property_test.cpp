@@ -3,10 +3,15 @@
 /// counters, expected-time monotonicities, the malleable-vs-rigid
 /// dominance, and ablation-flag orderings.
 
-#include <gtest/gtest.h>
-
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <gtest/gtest.h>
 #include <memory>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 #include "complexity/moldable.hpp"
 #include "core/engine.hpp"

@@ -3,10 +3,13 @@
 /// the equality between the constructive Konig edge-coloring round count
 /// and the closed form max(min(j,k), |k-j|).
 
-#include <gtest/gtest.h>
-
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <gtest/gtest.h>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "redistrib/bipartite.hpp"
 #include "redistrib/cost.hpp"

@@ -1,9 +1,9 @@
 /// Tests of the scenario-file parser (exp/scenario_file.hpp).
 
-#include <gtest/gtest.h>
-
 #include <filesystem>
 #include <fstream>
+#include <gtest/gtest.h>
+#include <stdexcept>
 
 #include "exp/scenario_file.hpp"
 

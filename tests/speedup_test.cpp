@@ -3,10 +3,13 @@
 /// and work q * t(m, q) non-decreasing in q — checked as properties over a
 /// parameter sweep.
 
-#include <gtest/gtest.h>
-
 #include <cmath>
+#include <gtest/gtest.h>
 #include <memory>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
 
 #include "speedup/amdahl.hpp"
 #include "speedup/presets.hpp"

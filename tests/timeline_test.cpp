@@ -1,9 +1,13 @@
 /// Tests of the allocation-timeline recording and its Gantt rendering.
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
-
 #include <map>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "core/timeline.hpp"

@@ -1,12 +1,16 @@
 /// Unit tests for the utility substrate: RNG determinism and distribution
 /// moments, streaming statistics, parallel_for, CLI parsing, tables, CSV.
 
-#include <gtest/gtest.h>
-
 #include <atomic>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <gtest/gtest.h>
 #include <set>
+#include <sstream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"

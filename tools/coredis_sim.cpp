@@ -15,9 +15,15 @@
 /// The scenario comes from flags (--n, --p, --mtbf, ...) or from a
 /// scenario file (--scenario, see src/exp/scenario_file.hpp); flags win.
 
+#include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "core/timeline.hpp"
