@@ -54,6 +54,67 @@ void BM_ExpectedTimeRaw(benchmark::State& state) {
 }
 BENCHMARK(BM_ExpectedTimeRaw);
 
+// Cached vs. uncached kernel: the coefficient table turns the Eq. 4 probe
+// into a handful of flops plus one expm1; the reference path re-derives
+// the period rule, exp and both expm1 terms every call. Their ratio is
+// the per-probe win the heuristics' inner loops see once the table is
+// warm (the table itself amortizes over a whole campaign).
+void BM_ExpectedTimeRawCachedWarm(benchmark::State& state) {
+  const core::Pack pack = bench_pack(4);
+  const checkpoint::Model resilience = bench_model();
+  const core::ExpectedTimeModel model(pack, resilience);
+  for (int j = 1; j <= 513; ++j)
+    benchmark::DoNotOptimize(model.expected_time_raw(0, j, 0.75));
+  int j = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.expected_time_raw(0, j, 0.75));
+    j = j % 512 + 2;
+    if (j % 2) ++j;
+  }
+}
+BENCHMARK(BM_ExpectedTimeRawCachedWarm);
+
+void BM_ExpectedTimeRawUncached(benchmark::State& state) {
+  const core::Pack pack = bench_pack(4);
+  const checkpoint::Model resilience = bench_model();
+  const core::ExpectedTimeModel model(pack, resilience);
+  int j = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.expected_time_raw_reference(0, j, 0.75));
+    j = j % 512 + 2;
+    if (j % 2) ++j;
+  }
+}
+BENCHMARK(BM_ExpectedTimeRawUncached);
+
+void BM_SimulatedDurationCachedWarm(benchmark::State& state) {
+  const core::Pack pack = bench_pack(4);
+  const checkpoint::Model resilience = bench_model();
+  const core::ExpectedTimeModel model(pack, resilience);
+  for (int j = 1; j <= 513; ++j)
+    benchmark::DoNotOptimize(model.simulated_duration(0, j, 0.75));
+  int j = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.simulated_duration(0, j, 0.75));
+    j = j % 512 + 2;
+    if (j % 2) ++j;
+  }
+}
+BENCHMARK(BM_SimulatedDurationCachedWarm);
+
+void BM_SimulatedDurationUncached(benchmark::State& state) {
+  const core::Pack pack = bench_pack(4);
+  const checkpoint::Model resilience = bench_model();
+  const core::ExpectedTimeModel model(pack, resilience);
+  int j = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.simulated_duration_reference(0, j, 0.75));
+    j = j % 512 + 2;
+    if (j % 2) ++j;
+  }
+}
+BENCHMARK(BM_SimulatedDurationUncached);
+
 void BM_TrEvaluatorWarm(benchmark::State& state) {
   const core::Pack pack = bench_pack(4);
   const checkpoint::Model resilience = bench_model();

@@ -6,13 +6,52 @@
 /// public API; include only from core/*.cpp and white-box tests.
 
 #include <cstddef>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/expected_time.hpp"
 #include "core/types.hpp"
 #include "platform/platform.hpp"
+#include "redistrib/cost.hpp"
+#include "util/indexed_heap.hpp"
 
 namespace coredis::core::detail {
+
+struct EngineState;
+
+/// Pinned-column candidate prober: computes the tE of moving a task from
+/// sigma_init to `target` at time t, paying the redistribution and the
+/// initial checkpoint on the new allocation (Alg. 3 line 12 / Alg. 4
+/// line 16 / Alg. 5 line 17):
+///
+///   tE(target) = t + RC^{sigma_init -> target}_i + C_{i,target}
+///                + Tr(i, target, alpha)
+///
+/// One prober serves every probe of a (task, alpha) scan: it caches the
+/// redistribution-cost constants (sigma_init, m_i) and binds the
+/// TrEvaluator column once, so a warm probe is a handful of flops (RC
+/// inlined from redistrib::cost, Eq. 9, term for term).
+class CandidateProber {
+ public:
+  CandidateProber(EngineState& s, double t, int i, double alpha);
+
+  [[nodiscard]] double operator()(int target) const {
+    const double rc = target != from_ && !zero_rc_
+                          ? redistrib::cost(from_, target, data_size_)
+                          : 0.0;
+    return t_ + rc + model_->checkpoint_cost(task_, target) + column_(target);
+  }
+
+ private:
+  double t_;
+  int from_;
+  double data_size_;
+  bool zero_rc_;
+  const ExpectedTimeModel* model_;
+  int task_;
+  TrEvaluator::Column column_;
+};
 
 /// Dynamic execution state of one task (paper Table 1 notations).
 struct TaskRuntime {
@@ -45,6 +84,31 @@ struct EngineState {
   std::vector<AllocationSegment>* timeline = nullptr;
   std::vector<double> segment_start;
 
+  // Indexed event queues (DESIGN.md section 6): every unfinished task sits
+  // in both, keyed by its fault-free projected completion (dispatch order)
+  // and by its expected finish tU (the Alg. 2 line 30 "did the faulty task
+  // become the longest?" test). refresh_projection keeps both keys in
+  // sync, mark_done removes completed tasks, so event dispatch is O(log n)
+  // instead of an O(n) rescan. Disabled (use_event_index = false) the
+  // state answers the same queries with the legacy linear scans — the
+  // golden determinism test pins both implementations to identical runs.
+  bool use_event_index = false;
+  util::IndexedHeap<util::MinKeyThenId> projection_queue;
+  util::IndexedHeap<util::MaxKeyThenId> tu_queue;
+
+  /// Reusable per-call buffers of the heuristics (Algorithms 3-5 run once
+  /// or twice per simulation event; reallocating five vectors each time
+  /// showed up in profiles). Contents are dead between calls.
+  struct Scratch {
+    std::vector<int> new_sigma;
+    std::vector<double> alpha_t;
+    std::vector<double> tU;
+    std::vector<char> included;
+    std::vector<std::pair<double, int>> heap;  ///< max-heap via push_heap
+    std::vector<std::optional<CandidateProber>> probers;  ///< per-task binds
+  };
+  Scratch scratch;
+
   [[nodiscard]] int n() const noexcept {
     return static_cast<int>(tasks.size());
   }
@@ -72,8 +136,31 @@ struct EngineState {
   /// Redistribution cost RC^{sigma_i -> to}_i in seconds (Eq. 9).
   [[nodiscard]] double redistribution_cost(int i, int to) const;
 
-  /// Refresh proj_end from (alpha, sigma, tlastR).
+  /// Refresh proj_end from (alpha, sigma, tlastR); with the event index
+  /// enabled, re-keys task i in both queues (callers always rewrite tU
+  /// before calling this, so one sync point covers both keys).
   void refresh_projection(int i);
+
+  /// Enable and (re)build the event index over the current tasks vector.
+  void build_event_index();
+
+  /// Mark task i finished and drop it from the event queues.
+  void mark_done(int i);
+
+  /// Unfinished task with the earliest proj_end, ties to the smallest
+  /// index (identical to the legacy linear scan). Precondition: at least
+  /// one unfinished task.
+  [[nodiscard]] int earliest_unfinished() const;
+
+  /// Largest tU over unfinished tasks (0 when none, like the scan it
+  /// replaces).
+  [[nodiscard]] double longest_expected_finish() const;
+
+  /// Ascending-index list of unfinished tasks with proj_end <= bound (the
+  /// Alg. 2 line 28 surrender candidates), excluding `except`. O(matches)
+  /// with the event index, O(n) without.
+  void unfinished_ending_by(double bound, int except,
+                            std::vector<int>& out) const;
 
   /// Apply the allocation changes committed by a heuristic. `new_sigma`
   /// and `alpha_t` are indexed by task; only entries whose sigma differs
@@ -98,5 +185,15 @@ bool shortest_tasks_first(EngineState& state, double t, int faulty);
 
 /// Algorithm 5 (IteratedGreedy) at a failure of task `faulty`.
 bool iterated_greedy(EngineState& state, double t, int faulty);
+
+inline CandidateProber::CandidateProber(EngineState& s, double t, int i,
+                                        double alpha)
+    : t_(t),
+      from_(s.task(i).sigma),
+      data_size_(s.model->pack().task(i).data_size),
+      zero_rc_(s.zero_redistribution_cost),
+      model_(s.model),
+      task_(i),
+      column_(s.tr->column(i, alpha)) {}
 
 }  // namespace coredis::core::detail

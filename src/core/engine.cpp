@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
-#include <limits>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -34,18 +33,23 @@ std::string to_string(FailurePolicy policy) {
   return "?";
 }
 
-Engine::Engine(const Pack& pack, const checkpoint::Model& resilience,
-               int processors, EngineConfig config)
-    : pack_(&pack),
-      resilience_(&resilience),
-      processors_(processors),
-      config_(config) {
+int Engine::validated_processors(int processors, const Pack& pack) {
   if (processors < 2 * pack.size())
     throw std::invalid_argument(
         "Engine: platform must hold one processor pair per task");
   if (processors % 2 != 0)
     throw std::invalid_argument("Engine: processor count must be even");
+  return processors;
 }
+
+Engine::Engine(const Pack& pack, const checkpoint::Model& resilience,
+               int processors, EngineConfig config)
+    : pack_(&pack),
+      resilience_(&resilience),
+      processors_(validated_processors(processors, pack)),
+      config_(config),
+      model_(pack, resilience),
+      evaluator_(model_, processors_) {}
 
 namespace {
 
@@ -75,8 +79,8 @@ RunResult Engine::run(fault::Generator& faults) {
   COREDIS_EXPECTS(faults.processors() == processors_);
   const int n = pack_->size();
 
-  ExpectedTimeModel model(*pack_, *resilience_);
-  TrEvaluator evaluator(model, processors_);
+  ExpectedTimeModel& model = model_;
+  TrEvaluator& evaluator = evaluator_;
   platform::Platform platform(processors_);
 
   EngineState state;
@@ -85,6 +89,7 @@ RunResult Engine::run(fault::Generator& faults) {
   state.tr = &evaluator;
   state.zero_redistribution_cost = config_.zero_redistribution_cost;
   state.tasks.resize(static_cast<std::size_t>(n));
+  if (!config_.linear_event_scan) state.build_event_index();
 
   // Initial allocation: Algorithm 1 (optimal without redistribution).
   const std::vector<int> sigma0 = optimal_schedule(model, processors_, evaluator);
@@ -95,7 +100,7 @@ RunResult Engine::run(fault::Generator& faults) {
     task.tlastR = 0.0;
     task.tU = evaluator(i, task.sigma, 1.0);
     state.refresh_projection(i);
-    platform.acquire(i, task.sigma);
+    platform.grant(i, task.sigma);
   }
 
   RunResult result;
@@ -110,31 +115,18 @@ RunResult Engine::run(fault::Generator& faults) {
   std::optional<fault::Fault> next_fault = faults.next();
 
   // Buddy-risk tracking: the pair partner of the last struck processor of
-  // each task, valid until the end of that task's recovery blackout. The
-  // partner of held[k] in the allocation ledger is held[k ^ 1] (pairs are
-  // granted together).
+  // each task, valid until the end of that task's recovery blackout (the
+  // ledger answers the partner query in O(1), platform.hpp).
   std::vector<int> recovery_partner(static_cast<std::size_t>(n), -1);
   std::vector<double> recovery_until(static_cast<std::size_t>(n), -1.0);
-  const auto partner_of = [&](int task, int processor) {
-    const auto held = platform.held_by(task);
-    for (std::size_t k = 0; k < held.size(); ++k)
-      if (held[k] == processor)
-        return held[k ^ 1];
-    return -1;
-  };
+  std::vector<int> surrender;  // Alg. 2 line 28 scratch, reused per fault
 
   while (live > 0) {
+    evaluator.begin_event();
     // Earliest projected completion among unfinished tasks.
-    double end_time = std::numeric_limits<double>::infinity();
-    int ending = -1;
-    for (int i = 0; i < n; ++i) {
-      const TaskRuntime& task = state.task(i);
-      if (!task.done && task.proj_end < end_time) {
-        end_time = task.proj_end;
-        ending = i;
-      }
-    }
+    const int ending = state.earliest_unfinished();
     COREDIS_ASSERT(ending >= 0);
+    const double end_time = state.task(ending).proj_end;
 
     // ---- Fault event --------------------------------------------------
     if (next_fault && next_fault->time < end_time) {
@@ -195,36 +187,31 @@ RunResult Engine::run(fault::Generator& faults) {
       task.tU = task.tlastR + evaluator(owner, j, task.alpha);
       state.refresh_projection(owner);
       recovery_partner[static_cast<std::size_t>(owner)] =
-          partner_of(owner, fault.processor);
+          platform.pair_partner(fault.processor);
       recovery_until[static_cast<std::size_t>(owner)] = task.tlastR;
 
       bool redistributed = false;
       if (config_.failure_policy != FailurePolicy::None) {
         // Alg. 2 line 28: tasks ending before the faulty task restarts
         // surrender their processors to the pool right away.
-        for (int i = 0; i < n; ++i) {
+        state.unfinished_ending_by(task.tlastR, owner, surrender);
+        for (int i : surrender) {
           TaskRuntime& other = state.task(i);
-          if (i == owner || other.done || other.released) continue;
-          if (other.proj_end <= task.tlastR) {
-            other.released = true;
-            platform.release_all(i);
-            if (state.timeline != nullptr) {
-              // Close the owned span; the remaining stretch runs on
-              // processors the ledger has already promised away.
-              state.timeline->push_back(AllocationSegment{
-                  i, state.segment_start[static_cast<std::size_t>(i)],
-                  fault.time, other.sigma, true});
-              state.segment_start[static_cast<std::size_t>(i)] = fault.time;
-            }
+          if (other.released) continue;
+          other.released = true;
+          platform.release_all(i);
+          if (state.timeline != nullptr) {
+            // Close the owned span; the remaining stretch runs on
+            // processors the ledger has already promised away.
+            state.timeline->push_back(AllocationSegment{
+                i, state.segment_start[static_cast<std::size_t>(i)],
+                fault.time, other.sigma, true});
+            state.segment_start[static_cast<std::size_t>(i)] = fault.time;
           }
         }
         // Alg. 2 line 30: rebalance only if the faulty task became the
         // longest one (otherwise the makespan estimate did not move).
-        double longest = 0.0;
-        for (int i = 0; i < n; ++i)
-          if (!state.task(i).done)
-            longest = std::max(longest, state.task(i).tU);
-        if (task.tU >= longest) {
+        if (task.tU >= state.longest_expected_finish()) {
           redistributed =
               config_.failure_policy == FailurePolicy::ShortestTasksFirst
                   ? detail::shortest_tasks_first(state, fault.time, owner)
@@ -254,7 +241,7 @@ RunResult Engine::run(fault::Generator& faults) {
         state.checkpoints_taken +=
             static_cast<long long>(std::llround(overhead / cost));
     }
-    task.done = true;
+    state.mark_done(ending);
     task.alpha = 0.0;
     task.finish_time = end_time;
     if (state.timeline != nullptr) {

@@ -48,18 +48,34 @@ class Engine {
   Engine(const Pack& pack, const checkpoint::Model& resilience,
          int processors, EngineConfig config = {});
 
+  /// Not copyable or movable: evaluator_ holds a pointer to model_, a
+  /// member of this very object, which relocation would dangle.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
   /// Simulate one execution fed by `faults`. Restartable: each call
-  /// rebuilds the initial schedule and runs to completion.
+  /// rebuilds the initial schedule and runs to completion. The engine's
+  /// coefficient table and evaluator cache persist across calls (their
+  /// entries are pure functions of the immutable pack and resilience
+  /// models), so repeated runs of one engine skip the transcendental
+  /// warm-up entirely; results are identical either way.
   [[nodiscard]] RunResult run(fault::Generator& faults);
 
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
   [[nodiscard]] int processors() const noexcept { return processors_; }
 
  private:
+  /// Throws std::invalid_argument unless p is even and >= 2n. Called from
+  /// the member initializer list so the downstream members (evaluator)
+  /// only ever see validated values.
+  static int validated_processors(int processors, const Pack& pack);
+
   const Pack* pack_;
   const checkpoint::Model* resilience_;
   int processors_;
   EngineConfig config_;
+  ExpectedTimeModel model_;
+  TrEvaluator evaluator_;
 };
 
 }  // namespace coredis::core

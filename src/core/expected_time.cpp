@@ -1,7 +1,6 @@
 #include "core/expected_time.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
 #include <cstddef>
 #include <limits>
@@ -12,66 +11,33 @@ namespace coredis::core {
 
 ExpectedTimeModel::ExpectedTimeModel(const Pack& pack,
                                      const checkpoint::Model& resilience)
-    : pack_(&pack), resilience_(&resilience) {}
-
-double ExpectedTimeModel::fault_free_time(int task, int j) const {
-  return pack_->fault_free_time(task, j);
+    : pack_(&pack), resilience_(&resilience) {
+  const auto n = static_cast<std::size_t>(pack.size());
+  seq_ckpt_.reserve(n);
+  for (int i = 0; i < pack.size(); ++i)
+    seq_ckpt_.push_back(resilience.sequential_cost(pack.task(i).data_size));
+  table_even_.resize(n);
+  table_odd_.resize(n);
 }
 
-double ExpectedTimeModel::sequential_checkpoint(int task) const {
-  return resilience_->sequential_cost(pack_->task(task).data_size);
-}
-
-double ExpectedTimeModel::checkpoint_cost(int task, int j) const {
-  if (resilience_->fault_free()) return 0.0;  // no checkpoint ever taken
-  return resilience_->cost(sequential_checkpoint(task), j);
-}
-
-double ExpectedTimeModel::recovery_time(int task, int j) const {
-  if (resilience_->fault_free()) return 0.0;
-  return resilience_->recovery(sequential_checkpoint(task), j);
-}
-
-double ExpectedTimeModel::period(int task, int j) const {
-  if (resilience_->fault_free())
-    return std::numeric_limits<double>::infinity();
-  return resilience_->period(sequential_checkpoint(task), j);
-}
-
-double ExpectedTimeModel::checkpoint_count(int task, int j,
-                                           double alpha) const {
-  COREDIS_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
-  if (resilience_->fault_free() || alpha == 0.0) return 0.0;
-  const double work = alpha * fault_free_time(task, j);
-  const double tau = period(task, j);
-  const double cost = checkpoint_cost(task, j);
-  COREDIS_ASSERT(tau > cost);
-  return std::floor(work / (tau - cost));  // Eq. 2
-}
-
-double ExpectedTimeModel::expected_time_raw(int task, int j,
-                                            double alpha) const {
-  COREDIS_EXPECTS(j >= 1);
-  COREDIS_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
-  if (alpha == 0.0) return 0.0;
-  const double t_ij = fault_free_time(task, j);
-  if (resilience_->fault_free()) return alpha * t_ij;  // section 3.3.1
-
-  const double lambda_j = resilience_->task_rate(j);
-  const double tau = period(task, j);
-  const double cost = checkpoint_cost(task, j);
-  const double recovery = recovery_time(task, j);
-  const double n_ff = checkpoint_count(task, j, alpha);
-  const double tau_last = alpha * t_ij - n_ff * (tau - cost);  // Eq. 3
-  COREDIS_ASSERT(tau_last >= -1e-9);
-
-  // Eq. 4. exp arguments stay small in sane regimes (lambda_j * tau does
-  // not grow with j because tau ~ 1/j); extreme parameters may produce
-  // +inf, which propagates harmlessly through the min-based heuristics.
-  const double factor =
-      std::exp(lambda_j * recovery) * (1.0 / lambda_j + resilience_->downtime());
-  return factor * (n_ff * std::expm1(lambda_j * tau) +
-                   std::expm1(lambda_j * std::max(tau_last, 0.0)));
+void ExpectedTimeModel::fill_coeffs(int task, int j, Coeffs& c) const {
+  // The arithmetic mirrors the *_reference paths exactly so cached and
+  // uncached evaluations agree bit for bit.
+  c.t_ij = pack_->fault_free_time(task, j);
+  if (!resilience_->fault_free()) {
+    const double seq = seq_ckpt_[static_cast<std::size_t>(task)];
+    c.lambda_j = resilience_->task_rate(j);
+    c.tau = resilience_->period(seq, j);
+    c.cost = resilience_->cost(seq, j);
+    c.recovery = resilience_->recovery(seq, j);
+    c.tau_minus_cost = c.tau - c.cost;
+    // The period rule must leave room for useful work (the seed asserted
+    // this on every query; once at fill time covers the same inputs).
+    COREDIS_ASSERT(c.tau_minus_cost > 0.0);
+    c.factor = std::exp(c.lambda_j * c.recovery) *
+               (1.0 / c.lambda_j + resilience_->downtime());
+    c.expm1_tau = std::expm1(c.lambda_j * c.tau);
+  }
 }
 
 double ExpectedTimeModel::expected_time(int task, int j, double alpha) const {
@@ -82,20 +48,43 @@ double ExpectedTimeModel::expected_time(int task, int j, double alpha) const {
   return best;
 }
 
-double ExpectedTimeModel::simulated_duration(int task, int j,
-                                             double alpha) const {
+double ExpectedTimeModel::expected_time_raw_reference(int task, int j,
+                                                      double alpha) const {
+  COREDIS_EXPECTS(j >= 1);
   COREDIS_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
   if (alpha == 0.0) return 0.0;
-  const double work = alpha * fault_free_time(task, j);
+  const double t_ij = pack_->fault_free_time(task, j);
+  if (resilience_->fault_free()) return alpha * t_ij;  // section 3.3.1
+
+  const double seq = resilience_->sequential_cost(pack_->task(task).data_size);
+  const double lambda_j = resilience_->task_rate(j);
+  const double tau = resilience_->period(seq, j);
+  const double cost = resilience_->cost(seq, j);
+  const double recovery = resilience_->recovery(seq, j);
+  COREDIS_ASSERT(tau > cost);
+  const double n_ff = std::floor(alpha * t_ij / (tau - cost));     // Eq. 2
+  const double tau_last = alpha * t_ij - n_ff * (tau - cost);      // Eq. 3
+  COREDIS_ASSERT(tau_last >= -1e-9);
+
+  const double factor = std::exp(lambda_j * recovery) *
+                        (1.0 / lambda_j + resilience_->downtime());
+  return factor * (n_ff * std::expm1(lambda_j * tau) +
+                   std::expm1(lambda_j * std::max(tau_last, 0.0)));  // Eq. 4
+}
+
+double ExpectedTimeModel::simulated_duration_reference(int task, int j,
+                                                       double alpha) const {
+  COREDIS_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
+  if (alpha == 0.0) return 0.0;
+  const double work = alpha * pack_->fault_free_time(task, j);
   if (resilience_->fault_free()) return work;
-  const double tau = period(task, j);
-  const double cost = checkpoint_cost(task, j);
+  const double seq = resilience_->sequential_cost(pack_->task(task).data_size);
+  const double tau = resilience_->period(seq, j);
+  const double cost = resilience_->cost(seq, j);
   const double ratio = work / (tau - cost);
   double full_periods = std::floor(ratio);
-  // Snap floating-point noise around an exact boundary before deciding.
   if (ratio - full_periods > 1.0 - 1e-9) full_periods += 1.0;
   const double remainder = work - full_periods * (tau - cost);
-  // A run ending exactly on a period boundary skips the final checkpoint.
   if (remainder <= 1e-9 * work && full_periods > 0.0) full_periods -= 1.0;
   return work + full_periods * cost;
 }
@@ -106,32 +95,41 @@ TrEvaluator::TrEvaluator(const ExpectedTimeModel& model, int max_processors)
   slots_.resize(static_cast<std::size_t>(model.pack().size()));
 }
 
-double TrEvaluator::operator()(int task, int j, double alpha) {
+TrEvaluator::Column TrEvaluator::column(int task, double alpha) {
   COREDIS_EXPECTS(task >= 0 && task < model_->pack().size());
-  COREDIS_EXPECTS(j >= 2 && j % 2 == 0 && j <= max_j_);
-  auto& pair = slots_[static_cast<std::size_t>(task)];
+  auto& row = slots_[static_cast<std::size_t>(task)];
 
   Slot* slot = nullptr;
-  for (Slot& s : pair)
-    if (s.alpha == alpha) slot = &s;
-  if (slot == nullptr) {
-    // Evict the least recently used slot.
-    slot = &pair[0];
-    for (Slot& s : pair)
-      if (s.last_used < slot->last_used) slot = &s;
-    slot->alpha = alpha;
-    slot->prefix_min.clear();
+  if (alpha == 1.0) {
+    // The pinned full-work column (Algorithm 1 probes it at every run
+    // start); never evicted by other alphas.
+    slot = &row[0];
+    if (slot->alpha != 1.0) {
+      slot->alpha = 1.0;
+      slot->prefix_min.clear();
+    }
+  } else {
+    for (std::size_t s = 1; s < kSlotsPerTask; ++s)
+      if (row[s].alpha == alpha) slot = &row[s];
+    if (slot == nullptr) {
+      // Evict a slot from a previous event if one exists (its alpha is
+      // dead for the current rebuild); both hot means fall back to LRU.
+      slot = &row[1];
+      for (std::size_t s = 2; s < kSlotsPerTask; ++s) {
+        Slot& cand = row[s];
+        const bool cand_stale = cand.epoch < epoch_;
+        const bool slot_stale = slot->epoch < epoch_;
+        if (cand_stale != slot_stale ? cand_stale
+                                     : cand.last_used < slot->last_used)
+          slot = &cand;
+      }
+      slot->alpha = alpha;
+      slot->prefix_min.clear();
+    }
   }
   slot->last_used = ++clock_;
-
-  const auto want = static_cast<std::size_t>(j / 2);
-  auto& pm = slot->prefix_min;
-  while (pm.size() < want) {
-    const int next_j = 2 * (static_cast<int>(pm.size()) + 1);
-    const double raw = model_->expected_time_raw(task, next_j, alpha);
-    pm.push_back(pm.empty() ? raw : std::min(pm.back(), raw));
-  }
-  return pm[want - 1];
+  slot->epoch = epoch_;
+  return Column(model_, slot, task, alpha);
 }
 
 void TrEvaluator::invalidate(int task) {

@@ -22,13 +22,34 @@
 ///
 /// In the fault-free context (lambda = 0) no checkpoint is taken and the
 /// model degenerates to alpha * t_{i,j} exactly (section 3.3.1).
+///
+/// Everything in the formula except alpha is fixed per (task, j), so the
+/// model memoizes a lazily-built coefficient table: one row per task, one
+/// entry per probed j, holding t_{i,j}, tau, C, R, lambda_j and the two
+/// precomputed transcendental factors e^{lambda_j R}(1/lambda_j + D) and
+/// e^{lambda_j tau} - 1 (DESIGN.md section 6). A warm query is a handful
+/// of flops plus at most one expm1 for the trailing partial period; the
+/// speedup-profile virtual call, sqrt (period) and exp only run the first
+/// time a (task, j) pair is seen over the model's lifetime. The cache is
+/// transparent: cached queries are arithmetic-identical (bit for bit) to
+/// the *_reference straight-line evaluations kept for tests and benches.
+///
+/// Thread-compatibility: the const query methods fill the table, so a
+/// single instance must not be probed from multiple threads concurrently.
+/// Engine owns one model per instance and the campaign runner builds one
+/// engine per repetition, so the parallel_for over repetitions is safe.
 
+#include <algorithm>
 #include <array>
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "checkpoint/model.hpp"
 #include "core/pack.hpp"
+#include "util/contracts.hpp"
 
 namespace coredis::core {
 
@@ -43,26 +64,67 @@ class ExpectedTimeModel {
   }
 
   /// Fault-free time t_{i,j} of the full task.
-  [[nodiscard]] double fault_free_time(int task, int j) const;
+  [[nodiscard]] double fault_free_time(int task, int j) const {
+    return coeffs(task, j).t_ij;
+  }
 
   /// Sequential checkpoint footprint C_i = c * m_i.
-  [[nodiscard]] double sequential_checkpoint(int task) const;
+  [[nodiscard]] double sequential_checkpoint(int task) const {
+    COREDIS_EXPECTS(task >= 0 && task < pack_->size());
+    return seq_ckpt_[static_cast<std::size_t>(task)];
+  }
 
   /// C_{i,j} = C_i / j; 0 in the fault-free context (no checkpoints).
-  [[nodiscard]] double checkpoint_cost(int task, int j) const;
+  [[nodiscard]] double checkpoint_cost(int task, int j) const {
+    if (resilience_->fault_free()) return 0.0;  // no checkpoint ever taken
+    return coeffs(task, j).cost;
+  }
 
   /// R_{i,j} = C_{i,j}.
-  [[nodiscard]] double recovery_time(int task, int j) const;
+  [[nodiscard]] double recovery_time(int task, int j) const {
+    if (resilience_->fault_free()) return 0.0;
+    return coeffs(task, j).recovery;
+  }
 
   /// Checkpointing period tau_{i,j} (Eq. 1); +infinity when fault-free.
-  [[nodiscard]] double period(int task, int j) const;
+  [[nodiscard]] double period(int task, int j) const {
+    if (resilience_->fault_free())
+      return std::numeric_limits<double>::infinity();
+    return coeffs(task, j).tau;
+  }
 
   /// N^ff_{i,j}(alpha), the checkpoint count of a fault-free execution of
   /// the fraction alpha (Eq. 2). 0 when fault-free (no checkpoints).
-  [[nodiscard]] double checkpoint_count(int task, int j, double alpha) const;
+  [[nodiscard]] double checkpoint_count(int task, int j, double alpha) const {
+    COREDIS_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
+    if (resilience_->fault_free() || alpha == 0.0) return 0.0;
+    const Coeffs& c = coeffs(task, j);
+    COREDIS_ASSERT(c.tau_minus_cost > 0.0);
+    return std::floor(alpha * c.t_ij / c.tau_minus_cost);  // Eq. 2
+  }
 
-  /// Raw Eq. 4 (no monotonicity clamp).
-  [[nodiscard]] double expected_time_raw(int task, int j, double alpha) const;
+  /// Raw Eq. 4 (no monotonicity clamp). O(1) on a warm coefficient row:
+  /// a handful of flops plus one expm1 for the trailing partial period.
+  [[nodiscard]] double expected_time_raw(int task, int j, double alpha) const {
+    COREDIS_EXPECTS(j >= 1);
+    COREDIS_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
+    if (alpha == 0.0) return 0.0;
+    const Coeffs& c = coeffs(task, j);
+    if (resilience_->fault_free()) return alpha * c.t_ij;  // section 3.3.1
+
+    const double work = alpha * c.t_ij;
+    const double n_ff = std::floor(work / c.tau_minus_cost);  // Eq. 2
+    const double tau_last = work - n_ff * c.tau_minus_cost;   // Eq. 3
+    COREDIS_ASSERT(tau_last >= -1e-9);
+
+    // Eq. 4 on the cached coefficients. exp arguments stay small in sane
+    // regimes (lambda_j * tau does not grow with j because tau ~ 1/j);
+    // extreme parameters may produce +inf, which propagates harmlessly
+    // through the min-based heuristics.
+    return c.factor *
+           (n_ff * c.expm1_tau +
+            std::expm1(c.lambda_j * std::max(tau_last, 0.0)));
+  }
 
   /// Eq. 6: min over even j' <= j of the raw value. j must be even >= 2.
   /// O(j) scan; use TrEvaluator in hot paths.
@@ -72,11 +134,79 @@ class ExpectedTimeModel {
   /// processors with *no* fault: work plus one checkpoint per completed
   /// period (the trailing partial period needs no final checkpoint). This
   /// is what the event simulator uses to schedule completion events.
-  [[nodiscard]] double simulated_duration(int task, int j, double alpha) const;
+  [[nodiscard]] double simulated_duration(int task, int j,
+                                          double alpha) const {
+    COREDIS_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
+    if (alpha == 0.0) return 0.0;
+    const Coeffs& c = coeffs(task, j);
+    const double work = alpha * c.t_ij;
+    if (resilience_->fault_free()) return work;
+    const double ratio = work / c.tau_minus_cost;
+    double full_periods = std::floor(ratio);
+    // Snap floating-point noise around an exact boundary before deciding.
+    if (ratio - full_periods > 1.0 - 1e-9) full_periods += 1.0;
+    const double remainder = work - full_periods * c.tau_minus_cost;
+    // A run ending exactly on a period boundary skips the final checkpoint.
+    if (remainder <= 1e-9 * work && full_periods > 0.0) full_periods -= 1.0;
+    return work + full_periods * c.cost;
+  }
+
+  /// Straight-line Eq. 4 bypassing the coefficient table: re-derives every
+  /// intermediate quantity from the pack and resilience models on each
+  /// call. Reference for the kernel-equivalence property tests and the
+  /// cached-vs-uncached microbenchmarks; never use in hot paths.
+  [[nodiscard]] double expected_time_raw_reference(int task, int j,
+                                                   double alpha) const;
+
+  /// Uncached counterpart of simulated_duration (see
+  /// expected_time_raw_reference).
+  [[nodiscard]] double simulated_duration_reference(int task, int j,
+                                                    double alpha) const;
 
  private:
+  /// Per-(task, j) coefficients of Eqs. 1-4; everything except alpha.
+  struct Coeffs {
+    double t_ij = -1.0;     ///< fault-free time; < 0 flags an unfilled slot
+    double tau = 0.0;       ///< checkpointing period tau_{i,j} (Eq. 1)
+    double cost = 0.0;      ///< C_{i,j}
+    double recovery = 0.0;  ///< R_{i,j}
+    double lambda_j = 0.0;  ///< j * lambda
+    double tau_minus_cost = 0.0;  ///< tau - C, the useful work per period
+    double factor = 0.0;     ///< e^{lambda_j R} (1/lambda_j + D)
+    double expm1_tau = 0.0;  ///< e^{lambda_j tau} - 1
+  };
+
+  /// Row lookup, filling the slot on first access. Every hot-path probe
+  /// uses an even j (allocations are processor pairs), so even columns
+  /// live in a dense row indexed by j / 2 — half the footprint of a
+  /// j-indexed row, and rows grow to the deepest probed j, which
+  /// Algorithm 1's full-pool lookahead pushes to ~p for every task. Odd
+  /// j (sequential baselines, tests) goes to a separate table that stays
+  /// empty during simulations.
+  const Coeffs& coeffs(int task, int j) const {
+    COREDIS_EXPECTS(task >= 0 && task < pack_->size());
+    COREDIS_EXPECTS(j >= 1);
+    auto& row = (j % 2 == 0 ? table_even_ : table_odd_)[
+        static_cast<std::size_t>(task)];
+    const auto slot = static_cast<std::size_t>(j) / 2;  // odd j=1 -> 0
+    if (row.size() <= slot) [[unlikely]]
+      row.resize(slot + 1);
+    Coeffs& c = row[slot];
+    if (c.t_ij < 0.0) [[unlikely]]
+      fill_coeffs(task, j, c);
+    return c;
+  }
+
+  /// Cold path of coeffs(): derive every alpha-independent quantity of
+  /// Eqs. 1-4 once for this (task, j).
+  void fill_coeffs(int task, int j, Coeffs& c) const;
+
   const Pack* pack_;
   const checkpoint::Model* resilience_;
+  std::vector<double> seq_ckpt_;  ///< C_i per task, filled eagerly
+  /// [task][j/2] for even j, [task][(j-1)/2] for odd j; both lazy.
+  mutable std::vector<std::vector<Coeffs>> table_even_;
+  mutable std::vector<std::vector<Coeffs>> table_odd_;
 };
 
 /// Incrementally cached evaluator of the Eq. 6 clamped expected time.
@@ -84,31 +214,93 @@ class ExpectedTimeModel {
 /// For each task it memoizes the prefix-minimum of raw t^R values over even
 /// j at a fixed alpha (the greedy loops probe ascending j at the alpha they
 /// froze for the current event, so the prefix fills once and every further
-/// probe is O(1)). Two alpha slots are kept per task because
-/// IteratedGreedy evaluates both the committed alpha_i and the tentative
-/// alpha^t_i of the same task (Alg. 5 lines 16-17).
+/// probe is O(1)). Three alpha slots are kept per task: slot 0 is pinned
+/// to alpha = 1.0 — the full-work column that Algorithm 1 probes deeply at
+/// the start of *every* run, so it survives the whole simulation and every
+/// subsequent run of the same engine — and the other two hold the
+/// committed alpha_i and the tentative alpha^t_i that IteratedGreedy
+/// evaluates for the same task within one event (Alg. 5 lines 16-17).
+///
+/// The engine brackets each simulation event with begin_event(), which
+/// advances an epoch counter. Slots touched in the current epoch are hot:
+/// eviction prefers a slot left over from an earlier event, so a rebuild
+/// that alternates between a task's committed and tentative alphas keeps
+/// both columns warm for the whole event instead of thrashing on LRU age
+/// alone. Cached values are pure in (task, j, alpha) and therefore never
+/// stale; epochs only steer eviction.
 class TrEvaluator {
+ private:
+  struct Slot {
+    double alpha = -1.0;                // key; -1 = empty
+    std::vector<double> prefix_min;     // prefix_min[h] covers j = 2(h+1)
+    std::uint64_t last_used = 0;
+    std::uint64_t epoch = 0;            // last begin_event() that touched it
+  };
+
  public:
   explicit TrEvaluator(const ExpectedTimeModel& model, int max_processors);
 
+  /// A column pinned to one (task, alpha): the heuristics' probe loops
+  /// bind once per scan and then pay only an array read per warm probe,
+  /// skipping the slot search of operator(). At most two columns per task
+  /// may be live at once (the committed and the tentative alpha — exactly
+  /// what the non-pinned slots hold); binding a third evicts the least
+  /// recently *bound* of the two, invalidating its outstanding Column.
+  class Column {
+   public:
+    /// Clamped expected time (Eq. 6) at even j; extends the prefix-min
+    /// lazily like operator() and is arithmetic-identical to it.
+    [[nodiscard]] double operator()(int j) const {
+      const auto want = static_cast<std::size_t>(j / 2);
+      auto& pm = slot_->prefix_min;
+      while (pm.size() < want) {
+        const int next_j = 2 * (static_cast<int>(pm.size()) + 1);
+        const double raw = model_->expected_time_raw(task_, next_j, alpha_);
+        pm.push_back(pm.empty() ? raw : std::min(pm.back(), raw));
+      }
+      return pm[want - 1];
+    }
+
+   private:
+    friend class TrEvaluator;
+    Column(const ExpectedTimeModel* model, Slot* slot, int task, double alpha)
+        : model_(model), slot_(slot), task_(task), alpha_(alpha) {}
+
+    const ExpectedTimeModel* model_;
+    Slot* slot_;
+    int task_;
+    double alpha_;
+  };
+
+  /// Bind (task, alpha) to its slot — reusing a cached column when the
+  /// alpha matches, evicting per the epoch/LRU policy otherwise — and
+  /// return the pinned fast-path handle.
+  [[nodiscard]] Column column(int task, double alpha);
+
   /// Clamped expected time (Eq. 6) for even j in [2, max_processors].
-  [[nodiscard]] double operator()(int task, int j, double alpha);
+  [[nodiscard]] double operator()(int task, int j, double alpha) {
+    COREDIS_EXPECTS(j >= 2 && j % 2 == 0 && j <= max_j_);
+    return column(task, alpha)(j);
+  }
+
+  /// Start a new simulation event: slots not reused since this call become
+  /// the preferred eviction victims (see class comment).
+  void begin_event() noexcept { ++epoch_; }
 
   /// Drop cached values of one task (alpha changed in a way the alpha-keyed
   /// slots cannot capture; cheap, slots rebuild lazily).
   void invalidate(int task);
 
  private:
-  struct Slot {
-    double alpha = -1.0;                // key; -1 = empty
-    std::vector<double> prefix_min;     // prefix_min[h] covers j = 2(h+1)
-    std::uint64_t last_used = 0;
-  };
+  /// Slot 0 is the pinned alpha = 1.0 column; eviction only ever
+  /// considers the remaining slots.
+  static constexpr std::size_t kSlotsPerTask = 3;
 
   const ExpectedTimeModel* model_;
   int max_j_;
   std::uint64_t clock_ = 0;
-  std::vector<std::array<Slot, 2>> slots_;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::array<Slot, kSlotsPerTask>> slots_;
 };
 
 }  // namespace coredis::core

@@ -18,7 +18,7 @@
 #include <cmath>
 #include <cstddef>
 #include <limits>
-#include <queue>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -52,6 +52,70 @@ double EngineState::redistribution_cost(int i, int to) const {
 void EngineState::refresh_projection(int i) {
   TaskRuntime& rt = task(i);
   rt.proj_end = rt.tlastR + model->simulated_duration(i, rt.sigma, rt.alpha);
+  if (use_event_index && !rt.done) {
+    projection_queue.update(i, rt.proj_end);
+    tu_queue.update(i, rt.tU);
+  }
+}
+
+void EngineState::build_event_index() {
+  use_event_index = true;
+  projection_queue.reset(n());
+  tu_queue.reset(n());
+  for (int i = 0; i < n(); ++i) {
+    const TaskRuntime& rt = task(i);
+    if (rt.done) continue;
+    projection_queue.update(i, rt.proj_end);
+    tu_queue.update(i, rt.tU);
+  }
+}
+
+void EngineState::mark_done(int i) {
+  TaskRuntime& rt = task(i);
+  rt.done = true;
+  if (use_event_index) {
+    projection_queue.remove(i);
+    tu_queue.remove(i);
+  }
+}
+
+int EngineState::earliest_unfinished() const {
+  if (use_event_index)
+    return projection_queue.empty() ? -1 : projection_queue.top();
+  double end_time = std::numeric_limits<double>::infinity();
+  int ending = -1;
+  for (int i = 0; i < n(); ++i) {
+    const TaskRuntime& rt = task(i);
+    if (!rt.done && rt.proj_end < end_time) {
+      end_time = rt.proj_end;
+      ending = i;
+    }
+  }
+  return ending;
+}
+
+double EngineState::longest_expected_finish() const {
+  if (use_event_index) return tu_queue.empty() ? 0.0 : tu_queue.top_key();
+  double longest = 0.0;
+  for (int i = 0; i < n(); ++i)
+    if (!task(i).done) longest = std::max(longest, task(i).tU);
+  return longest;
+}
+
+void EngineState::unfinished_ending_by(double bound, int except,
+                                       std::vector<int>& out) const {
+  out.clear();
+  if (use_event_index) {
+    projection_queue.for_each_at_or_before(
+        bound, [&](int i) { if (i != except) out.push_back(i); });
+    // Heap order is arbitrary; callers surrender processors in ascending
+    // task order (it shapes the idle pool's stack, hence determinism).
+    std::sort(out.begin(), out.end());
+    return;
+  }
+  for (int i = 0; i < n(); ++i)
+    if (i != except && !task(i).done && task(i).proj_end <= bound)
+      out.push_back(i);
 }
 
 void EngineState::commit(double t, int faulty, const std::vector<int>& new_sigma,
@@ -63,13 +127,13 @@ void EngineState::commit(double t, int faulty, const std::vector<int>& new_sigma
     const TaskRuntime& rt = task(i);
     if (rt.done || rt.released) continue;
     if (new_sigma[static_cast<std::size_t>(i)] < rt.sigma)
-      platform->release(i, rt.sigma - new_sigma[static_cast<std::size_t>(i)]);
+      platform->revoke(i, rt.sigma - new_sigma[static_cast<std::size_t>(i)]);
   }
   for (int i = 0; i < n(); ++i) {
     const TaskRuntime& rt = task(i);
     if (rt.done || rt.released) continue;
     if (new_sigma[static_cast<std::size_t>(i)] > rt.sigma)
-      platform->acquire(i, new_sigma[static_cast<std::size_t>(i)] - rt.sigma);
+      platform->grant(i, new_sigma[static_cast<std::size_t>(i)] - rt.sigma);
   }
   const bool fault_free = model->resilience().fault_free();
   for (int i = 0; i < n(); ++i) {
@@ -110,15 +174,45 @@ void EngineState::commit(double t, int faulty, const std::vector<int>& new_sigma
 namespace {
 
 /// Max-heap entry: longest expected finish first, deterministic ties.
+/// Entries are pairwise distinct (one per task, index tiebreak), so heap
+/// pops follow a strict total order whatever the internal layout — the
+/// push_heap/pop_heap scratch vector below pops exactly like the
+/// std::priority_queue it replaced, without reallocating per call.
 using HeapEntry = std::pair<double, int>;
 
-/// tE of moving task i from sigma_init to `target` at time t, paying the
-/// redistribution and the initial checkpoint on the new allocation
-/// (Alg. 3 line 12 / Alg. 4 line 16 / Alg. 5 line 17).
-double candidate_finish(EngineState& s, double t, int i, int target,
-                        double alpha) {
-  return t + s.redistribution_cost(i, target) +
-         s.model->checkpoint_cost(i, target) + (*s.tr)(i, target, alpha);
+/// Drop the root (the task leaves the heap for good).
+void heap_drop_top(std::vector<HeapEntry>& heap) {
+  std::pop_heap(heap.begin(), heap.end());
+  heap.pop_back();
+}
+
+/// Rewrite the root in place and restore the heap with a single
+/// sift-down — the grant loops pop the top, rescore it, and reinsert it,
+/// which this fuses into one O(log n) pass (zero when it stays the max).
+void heap_replace_top(std::vector<HeapEntry>& heap, HeapEntry entry) {
+  const std::size_t n = heap.size();
+  std::size_t hole = 0;
+  while (true) {
+    std::size_t child = 2 * hole + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap[child] < heap[child + 1]) ++child;
+    if (!(entry < heap[child])) break;
+    heap[hole] = heap[child];
+    hole = child;
+  }
+  heap[hole] = entry;
+}
+
+/// True when `entry`, written at the root, would stay the maximum — i.e.
+/// it beats both children, hence every entry (strict order, no
+/// duplicates). Lets the grant loops keep probing the same task with no
+/// heap work at all.
+[[nodiscard]] bool stays_top(const std::vector<HeapEntry>& heap,
+                             const HeapEntry& entry) {
+  const std::size_t n = heap.size();
+  if (n > 1 && entry < heap[1]) return false;
+  if (n > 2 && entry < heap[2]) return false;
+  return true;
 }
 
 }  // namespace
@@ -128,38 +222,54 @@ bool end_local(EngineState& s, double t) {
   int k = s.platform->free_count();
   if (k < 2) return false;
 
-  std::vector<int> new_sigma(static_cast<std::size_t>(n));
-  std::vector<double> alpha_t(static_cast<std::size_t>(n), 0.0);
-  std::vector<double> tU(static_cast<std::size_t>(n), 0.0);
-  std::priority_queue<HeapEntry> heap;
+  EngineState::Scratch& scr = s.scratch;
+  std::vector<int>& new_sigma = scr.new_sigma;
+  std::vector<double>& alpha_t = scr.alpha_t;
+  std::vector<double>& tU = scr.tU;
+  new_sigma.resize(static_cast<std::size_t>(n));
+  alpha_t.assign(static_cast<std::size_t>(n), 0.0);
+  tU.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<HeapEntry>& heap = scr.heap;
+  heap.clear();
   for (int i = 0; i < n; ++i) {
     new_sigma[static_cast<std::size_t>(i)] = s.task(i).sigma;
     if (!s.included(i, t)) continue;
     alpha_t[static_cast<std::size_t>(i)] = s.alpha_tentative(i, t);  // Alg. 3 line 8
     tU[static_cast<std::size_t>(i)] = s.task(i).tU;
-    heap.emplace(s.task(i).tU, i);
+    heap.emplace_back(s.task(i).tU, i);
   }
+  std::make_heap(heap.begin(), heap.end());
 
   bool changed = false;
   while (k >= 2 && !heap.empty()) {
-    const int i = heap.top().second;
-    heap.pop();
+    const int i = heap.front().second;  // peek; the entry stays in place
     const auto idx = static_cast<std::size_t>(i);
+    const CandidateProber probe(s, t, i, alpha_t[idx]);
     // Improvability probe (Alg. 3 lines 10-15): first q that helps.
     bool improvable = false;
+    double first_tE = 0.0;  // tE at new_sigma + 2, reused on grant
     for (int q = 2; q <= k; q += 2) {
-      if (candidate_finish(s, t, i, new_sigma[idx] + q, alpha_t[idx]) <
-          tU[idx]) {
+      const double tE = probe(new_sigma[idx] + q);
+      if (q == 2) first_tE = tE;
+      if (tE < tU[idx]) {
         improvable = true;
         break;
       }
     }
-    if (!improvable) continue;  // popped for good; try the next-longest task
-    new_sigma[idx] += 2;        // grants are pair-by-pair (Alg. 3 line 17)
-    tU[idx] = candidate_finish(s, t, i, new_sigma[idx], alpha_t[idx]);
-    heap.emplace(tU[idx], i);
+    if (!improvable) {  // dropped for good; try the next-longest task
+      heap_drop_top(heap);
+      continue;
+    }
+    new_sigma[idx] += 2;  // grants are pair-by-pair (Alg. 3 line 17)
+    // The grant lands on new_sigma + 2, whose tE the scan just computed.
+    tU[idx] = first_tE;
     k -= 2;
     changed = true;
+    const HeapEntry rescored(tU[idx], i);
+    if (stays_top(heap, rescored))
+      heap.front() = rescored;  // keeps the lead: no sift needed
+    else
+      heap_replace_top(heap, rescored);
   }
   if (changed) s.commit(t, /*faulty=*/-1, new_sigma, alpha_t);
   return changed;
@@ -167,10 +277,15 @@ bool end_local(EngineState& s, double t) {
 
 bool iterated_greedy(EngineState& s, double t, int faulty) {
   const int n = s.n();
-  std::vector<char> in(static_cast<std::size_t>(n), 0);
-  std::vector<double> alpha_t(static_cast<std::size_t>(n), 0.0);
-  std::vector<int> new_sigma(static_cast<std::size_t>(n));
-  std::vector<double> tU(static_cast<std::size_t>(n), 0.0);
+  EngineState::Scratch& scr = s.scratch;
+  std::vector<char>& in = scr.included;
+  std::vector<double>& alpha_t = scr.alpha_t;
+  std::vector<int>& new_sigma = scr.new_sigma;
+  std::vector<double>& tU = scr.tU;
+  in.assign(static_cast<std::size_t>(n), 0);
+  alpha_t.assign(static_cast<std::size_t>(n), 0.0);
+  new_sigma.resize(static_cast<std::size_t>(n));
+  tU.assign(static_cast<std::size_t>(n), 0.0);
 
   int pool = s.platform->free_count();
   int n_included = 0;
@@ -189,35 +304,51 @@ bool iterated_greedy(EngineState& s, double t, int faulty) {
   if (n_included == 0) return false;
   COREDIS_ASSERT(pool >= 2 * n_included);
 
+  // One prober per eligible task, bound lazily and reused across every
+  // pop of that task in the regrow loop (the bind — slot search plus
+  // constant caching — showed up in profiles at ~5 pops per task). The
+  // scratch vector keeps its capacity across calls.
+  std::vector<std::optional<CandidateProber>>& probers = scr.probers;
+  probers.assign(static_cast<std::size_t>(n), std::nullopt);
+  const auto probe_for = [&](int task) -> const CandidateProber& {
+    auto& p = probers[static_cast<std::size_t>(task)];
+    if (!p)
+      p.emplace(s, t, task, alpha_t[static_cast<std::size_t>(task)]);
+    return *p;
+  };
+
   // Reset every eligible task to one pair (Alg. 5 lines 3-8); a task whose
   // original allocation was already 2 keeps its committed tU (no cost).
-  std::priority_queue<HeapEntry> heap;
+  std::vector<HeapEntry>& heap = scr.heap;
+  heap.clear();
   for (int i = 0; i < n; ++i) {
     const auto idx = static_cast<std::size_t>(i);
     if (!in[idx]) continue;
     new_sigma[idx] = 2;
-    tU[idx] = new_sigma[idx] == s.task(i).sigma
-                  ? s.task(i).tU
-                  : candidate_finish(s, t, i, 2, alpha_t[idx]);
-    heap.emplace(tU[idx], i);
+    tU[idx] = new_sigma[idx] == s.task(i).sigma ? s.task(i).tU
+                                                : probe_for(i)(2);
+    heap.emplace_back(tU[idx], i);
   }
+  std::make_heap(heap.begin(), heap.end());
 
   int available = pool - 2 * n_included;
   while (available >= 2 && !heap.empty()) {
-    const int i = heap.top().second;
-    heap.pop();
+    const int i = heap.front().second;  // peek; the entry stays in place
     const auto idx = static_cast<std::size_t>(i);
     const int sigma_init = s.task(i).sigma;
     const int pmax = new_sigma[idx] + available;
+    const CandidateProber& probe = probe_for(i);
 
     bool improvable = false;
+    double first_tE = 0.0;  // tE at new_sigma + 2, reused on grant
     for (int target = new_sigma[idx] + 2; target <= pmax; target += 2) {
       // Returning to the original allocation costs nothing: the task just
       // keeps computing from tlastR with its committed fraction (line 16).
       const double tE =
           target == sigma_init
               ? s.task(i).tlastR + (*s.tr)(i, target, s.task(i).alpha)
-              : candidate_finish(s, t, i, target, alpha_t[idx]);
+              : probe(target);
+      if (target == new_sigma[idx] + 2) first_tE = tE;
       if (tE < tU[idx]) {
         improvable = true;
         break;
@@ -226,11 +357,14 @@ bool iterated_greedy(EngineState& s, double t, int faulty) {
     if (!improvable) break;  // line 30: the longest task is stuck -> stop
 
     new_sigma[idx] += 2;
-    tU[idx] = new_sigma[idx] == sigma_init
-                  ? s.task(i).tlastR + (*s.tr)(i, new_sigma[idx], s.task(i).alpha)
-                  : candidate_finish(s, t, i, new_sigma[idx], alpha_t[idx]);
-    heap.emplace(tU[idx], i);
+    // The grant lands on new_sigma + 2, whose tE the scan just computed.
+    tU[idx] = first_tE;
     available -= 2;
+    const HeapEntry rescored(tU[idx], i);
+    if (stays_top(heap, rescored))
+      heap.front() = rescored;  // keeps the lead: no sift needed
+    else
+      heap_replace_top(heap, rescored);
   }
 
   bool changed = false;
@@ -253,10 +387,15 @@ bool shortest_tasks_first(EngineState& s, double t, int faulty) {
   const TaskRuntime& f = s.task(faulty);
   if (f.done || f.released) return false;
 
-  std::vector<int> new_sigma(static_cast<std::size_t>(n));
-  std::vector<double> alpha_t(static_cast<std::size_t>(n), 0.0);
-  std::vector<double> tU(static_cast<std::size_t>(n), 0.0);
-  std::vector<char> in(static_cast<std::size_t>(n), 0);
+  EngineState::Scratch& scr = s.scratch;
+  std::vector<int>& new_sigma = scr.new_sigma;
+  std::vector<double>& alpha_t = scr.alpha_t;
+  std::vector<double>& tU = scr.tU;
+  std::vector<char>& in = scr.included;
+  new_sigma.resize(static_cast<std::size_t>(n));
+  alpha_t.assign(static_cast<std::size_t>(n), 0.0);
+  tU.resize(static_cast<std::size_t>(n));
+  in.assign(static_cast<std::size_t>(n), 0);
   for (int i = 0; i < n; ++i) {
     const auto idx = static_cast<std::size_t>(i);
     new_sigma[idx] = s.task(i).sigma;
@@ -275,15 +414,18 @@ bool shortest_tasks_first(EngineState& s, double t, int faulty) {
   double tU_f = f.tU;
   int k = s.platform->free_count();
   bool changed = false;
+  const CandidateProber probe_faulty(s, t, faulty, alpha_f);
 
   // Phase 1 (Alg. 4 lines 12-25): hand idle pairs to the faulty task. The
   // first improving growth q is granted at once, then re-probe.
   while (k >= 2) {
     int grant = -1;
+    double grant_tE = 0.0;
     for (int q = 2; q <= k; q += 2) {
-      if (candidate_finish(s, t, faulty, new_sigma[fidx] + q, alpha_f) <
-          tU_f) {
+      const double tE = probe_faulty(new_sigma[fidx] + q);
+      if (tE < tU_f) {
         grant = q;  // the paper's qmax: first (smallest) improving growth
+        grant_tE = tE;
         break;
       }
     }
@@ -292,7 +434,8 @@ bool shortest_tasks_first(EngineState& s, double t, int faulty) {
                            // the faulty task stops being improvable.
     new_sigma[fidx] += grant;
     k -= grant;
-    tU_f = candidate_finish(s, t, faulty, new_sigma[fidx], alpha_f);
+    // The grant lands exactly on the target the scan just found improving.
+    tU_f = grant_tE;
     changed = true;
   }
 
@@ -315,13 +458,18 @@ bool shortest_tasks_first(EngineState& s, double t, int faulty) {
     }
     if (victim < 0) break;
     const auto vidx = static_cast<std::size_t>(victim);
+    const CandidateProber probe_victim(s, t, victim, alpha_t[vidx]);
 
     bool improvable = false;
+    double first_tE_f = 0.0;  // q = 2 probes, reused by the pair transfer
+    double first_tE_s = 0.0;
     for (int q = 2; q <= new_sigma[vidx] - 2; q += 2) {
-      const double tE_f =
-          candidate_finish(s, t, faulty, new_sigma[fidx] + q, alpha_f);
-      const double tE_s =
-          candidate_finish(s, t, victim, new_sigma[vidx] - q, alpha_t[vidx]);
+      const double tE_f = probe_faulty(new_sigma[fidx] + q);
+      const double tE_s = probe_victim(new_sigma[vidx] - q);
+      if (q == 2) {
+        first_tE_f = tE_f;
+        first_tE_s = tE_s;
+      }
       // Steal only if the faulty task improves and the shrunk victim stays
       // shorter than the faulty task's current expectation (lines 30-32).
       if (tE_f < tU_f && tE_s < tU_f) {
@@ -333,8 +481,8 @@ bool shortest_tasks_first(EngineState& s, double t, int faulty) {
 
     new_sigma[fidx] += 2;  // transfers are pair-by-pair (lines 35-36)
     new_sigma[vidx] -= 2;
-    tU_f = candidate_finish(s, t, faulty, new_sigma[fidx], alpha_f);
-    tU[vidx] = candidate_finish(s, t, victim, new_sigma[vidx], alpha_t[vidx]);
+    tU_f = first_tE_f;
+    tU[vidx] = first_tE_s;
     changed = true;
     if (tU[vidx] > tU_f) break;  // line 39: the victim became the bottleneck
   }

@@ -52,12 +52,13 @@ std::vector<int> optimal_schedule(const ExpectedTimeModel& model,
     const int i = head.task;
     const int current = sigma[static_cast<std::size_t>(i)];
     const int pmax = current + available - available % 2;  // even allocations
+    const TrEvaluator::Column tr = evaluator.column(i, 1.0);
     // Line 9 lookahead: can this task be improved at all with everything
     // still in the pool? (Eq. 6 clamping makes the evaluator monotone, so
     // equality means no allocation in (current, pmax] helps.)
-    if (evaluator(i, current, 1.0) > evaluator(i, pmax, 1.0)) {
+    if (tr(current) > tr(pmax)) {
       sigma[static_cast<std::size_t>(i)] = current + 2;
-      heap.push({evaluator(i, current + 2, 1.0), i});
+      heap.push({tr(current + 2), i});
       available -= 2;
     } else {
       // Keep the remaining processors for future redistributions.

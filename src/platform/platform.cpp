@@ -13,6 +13,7 @@ Platform::Platform(int processors) {
   COREDIS_EXPECTS(processors > 0);
   COREDIS_EXPECTS(processors % 2 == 0);
   owner_.assign(static_cast<std::size_t>(processors), kIdle);
+  slot_.assign(static_cast<std::size_t>(processors), -1);
   free_.resize(static_cast<std::size_t>(processors));
   // Pool as a stack with ascending ids on top first, so acquisitions get
   // deterministic ids (helps trace reproducibility and tests).
@@ -41,37 +42,60 @@ int Platform::allocated(int task) const {
   return static_cast<int>(held_by(task).size());
 }
 
-std::vector<int> Platform::acquire(int task, int count) {
+int Platform::pair_partner(int processor) const {
+  COREDIS_EXPECTS(processor >= 0 && processor < processors());
+  const int task = owner_[static_cast<std::size_t>(processor)];
+  if (task == kIdle) return kIdle;
+  const int slot = slot_[static_cast<std::size_t>(processor)];
+  return held_[static_cast<std::size_t>(task)][static_cast<std::size_t>(slot ^ 1)];
+}
+
+void Platform::grant(int task, int count) {
   COREDIS_EXPECTS(count >= 0 && count % 2 == 0);
   COREDIS_EXPECTS(count <= free_count());
   register_task(task);
-  std::vector<int> granted;
-  granted.reserve(static_cast<std::size_t>(count));
   auto& mine = held_[static_cast<std::size_t>(task)];
   for (int i = 0; i < count; ++i) {
     const int proc = free_.back();
     free_.pop_back();
     owner_[static_cast<std::size_t>(proc)] = task;
+    slot_[static_cast<std::size_t>(proc)] = static_cast<int>(mine.size());
     mine.push_back(proc);
-    granted.push_back(proc);
   }
-  return granted;
+}
+
+std::vector<int> Platform::acquire(int task, int count) {
+  register_task(task);
+  const auto& mine = held_[static_cast<std::size_t>(task)];
+  const std::size_t before = mine.size();
+  grant(task, count);
+  return {mine.begin() + static_cast<std::ptrdiff_t>(before), mine.end()};
+}
+
+void Platform::revoke(int task, int count) {
+  COREDIS_EXPECTS(count >= 0 && count % 2 == 0);
+  COREDIS_EXPECTS(task >= 0 && static_cast<std::size_t>(task) < held_.size());
+  auto& mine = held_[static_cast<std::size_t>(task)];
+  COREDIS_EXPECTS(count <= static_cast<int>(mine.size()));
+  for (int i = 0; i < count; ++i) {
+    const int proc = mine.back();
+    mine.pop_back();
+    owner_[static_cast<std::size_t>(proc)] = kIdle;
+    slot_[static_cast<std::size_t>(proc)] = -1;
+    free_.push_back(proc);
+  }
 }
 
 std::vector<int> Platform::release(int task, int count) {
   COREDIS_EXPECTS(count >= 0 && count % 2 == 0);
   COREDIS_EXPECTS(task >= 0 && static_cast<std::size_t>(task) < held_.size());
-  auto& mine = held_[static_cast<std::size_t>(task)];
+  const auto& mine = held_[static_cast<std::size_t>(task)];
   COREDIS_EXPECTS(count <= static_cast<int>(mine.size()));
-  std::vector<int> revoked;
-  revoked.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    const int proc = mine.back();
-    mine.pop_back();
-    owner_[static_cast<std::size_t>(proc)] = kIdle;
-    free_.push_back(proc);
-    revoked.push_back(proc);
-  }
+  // The ids come off the back of the ledger, newest first, exactly as
+  // revoke() pops them.
+  std::vector<int> revoked(mine.rbegin(),
+                           mine.rbegin() + static_cast<std::ptrdiff_t>(count));
+  revoke(task, count);
   return revoked;
 }
 
@@ -81,6 +105,7 @@ void Platform::release_all(int task) {
   auto& mine = held_[static_cast<std::size_t>(task)];
   for (int proc : mine) {
     owner_[static_cast<std::size_t>(proc)] = kIdle;
+    slot_[static_cast<std::size_t>(proc)] = -1;
     free_.push_back(proc);
   }
   mine.clear();

@@ -40,13 +40,27 @@ class Platform {
   /// Number of processors currently held by `task`.
   [[nodiscard]] int allocated(int task) const;
 
+  /// Buddy of a held processor under the double-checkpointing pairing:
+  /// pairs are granted and revoked together, so the partner of the ledger
+  /// entry at slot k is the entry at slot k ^ 1. O(1) via the
+  /// processor -> slot index; kIdle for an idle processor.
+  [[nodiscard]] int pair_partner(int processor) const;
+
   /// Grant `count` idle processors (even, <= free_count()) to `task`.
-  /// Returns the granted processor ids.
+  /// Returns the granted processor ids; use grant() when they are not
+  /// needed (the engine hot path never is — it asks the ledger later).
   std::vector<int> acquire(int task, int count);
 
+  /// Void fast path of acquire(): no id vector is built.
+  void grant(int task, int count);
+
   /// Revoke `count` processors (even, <= allocated(task)) from `task` back
-  /// to the idle pool. Returns the revoked processor ids.
+  /// to the idle pool. Returns the revoked processor ids; use revoke()
+  /// when they are not needed.
   std::vector<int> release(int task, int count);
+
+  /// Void fast path of release(): no id vector is built.
+  void revoke(int task, int count);
 
   /// Revoke everything `task` holds (e.g. on task completion).
   void release_all(int task);
@@ -60,6 +74,7 @@ class Platform {
   void register_task(int task);
 
   std::vector<int> owner_;              // processor -> task (or kIdle)
+  std::vector<int> slot_;               // processor -> index in held_[owner]
   std::vector<int> free_;               // idle pool, used as a stack
   std::vector<std::vector<int>> held_;  // task -> held processors
 };

@@ -1,27 +1,8 @@
 #include "redistrib/cost.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <cstdlib>
-
 #include "util/contracts.hpp"
 
 namespace coredis::redistrib {
-
-int rounds(int from_processors, int to_processors) {
-  COREDIS_EXPECTS(from_processors >= 1);
-  COREDIS_EXPECTS(to_processors >= 1);
-  COREDIS_EXPECTS(from_processors != to_processors);
-  return std::max(std::min(from_processors, to_processors),
-                  std::abs(to_processors - from_processors));
-}
-
-double cost(int from_processors, int to_processors, double data_size) {
-  COREDIS_EXPECTS(data_size > 0.0);
-  const double r = rounds(from_processors, to_processors);
-  return r * (1.0 / static_cast<double>(to_processors)) *
-         (data_size / static_cast<double>(from_processors));
-}
 
 double growth_cost(int from_processors, int to_processors, double data_size) {
   COREDIS_EXPECTS(to_processors > from_processors);

@@ -17,16 +17,36 @@
 /// bipartite.hpp constructs the actual round-by-round transfer plan and the
 /// test suite verifies that its round count matches this closed form.
 
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/contracts.hpp"
+
 namespace coredis::redistrib {
 
 /// Number of communication rounds for a j -> k redistribution (j, k >= 1,
-/// j != k).
-[[nodiscard]] int rounds(int from_processors, int to_processors);
+/// j != k). Inline: the heuristics' candidate probes evaluate this per
+/// probed allocation.
+[[nodiscard]] inline int rounds(int from_processors, int to_processors) {
+  COREDIS_EXPECTS(from_processors >= 1);
+  COREDIS_EXPECTS(to_processors >= 1);
+  COREDIS_EXPECTS(from_processors != to_processors);
+  return std::max(std::min(from_processors, to_processors),
+                  std::abs(to_processors - from_processors));
+}
 
 /// Redistribution cost RC^{j->k} in seconds for a task with `data_size` m
-/// (Eq. 9). Preconditions: j, k >= 1, j != k, m > 0.
-[[nodiscard]] double cost(int from_processors, int to_processors,
-                          double data_size);
+/// (Eq. 9). Preconditions: j, k >= 1, j != k, m > 0. Inline for the same
+/// reason as rounds(); this is the single definition of the Eq. 9
+/// arithmetic (the engine's bit-identity guarantees depend on every
+/// caller computing it identically).
+[[nodiscard]] inline double cost(int from_processors, int to_processors,
+                                 double data_size) {
+  COREDIS_EXPECTS(data_size > 0.0);
+  const double r = rounds(from_processors, to_processors);
+  return r * (1.0 / static_cast<double>(to_processors)) *
+         (data_size / static_cast<double>(from_processors));
+}
 
 /// Growth-only form of Eq. 7 (k > j); equal to cost() on its domain, kept
 /// as a distinct entry point mirroring the paper's presentation.

@@ -1,0 +1,179 @@
+#pragma once
+
+/// \file indexed_heap.hpp
+/// Position-indexed binary heap over dense integer ids.
+///
+/// The event engine needs a priority queue whose entries' keys change in
+/// place (a fault rewrites one task's projected completion; a commit
+/// rewrites many) and whose entries leave mid-simulation (a task
+/// completes). std::priority_queue supports neither, so this heap keeps a
+/// position map id -> heap slot and re-sifts the one moved entry: update
+/// and remove are O(log n), top is O(1).
+///
+/// `Order` is a stateless comparator over (key, id) pairs returning true
+/// when the first entry must sit nearer the root. Ties MUST be broken (the
+/// provided orders use ascending id) so that heap extraction reproduces the
+/// selection of the linear scans it replaces, keeping simulations
+/// bit-identical between the two event-queue implementations.
+
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace coredis::util {
+
+/// Min-at-root by key, ties to the smallest id: matches a `<` linear scan
+/// that keeps the first minimum.
+struct MinKeyThenId {
+  [[nodiscard]] bool operator()(double key_a, int id_a, double key_b,
+                                int id_b) const noexcept {
+    if (key_a != key_b) return key_a < key_b;
+    return id_a < id_b;
+  }
+};
+
+/// Max-at-root by key, ties to the smallest id.
+struct MaxKeyThenId {
+  [[nodiscard]] bool operator()(double key_a, int id_a, double key_b,
+                                int id_b) const noexcept {
+    if (key_a != key_b) return key_a > key_b;
+    return id_a < id_b;
+  }
+};
+
+template <class Order>
+class IndexedHeap {
+ public:
+  /// Empty the heap and size the id universe to [0, ids).
+  void reset(int ids) {
+    COREDIS_EXPECTS(ids >= 0);
+    heap_.clear();
+    heap_.reserve(static_cast<std::size_t>(ids));
+    pos_.assign(static_cast<std::size_t>(ids), -1);
+    key_.assign(static_cast<std::size_t>(ids), 0.0);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(heap_.size());
+  }
+  [[nodiscard]] bool contains(int id) const {
+    return pos_[checked(id)] >= 0;
+  }
+  [[nodiscard]] double key(int id) const { return key_[checked(id)]; }
+
+  /// Id at the root. Precondition: non-empty.
+  [[nodiscard]] int top() const {
+    COREDIS_EXPECTS(!heap_.empty());
+    return heap_[0];
+  }
+  [[nodiscard]] double top_key() const { return key_[checked(top())]; }
+
+  /// Insert `id` with `key`, or rewrite its key in place.
+  void update(int id, double new_key) {
+    const std::size_t u = checked(id);
+    key_[u] = new_key;
+    if (pos_[u] < 0) {
+      pos_[u] = static_cast<int>(heap_.size());
+      heap_.push_back(id);
+      sift_up(static_cast<std::size_t>(pos_[u]));
+    } else {
+      const auto slot = static_cast<std::size_t>(pos_[u]);
+      if (!sift_up(slot)) sift_down(slot);
+    }
+  }
+
+  /// Drop `id` if present; no-op otherwise.
+  void remove(int id) {
+    const std::size_t u = checked(id);
+    if (pos_[u] < 0) return;
+    const auto slot = static_cast<std::size_t>(pos_[u]);
+    const int last = heap_.back();
+    heap_.pop_back();
+    pos_[u] = -1;
+    if (slot < heap_.size()) {
+      heap_[slot] = last;
+      pos_[static_cast<std::size_t>(last)] = static_cast<int>(slot);
+      if (!sift_up(slot)) sift_down(slot);
+    }
+  }
+
+  /// Visit every contained id whose key is at-or-before `bound` in heap
+  /// order (key <= bound for the min order, key >= bound for the max
+  /// order), by depth-first descent with subtree pruning: O(matches) when
+  /// few match, never worse than O(n). Visit order is heap order, not
+  /// sorted; callers that need determinism must sort what they collect.
+  template <class Visitor>
+  void for_each_at_or_before(double bound, Visitor&& visit) const {
+    if (!heap_.empty()) descend(0, bound, visit);
+  }
+
+ private:
+  [[nodiscard]] std::size_t checked(int id) const {
+    COREDIS_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < pos_.size());
+    return static_cast<std::size_t>(id);
+  }
+
+  [[nodiscard]] bool before(int id_a, int id_b) const {
+    return Order{}(key_[static_cast<std::size_t>(id_a)], id_a,
+                   key_[static_cast<std::size_t>(id_b)], id_b);
+  }
+
+  /// Returns true if the entry moved.
+  bool sift_up(std::size_t slot) {
+    bool moved = false;
+    while (slot > 0) {
+      const std::size_t parent = (slot - 1) / 2;
+      if (!before(heap_[slot], heap_[parent])) break;
+      swap_slots(slot, parent);
+      slot = parent;
+      moved = true;
+    }
+    return moved;
+  }
+
+  void sift_down(std::size_t slot) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t best = slot;
+      const std::size_t left = 2 * slot + 1;
+      const std::size_t right = left + 1;
+      if (left < n && before(heap_[left], heap_[best])) best = left;
+      if (right < n && before(heap_[right], heap_[best])) best = right;
+      if (best == slot) return;
+      swap_slots(slot, best);
+      slot = best;
+    }
+  }
+
+  void swap_slots(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[static_cast<std::size_t>(heap_[a])] = static_cast<int>(a);
+    pos_[static_cast<std::size_t>(heap_[b])] = static_cast<int>(b);
+  }
+
+  template <class Visitor>
+  void descend(std::size_t slot, double bound, Visitor& visit) const {
+    const int id = heap_[slot];
+    // A node strictly after the bound prunes its whole subtree (children
+    // are never nearer the root than their parent). The sentinel id sorts
+    // after every real id, so key == bound is visited, not pruned.
+    constexpr int kAfterAllIds = std::numeric_limits<int>::max();
+    if (Order{}(bound, kAfterAllIds, key_[static_cast<std::size_t>(id)], id))
+      return;
+    visit(id);
+    const std::size_t left = 2 * slot + 1;
+    const std::size_t right = left + 1;
+    if (left < heap_.size()) descend(left, bound, visit);
+    if (right < heap_.size()) descend(right, bound, visit);
+  }
+
+  std::vector<int> heap_;  ///< slot -> id
+  std::vector<int> pos_;   ///< id -> slot, -1 when absent
+  std::vector<double> key_;
+};
+
+}  // namespace coredis::util

@@ -221,5 +221,47 @@ TEST_F(EngineStateTest, ZeroRedistributionCostFlagDropsRc) {
   EXPECT_GT(state_.redistribution_cost(0, 8), 0.0);
 }
 
+TEST_F(EngineStateTest, EventIndexAgreesWithLinearScans) {
+  // Same state, queried with and without the index, through a sequence of
+  // projection updates and completions.
+  EXPECT_EQ(state_.use_event_index, false);
+  const int linear_first = state_.earliest_unfinished();
+  const double linear_longest = state_.longest_expected_finish();
+
+  state_.build_event_index();
+  EXPECT_EQ(state_.earliest_unfinished(), linear_first);
+  EXPECT_DOUBLE_EQ(state_.longest_expected_finish(), linear_longest);
+
+  // Push task 0's projection way out and its tU up; the index must track.
+  state_.task(0).tlastR = 5.0e7;
+  state_.task(0).tU = 9.0e7;
+  state_.refresh_projection(0);
+  state_.use_event_index = false;
+  const int scan_first = state_.earliest_unfinished();
+  const double scan_longest = state_.longest_expected_finish();
+  state_.use_event_index = true;
+  EXPECT_EQ(state_.earliest_unfinished(), scan_first);
+  EXPECT_DOUBLE_EQ(state_.longest_expected_finish(), scan_longest);
+
+  // Completion removes the task from both queues.
+  state_.mark_done(scan_first);
+  state_.use_event_index = false;
+  const int next_first = state_.earliest_unfinished();
+  state_.use_event_index = true;
+  EXPECT_EQ(state_.earliest_unfinished(), next_first);
+}
+
+TEST_F(EngineStateTest, UnfinishedEndingByMatchesLinearFilter) {
+  state_.build_event_index();
+  const double bound = state_.task(1).proj_end;  // includes the boundary
+  std::vector<int> indexed;
+  state_.unfinished_ending_by(bound, /*except=*/2, indexed);
+  state_.use_event_index = false;
+  std::vector<int> linear;
+  state_.unfinished_ending_by(bound, /*except=*/2, linear);
+  EXPECT_EQ(indexed, linear);
+  EXPECT_FALSE(indexed.empty());
+}
+
 }  // namespace
 }  // namespace coredis::core::detail

@@ -202,5 +202,91 @@ TEST(TrEvaluator, InvalidateForcesRebuild) {
   EXPECT_DOUBLE_EQ(evaluator(0, 32, 1.0), before);
 }
 
+TEST(TrEvaluator, EpochsOnlySteerEvictionNeverValues) {
+  const Pack pack = make_pack({2.0e6, 1.7e6});
+  const checkpoint::Model resilience = faulty_model();
+  const ExpectedTimeModel model(pack, resilience);
+  TrEvaluator evaluator(model, 64);
+  // Rotate through more alphas than there are slots, across several
+  // events: every answer must still match the uncached clamp.
+  const double alphas[] = {1.0, 0.8, 0.55, 0.31, 0.8, 1.0, 0.07};
+  for (int event = 0; event < 3; ++event) {
+    evaluator.begin_event();
+    for (double alpha : alphas)
+      for (int task = 0; task < 2; ++task)
+        for (int j : {2, 16, 64})
+          EXPECT_DOUBLE_EQ(evaluator(task, j, alpha),
+                           model.expected_time(task, j, alpha));
+  }
+}
+
+TEST(TrEvaluator, ColumnMatchesOperatorAndSurvivesSecondBind) {
+  const Pack pack = make_pack({2.0e6});
+  const checkpoint::Model resilience = faulty_model();
+  const ExpectedTimeModel model(pack, resilience);
+  TrEvaluator evaluator(model, 64);
+  evaluator.begin_event();
+  const TrEvaluator::Column committed = evaluator.column(0, 0.9);
+  const TrEvaluator::Column tentative = evaluator.column(0, 0.6);
+  for (int j = 2; j <= 64; j += 2) {
+    EXPECT_DOUBLE_EQ(committed(j), model.expected_time(0, j, 0.9));
+    EXPECT_DOUBLE_EQ(tentative(j), model.expected_time(0, j, 0.6));
+  }
+  // Interleaved probes through operator() must not disturb the pinned
+  // columns (the at-most-two-live-columns contract).
+  EXPECT_DOUBLE_EQ(evaluator(0, 64, 0.9), committed(64));
+  EXPECT_DOUBLE_EQ(tentative(64), model.expected_time(0, 64, 0.6));
+}
+
+// --- Coefficient-table kernel equivalence (property test) ----------------
+//
+// The cached expected_time_raw / simulated_duration must match the
+// straight-line reference evaluation to 1e-12 relative over random
+// (task, j, alpha) probes — in practice they are bit-identical, because
+// the table stores exactly the intermediates the reference recomputes.
+
+TEST(ExpectedTime, CachedKernelMatchesReferenceOverRandomProbes) {
+  Rng rng(20260726);
+  const Pack pack = Pack::uniform_random(
+      8, 1.5e6, 2.5e6, std::make_shared<speedup::SyntheticModel>(0.08), rng);
+  for (const double mtbf_years : {5.0, 100.0, 1000.0}) {
+    const checkpoint::Model resilience = faulty_model(mtbf_years);
+    const ExpectedTimeModel model(pack, resilience);
+    for (int probe = 0; probe < 2000; ++probe) {
+      const int task = static_cast<int>(rng.uniform(0.0, 8.0 - 1e-9));
+      const int j = 1 + static_cast<int>(rng.uniform(0.0, 512.0 - 1e-9));
+      const double alpha = probe % 7 == 0 ? 1.0 : rng.uniform(0.0, 1.0);
+      const double cached = model.expected_time_raw(task, j, alpha);
+      const double reference =
+          model.expected_time_raw_reference(task, j, alpha);
+      EXPECT_NEAR(cached, reference, 1e-12 * std::max(1.0, reference))
+          << "task=" << task << " j=" << j << " alpha=" << alpha
+          << " mtbf=" << mtbf_years;
+      const double dur = model.simulated_duration(task, j, alpha);
+      const double dur_ref = model.simulated_duration_reference(task, j, alpha);
+      EXPECT_NEAR(dur, dur_ref, 1e-12 * std::max(1.0, dur_ref))
+          << "task=" << task << " j=" << j << " alpha=" << alpha
+          << " mtbf=" << mtbf_years;
+    }
+  }
+}
+
+TEST(ExpectedTime, CachedKernelMatchesReferenceFaultFree) {
+  Rng rng(7);
+  const Pack pack = Pack::uniform_random(
+      4, 1.5e6, 2.5e6, std::make_shared<speedup::SyntheticModel>(0.08), rng);
+  const checkpoint::Model resilience = fault_free_model();
+  const ExpectedTimeModel model(pack, resilience);
+  for (int probe = 0; probe < 500; ++probe) {
+    const int task = static_cast<int>(rng.uniform(0.0, 4.0 - 1e-9));
+    const int j = 1 + static_cast<int>(rng.uniform(0.0, 128.0 - 1e-9));
+    const double alpha = rng.uniform(0.0, 1.0);
+    EXPECT_EQ(model.expected_time_raw(task, j, alpha),
+              model.expected_time_raw_reference(task, j, alpha));
+    EXPECT_EQ(model.simulated_duration(task, j, alpha),
+              model.simulated_duration_reference(task, j, alpha));
+  }
+}
+
 }  // namespace
 }  // namespace coredis::core

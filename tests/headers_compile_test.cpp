@@ -44,6 +44,7 @@
 #include "util/cli.hpp"
 #include "util/contracts.hpp"
 #include "util/csv.hpp"
+#include "util/indexed_heap.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
 #include "util/plot.hpp"

@@ -85,5 +85,61 @@ TEST(Platform, DeterministicAcquisitionOrder) {
   EXPECT_EQ(a.acquire(1, 2), b.acquire(1, 2));
 }
 
+TEST(Platform, GrantAndRevokeMirrorAcquireAndRelease) {
+  // The void fast paths must leave the ledger in exactly the state the
+  // vector-returning calls produce.
+  Platform a(16);
+  Platform b(16);
+  a.grant(0, 6);
+  (void)b.acquire(0, 6);
+  a.revoke(0, 2);
+  (void)b.release(0, 2);
+  a.grant(1, 4);
+  (void)b.acquire(1, 4);
+  EXPECT_EQ(a.free_count(), b.free_count());
+  for (int proc = 0; proc < 16; ++proc)
+    EXPECT_EQ(a.owner(proc), b.owner(proc));
+  for (int task = 0; task < 2; ++task) {
+    const auto ha = a.held_by(task);
+    const auto hb = b.held_by(task);
+    ASSERT_EQ(ha.size(), hb.size());
+    for (std::size_t k = 0; k < ha.size(); ++k) EXPECT_EQ(ha[k], hb[k]);
+  }
+}
+
+TEST(Platform, PairPartnerIsTheLedgerBuddy) {
+  Platform platform(12);
+  platform.grant(0, 6);
+  platform.grant(1, 4);
+  // Pairs are granted together: the partner of the ledger entry at slot k
+  // is the entry at slot k ^ 1, in O(1).
+  for (int task = 0; task < 2; ++task) {
+    const auto held = platform.held_by(task);
+    for (std::size_t k = 0; k < held.size(); ++k) {
+      EXPECT_EQ(platform.pair_partner(held[k]), held[k ^ 1]);
+      // Symmetry: my buddy's buddy is me.
+      EXPECT_EQ(platform.pair_partner(platform.pair_partner(held[k])),
+                held[k]);
+    }
+  }
+  for (int proc = 0; proc < 12; ++proc)
+    if (platform.owner(proc) == kIdle) {
+      EXPECT_EQ(platform.pair_partner(proc), kIdle);
+    }
+}
+
+TEST(Platform, PairPartnerTracksRevokesAndReleases) {
+  Platform platform(12);
+  platform.grant(0, 6);
+  platform.revoke(0, 2);  // drops the newest pair
+  const auto held = platform.held_by(0);
+  ASSERT_EQ(held.size(), 4u);
+  for (std::size_t k = 0; k < held.size(); ++k)
+    EXPECT_EQ(platform.pair_partner(held[k]), held[k ^ 1]);
+  platform.release_all(0);
+  for (int proc = 0; proc < 12; ++proc)
+    EXPECT_EQ(platform.pair_partner(proc), kIdle);
+}
+
 }  // namespace
 }  // namespace coredis::platform

@@ -14,6 +14,7 @@
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/indexed_heap.hpp"
 #include "util/parallel.hpp"
 #include "util/plot.hpp"
 #include "util/rng.hpp"
@@ -300,6 +301,49 @@ TEST(Units, Conversions) {
   EXPECT_DOUBLE_EQ(units::to_years(units::years(120.0)), 120.0);
   EXPECT_DOUBLE_EQ(units::days(2.0), 2 * 86400.0);
   EXPECT_DOUBLE_EQ(units::hours(3.0), 3 * 3600.0);
+}
+
+TEST(IndexedHeap, MinOrderMatchesLinearScanWithTies) {
+  util::IndexedHeap<util::MinKeyThenId> heap;
+  heap.reset(6);
+  const double keys[] = {5.0, 2.0, 2.0, 9.0, 1.0, 2.0};
+  for (int id = 0; id < 6; ++id) heap.update(id, keys[id]);
+  EXPECT_EQ(heap.top(), 4);
+  heap.remove(4);
+  // Three-way tie at 2.0: the smallest id must win, like a `<` scan.
+  EXPECT_EQ(heap.top(), 1);
+  heap.remove(1);
+  EXPECT_EQ(heap.top(), 2);
+  heap.update(5, 0.5);  // decrease-key repositions in place
+  EXPECT_EQ(heap.top(), 5);
+  heap.update(5, 99.0);  // increase-key too
+  EXPECT_EQ(heap.top(), 2);
+}
+
+TEST(IndexedHeap, MaxOrderAndRemoval) {
+  util::IndexedHeap<util::MaxKeyThenId> heap;
+  heap.reset(4);
+  for (int id = 0; id < 4; ++id) heap.update(id, static_cast<double>(id));
+  EXPECT_EQ(heap.top(), 3);
+  EXPECT_DOUBLE_EQ(heap.top_key(), 3.0);
+  heap.remove(3);
+  heap.remove(3);  // removing an absent id is a no-op
+  EXPECT_EQ(heap.top(), 2);
+  EXPECT_EQ(heap.size(), 3);
+  EXPECT_FALSE(heap.contains(3));
+}
+
+TEST(IndexedHeap, ForEachAtOrBeforeVisitsExactlyTheBoundedSet) {
+  util::IndexedHeap<util::MinKeyThenId> heap;
+  heap.reset(10);
+  for (int id = 0; id < 10; ++id) heap.update(id, static_cast<double>(9 - id));
+  std::set<int> visited;
+  heap.for_each_at_or_before(4.0, [&](int id) { visited.insert(id); });
+  // Keys <= 4.0 belong to ids 5..9; the bound itself is included.
+  EXPECT_EQ(visited, (std::set<int>{5, 6, 7, 8, 9}));
+  visited.clear();
+  heap.for_each_at_or_before(-1.0, [&](int id) { visited.insert(id); });
+  EXPECT_TRUE(visited.empty());
 }
 
 }  // namespace

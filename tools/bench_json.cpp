@@ -1,0 +1,315 @@
+/// \file bench_json.cpp
+/// Tracked performance baseline: run a pinned scenario grid and emit a
+/// machine-readable JSON report (wall seconds per run, simulation events
+/// per second, faults per run), so every PR has a perf trajectory to
+/// compare against. The committed baseline lives in BENCH_PR2.json at the
+/// repository root; CI re-runs the small grid (`--smoke`) and fails when a
+/// scenario regresses past `--tolerance` times the baseline's
+/// seconds_per_run (`--check`).
+///
+/// The grid covers both failure policies under both fault laws at the
+/// paper's n = 100 scale and at the beyond-paper n = 1000 scale
+/// (p = 10 n, per-processor MTBF 100 years, Young periods — the fig07
+/// regime). Runs are single-threaded and re-use one Engine per scenario,
+/// which also exercises the cross-run persistence of the coefficient
+/// table (DESIGN.md section 6).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "fault/exponential.hpp"
+#include "fault/weibull.hpp"
+#include "speedup/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace coredis;
+
+constexpr double kMtbfYears = 100.0;
+constexpr std::uint64_t kSeed = 20260726;
+
+struct GridPoint {
+  std::string name;
+  int n;
+  core::FailurePolicy failure_policy;
+  bool weibull;
+};
+
+struct Measurement {
+  GridPoint point;
+  int runs = 0;
+  double seconds_per_run = 0.0;      ///< mean over the timed runs
+  double seconds_per_run_min = 0.0;  ///< fastest run; what --check gates on
+  double events_per_sec = 0.0;
+  double faults_per_run = 0.0;
+  double makespan_mean = 0.0;
+  double checkpoints_per_run = 0.0;
+};
+
+/// Single-core machine-speed probe: a fixed, deterministic spin over the
+/// kernel's cost profile (expm1 + divides). Recorded into the report so
+/// --check can compare *calibration-normalized* seconds_per_run — the
+/// committed baseline and a CI runner are different machines, and without
+/// this the tolerance would encode their hardware ratio instead of a
+/// regression margin.
+double calibration_seconds() {
+  double best = std::numeric_limits<double>::infinity();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto start = std::chrono::steady_clock::now();
+    double acc = 0.0, x = 1e-3;
+    for (int i = 0; i < 2'000'000; ++i) {
+      acc += std::expm1(x) / (1.0 + x);
+      x += 1e-9;
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (acc > 0.0) best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+std::vector<GridPoint> pinned_grid(bool smoke) {
+  std::vector<GridPoint> grid;
+  for (const int n : {100, 1000}) {
+    if (smoke && n > 100) continue;  // CI runs the small half only
+    for (const bool weibull : {false, true}) {
+      for (const auto policy : {core::FailurePolicy::ShortestTasksFirst,
+                                core::FailurePolicy::IteratedGreedy}) {
+        std::string name = "n";
+        name += std::to_string(n);
+        name += policy == core::FailurePolicy::ShortestTasksFirst ? "_stf"
+                                                                  : "_ig";
+        name += weibull ? "_weib" : "_exp";
+        grid.push_back({std::move(name), n, policy, weibull});
+      }
+    }
+  }
+  return grid;
+}
+
+Measurement run_point(const GridPoint& point, int runs) {
+  Measurement m;
+  m.point = point;
+  m.runs = runs;
+
+  const int p = 10 * point.n;
+  Rng pack_rng(kSeed);
+  const core::Pack pack = core::Pack::uniform_random(
+      point.n, 1.5e6, 2.5e6, std::make_shared<speedup::SyntheticModel>(0.08),
+      pack_rng);
+  const checkpoint::Model resilience({units::years(kMtbfYears), 60.0, 1.0,
+                                      checkpoint::PeriodRule::Young, 0.0});
+  core::EngineConfig config;
+  config.end_policy = core::EndPolicy::Local;
+  config.failure_policy = point.failure_policy;
+  core::Engine engine(pack, resilience, p, config);
+
+  const double mtbf = units::years(kMtbfYears);
+  long long events = 0, faults = 0, checkpoints = 0;
+  double makespan_sum = 0.0;
+  double total_seconds = 0.0;
+  double min_seconds = std::numeric_limits<double>::infinity();
+  {
+    // Untimed warm-up: fills the coefficient table and the allocator pools
+    // so the timed runs measure steady state, not first-touch cost. Uses
+    // the scenario's own fault law so the warmed state matches.
+    if (point.weibull) {
+      fault::WeibullGenerator gen(p, mtbf, 0.7, kSeed ^ 0x5EEDULL);
+      (void)engine.run(gen);
+    } else {
+      fault::ExponentialGenerator gen(p, 1.0 / mtbf, Rng(kSeed ^ 0x5EEDULL));
+      (void)engine.run(gen);
+    }
+  }
+  for (int run = 0; run < runs; ++run) {
+    const auto start = std::chrono::steady_clock::now();
+    core::RunResult result;
+    if (point.weibull) {
+      fault::WeibullGenerator gen(p, mtbf, 0.7,
+                                  kSeed + static_cast<std::uint64_t>(run));
+      result = engine.run(gen);
+    } else {
+      fault::ExponentialGenerator gen(
+          p, 1.0 / mtbf, Rng(kSeed + static_cast<std::uint64_t>(run)));
+      result = engine.run(gen);
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    total_seconds += elapsed.count();
+    min_seconds = std::min(min_seconds, elapsed.count());
+    events += result.faults_drawn + point.n;  // faults + completions
+    faults += result.faults_effective;
+    checkpoints += result.checkpoints_taken;
+    makespan_sum += result.makespan;
+  }
+
+  m.seconds_per_run = total_seconds / runs;
+  m.seconds_per_run_min = min_seconds;
+  m.events_per_sec =
+      total_seconds > 0.0 ? static_cast<double>(events) / total_seconds : 0.0;
+  m.faults_per_run = static_cast<double>(faults) / runs;
+  m.makespan_mean = makespan_sum / runs;
+  m.checkpoints_per_run = static_cast<double>(checkpoints) / runs;
+  return m;
+}
+
+std::string to_json(const std::vector<Measurement>& measurements,
+                    double calibration) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\n  \"schema\": \"coredis-bench-v1\",\n  \"calibration_seconds\": "
+      << calibration << ",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& m = measurements[i];
+    out << "    {\"name\": \"" << m.point.name << "\", \"n\": " << m.point.n
+        << ", \"p\": " << 10 * m.point.n << ", \"runs\": " << m.runs
+        << ",\n     \"seconds_per_run\": " << m.seconds_per_run
+        << ", \"seconds_per_run_min\": " << m.seconds_per_run_min
+        << ", \"events_per_sec\": " << m.events_per_sec
+        << ",\n     \"faults_per_run\": " << m.faults_per_run
+        << ", \"checkpoints_per_run\": " << m.checkpoints_per_run
+        << ", \"makespan_mean\": " << m.makespan_mean << "}"
+        << (i + 1 < measurements.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+/// Extract `"key": <number>` scoped to the scenario object named `name`
+/// from our own schema (not a general JSON parser; the files it reads are
+/// the ones this tool writes).
+double baseline_value(const std::string& json, const std::string& name,
+                      const std::string& key) {
+  // Appends instead of operator+ chains: GCC 12 misfires -Wrestrict on the
+  // latter (GCC PR105329).
+  std::string anchor = "\"name\": \"";
+  anchor += name;
+  anchor += '"';
+  const std::size_t at = json.find(anchor);
+  if (at == std::string::npos) return -1.0;
+  const std::size_t end = json.find('}', at);
+  std::string field = "\"";
+  field += key;
+  field += "\":";
+  const std::size_t k = json.find(field, at);
+  if (k == std::string::npos || k > end) return -1.0;
+  return std::strtod(json.c_str() + k + field.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    CliParser cli(argc, argv);
+    cli.describe("runs", "repetitions per scenario (default 5, smoke 2)")
+        .describe("smoke", "run only the n = 100 half of the grid")
+        .describe("out", "write the JSON report to this path")
+        .describe("check",
+                  "baseline JSON to compare against; exits 1 on regression")
+        .describe("tolerance",
+                  "seconds_per_run ratio treated as a regression (default 2)");
+    if (cli.wants_help()) {
+      std::cout << cli.usage("Pinned-grid performance baseline (JSON)");
+      return 0;
+    }
+    cli.reject_unknown();
+
+    const bool smoke = cli.get_bool("smoke");
+    const int runs = static_cast<int>(cli.get_int("runs", smoke ? 2 : 5));
+    const double tolerance = cli.get_double("tolerance", 2.0);
+
+    const double calibration = calibration_seconds();
+    std::fprintf(stderr, "calibration: %.4f s\n", calibration);
+    std::vector<Measurement> measurements;
+    for (const GridPoint& point : pinned_grid(smoke)) {
+      measurements.push_back(run_point(point, runs));
+      const Measurement& m = measurements.back();
+      std::fprintf(stderr, "%-16s %8.4f s/run %12.0f events/s %7.1f faults\n",
+                   m.point.name.c_str(), m.seconds_per_run, m.events_per_sec,
+                   m.faults_per_run);
+    }
+
+    const std::string json = to_json(measurements, calibration);
+    const std::string out_path = cli.get_string("out", "");
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      if (!out) throw std::runtime_error("cannot write " + out_path);
+      out << json;
+      std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    } else {
+      std::cout << json;
+    }
+
+    const std::string baseline_path = cli.get_string("check", "");
+    if (baseline_path.empty()) return 0;
+
+    std::ifstream in(baseline_path);
+    if (!in) throw std::runtime_error("cannot read " + baseline_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string baseline = buffer.str();
+
+    // Normalize by the two machines' calibration probes: the comparison is
+    // then "slowdown relative to what this machine should deliver", so the
+    // tolerance is a regression margin, not a hardware-speed ratio.
+    // Baselines written before the calibration field fall back to raw.
+    const std::size_t cal_at = baseline.find("\"calibration_seconds\":");
+    const double base_cal =
+        cal_at == std::string::npos
+            ? calibration
+            : std::strtod(baseline.c_str() + cal_at + 22, nullptr);
+    const double speed_ratio =
+        base_cal > 0.0 ? calibration / base_cal : 1.0;
+    std::fprintf(stderr, "machine speed vs baseline: %.2fx\n", speed_ratio);
+
+    bool regressed = false;
+    for (const Measurement& m : measurements) {
+      // Gate on the fastest run of each side: the minimum is the classic
+      // noise-robust benchmark estimator (scheduler hiccups only ever add
+      // time), so a small grid point does not flake on one slow run.
+      double base =
+          baseline_value(baseline, m.point.name, "seconds_per_run_min");
+      double mine = m.seconds_per_run_min;
+      if (base <= 0.0) {  // pre-min baseline: fall back to the mean
+        base = baseline_value(baseline, m.point.name, "seconds_per_run");
+        mine = m.seconds_per_run;
+      }
+      if (base <= 0.0) {
+        std::fprintf(stderr, "%-16s not in baseline; skipped\n",
+                     m.point.name.c_str());
+        continue;
+      }
+      const double base_runs = baseline_value(baseline, m.point.name, "runs");
+      if (base_runs > 0.0 && static_cast<int>(base_runs) != m.runs)
+        std::fprintf(stderr,
+                     "%-16s warning: %d runs vs %d in baseline — run seeds "
+                     "differ, comparison is between different workloads\n",
+                     m.point.name.c_str(), m.runs,
+                     static_cast<int>(base_runs));
+      const double ratio = mine / (base * speed_ratio);
+      const bool bad = ratio > tolerance;
+      regressed = regressed || bad;
+      std::fprintf(stderr, "%-16s %.2fx vs baseline (normalized)%s\n",
+                   m.point.name.c_str(), ratio, bad ? "  REGRESSION" : "");
+    }
+    return regressed ? 1 : 0;
+  } catch (const std::exception& error) {
+    std::cerr << "bench_json: " << error.what() << "\n";
+    return 2;
+  }
+}
