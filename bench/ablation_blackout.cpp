@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
           scenario.mtbf_years = mtbf;  // sweep variable wins
           return scenario;
         },
-        {exp::ig_end_local(), strict});
+        {exp::ig_end_local(), strict}, options.grid_options());
 
     std::vector<exp::ShapeCheck> checks;
     double worst_gap = 0.0;

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
           scenario.p = static_cast<int>(p);  // sweep variable wins
           return scenario;
         },
-        {exp::ig_end_local(), free_rc});
+        {exp::ig_end_local(), free_rc}, options.grid_options());
 
     std::vector<exp::ShapeCheck> checks;
     bool ordered = true;

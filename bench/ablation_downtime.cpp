@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
           scenario.downtime_seconds = d;  // sweep variable wins
           return scenario;
         },
-        {exp::ig_end_local(), exp::stf_end_local()});
+        {exp::ig_end_local(), exp::stf_end_local()}, options.grid_options());
 
     std::vector<exp::ShapeCheck> checks;
     double lo = 2.0;

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   return guarded_main([&] {
     const FigureOptions options = parse_options(
         argc, argv, "Ablation: Young vs Daly checkpointing period",
-        /*default_runs=*/10);
+        /*default_runs=*/10, /*sweep_flags=*/false);
     const std::vector<double> grid =
         options.full ? std::vector<double>{5, 15, 25, 50, 100}
                      : std::vector<double>{5, 25, 100};

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   return guarded_main([&] {
     const FigureOptions options = parse_options(
         argc, argv, "Extension: silent errors with verification",
-        /*default_runs=*/1);
+        /*default_runs=*/1, /*sweep_flags=*/false);
     (void)options;
 
     const double total_work = 3.0e6;  // one task slice, seconds

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
           scenario.weibull_shape = shape;
           return scenario;
         },
-        {exp::ig_end_local(), exp::stf_end_local()});
+        {exp::ig_end_local(), exp::stf_end_local()}, options.grid_options());
 
     std::vector<exp::ShapeCheck> checks;
     bool always_gains = true;

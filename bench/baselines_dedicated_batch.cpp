@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   return guarded_main([&] {
     const FigureOptions options = parse_options(
         argc, argv, "Baselines: dedicated vs batch vs co-scheduling",
-        /*default_runs=*/10);
+        /*default_runs=*/10, /*sweep_flags=*/false);
 
     const int n = 20;
     const int p = 200;

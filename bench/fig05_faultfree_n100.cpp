@@ -67,9 +67,14 @@ int main(int argc, char** argv) {
                                   1800, 2000}
             : std::vector<double>{200, 500, 1000, 2000};
 
-    for (const auto& [label, m_inf] :
-         {std::pair{"(a) m_inf = 1500000", 1'500'000.0},
-          std::pair{"(b) m_inf = 1500", 1'500.0}}) {
+    struct Panel {
+      const char* tag;  ///< suffix for per-panel --jsonl files
+      const char* label;
+      double m_inf;
+    };
+    for (const auto& [tag, label, m_inf] :
+         {Panel{"a", "(a) m_inf = 1500000", 1'500'000.0},
+          Panel{"b", "(b) m_inf = 1500", 1'500.0}}) {
       const exp::Sweep sweep = run_sweep(
           "#procs", grid,
           [&](double p) {
@@ -77,7 +82,7 @@ int main(int argc, char** argv) {
             scenario.p = static_cast<int>(p);  // sweep variable
             return scenario;
           },
-          exp::fault_free_curves());
+          exp::fault_free_curves(), options.grid_options(tag));
       print_figure(std::string("Figure 5") + label, sweep,
                    make_checks(sweep, label), options);
     }

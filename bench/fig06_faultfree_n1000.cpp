@@ -26,9 +26,14 @@ int main(int argc, char** argv) {
                                            4500, 5000}
                      : std::vector<double>{2000, 3500, 5000};
 
-    for (const auto& [label, m_inf] :
-         {std::pair{"(a) m_inf = 1500000", 1'500'000.0},
-          std::pair{"(b) m_inf = 1500", 1'500.0}}) {
+    struct Panel {
+      const char* tag;  ///< suffix for per-panel --jsonl files
+      const char* label;
+      double m_inf;
+    };
+    for (const auto& [tag, label, m_inf] :
+         {Panel{"a", "(a) m_inf = 1500000", 1'500'000.0},
+          Panel{"b", "(b) m_inf = 1500", 1'500.0}}) {
       const exp::Sweep sweep = run_sweep(
           "#procs", grid,
           [&](double p) {
@@ -40,7 +45,7 @@ int main(int argc, char** argv) {
             scenario.m_inf = m_inf;            // panel variable
             return scenario;
           },
-          exp::fault_free_curves());
+          exp::fault_free_curves(), options.grid_options(tag));
 
       std::vector<exp::ShapeCheck> checks;
       const double first_local = exp::normalized_at(sweep, 0, 2);

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
           scenario.n = static_cast<int>(n);  // sweep variable wins
           return scenario;
         },
-        exp::paper_curves());
+        exp::paper_curves(), options.grid_options());
 
     // Config order: 0 baseline, 1 IG-EG, 2 IG-EL, 3 STF-EG, 4 STF-EL,
     // 5 fault-free+RC.

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
           scenario.p = static_cast<int>(p);  // sweep variable wins
           return scenario;
         },
-        exp::paper_curves());
+        exp::paper_curves(), options.grid_options());
 
     std::vector<exp::ShapeCheck> checks;
     const std::size_t last = sweep.x.size() - 1;

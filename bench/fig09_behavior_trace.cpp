@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   return guarded_main([&] {
     const FigureOptions options = parse_options(
         argc, argv, "Figure 9: single-run heuristic behavior",
-        /*default_runs=*/1);
+        /*default_runs=*/1, /*sweep_flags=*/false);
 
     const int n = 100;
     const int p = 1000;

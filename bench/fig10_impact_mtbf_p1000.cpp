@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
           scenario.mtbf_years = mtbf;  // sweep variable wins
           return scenario;
         },
-        exp::paper_curves());
+        exp::paper_curves(), options.grid_options());
 
     std::vector<exp::ShapeCheck> checks;
     const std::size_t last = sweep.x.size() - 1;  // largest MTBF

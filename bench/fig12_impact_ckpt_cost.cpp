@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
           scenario.checkpoint_unit_cost = c;  // sweep variable wins
           return scenario;
         },
-        exp::paper_curves());
+        exp::paper_curves(), options.grid_options());
 
     // Note: every point is normalized by *its own* baseline (same c), so
     // the informative signal is the gap to the fault-free curve.

@@ -26,6 +26,10 @@ int main(int argc, char** argv) {
 
     std::vector<double> ig_gap_by_cost;  // mean gap IG vs fault-free + RC
     for (const double c : {1.0, 0.1, 0.01}) {
+      // Built with += to dodge a GCC 12 -Wrestrict false positive
+      // (PR105651) on nested std::string operator+ temporaries.
+      std::string panel_tag = "c";
+      panel_tag += format_double(c, 2);
       const exp::Sweep sweep = run_sweep(
           "MTBF (years)", grid,
           [&](double mtbf) {
@@ -37,7 +41,7 @@ int main(int argc, char** argv) {
             scenario.checkpoint_unit_cost = c;  // panel variable
             return scenario;
           },
-          exp::paper_curves());
+          exp::paper_curves(), options.grid_options(panel_tag));
       ig_gap_by_cost.push_back(exp::mean_normalized(sweep, 2) -
                                exp::mean_normalized(sweep, 5));
 

@@ -10,14 +10,17 @@
 /// Default sweeps are trimmed for laptop runtimes; --full restores the
 /// paper's grids and --runs 50 its repetition count.
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <functional>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "exp/campaign.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario_file.hpp"
@@ -32,6 +35,8 @@ struct FigureOptions {
   bool full = false;
   std::string csv;
   std::string scenario_file;  ///< optional scenario overrides (see apply())
+  std::string jsonl;          ///< stream per-cell results here (campaign format)
+  bool resume = false;        ///< continue an interrupted --jsonl file
 
   /// Apply the file overrides (if any) on top of a figure's per-point
   /// scenario, then re-apply the sweep-critical fields the caller set.
@@ -44,11 +49,40 @@ struct FigureOptions {
     scenario.seed = seed;
     return scenario;
   }
+
+  /// Orchestrator options for run_sweep: JSONL streaming and resume.
+  /// Binaries that run several sweeps (figure panels) pass a distinct
+  /// `tag` per sweep so each panel streams to its own file
+  /// ("out.jsonl" -> "out.<tag>.jsonl").
+  [[nodiscard]] exp::GridRunOptions grid_options(
+      const std::string& tag = "") const {
+    exp::GridRunOptions options;
+    options.jsonl_path = jsonl;
+    if (!jsonl.empty() && !tag.empty()) {
+      // Splice the tag before the extension of the *basename* only — a
+      // dot in a directory component must not be mistaken for one.
+      const auto slash = jsonl.find_last_of("/\\");
+      const auto dot = jsonl.rfind('.');
+      const bool has_extension =
+          dot != std::string::npos &&
+          (slash == std::string::npos || dot > slash);
+      options.jsonl_path = has_extension
+                               ? jsonl.substr(0, dot) + "." + tag +
+                                     jsonl.substr(dot)
+                               : jsonl + "." + tag;
+    }
+    options.resume = resume;
+    return options;
+  }
 };
 
+/// Parse the uniform figure CLI. `sweep_flags` adds --jsonl/--resume;
+/// binaries that do not execute their experiment through run_sweep pass
+/// false so the flags are rejected instead of silently ignored.
 inline FigureOptions parse_options(int argc, const char* const* argv,
                                    const std::string& summary,
-                                   int default_runs) {
+                                   int default_runs,
+                                   bool sweep_flags = true) {
   CliParser cli(argc, argv);
   cli.describe("runs", "Monte-Carlo repetitions per point (paper: 50)")
       .describe("seed", "campaign master seed")
@@ -57,6 +91,12 @@ inline FigureOptions parse_options(int argc, const char* const* argv,
       .describe("scenario",
                 "scenario file overriding workload/platform knobs "
                 "(see src/exp/scenario_file.hpp)");
+  if (sweep_flags) {
+    cli.describe("jsonl",
+                 "stream per-cell results to this JSONL file "
+                 "(campaign format, see src/exp/campaign.hpp)")
+        .describe("resume", "skip cells already present in the --jsonl file");
+  }
   if (cli.wants_help()) {
     std::cout << cli.usage(summary);
     std::exit(0);
@@ -68,22 +108,40 @@ inline FigureOptions parse_options(int argc, const char* const* argv,
   options.full = cli.get_bool("full");
   options.csv = cli.get_string("csv", "");
   options.scenario_file = cli.get_string("scenario", "");
+  if (sweep_flags) {
+    options.jsonl = cli.get_string("jsonl", "");
+    options.resume = cli.get_bool("resume");
+    if (options.resume && options.jsonl.empty())
+      throw std::invalid_argument(
+          "--resume requires --jsonl (there is no file to resume from)");
+  }
   return options;
 }
 
-/// Run one sweep: scenario(x) configures each point.
+/// Run one sweep: scenario(x) configures each point. Every (point,
+/// repetition) cell of the sweep goes through exp::run_grid's single
+/// global work queue, so the machine stays busy across point boundaries;
+/// the reported numbers are identical to running exp::run_point on each
+/// point in sequence. Pass FigureOptions::grid_options() to stream cells
+/// to JSONL and make the sweep resumable.
 inline exp::Sweep run_sweep(const std::string& x_label,
                             const std::vector<double>& xs,
                             const std::function<exp::Scenario(double)>& scenario,
-                            const std::vector<exp::ConfigSpec>& configs) {
+                            const std::vector<exp::ConfigSpec>& configs,
+                            const exp::GridRunOptions& grid = {}) {
   exp::Sweep sweep;
   sweep.x_label = x_label;
   sweep.x = xs;
-  sweep.points.reserve(xs.size());
+  std::vector<exp::Scenario> points;
+  points.reserve(xs.size());
+  std::size_t cells = 0;
   for (double x : xs) {
-    std::fprintf(stderr, "  point %s = %g ...\n", x_label.c_str(), x);
-    sweep.points.push_back(exp::run_point(scenario(x), configs));
+    points.push_back(scenario(x));
+    cells += static_cast<std::size_t>(points.back().runs);
   }
+  std::fprintf(stderr, "  sweeping %zu %s points (%zu cells, one queue)...\n",
+               points.size(), x_label.c_str(), cells);
+  sweep.points = exp::run_grid(points, configs, grid);
   return sweep;
 }
 

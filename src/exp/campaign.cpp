@@ -1,0 +1,745 @@
+#include "exp/campaign.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "exp/scenario_file.hpp"
+#include "util/contracts.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace coredis::exp {
+
+namespace {
+
+// --- campaign-file parsing ------------------------------------------------
+
+using detail::lower;
+using detail::trim;
+
+[[noreturn]] void fail_line(std::size_t number, const std::string& raw,
+                            const std::string& why) {
+  throw std::runtime_error("campaign line " + std::to_string(number) + ": " +
+                           why + " in '" + raw + "'");
+}
+
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  for (;;) {
+    const auto comma = value.find(',', start);
+    items.push_back(trim(comma == std::string::npos
+                             ? value.substr(start)
+                             : value.substr(start, comma - start)));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+std::vector<ConfigSpec> config_set(const std::string& value) {
+  const std::string spec = lower(trim(value));
+  if (spec == "paper") return paper_curves();
+  if (spec == "fault_free") return fault_free_curves();
+  std::vector<ConfigSpec> configs;
+  for (const std::string& name : split_list(spec)) {
+    if (name == "baseline") {
+      configs.push_back(baseline_no_redistribution());
+    } else if (name == "ig_greedy") {
+      configs.push_back(ig_end_greedy());
+    } else if (name == "ig_local") {
+      configs.push_back(ig_end_local());
+    } else if (name == "stf_greedy") {
+      configs.push_back(stf_end_greedy());
+    } else if (name == "stf_local") {
+      configs.push_back(stf_end_local());
+    } else if (name == "rc_fault_free") {
+      configs.push_back(fault_free_with_rc_local());
+    } else {
+      throw std::runtime_error(
+          "unknown configuration '" + name +
+          "' (paper|fault_free|baseline|ig_greedy|ig_local|stf_greedy|"
+          "stf_local|rc_fault_free)");
+    }
+  }
+  return configs;
+}
+
+enum class AxisKey {
+  None,
+  N,
+  P,
+  Mtbf,
+  FaultLaw,
+  CheckpointCost,
+  PeriodRule
+};
+
+AxisKey axis_of(const std::string& key) {
+  if (key == "n") return AxisKey::N;
+  if (key == "p") return AxisKey::P;
+  if (key == "mtbf_years") return AxisKey::Mtbf;
+  if (key == "fault_law") return AxisKey::FaultLaw;
+  if (key == "checkpoint_unit_cost" || key == "c") return AxisKey::CheckpointCost;
+  if (key == "period_rule") return AxisKey::PeriodRule;
+  return AxisKey::None;
+}
+
+void clear_axis(ScenarioGrid& grid, AxisKey axis) {
+  switch (axis) {
+    case AxisKey::N: grid.n.clear(); break;
+    case AxisKey::P: grid.p.clear(); break;
+    case AxisKey::Mtbf: grid.mtbf_years.clear(); break;
+    case AxisKey::FaultLaw: grid.fault_laws.clear(); break;
+    case AxisKey::CheckpointCost: grid.checkpoint_unit_costs.clear(); break;
+    case AxisKey::PeriodRule: grid.period_rules.clear(); break;
+    case AxisKey::None: break;
+  }
+}
+
+/// Parse a sweep list by running every element through the single-value
+/// scenario semantics (apply_scenario_key on a scratch copy), then reading
+/// the field back — axes and scalars cannot drift apart.
+void set_axis(ScenarioGrid& grid, AxisKey axis, const std::string& key,
+              const std::string& value) {
+  clear_axis(grid, axis);
+  for (const std::string& element : split_list(value)) {
+    if (element.empty()) throw std::runtime_error("empty element in list");
+    Scenario scratch = grid.base;
+    apply_scenario_key(scratch, key, element);
+    switch (axis) {
+      case AxisKey::N: grid.n.push_back(scratch.n); break;
+      case AxisKey::P: grid.p.push_back(scratch.p); break;
+      case AxisKey::Mtbf: grid.mtbf_years.push_back(scratch.mtbf_years); break;
+      case AxisKey::FaultLaw:
+        grid.fault_laws.push_back(scratch.fault_law);
+        break;
+      case AxisKey::CheckpointCost:
+        grid.checkpoint_unit_costs.push_back(scratch.checkpoint_unit_cost);
+        break;
+      case AxisKey::PeriodRule:
+        grid.period_rules.push_back(scratch.period_rule);
+        break;
+      case AxisKey::None: break;
+    }
+  }
+}
+
+std::string format_g(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%g", value);
+  return buffer;
+}
+
+// --- JSONL records --------------------------------------------------------
+//
+// The file is self-generated and line-oriented: one header record, then
+// one record per cell, committed strictly in cell order. Doubles use
+// "%.17g" so parsing a record reproduces the exact bits that were
+// simulated — a resumed campaign aggregates to the same statistics as an
+// uninterrupted one.
+
+std::string format_double17(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+      out += buffer;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::uint64_t fingerprint_mix(std::uint64_t hash, const std::string& text) {
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  hash ^= 0xFFU;  // separator so adjacent strings cannot alias
+  hash *= 1099511628211ULL;
+  return hash;
+}
+
+std::uint64_t grid_fingerprint(const std::vector<Scenario>& points,
+                               const std::vector<ConfigSpec>& configs) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const Scenario& point : points)
+    hash = fingerprint_mix(hash, format_scenario(point));
+  for (const ConfigSpec& config : configs)
+    hash = fingerprint_mix(hash, config.name);
+  return hash;
+}
+
+std::size_t total_cells(const std::vector<Scenario>& points) {
+  std::size_t cells = 0;
+  for (const Scenario& point : points)
+    cells += static_cast<std::size_t>(point.runs);
+  return cells;
+}
+
+std::string header_line(const std::vector<Scenario>& points,
+                        const std::vector<ConfigSpec>& configs) {
+  char fingerprint[24];
+  std::snprintf(fingerprint, sizeof fingerprint, "%016llx",
+                static_cast<unsigned long long>(
+                    grid_fingerprint(points, configs)));
+  std::ostringstream out;
+  out << "{\"coredis_campaign\":1,\"fingerprint\":\"" << fingerprint
+      << "\",\"points\":" << points.size()
+      << ",\"cells\":" << total_cells(points) << ",\"configs\":[";
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    if (c != 0) out << ',';
+    out << '"' << json_escape(configs[c].name) << '"';
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string cell_line(std::size_t cell, std::size_t point, std::size_t rep,
+                      const CellResult& result,
+                      const std::vector<ConfigSpec>& configs) {
+  std::ostringstream out;
+  out << "{\"cell\":" << cell << ",\"point\":" << point << ",\"rep\":" << rep
+      << ",\"baseline\":" << format_double17(result.baseline)
+      << ",\"configs\":[";
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    if (c != 0) out << ',';
+    const core::RunResult& r = result.results[c];
+    out << "{\"name\":\"" << json_escape(configs[c].name)
+        << "\",\"makespan\":" << format_double17(r.makespan)
+        << ",\"normalized\":" << format_double17(r.makespan / result.baseline)
+        << ",\"redistributions\":" << r.redistributions
+        << ",\"effective_faults\":" << r.faults_effective << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+// Strict scanners for the exact shape emitted above; any deviation marks
+// the record as corrupt.
+
+bool expect_token(const std::string& text, std::size_t& pos,
+                  std::string_view token) {
+  if (text.compare(pos, token.size(), token) != 0) return false;
+  pos += token.size();
+  return true;
+}
+
+bool scan_size(const std::string& text, std::size_t& pos, std::size_t& out) {
+  bool any = false;
+  out = 0;
+  while (pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    out = out * 10 + static_cast<std::size_t>(text[pos] - '0');
+    ++pos;
+    any = true;
+  }
+  return any;
+}
+
+bool scan_double(const std::string& text, std::size_t& pos, double& out) {
+  const char* begin = text.c_str() + pos;
+  char* end = nullptr;
+  out = std::strtod(begin, &end);
+  if (end == begin) return false;
+  pos += static_cast<std::size_t>(end - begin);
+  return true;
+}
+
+bool scan_quoted(const std::string& text, std::size_t& pos, std::string& out) {
+  if (pos >= text.size() || text[pos] != '"') return false;
+  ++pos;
+  out.clear();
+  while (pos < text.size() && text[pos] != '"') {
+    if (text[pos] == '\\') {
+      if (pos + 1 >= text.size()) return false;
+      // Decode exactly what json_escape emits: \" \\ and \uXXXX.
+      if (text[pos + 1] == 'u') {
+        if (pos + 6 > text.size()) return false;
+        unsigned code = 0;
+        for (std::size_t h = pos + 2; h < pos + 6; ++h) {
+          const char c = text[h];
+          if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+          code = code * 16 +
+                 static_cast<unsigned>(std::isdigit(static_cast<unsigned char>(c))
+                                           ? c - '0'
+                                           : std::tolower(c) - 'a' + 10);
+        }
+        if (code > 0xFF) return false;  // json_escape only emits \u00XX
+        out.push_back(static_cast<char>(code));
+        pos += 6;
+      } else {
+        out.push_back(text[pos + 1]);
+        pos += 2;
+      }
+    } else {
+      out.push_back(text[pos++]);
+    }
+  }
+  if (pos >= text.size()) return false;
+  ++pos;  // closing quote
+  return true;
+}
+
+struct ParsedCell {
+  std::size_t cell = 0;
+  std::size_t point = 0;
+  std::size_t rep = 0;
+  CellResult result;
+};
+
+bool parse_cell_line(const std::string& line,
+                     const std::vector<ConfigSpec>& configs,
+                     ParsedCell& out) {
+  std::size_t pos = 0;
+  double normalized_ignored = 0.0;
+  if (!expect_token(line, pos, "{\"cell\":")) return false;
+  if (!scan_size(line, pos, out.cell)) return false;
+  if (!expect_token(line, pos, ",\"point\":")) return false;
+  if (!scan_size(line, pos, out.point)) return false;
+  if (!expect_token(line, pos, ",\"rep\":")) return false;
+  if (!scan_size(line, pos, out.rep)) return false;
+  if (!expect_token(line, pos, ",\"baseline\":")) return false;
+  if (!scan_double(line, pos, out.result.baseline)) return false;
+  if (!expect_token(line, pos, ",\"configs\":[")) return false;
+  out.result.results.assign(configs.size(), core::RunResult{});
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    if (c != 0 && !expect_token(line, pos, ",")) return false;
+    std::string name;
+    if (!expect_token(line, pos, "{\"name\":")) return false;
+    if (!scan_quoted(line, pos, name)) return false;
+    if (name != configs[c].name) return false;
+    core::RunResult& r = out.result.results[c];
+    std::size_t integer = 0;
+    if (!expect_token(line, pos, ",\"makespan\":")) return false;
+    if (!scan_double(line, pos, r.makespan)) return false;
+    if (!expect_token(line, pos, ",\"normalized\":")) return false;
+    if (!scan_double(line, pos, normalized_ignored)) return false;
+    if (!expect_token(line, pos, ",\"redistributions\":")) return false;
+    if (!scan_size(line, pos, integer)) return false;
+    r.redistributions = static_cast<int>(integer);
+    if (!expect_token(line, pos, ",\"effective_faults\":")) return false;
+    if (!scan_size(line, pos, integer)) return false;
+    r.faults_effective = static_cast<int>(integer);
+    if (!expect_token(line, pos, "}")) return false;
+  }
+  if (!expect_token(line, pos, "]}")) return false;
+  return pos == line.size();
+}
+
+// --- the in-order writer and the resume scan ------------------------------
+
+/// Serializes out-of-order cell completions into in-cell-order file
+/// appends: a record is held back until every earlier cell has been
+/// written, so the file layout is independent of thread scheduling and an
+/// interrupted file is always header + a prefix of records (+ at most one
+/// torn line).
+class OrderedJsonlWriter {
+ public:
+  OrderedJsonlWriter(std::ofstream* sink, std::size_t next)
+      : sink_(sink), next_(next) {}
+
+  void commit(std::size_t index, std::string line) {
+    if (sink_ == nullptr) return;
+    const std::lock_guard lock(mutex_);
+    pending_.emplace(index, std::move(line));
+    for (auto it = pending_.find(next_); it != pending_.end();
+         it = pending_.find(next_)) {
+      *sink_ << it->second << '\n';
+      sink_->flush();
+      pending_.erase(it);
+      ++next_;
+    }
+  }
+
+  [[nodiscard]] bool drained() const { return pending_.empty(); }
+
+ private:
+  std::ofstream* sink_;
+  std::size_t next_;
+  std::map<std::size_t, std::string> pending_;
+  std::mutex mutex_;
+};
+
+struct CellRef {
+  std::size_t point = 0;
+  std::size_t rep = 0;
+};
+
+std::vector<CellRef> layout_cells(const std::vector<Scenario>& points) {
+  std::vector<CellRef> cells;
+  cells.reserve(total_cells(points));
+  for (std::size_t i = 0; i < points.size(); ++i)
+    for (std::size_t rep = 0; rep < static_cast<std::size_t>(points[i].runs);
+         ++rep)
+      cells.push_back({i, rep});
+  return cells;
+}
+
+struct JsonlScan {
+  std::vector<ParsedCell> cells;   ///< the valid prefix, cell k at index k
+  std::uintmax_t valid_bytes = 0;  ///< header + accepted records, with '\n'
+  bool dropped_tail = false;       ///< a torn/corrupt trailing record existed
+};
+
+JsonlScan scan_jsonl(const std::string& path, const std::string& header,
+                     const std::vector<CellRef>& layout,
+                     const std::vector<ConfigSpec>& configs) {
+  // Streamed line by line: resume/summarize hold one line plus the parsed
+  // cells, not the whole file. After a successful getline, eof() set means
+  // the line had no trailing '\n' — a record torn mid-write.
+  std::ifstream file(path, std::ios::binary);
+  if (!file)
+    throw std::runtime_error("cannot open campaign results: " + path);
+  const auto more_content = [&file] {
+    return file.peek() != std::ifstream::traits_type::eof();
+  };
+
+  JsonlScan scan;
+  std::string line;
+  if (!std::getline(file, line)) return scan;  // empty file: fresh start
+  if (file.eof()) {                            // torn header: rewrite it
+    scan.dropped_tail = true;
+    return scan;
+  }
+  if (line != header)
+    throw std::runtime_error(
+        "campaign results file does not match this campaign "
+        "(header/fingerprint mismatch): " +
+        path);
+  scan.valid_bytes = line.size() + 1;
+
+  for (std::size_t k = 0; k < layout.size(); ++k) {
+    if (!std::getline(file, line)) break;
+    if (file.eof()) {
+      scan.dropped_tail = true;
+      break;
+    }
+    ParsedCell cell;
+    const bool valid = parse_cell_line(line, configs, cell) &&
+                       cell.cell == k && cell.point == layout[k].point &&
+                       cell.rep == layout[k].rep;
+    if (!valid) {
+      // A broken record is tolerated only as the very last line (a write
+      // cut short by the interrupt); the in-order writer cannot produce
+      // valid data after a bad record.
+      if (more_content())
+        throw std::runtime_error("corrupt campaign record mid-file: " + path);
+      scan.dropped_tail = true;
+      break;
+    }
+    scan.cells.push_back(std::move(cell));
+    scan.valid_bytes += line.size() + 1;
+  }
+  if (scan.cells.size() == layout.size() && more_content())
+    throw std::runtime_error("trailing data beyond the campaign grid: " +
+                             path);
+  return scan;
+}
+
+std::vector<PointResult> aggregate_points(
+    const std::vector<Scenario>& points,
+    const std::vector<ConfigSpec>& configs, std::vector<CellResult>&& cells,
+    std::size_t cells_present) {
+  std::vector<PointResult> aggregated;
+  aggregated.reserve(points.size());
+  std::size_t offset = 0;
+  for (const Scenario& point : points) {
+    const auto runs = static_cast<std::size_t>(point.runs);
+    const std::size_t available =
+        offset >= cells_present
+            ? 0
+            : std::min(runs, cells_present - offset);
+    std::vector<CellResult> slice(
+        std::make_move_iterator(cells.begin() + static_cast<std::ptrdiff_t>(offset)),
+        std::make_move_iterator(cells.begin() +
+                                static_cast<std::ptrdiff_t>(offset + available)));
+    aggregated.push_back(aggregate_point(configs, slice));
+    offset += runs;
+  }
+  return aggregated;
+}
+
+std::vector<Scenario> materialize(const Campaign& campaign) {
+  std::vector<Scenario> points;
+  const std::size_t total = campaign.grid.points();
+  points.reserve(total);
+  for (std::size_t i = 0; i < total; ++i)
+    points.push_back(campaign.grid.point(i));
+  return points;
+}
+
+}  // namespace
+
+// --- ScenarioGrid ---------------------------------------------------------
+
+std::size_t ScenarioGrid::points() const noexcept {
+  const auto dim = [](std::size_t size) {
+    return size == 0 ? std::size_t{1} : size;
+  };
+  return dim(n.size()) * dim(p.size()) * dim(mtbf_years.size()) *
+         dim(fault_laws.size()) * dim(checkpoint_unit_costs.size()) *
+         dim(period_rules.size());
+}
+
+Scenario ScenarioGrid::point(std::size_t index) const {
+  COREDIS_EXPECTS(index < points());
+  Scenario scenario = base;
+  std::size_t rest = index;
+  const auto take = [&rest](std::size_t size) {
+    const std::size_t k = rest % size;
+    rest /= size;
+    return k;
+  };
+  // The innermost axis decodes first, making n the outermost loop.
+  if (!period_rules.empty())
+    scenario.period_rule = period_rules[take(period_rules.size())];
+  if (!checkpoint_unit_costs.empty())
+    scenario.checkpoint_unit_cost =
+        checkpoint_unit_costs[take(checkpoint_unit_costs.size())];
+  if (!fault_laws.empty())
+    scenario.fault_law = fault_laws[take(fault_laws.size())];
+  if (!mtbf_years.empty())
+    scenario.mtbf_years = mtbf_years[take(mtbf_years.size())];
+  if (!p.empty()) scenario.p = p[take(p.size())];
+  if (!n.empty()) scenario.n = n[take(n.size())];
+  return scenario;
+}
+
+std::string ScenarioGrid::point_label(std::size_t index) const {
+  const Scenario scenario = point(index);
+  std::string label;
+  const auto add = [&label](const std::string& piece) {
+    if (!label.empty()) label += ' ';
+    label += piece;
+  };
+  if (!n.empty()) add("n=" + std::to_string(scenario.n));
+  if (!p.empty()) add("p=" + std::to_string(scenario.p));
+  if (!mtbf_years.empty())
+    add("mtbf_years=" + format_g(scenario.mtbf_years));
+  if (!fault_laws.empty())
+    add(std::string("fault_law=") +
+        (scenario.fault_law == FaultLaw::Weibull ? "weibull" : "exponential"));
+  if (!checkpoint_unit_costs.empty())
+    add("checkpoint_unit_cost=" + format_g(scenario.checkpoint_unit_cost));
+  if (!period_rules.empty())
+    add(std::string("period_rule=") +
+        (scenario.period_rule == checkpoint::PeriodRule::Daly ? "daly"
+                                                              : "young"));
+  return label.empty() ? "base" : label;
+}
+
+std::size_t Campaign::cells() const noexcept {
+  return grid.points() * static_cast<std::size_t>(grid.base.runs);
+}
+
+// --- campaign parsing -----------------------------------------------------
+
+Campaign parse_campaign(const std::string& text, Scenario base) {
+  Campaign campaign;
+  campaign.grid.base = base;
+  campaign.configs = paper_curves();
+
+  std::istringstream stream(text);
+  std::string raw;
+  std::size_t number = 0;
+  while (std::getline(stream, raw)) {
+    ++number;
+    try {
+      std::string key;
+      std::string value;
+      if (!detail::split_assignment(raw, key, value)) continue;
+      if (key == "configs") {
+        campaign.configs = config_set(value);
+        continue;
+      }
+      const AxisKey axis = axis_of(key);
+      if (value.find(',') != std::string::npos) {
+        if (axis == AxisKey::None) {
+          // Distinguish a typo from a real scenario key that simply
+          // cannot be swept: probe the key with the first list element.
+          Scenario probe = campaign.grid.base;
+          bool known = true;
+          try {
+            known = apply_scenario_key(probe, key, split_list(value).front());
+          } catch (const std::runtime_error&) {
+            // Malformed element, but the key itself exists.
+          }
+          if (!known) throw std::runtime_error("unknown key '" + key + "'");
+          throw std::runtime_error(
+              "key '" + key +
+              "' cannot be swept (axes: n, p, mtbf_years, fault_law, "
+              "checkpoint_unit_cost, period_rule)");
+        }
+        set_axis(campaign.grid, axis, key, value);
+      } else {
+        if (!apply_scenario_key(campaign.grid.base, key, value))
+          throw std::runtime_error("unknown key '" + key + "'");
+        // A later scalar assignment overrides an earlier sweep of the key.
+        clear_axis(campaign.grid, axis);
+      }
+    } catch (const std::runtime_error& error) {
+      fail_line(number, raw, error.what());
+    }
+  }
+
+  const std::size_t total = campaign.grid.points();
+  for (std::size_t i = 0; i < total; ++i) {
+    try {
+      validate_scenario(campaign.grid.point(i));
+    } catch (const std::runtime_error& error) {
+      throw std::runtime_error("campaign: point [" +
+                               campaign.grid.point_label(i) +
+                               "]: " + error.what());
+    }
+  }
+  return campaign;
+}
+
+Campaign load_campaign(const std::string& path, Scenario base) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open campaign file: " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return parse_campaign(text.str(), std::move(base));
+}
+
+// --- orchestration --------------------------------------------------------
+
+std::vector<PointResult> run_grid(const std::vector<Scenario>& points,
+                                  const std::vector<ConfigSpec>& configs,
+                                  const GridRunOptions& options) {
+  const std::vector<CellRef> cells = layout_cells(points);
+  const std::size_t total = cells.size();
+  std::vector<CellResult> results(total);
+
+  std::size_t done = 0;
+  std::ofstream sink;
+  if (!options.jsonl_path.empty()) {
+    namespace fs = std::filesystem;
+    const std::string header = header_line(points, configs);
+    if (options.resume && fs::exists(options.jsonl_path)) {
+      JsonlScan scan = scan_jsonl(options.jsonl_path, header, cells, configs);
+      done = scan.cells.size();
+      for (std::size_t k = 0; k < done; ++k)
+        results[k] = std::move(scan.cells[k].result);
+      // Drop the torn tail so the append below continues a clean prefix.
+      if (fs::file_size(options.jsonl_path) > scan.valid_bytes)
+        fs::resize_file(options.jsonl_path, scan.valid_bytes);
+      sink.open(options.jsonl_path, std::ios::binary | std::ios::app);
+      if (!sink)
+        throw std::runtime_error("cannot write " + options.jsonl_path);
+      if (scan.valid_bytes == 0) {
+        sink << header << '\n';
+        sink.flush();
+      }
+    } else {
+      sink.open(options.jsonl_path, std::ios::binary | std::ios::trunc);
+      if (!sink)
+        throw std::runtime_error("cannot write " + options.jsonl_path);
+      sink << header << '\n';
+      sink.flush();
+    }
+  }
+
+  OrderedJsonlWriter writer(sink.is_open() ? &sink : nullptr, done);
+  if (done < total) {
+    parallel_for(
+        total - done,
+        [&](std::size_t index) {
+          const std::size_t k = done + index;
+          const CellRef ref = cells[k];
+          results[k] = run_cell(points[ref.point], configs, ref.rep);
+          if (sink.is_open())
+            writer.commit(k,
+                          cell_line(k, ref.point, ref.rep, results[k], configs));
+        },
+        options.threads);
+  }
+  if (sink.is_open()) {
+    COREDIS_EXPECTS(writer.drained());
+    if (!sink) throw std::runtime_error("failed writing " + options.jsonl_path);
+  }
+
+  return aggregate_points(points, configs, std::move(results), total);
+}
+
+std::vector<PointResult> run_campaign(const Campaign& campaign,
+                                      const GridRunOptions& options) {
+  return run_grid(materialize(campaign), campaign.configs, options);
+}
+
+std::vector<PointResult> summarize_jsonl(const Campaign& campaign,
+                                         const std::string& path,
+                                         JsonlCoverage* coverage) {
+  const std::vector<Scenario> points = materialize(campaign);
+  const std::vector<CellRef> cells = layout_cells(points);
+  JsonlScan scan =
+      scan_jsonl(path, header_line(points, campaign.configs), cells,
+                 campaign.configs);
+  if (coverage != nullptr) {
+    coverage->cells_present = scan.cells.size();
+    coverage->cells_total = cells.size();
+    coverage->dropped_corrupt_tail = scan.dropped_tail;
+  }
+  std::vector<CellResult> results(cells.size());
+  for (std::size_t k = 0; k < scan.cells.size(); ++k)
+    results[k] = std::move(scan.cells[k].result);
+  return aggregate_points(points, campaign.configs, std::move(results),
+                          scan.cells.size());
+}
+
+std::string render_campaign_table(const Campaign& campaign,
+                                  const std::vector<PointResult>& points) {
+  std::vector<std::string> headers{"point", "reps", "baseline (days)"};
+  for (const ConfigSpec& config : campaign.configs)
+    headers.push_back(config.name);
+  TextTable table(std::move(headers));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointResult& point = points[i];
+    std::vector<std::string> row;
+    row.push_back(campaign.grid.point_label(i));
+    row.push_back(std::to_string(point.baseline_makespan.count()));
+    if (point.baseline_makespan.count() == 0) {
+      row.push_back("-");
+      for (std::size_t c = 0; c < campaign.configs.size(); ++c)
+        row.push_back("-");
+    } else {
+      row.push_back(format_double(
+          units::to_days(point.baseline_makespan.mean()), 1));
+      for (const ConfigOutcome& config : point.configs)
+        row.push_back(format_double(config.normalized.mean(), 4));
+    }
+    table.add_row(row);
+  }
+  return table.to_string();
+}
+
+}  // namespace coredis::exp

@@ -1,0 +1,142 @@
+#pragma once
+
+/// \file campaign.hpp
+/// Whole-grid campaign orchestration (paper section 6 at scale).
+///
+/// A campaign is a declarative grid — a base Scenario crossed with sweep
+/// axes over n, p, MTBF, fault law, checkpoint cost and period rule —
+/// times a configuration set. The orchestrator flattens every
+/// (point, repetition) pair of the grid into one global work queue over
+/// util::parallel_for, so a full-grid reproduction keeps every core busy
+/// across point boundaries instead of draining one point at a time.
+///
+/// Determinism contract: a cell's workload and fault streams derive from
+/// (point seed, repetition) alone (exp::run_cell), cells are folded into
+/// point statistics in repetition order, and the JSONL sink commits
+/// records in cell order — so both the aggregates and the output file are
+/// byte-identical for any COREDIS_THREADS value.
+///
+/// Resume contract: with a JSONL path and resume=true, the orchestrator
+/// validates the file's header (a fingerprint over every point scenario
+/// and the configuration names), accepts the longest valid prefix of cell
+/// records, drops a truncated or corrupted trailing record, recomputes
+/// only the missing cells, and appends them in order — the final file is
+/// byte-for-byte the one an uninterrupted run would have produced.
+///
+/// Campaign files extend the scenario-file format (scenario_file.hpp):
+///
+///   # base knobs: any scenario key, single-valued
+///   runs = 8
+///   seed = 42
+///   # sweep axes: comma-separated lists over the grid keys
+///   n = 100, 200
+///   mtbf_years = 5, 25, 100
+///   fault_law = exponential, weibull
+///   # configuration set (default: paper)
+///   configs = paper
+///
+/// `configs` accepts `paper` (the six section-6.2 curves), `fault_free`
+/// (the Figure 5-6 trio), or a comma list of baseline, ig_greedy,
+/// ig_local, stf_greedy, stf_local, rc_fault_free.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+
+namespace coredis::exp {
+
+/// Declarative parameter grid: a base scenario plus sweep axes. An empty
+/// axis keeps the base value. Axes nest n (outermost) -> p -> mtbf_years
+/// -> fault_laws -> checkpoint_unit_costs -> period_rules (innermost);
+/// point(i) decodes i in that mixed-radix order, so the flattened grid
+/// walks the innermost axis fastest.
+struct ScenarioGrid {
+  Scenario base;
+  std::vector<int> n;
+  std::vector<int> p;
+  std::vector<double> mtbf_years;
+  std::vector<FaultLaw> fault_laws;
+  std::vector<double> checkpoint_unit_costs;
+  std::vector<checkpoint::PeriodRule> period_rules;
+
+  /// Number of grid points (product of axis sizes; 1 with no axes).
+  [[nodiscard]] std::size_t points() const noexcept;
+
+  /// Materialize grid point `index` (precondition: index < points()).
+  [[nodiscard]] Scenario point(std::size_t index) const;
+
+  /// Human-readable "key=value ..." over the varying axes of point
+  /// `index` ("base" when the grid has no axes).
+  [[nodiscard]] std::string point_label(std::size_t index) const;
+};
+
+/// A grid crossed with the configurations to evaluate at every point.
+struct Campaign {
+  ScenarioGrid grid;
+  std::vector<ConfigSpec> configs;
+
+  /// Total (point, repetition) cells: points() * base.runs.
+  [[nodiscard]] std::size_t cells() const noexcept;
+};
+
+/// Parse the extended scenario-file text above into a Campaign, starting
+/// from `base` for unspecified keys. Throws std::runtime_error naming the
+/// offending line ("campaign line N: ... in '...'") on malformed input,
+/// and validates every materialized grid point.
+[[nodiscard]] Campaign parse_campaign(const std::string& text,
+                                      Scenario base = {});
+
+/// Load a campaign file (see parse_campaign). Throws std::runtime_error
+/// on I/O failure.
+[[nodiscard]] Campaign load_campaign(const std::string& path,
+                                     Scenario base = {});
+
+struct GridRunOptions {
+  /// Stream each completed cell as one JSON record to this file (plus a
+  /// leading header record); empty keeps results in memory only.
+  std::string jsonl_path;
+  /// Reuse the valid prefix of jsonl_path instead of recomputing it; see
+  /// the resume contract above. A missing file degrades to a fresh run.
+  bool resume = false;
+  /// Worker override for the global queue (0 = default_thread_count()).
+  std::size_t threads = 0;
+};
+
+/// Run every (point, repetition) cell of `points` x `configs` through one
+/// global work queue and fold the cells into per-point statistics. The
+/// aggregates are exactly what run_point would report for each scenario —
+/// same seeds, same fold order — independent of thread count.
+[[nodiscard]] std::vector<PointResult> run_grid(
+    const std::vector<Scenario>& points, const std::vector<ConfigSpec>& configs,
+    const GridRunOptions& options = {});
+
+/// run_grid over the campaign's materialized grid points.
+[[nodiscard]] std::vector<PointResult> run_campaign(
+    const Campaign& campaign, const GridRunOptions& options = {});
+
+/// How much of a campaign a JSONL results file covers.
+struct JsonlCoverage {
+  std::size_t cells_present = 0;  ///< valid records (always a prefix)
+  std::size_t cells_total = 0;    ///< campaign.cells()
+  bool dropped_corrupt_tail = false;  ///< a truncated last record existed
+};
+
+/// Aggregate the valid prefix of a campaign results file into per-point
+/// statistics without running anything. Points not yet reached have zero
+/// repetition counts. Throws std::runtime_error when the file cannot be
+/// read, its header does not match the campaign, or a record is corrupt
+/// anywhere but the tail.
+[[nodiscard]] std::vector<PointResult> summarize_jsonl(
+    const Campaign& campaign, const std::string& path,
+    JsonlCoverage* coverage = nullptr);
+
+/// Per-point summary table: one row per grid point (label, repetitions,
+/// baseline makespan in days, then each configuration's mean normalized
+/// makespan; "-" for points with no data yet).
+[[nodiscard]] std::string render_campaign_table(
+    const Campaign& campaign, const std::vector<PointResult>& points);
+
+}  // namespace coredis::exp

@@ -48,66 +48,89 @@ fault::GeneratorPtr make_faults(const Scenario& scenario, std::uint64_t run,
       Rng::child(scenario.seed ^ kFaultStream, run));
 }
 
+/// True when the two specs would run the exact same simulation: every
+/// semantics-bearing EngineConfig knob and the fault-stream switch must
+/// match before one run can stand in for the other (an ablation variant
+/// that only flips e.g. faults_in_blackout must not be aliased away).
+bool same_simulation(const ConfigSpec& a, const ConfigSpec& b) {
+  const core::EngineConfig& x = a.engine;
+  const core::EngineConfig& y = b.engine;
+  return x.end_policy == y.end_policy &&
+         x.failure_policy == y.failure_policy &&
+         x.record_trace == y.record_trace &&
+         x.zero_redistribution_cost == y.zero_redistribution_cost &&
+         x.faults_in_blackout == y.faults_in_blackout &&
+         x.record_timeline == y.record_timeline &&
+         x.linear_event_scan == y.linear_event_scan &&
+         a.force_fault_free == b.force_fault_free;
+}
+
 }  // namespace
 
-PointResult run_point(const Scenario& scenario,
-                      const std::vector<ConfigSpec>& configs) {
-  const auto n_configs = configs.size();
-  const auto runs = static_cast<std::size_t>(scenario.runs);
-
-  // Per-run results gathered first, aggregated after, so that thread
-  // scheduling cannot perturb the reported statistics.
-  struct RunRow {
-    double baseline = 0.0;
-    std::vector<core::RunResult> results;
-  };
-  std::vector<RunRow> rows(runs);
-
+CellResult run_cell(const Scenario& scenario,
+                    const std::vector<ConfigSpec>& configs,
+                    std::uint64_t rep) {
   const checkpoint::ResilienceParams params = scenario.resilience_params();
   const ConfigSpec baseline = baseline_no_redistribution();
+  const core::Pack pack = make_pack(scenario, rep);
+  const checkpoint::Model resilience(params);
 
-  parallel_for(runs, [&](std::size_t run) {
-    const core::Pack pack = make_pack(scenario, run);
-    const checkpoint::Model resilience(params);
-
-    // Baseline: no redistribution, faults as configured.
-    {
-      core::Engine engine(pack, resilience, scenario.p, baseline.engine);
-      auto faults = make_faults(scenario, run, baseline.force_fault_free);
-      rows[run].baseline = engine.run(*faults).makespan;
+  CellResult cell;
+  // Baseline: no redistribution, faults as configured.
+  core::RunResult baseline_result;
+  {
+    core::Engine engine(pack, resilience, scenario.p, baseline.engine);
+    auto faults = make_faults(scenario, rep, baseline.force_fault_free);
+    baseline_result = engine.run(*faults);
+    cell.baseline = baseline_result.makespan;
+  }
+  cell.results.reserve(configs.size());
+  for (const ConfigSpec& spec : configs) {
+    if (same_simulation(spec, baseline)) {
+      // The baseline itself: reuse the full simulation above, so its
+      // fault/redistribution counters survive into reports and JSONL.
+      cell.results.push_back(baseline_result);
+      continue;
     }
-    rows[run].results.reserve(n_configs);
-    for (const ConfigSpec& spec : configs) {
-      if (spec.engine.end_policy == baseline.engine.end_policy &&
-          spec.engine.failure_policy == baseline.engine.failure_policy &&
-          spec.force_fault_free == baseline.force_fault_free) {
-        // The baseline itself: reuse the simulation above.
-        core::RunResult r;
-        r.makespan = rows[run].baseline;
-        rows[run].results.push_back(std::move(r));
-        continue;
-      }
-      core::Engine engine(pack, resilience, scenario.p, spec.engine);
-      auto faults = make_faults(scenario, run, spec.force_fault_free);
-      rows[run].results.push_back(engine.run(*faults));
-    }
-  });
+    core::Engine engine(pack, resilience, scenario.p, spec.engine);
+    auto faults = make_faults(scenario, rep, spec.force_fault_free);
+    cell.results.push_back(engine.run(*faults));
+  }
+  return cell;
+}
 
+PointResult aggregate_point(const std::vector<ConfigSpec>& configs,
+                            const std::vector<CellResult>& cells) {
+  const auto n_configs = configs.size();
   PointResult point;
   point.configs.resize(n_configs);
   for (std::size_t c = 0; c < n_configs; ++c)
     point.configs[c].name = configs[c].name;
-  for (std::size_t run = 0; run < runs; ++run) {
-    point.baseline_makespan.add(rows[run].baseline);
+  for (const CellResult& cell : cells) {
+    point.baseline_makespan.add(cell.baseline);
     for (std::size_t c = 0; c < n_configs; ++c) {
-      const core::RunResult& r = rows[run].results[c];
+      const core::RunResult& r = cell.results[c];
       ConfigOutcome& out = point.configs[c];
       out.makespan.add(r.makespan);
-      out.normalized.add(r.makespan / rows[run].baseline);
+      out.normalized.add(r.makespan / cell.baseline);
       out.redistributions.add(static_cast<double>(r.redistributions));
       out.effective_faults.add(static_cast<double>(r.faults_effective));
     }
   }
+  return point;
+}
+
+PointResult run_point(const Scenario& scenario,
+                      const std::vector<ConfigSpec>& configs) {
+  const auto runs = static_cast<std::size_t>(scenario.runs);
+
+  // Per-rep cells gathered first, aggregated after in rep order, so that
+  // thread scheduling cannot perturb the reported statistics.
+  std::vector<CellResult> cells(runs);
+  parallel_for(runs,
+               [&](std::size_t rep) { cells[rep] = run_cell(scenario, configs, rep); });
+
+  PointResult point = aggregate_point(configs, cells);
   COREDIS_LOG_DEBUG("point n=" << scenario.n << " p=" << scenario.p
                                << " baseline mean="
                                << point.baseline_makespan.mean());

@@ -13,9 +13,11 @@
 /// Repetitions run in parallel; outputs are indexed by repetition, so the
 /// numbers are independent of thread scheduling.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/types.hpp"
 #include "exp/scenario.hpp"
 #include "util/stats.hpp"
 
@@ -35,9 +37,34 @@ struct PointResult {
   std::vector<ConfigOutcome> configs;   ///< one per requested ConfigSpec
 };
 
-/// Evaluate `configs` at the scenario point. The baseline (no RC, faults
-/// per the scenario) is always run to provide the normalizer; if it also
-/// appears in `configs` it is not re-simulated.
+/// Raw outcome of one Monte-Carlo repetition ("cell") at one scenario
+/// point: the baseline makespan plus one RunResult per configuration.
+struct CellResult {
+  double baseline = 0.0;
+  std::vector<core::RunResult> results;  ///< one per ConfigSpec, same order
+};
+
+/// Simulate one repetition of the scenario point. Deterministic in
+/// (scenario, rep) only — the workload and fault streams derive from
+/// (scenario.seed, rep), so a cell's outcome is independent of which
+/// thread runs it and of any other cell. The baseline (no RC, faults per
+/// the scenario) is always simulated to provide the normalizer; a config
+/// equal to it reuses that simulation instead of re-running it.
+[[nodiscard]] CellResult run_cell(const Scenario& scenario,
+                                  const std::vector<ConfigSpec>& configs,
+                                  std::uint64_t rep);
+
+/// Fold per-repetition cells (indexed by rep) into the reported
+/// statistics. Cells are always folded in rep order, so the result is
+/// independent of the schedule that produced them.
+[[nodiscard]] PointResult aggregate_point(const std::vector<ConfigSpec>& configs,
+                                          const std::vector<CellResult>& cells);
+
+/// Evaluate `configs` at the scenario point: scenario.runs cells through
+/// run_cell (repetitions fan out over parallel_for), folded with
+/// aggregate_point. Campaigns that span many points should use
+/// exp::run_grid (campaign.hpp) instead, which feeds every (point, rep)
+/// cell of the whole grid through one global work queue.
 [[nodiscard]] PointResult run_point(const Scenario& scenario,
                                     const std::vector<ConfigSpec>& configs);
 

@@ -2,16 +2,18 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace coredis::exp {
 
-namespace {
+namespace detail {
 
 std::string trim(const std::string& text) {
   const auto begin = text.find_first_not_of(" \t\r");
@@ -26,89 +28,139 @@ std::string lower(std::string text) {
   return text;
 }
 
-[[noreturn]] void fail(const std::string& line, const std::string& why) {
-  throw std::runtime_error("scenario: " + why + " in line '" + line + "'");
+bool split_assignment(const std::string& raw, std::string& key,
+                      std::string& value) {
+  std::string line = trim(raw);
+  const auto comment = line.find('#');
+  if (comment != std::string::npos) line = trim(line.substr(0, comment));
+  if (line.empty()) return false;
+  const auto eq = line.find('=');
+  if (eq == std::string::npos) throw std::runtime_error("missing '='");
+  key = lower(trim(line.substr(0, eq)));
+  value = trim(line.substr(eq + 1));
+  if (key.empty()) throw std::runtime_error("missing key");
+  if (value.empty()) throw std::runtime_error("missing value");
+  return true;
 }
 
-double parse_number(const std::string& line, const std::string& value) {
+}  // namespace detail
+
+namespace {
+
+using detail::lower;
+using detail::trim;
+
+[[noreturn]] void fail(const std::string& why) {
+  throw std::runtime_error("scenario: " + why);
+}
+
+double parse_number(const std::string& value) {
   try {
     std::size_t used = 0;
     const double parsed = std::stod(value, &used);
-    if (used != value.size()) fail(line, "trailing characters");
+    if (used != value.size()) fail("trailing characters");
     return parsed;
   } catch (const std::runtime_error&) {
     throw;
   } catch (const std::exception&) {
-    fail(line, "malformed number");
+    fail("malformed number");
   }
 }
 
+/// Seeds are 64-bit and must round-trip exactly, so they are parsed as a
+/// decimal integer first; scientific notation ("1e6") still works through
+/// the double path as long as the value fits in 53 bits.
+std::uint64_t parse_seed(const std::string& value) {
+  if (!value.empty() && value.front() != '-') {
+    try {
+      std::size_t used = 0;
+      const unsigned long long parsed = std::stoull(value, &used, 10);
+      if (used == value.size()) return parsed;
+    } catch (const std::exception&) {
+      // fall through to the double path
+    }
+  }
+  const double parsed = parse_number(value);
+  if (!(parsed >= 0.0) || parsed >= 0x1.0p64 ||
+      parsed != std::floor(parsed))
+    fail("seed must be a non-negative 64-bit integer");
+  return static_cast<std::uint64_t>(parsed);
+}
+
 }  // namespace
+
+bool apply_scenario_key(Scenario& scenario, const std::string& key,
+                        const std::string& value) {
+  if (key == "n") {
+    scenario.n = static_cast<int>(parse_number(value));
+  } else if (key == "p") {
+    scenario.p = static_cast<int>(parse_number(value));
+  } else if (key == "m_inf") {
+    scenario.m_inf = parse_number(value);
+  } else if (key == "m_sup") {
+    scenario.m_sup = parse_number(value);
+  } else if (key == "sequential_fraction" || key == "f") {
+    scenario.sequential_fraction = parse_number(value);
+  } else if (key == "mtbf_years") {
+    scenario.mtbf_years = parse_number(value);
+  } else if (key == "downtime_seconds" || key == "d") {
+    scenario.downtime_seconds = parse_number(value);
+  } else if (key == "checkpoint_unit_cost" || key == "c") {
+    scenario.checkpoint_unit_cost = parse_number(value);
+  } else if (key == "runs") {
+    scenario.runs = static_cast<int>(parse_number(value));
+  } else if (key == "seed") {
+    scenario.seed = parse_seed(value);
+  } else if (key == "weibull_shape") {
+    scenario.weibull_shape = parse_number(value);
+  } else if (key == "fault_law") {
+    const std::string law = lower(trim(value));
+    if (law == "exponential") {
+      scenario.fault_law = FaultLaw::Exponential;
+    } else if (law == "weibull") {
+      scenario.fault_law = FaultLaw::Weibull;
+    } else {
+      fail("unknown fault law (exponential|weibull)");
+    }
+  } else if (key == "period_rule") {
+    const std::string rule = lower(trim(value));
+    if (rule == "young") {
+      scenario.period_rule = checkpoint::PeriodRule::Young;
+    } else if (rule == "daly") {
+      scenario.period_rule = checkpoint::PeriodRule::Daly;
+    } else {
+      fail("unknown period rule (young|daly)");
+    }
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void validate_scenario(const Scenario& scenario) {
+  if (scenario.n < 1 || scenario.p < 2 * scenario.n)
+    fail("platform cannot hold the pack (need p >= 2n)");
+  if (scenario.m_inf <= 1.0 || scenario.m_sup < scenario.m_inf)
+    fail("invalid data-size window");
+  if (scenario.runs < 1) fail("runs must be >= 1");
+}
 
 Scenario parse_scenario(const std::string& text, Scenario base) {
   std::istringstream stream(text);
   std::string raw;
   while (std::getline(stream, raw)) {
-    std::string line = trim(raw);
-    const auto comment = line.find('#');
-    if (comment != std::string::npos) line = trim(line.substr(0, comment));
-    if (line.empty()) continue;
-    const auto eq = line.find('=');
-    if (eq == std::string::npos) fail(raw, "missing '='");
-    const std::string key = lower(trim(line.substr(0, eq)));
-    const std::string value = trim(line.substr(eq + 1));
-    if (value.empty()) fail(raw, "missing value");
-
-    if (key == "n") {
-      base.n = static_cast<int>(parse_number(raw, value));
-    } else if (key == "p") {
-      base.p = static_cast<int>(parse_number(raw, value));
-    } else if (key == "m_inf") {
-      base.m_inf = parse_number(raw, value);
-    } else if (key == "m_sup") {
-      base.m_sup = parse_number(raw, value);
-    } else if (key == "sequential_fraction" || key == "f") {
-      base.sequential_fraction = parse_number(raw, value);
-    } else if (key == "mtbf_years") {
-      base.mtbf_years = parse_number(raw, value);
-    } else if (key == "downtime_seconds" || key == "d") {
-      base.downtime_seconds = parse_number(raw, value);
-    } else if (key == "checkpoint_unit_cost" || key == "c") {
-      base.checkpoint_unit_cost = parse_number(raw, value);
-    } else if (key == "runs") {
-      base.runs = static_cast<int>(parse_number(raw, value));
-    } else if (key == "seed") {
-      base.seed = static_cast<std::uint64_t>(parse_number(raw, value));
-    } else if (key == "weibull_shape") {
-      base.weibull_shape = parse_number(raw, value);
-    } else if (key == "fault_law") {
-      const std::string law = lower(value);
-      if (law == "exponential") {
-        base.fault_law = FaultLaw::Exponential;
-      } else if (law == "weibull") {
-        base.fault_law = FaultLaw::Weibull;
-      } else {
-        fail(raw, "unknown fault law (exponential|weibull)");
-      }
-    } else if (key == "period_rule") {
-      const std::string rule = lower(value);
-      if (rule == "young") {
-        base.period_rule = checkpoint::PeriodRule::Young;
-      } else if (rule == "daly") {
-        base.period_rule = checkpoint::PeriodRule::Daly;
-      } else {
-        fail(raw, "unknown period rule (young|daly)");
-      }
-    } else {
-      fail(raw, "unknown key '" + key + "'");
+    try {
+      std::string key;
+      std::string value;
+      if (!detail::split_assignment(raw, key, value)) continue;
+      if (!apply_scenario_key(base, key, value))
+        fail("unknown key '" + key + "'");
+    } catch (const std::runtime_error& error) {
+      throw std::runtime_error(std::string(error.what()) + " in line '" + raw +
+                               "'");
     }
   }
-  if (base.n < 1 || base.p < 2 * base.n)
-    throw std::runtime_error(
-        "scenario: platform cannot hold the pack (need p >= 2n)");
-  if (base.m_inf <= 1.0 || base.m_sup < base.m_inf)
-    throw std::runtime_error("scenario: invalid data-size window");
-  if (base.runs < 1) throw std::runtime_error("scenario: runs must be >= 1");
+  validate_scenario(base);
   return base;
 }
 
@@ -122,7 +174,7 @@ Scenario load_scenario(const std::string& path, Scenario base) {
 
 std::string format_scenario(const Scenario& scenario) {
   std::ostringstream out;
-  out.precision(12);
+  out.precision(std::numeric_limits<double>::max_digits10);
   out << "n = " << scenario.n << '\n';
   out << "p = " << scenario.p << '\n';
   out << "m_inf = " << scenario.m_inf << '\n';

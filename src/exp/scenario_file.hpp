@@ -35,7 +35,39 @@ namespace coredis::exp {
 [[nodiscard]] Scenario load_scenario(const std::string& path,
                                      Scenario base = {});
 
-/// Serialize a scenario in the same format (round-trips via parse).
+/// Serialize a scenario in the same format. Doubles are printed with
+/// max_digits10 significant digits and the seed as a decimal integer, so
+/// parse(format(s)) reproduces every field of `s` exactly.
 [[nodiscard]] std::string format_scenario(const Scenario& scenario);
+
+/// Apply one `key = value` assignment to `scenario`, with the same key set
+/// and aliases as the file format (`key` must already be trimmed and
+/// lower-case). Returns false when the key is unknown. Throws
+/// std::runtime_error — without line context; callers that read files wrap
+/// the message with the offending line — on malformed values. The campaign
+/// grid parser (exp/campaign.hpp) reuses this so sweep axes and scalar
+/// overrides share one set of value semantics.
+bool apply_scenario_key(Scenario& scenario, const std::string& key,
+                        const std::string& value);
+
+/// Check the cross-field invariants every parsed scenario must satisfy
+/// (p >= 2n, a sane data-size window, runs >= 1). Throws
+/// std::runtime_error naming the violated constraint.
+void validate_scenario(const Scenario& scenario);
+
+namespace detail {
+
+/// Shared lexing for the scenario and campaign file formats.
+[[nodiscard]] std::string trim(const std::string& text);
+[[nodiscard]] std::string lower(std::string text);
+
+/// Strip `#` comments and surrounding whitespace from one raw line and
+/// split it at '='. Returns false for a blank line. Throws
+/// std::runtime_error (without line context) on a missing '=', key, or
+/// value. `key` comes back trimmed and lower-cased, `value` trimmed.
+bool split_assignment(const std::string& raw, std::string& key,
+                      std::string& value);
+
+}  // namespace detail
 
 }  // namespace coredis::exp

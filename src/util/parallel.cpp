@@ -31,19 +31,29 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
   threads = std::min(threads, count);
 
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> stop{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   auto worker = [&] {
     for (;;) {
+      // The stop flag is checked both before claiming an index and before
+      // running the body, so after a throw the surviving workers stop
+      // draining the queue. Best-effort by nature: a worker already past
+      // both checks when the flag is set still finishes that one body —
+      // at most one in-flight body per surviving worker.
+      if (stop.load(std::memory_order_acquire)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
+      if (stop.load(std::memory_order_acquire)) return;
       try {
         body(i);
       } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        next.store(count, std::memory_order_relaxed);  // drain remaining work
+        {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        stop.store(true, std::memory_order_release);
         return;
       }
     }

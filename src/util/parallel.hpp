@@ -21,7 +21,11 @@ namespace coredis {
 
 /// Run body(i) for every i in [0, count). Work is distributed dynamically
 /// (atomic counter) so uneven run lengths balance out. Exceptions thrown by
-/// the body propagate to the caller (first one wins).
+/// the body propagate to the caller (the first one recorded wins; later
+/// ones are swallowed). After any throw the workers stop claiming new
+/// indices and stop starting bodies (best-effort: each surviving worker
+/// may finish at most one body already in flight), so a failing campaign
+/// aborts promptly instead of draining the rest of the grid.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
 

@@ -1,0 +1,421 @@
+/// Campaign orchestrator tests (exp/campaign.hpp): grid parsing with
+/// line-numbered errors, whole-grid execution equivalence with run_point,
+/// byte-identical JSONL under any thread count, and the interrupt/resume
+/// contract (truncated and corrupted-tail files).
+
+#include <cstddef>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario_file.hpp"
+
+namespace coredis::exp {
+namespace {
+
+/// The pinned smoke campaign of the acceptance criteria: 4 points x 2
+/// repetitions = 8 cells, both fault laws, small enough to simulate in
+/// milliseconds per cell.
+const char* const kSmokeCampaign = R"(
+# pinned smoke grid
+n = 6
+p = 24
+runs = 2
+seed = 20260726
+mtbf_years = 2, 50
+fault_law = exponential, weibull
+configs = baseline, ig_local, stf_greedy
+)";
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file) << "cannot open " << path;
+  std::ostringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(file) << "cannot write " << path;
+  file << text;
+}
+
+std::filesystem::path temp_jsonl(const std::string& tag) {
+  return std::filesystem::temp_directory_path() /
+         ("coredis_campaign_test_" + tag + ".jsonl");
+}
+
+/// Split JSONL content into lines (each line lost its trailing '\n').
+std::vector<std::string> lines_of(const std::string& content) {
+  std::vector<std::string> lines;
+  std::istringstream stream(content);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+/// RAII override of COREDIS_THREADS, restoring the previous value (the
+/// suite itself may run under an override, e.g. CI's COREDIS_THREADS=2).
+class ThreadsEnv {
+ public:
+  explicit ThreadsEnv(const char* value) {
+    const char* previous = std::getenv("COREDIS_THREADS");
+    had_previous_ = previous != nullptr;
+    if (had_previous_) previous_ = previous;
+    if (value == nullptr) {
+      ::unsetenv("COREDIS_THREADS");
+    } else {
+      ::setenv("COREDIS_THREADS", value, 1);
+    }
+  }
+  ~ThreadsEnv() {
+    if (had_previous_) {
+      ::setenv("COREDIS_THREADS", previous_.c_str(), 1);
+    } else {
+      ::unsetenv("COREDIS_THREADS");
+    }
+  }
+
+ private:
+  bool had_previous_ = false;
+  std::string previous_;
+};
+
+void expect_same_stats(const RunningStats& a, const RunningStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+void expect_same_points(const std::vector<PointResult>& a,
+                        const std::vector<PointResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_same_stats(a[i].baseline_makespan, b[i].baseline_makespan);
+    ASSERT_EQ(a[i].configs.size(), b[i].configs.size());
+    for (std::size_t c = 0; c < a[i].configs.size(); ++c) {
+      EXPECT_EQ(a[i].configs[c].name, b[i].configs[c].name);
+      expect_same_stats(a[i].configs[c].makespan, b[i].configs[c].makespan);
+      expect_same_stats(a[i].configs[c].normalized, b[i].configs[c].normalized);
+      expect_same_stats(a[i].configs[c].redistributions,
+                        b[i].configs[c].redistributions);
+      expect_same_stats(a[i].configs[c].effective_faults,
+                        b[i].configs[c].effective_faults);
+    }
+  }
+}
+
+TEST(CampaignFile, ParsesAxesBaseKeysAndConfigs) {
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  EXPECT_EQ(campaign.grid.base.n, 6);
+  EXPECT_EQ(campaign.grid.base.p, 24);
+  EXPECT_EQ(campaign.grid.base.runs, 2);
+  EXPECT_EQ(campaign.grid.base.seed, 20260726u);
+  ASSERT_EQ(campaign.grid.points(), 4u);
+  EXPECT_EQ(campaign.cells(), 8u);
+  ASSERT_EQ(campaign.configs.size(), 3u);
+  EXPECT_EQ(campaign.configs[0].name, baseline_no_redistribution().name);
+  EXPECT_EQ(campaign.configs[1].name, ig_end_local().name);
+  EXPECT_EQ(campaign.configs[2].name, stf_end_greedy().name);
+
+  // mtbf_years is the outer axis, fault_law the inner one.
+  EXPECT_DOUBLE_EQ(campaign.grid.point(0).mtbf_years, 2.0);
+  EXPECT_EQ(campaign.grid.point(0).fault_law, FaultLaw::Exponential);
+  EXPECT_DOUBLE_EQ(campaign.grid.point(1).mtbf_years, 2.0);
+  EXPECT_EQ(campaign.grid.point(1).fault_law, FaultLaw::Weibull);
+  EXPECT_DOUBLE_EQ(campaign.grid.point(2).mtbf_years, 50.0);
+  EXPECT_EQ(campaign.grid.point(2).fault_law, FaultLaw::Exponential);
+  EXPECT_DOUBLE_EQ(campaign.grid.point(3).mtbf_years, 50.0);
+  EXPECT_EQ(campaign.grid.point(3).fault_law, FaultLaw::Weibull);
+  EXPECT_EQ(campaign.grid.point_label(3), "mtbf_years=50 fault_law=weibull");
+  // Every point inherits the base knobs.
+  EXPECT_EQ(campaign.grid.point(3).n, 6);
+  EXPECT_EQ(campaign.grid.point(3).seed, 20260726u);
+}
+
+TEST(CampaignFile, NamedConfigSetsAndDefault) {
+  EXPECT_EQ(parse_campaign("n = 4\np = 8\n").configs.size(),
+            paper_curves().size());
+  EXPECT_EQ(parse_campaign("n = 4\np = 8\nconfigs = fault_free\n")
+                .configs.size(),
+            fault_free_curves().size());
+  EXPECT_EQ(parse_campaign("n = 4\np = 8\nconfigs = paper\n").configs.size(),
+            paper_curves().size());
+}
+
+TEST(CampaignFile, ScalarAssignmentOverridesAnEarlierSweep) {
+  const Campaign campaign =
+      parse_campaign("n = 4\np = 20\nmtbf_years = 1, 2, 3\nmtbf_years = 7\n");
+  EXPECT_EQ(campaign.grid.points(), 1u);
+  EXPECT_DOUBLE_EQ(campaign.grid.point(0).mtbf_years, 7.0);
+}
+
+TEST(CampaignFile, ErrorsNameTheOffendingLine) {
+  // Line 3 holds the typo.
+  try {
+    (void)parse_campaign("n = 4\np = 20\ntypo_key = 3\n");
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("campaign line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("typo_key"), std::string::npos) << what;
+  }
+  // Sweeping a non-axis key names the line and the axis list.
+  try {
+    (void)parse_campaign("n = 4\np = 20\nruns = 1, 2\n");
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("campaign line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("cannot be swept"), std::string::npos) << what;
+  }
+  // Malformed axis elements and unknown configurations, with line context.
+  try {
+    (void)parse_campaign("mtbf_years = 5, abc\n");
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("campaign line 1"),
+              std::string::npos)
+        << error.what();
+  }
+  // A swept key that does not exist at all reads as a typo, not as a
+  // non-sweepable key.
+  try {
+    (void)parse_campaign("mtbf_yeras = 5, 25\n");
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("unknown key 'mtbf_yeras'"),
+              std::string::npos)
+        << error.what();
+  }
+  EXPECT_THROW((void)parse_campaign("configs = paper, nonsense\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_campaign("mtbf_years = 5,, 10\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_campaign("no equals sign\n"), std::runtime_error);
+}
+
+TEST(CampaignFile, ValidatesEveryGridPoint) {
+  // n = 40 with p = 20 violates p >= 2n on the second point only.
+  try {
+    (void)parse_campaign("n = 5, 40\np = 20\n");
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("n=40"), std::string::npos) << what;
+    EXPECT_NE(what.find("p >= 2n"), std::string::npos) << what;
+  }
+}
+
+TEST(CampaignGrid, PointLabelFallsBackToBase) {
+  const Campaign campaign = parse_campaign("n = 4\np = 8\n");
+  EXPECT_EQ(campaign.grid.points(), 1u);
+  EXPECT_EQ(campaign.grid.point_label(0), "base");
+}
+
+TEST(CampaignRun, GridAggregatesMatchRunPointPerPoint) {
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  const std::vector<PointResult> grid = run_campaign(campaign);
+
+  std::vector<PointResult> sequential;
+  for (std::size_t i = 0; i < campaign.grid.points(); ++i)
+    sequential.push_back(run_point(campaign.grid.point(i), campaign.configs));
+  expect_same_points(grid, sequential);
+
+  // The baseline configuration reuses the normalizer simulation but must
+  // keep its full counters: at MTBF = 2y the no-RC run does see faults.
+  EXPECT_GT(grid[0].configs[0].effective_faults.mean(), 0.0);
+  EXPECT_EQ(grid[0].configs[0].makespan.mean(),
+            grid[0].baseline_makespan.mean());
+}
+
+TEST(CampaignRun, JsonlIsByteIdenticalAcrossThreadCounts) {
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  std::string reference;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const auto path = temp_jsonl("threads" + std::to_string(threads));
+    std::filesystem::remove(path);
+    GridRunOptions options;
+    options.jsonl_path = path.string();
+    options.threads = threads;
+    (void)run_campaign(campaign, options);
+    const std::string content = read_file(path);
+    if (reference.empty()) {
+      reference = content;
+      // Header + one record per cell.
+      EXPECT_EQ(lines_of(content).size(), 1u + campaign.cells());
+      EXPECT_NE(content.find("\"coredis_campaign\":1"), std::string::npos);
+    } else {
+      EXPECT_EQ(content, reference)
+          << "JSONL differs at " << threads << " threads";
+    }
+    std::filesystem::remove(path);
+  }
+  // The COREDIS_THREADS environment override goes through the same path.
+  const ThreadsEnv env("3");
+  const auto path = temp_jsonl("threads_env");
+  std::filesystem::remove(path);
+  GridRunOptions options;
+  options.jsonl_path = path.string();
+  (void)run_campaign(campaign, options);
+  EXPECT_EQ(read_file(path), reference);
+  std::filesystem::remove(path);
+}
+
+TEST(CampaignRun, RunPointOutcomeIndependentOfThreadCount) {
+  Scenario scenario;
+  scenario.n = 6;
+  scenario.p = 24;
+  scenario.runs = 5;
+  scenario.mtbf_years = 2.0;
+  scenario.seed = 99;
+  std::vector<PointResult> results;
+  for (const char* threads : {"1", "8"}) {
+    const ThreadsEnv env(threads);
+    results.push_back(run_point(scenario, paper_curves()));
+  }
+  expect_same_points({results[0]}, {results[1]});
+}
+
+TEST(CampaignResume, TruncatedFileResumesToIdenticalBytes) {
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  const auto full_path = temp_jsonl("resume_full");
+  std::filesystem::remove(full_path);
+  GridRunOptions options;
+  options.jsonl_path = full_path.string();
+  options.threads = 2;
+  const std::vector<PointResult> uninterrupted =
+      run_campaign(campaign, options);
+  const std::string full = read_file(full_path);
+  const std::vector<std::string> lines = lines_of(full);
+  ASSERT_EQ(lines.size(), 1u + campaign.cells());
+
+  // Interrupt mid-grid: keep the header and the first 3 cells.
+  for (const std::size_t keep : {0u, 1u, 3u, 7u}) {
+    const auto path = temp_jsonl("resume_keep" + std::to_string(keep));
+    std::string prefix = lines[0] + '\n';
+    for (std::size_t k = 0; k < keep; ++k) prefix += lines[1 + k] + '\n';
+    write_file(path, prefix);
+
+    GridRunOptions resume = options;
+    resume.jsonl_path = path.string();
+    resume.resume = true;
+    const std::vector<PointResult> resumed = run_campaign(campaign, resume);
+    EXPECT_EQ(read_file(path), full) << "resume after " << keep << " cells";
+    expect_same_points(resumed, uninterrupted);
+    std::filesystem::remove(path);
+  }
+  std::filesystem::remove(full_path);
+}
+
+TEST(CampaignResume, CorruptedLastLineIsDroppedAndRecomputed) {
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  const auto full_path = temp_jsonl("corrupt_full");
+  std::filesystem::remove(full_path);
+  GridRunOptions options;
+  options.jsonl_path = full_path.string();
+  options.threads = 2;
+  (void)run_campaign(campaign, options);
+  const std::string full = read_file(full_path);
+  const std::vector<std::string> lines = lines_of(full);
+
+  // A record torn mid-write: half of cell 2, no trailing newline.
+  {
+    const auto path = temp_jsonl("corrupt_torn");
+    const std::string torn =
+        lines[0] + '\n' + lines[1] + '\n' + lines[2] + '\n' +
+        lines[3].substr(0, lines[3].size() / 2);
+    write_file(path, torn);
+    GridRunOptions resume = options;
+    resume.jsonl_path = path.string();
+    resume.resume = true;
+    (void)run_campaign(campaign, resume);
+    EXPECT_EQ(read_file(path), full);
+    std::filesystem::remove(path);
+  }
+  // A complete but mangled last line is dropped the same way.
+  {
+    const auto path = temp_jsonl("corrupt_mangled");
+    write_file(path, lines[0] + '\n' + lines[1] + '\n' + "{\"cell\":1,garbage\n");
+    GridRunOptions resume = options;
+    resume.jsonl_path = path.string();
+    resume.resume = true;
+    (void)run_campaign(campaign, resume);
+    EXPECT_EQ(read_file(path), full);
+    std::filesystem::remove(path);
+  }
+  // Corruption that is not the tail cannot be repaired silently.
+  {
+    const auto path = temp_jsonl("corrupt_midfile");
+    write_file(path,
+               lines[0] + '\n' + "{\"cell\":0,garbage\n" + lines[2] + '\n');
+    GridRunOptions resume = options;
+    resume.jsonl_path = path.string();
+    resume.resume = true;
+    EXPECT_THROW((void)run_campaign(campaign, resume), std::runtime_error);
+    std::filesystem::remove(path);
+  }
+  std::filesystem::remove(full_path);
+}
+
+TEST(CampaignResume, MismatchedCampaignIsRefused) {
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  const auto path = temp_jsonl("fingerprint");
+  std::filesystem::remove(path);
+  GridRunOptions options;
+  options.jsonl_path = path.string();
+  (void)run_campaign(campaign, options);
+
+  Campaign other = campaign;
+  other.grid.base.seed = 7;  // different campaign, same grid shape
+  GridRunOptions resume = options;
+  resume.resume = true;
+  EXPECT_THROW((void)run_campaign(other, resume), std::runtime_error);
+  EXPECT_THROW((void)summarize_jsonl(other, path.string()),
+               std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(CampaignSummarize, MatchesTheRunThatProducedTheFile) {
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  const auto path = temp_jsonl("summarize");
+  std::filesystem::remove(path);
+  GridRunOptions options;
+  options.jsonl_path = path.string();
+  const std::vector<PointResult> ran = run_campaign(campaign, options);
+
+  JsonlCoverage coverage;
+  const std::vector<PointResult> summarized =
+      summarize_jsonl(campaign, path.string(), &coverage);
+  EXPECT_EQ(coverage.cells_present, campaign.cells());
+  EXPECT_EQ(coverage.cells_total, campaign.cells());
+  EXPECT_FALSE(coverage.dropped_corrupt_tail);
+  expect_same_points(summarized, ran);
+
+  // A partial file reports partial coverage and aggregates the prefix.
+  const std::vector<std::string> lines = lines_of(read_file(path));
+  write_file(path, lines[0] + '\n' + lines[1] + '\n' + lines[2] + '\n');
+  const std::vector<PointResult> partial =
+      summarize_jsonl(campaign, path.string(), &coverage);
+  EXPECT_EQ(coverage.cells_present, 2u);
+  EXPECT_EQ(partial[0].baseline_makespan.count(), 2u);
+  EXPECT_EQ(partial[2].baseline_makespan.count(), 0u);
+  const std::string table = render_campaign_table(campaign, partial);
+  EXPECT_NE(table.find("mtbf_years=2 fault_law=exponential"),
+            std::string::npos);
+  EXPECT_NE(table.find('-'), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace coredis::exp

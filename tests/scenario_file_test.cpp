@@ -1,11 +1,16 @@
 /// Tests of the scenario-file parser (exp/scenario_file.hpp).
 
+#include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "exp/scenario_file.hpp"
+#include "util/rng.hpp"
 
 namespace coredis::exp {
 namespace {
@@ -96,6 +101,92 @@ TEST(ScenarioFile, FormatParsesBackIdentically) {
   EXPECT_DOUBLE_EQ(round_trip.weibull_shape, original.weibull_shape);
   EXPECT_EQ(round_trip.period_rule, original.period_rule);
   EXPECT_EQ(round_trip.seed, original.seed);
+}
+
+void expect_exact_round_trip(const Scenario& original) {
+  const std::string text = format_scenario(original);
+  const Scenario r = parse_scenario(text);
+  EXPECT_EQ(r.n, original.n) << text;
+  EXPECT_EQ(r.p, original.p) << text;
+  // EXPECT_EQ on doubles is exact (operator==): the format must
+  // reproduce every bit, not just be close.
+  EXPECT_EQ(r.m_inf, original.m_inf) << text;
+  EXPECT_EQ(r.m_sup, original.m_sup) << text;
+  EXPECT_EQ(r.sequential_fraction, original.sequential_fraction) << text;
+  EXPECT_EQ(r.mtbf_years, original.mtbf_years) << text;
+  EXPECT_EQ(r.downtime_seconds, original.downtime_seconds) << text;
+  EXPECT_EQ(r.checkpoint_unit_cost, original.checkpoint_unit_cost) << text;
+  EXPECT_EQ(r.period_rule, original.period_rule) << text;
+  EXPECT_EQ(r.fault_law, original.fault_law) << text;
+  EXPECT_EQ(r.weibull_shape, original.weibull_shape) << text;
+  EXPECT_EQ(r.runs, original.runs) << text;
+  EXPECT_EQ(r.seed, original.seed) << text;
+}
+
+TEST(ScenarioFile, RoundTripPropertyOverRandomizedScenarios) {
+  Rng rng(20260726);
+  const auto log_uniform = [&rng](double lo, double hi) {
+    return std::exp(rng.uniform(std::log(lo), std::log(hi)));
+  };
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    Scenario s;
+    s.n = 1 + static_cast<int>(rng.uniform_int(0, 499));
+    s.p = 2 * s.n + static_cast<int>(rng.uniform_int(0, 5000));
+    s.m_inf = 1.0 + log_uniform(1e-6, 1e12);
+    s.m_sup = s.m_inf * log_uniform(1.0, 1e6);
+    s.sequential_fraction = rng.uniform01();
+    s.mtbf_years = iteration % 5 == 0 ? 0.0 : log_uniform(1e-3, 1e5);
+    s.downtime_seconds = log_uniform(1e-3, 1e6);
+    s.checkpoint_unit_cost = log_uniform(1e-9, 1e3);
+    s.period_rule = iteration % 2 == 0 ? checkpoint::PeriodRule::Young
+                                       : checkpoint::PeriodRule::Daly;
+    s.fault_law =
+        iteration % 3 == 0 ? FaultLaw::Weibull : FaultLaw::Exponential;
+    s.weibull_shape = rng.uniform(0.05, 5.0);
+    s.runs = 1 + static_cast<int>(rng.uniform_int(0, 99));
+    s.seed = rng();  // the full 64-bit range, beyond double precision
+    expect_exact_round_trip(s);
+  }
+}
+
+TEST(ScenarioFile, RoundTripSurvivesExtremeValues) {
+  Scenario s;
+  s.n = 1;
+  s.p = 2;
+  s.m_inf = std::nextafter(1.0, 2.0);  // smallest legal window start
+  s.m_sup = 1e300;
+  s.sequential_fraction = 0x1.fffffffffffffp-1;  // largest double < 1
+  s.mtbf_years = 1e-300;
+  // Denormals are out: std::stod throws out_of_range on ERANGE underflow.
+  s.downtime_seconds = std::numeric_limits<double>::min();
+  s.checkpoint_unit_cost = std::numeric_limits<double>::max();
+  s.weibull_shape = 0.12345678901234567;
+  s.runs = std::numeric_limits<int>::max();
+  s.seed = std::numeric_limits<std::uint64_t>::max();  // > 2^53
+  expect_exact_round_trip(s);
+}
+
+TEST(ScenarioFile, SeedParsesAsFullWidthInteger) {
+  const Scenario s =
+      parse_scenario("n = 1\np = 2\nseed = 18446744073709551615\n");
+  EXPECT_EQ(s.seed, std::numeric_limits<std::uint64_t>::max());
+  // Scientific notation still works through the double path.
+  EXPECT_EQ(parse_scenario("n = 1\np = 2\nseed = 1e6\n").seed, 1000000u);
+  EXPECT_THROW((void)parse_scenario("seed = -3\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("seed = 12abc\n"), std::runtime_error);
+  // A fractional seed is a typo, not a truncation request.
+  EXPECT_THROW((void)parse_scenario("seed = 1.5\n"), std::runtime_error);
+}
+
+TEST(ScenarioFile, ParseErrorsNameTheOffendingLine) {
+  try {
+    (void)parse_scenario("n = 5\np = 10\nmtbf_years = oops\n");
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("mtbf_years = oops"),
+              std::string::npos)
+        << error.what();
+  }
 }
 
 TEST(ScenarioFile, LoadsFromDisk) {

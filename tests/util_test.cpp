@@ -2,6 +2,7 @@
 /// moments, streaming statistics, parallel_for, CLI parsing, tables, CSV.
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -10,6 +11,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/cli.hpp"
@@ -167,6 +169,67 @@ TEST(ParallelFor, PropagatesExceptions) {
           },
           4),
       std::runtime_error);
+}
+
+TEST(ParallelFor, ThrowingBodyStopsWorkersFromDrainingTheQueue) {
+  // Regression: with a deep queue, one throwing body must abort the whole
+  // loop quickly. Every non-throwing body sleeps, so if the workers kept
+  // draining after the throw this test would take tens of seconds and
+  // `executed` would approach `count`.
+  constexpr std::size_t count = 20000;
+  std::atomic<int> executed{0};
+  const auto started = std::chrono::steady_clock::now();
+  EXPECT_THROW(
+      parallel_for(
+          count,
+          [&](std::size_t i) {
+            if (i == 0) throw std::runtime_error("boom");
+            executed.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          },
+          8),
+      std::runtime_error);
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  // The workers in flight when index 0 threw may finish their current body
+  // and at most begin one more before observing the stop flag.
+  EXPECT_LT(executed.load(), 1000);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            10);
+}
+
+TEST(ParallelFor, ConcurrentThrowsPropagateExactlyOneException) {
+  // Contention on the error slot: every body throws. One of them must come
+  // back (no deadlock, no terminate from a lost exception), and it must be
+  // one that was actually thrown.
+  constexpr std::size_t count = 1000;
+  std::string caught;
+  try {
+    parallel_for(
+        count,
+        [](std::size_t i) { throw std::runtime_error(std::to_string(i)); }, 8);
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& error) {
+    caught = error.what();
+  }
+  ASSERT_FALSE(caught.empty());
+  const std::size_t index = std::stoull(caught);
+  EXPECT_LT(index, count);
+}
+
+TEST(ParallelFor, ExceptionWinnerIsTheFirstRecorded) {
+  // Only index 3 throws; the propagated exception must be that one even
+  // when many indices are queued behind it.
+  try {
+    parallel_for(
+        10000,
+        [](std::size_t i) {
+          if (i == 3) throw std::runtime_error("the-one");
+        },
+        4);
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "the-one");
+  }
 }
 
 TEST(ParallelFor, SingleThreadFallback) {

@@ -1,0 +1,131 @@
+/// coredis_campaign — run, resume, and summarize declarative campaign
+/// grids (src/exp/campaign.hpp).
+///
+/// A campaign file is a scenario file whose grid keys (n, p, mtbf_years,
+/// fault_law, checkpoint_unit_cost, period_rule) accept comma-separated
+/// sweep lists, plus a `configs = ...` selector. The orchestrator
+/// flattens grid x repetitions into cells, executes them on one global
+/// parallel queue, streams each completed cell to --out as a JSONL record
+/// (committed in cell order, so the file is deterministic for any
+/// COREDIS_THREADS), and prints the per-point summary table.
+///
+///   coredis_campaign --campaign grid.txt --out results.jsonl
+///   coredis_campaign --campaign grid.txt --out results.jsonl --resume
+///   coredis_campaign --campaign grid.txt --summarize results.jsonl
+///   coredis_campaign --campaign grid.txt --list
+
+#include <cstddef>
+#include <filesystem>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.hpp"
+#include "exp/scenario_file.hpp"
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace coredis;
+
+int list_campaign(const exp::Campaign& campaign) {
+  const std::size_t points = campaign.grid.points();
+  std::cout << "campaign: " << points << " points x "
+            << campaign.grid.base.runs << " repetitions = "
+            << campaign.cells() << " cells, " << campaign.configs.size()
+            << " configurations\n\n";
+  for (std::size_t i = 0; i < points; ++i)
+    std::cout << "  point " << i << ": " << campaign.grid.point_label(i)
+              << '\n';
+  std::cout << "\nconfigurations:\n";
+  for (const exp::ConfigSpec& config : campaign.configs)
+    std::cout << "  " << config.name << '\n';
+  return 0;
+}
+
+int summarize_campaign(const exp::Campaign& campaign,
+                       const std::string& path) {
+  exp::JsonlCoverage coverage;
+  const std::vector<exp::PointResult> points =
+      exp::summarize_jsonl(campaign, path, &coverage);
+  std::cout << "cells: " << coverage.cells_present << "/"
+            << coverage.cells_total << " present in " << path;
+  if (coverage.dropped_corrupt_tail)
+    std::cout << " (ignoring a truncated trailing record)";
+  std::cout << "\n\n" << exp::render_campaign_table(campaign, points);
+  return 0;
+}
+
+int run_campaign_to(const exp::Campaign& campaign, const std::string& out,
+                    bool resume, std::size_t threads) {
+  if (!resume && std::filesystem::exists(out))
+    throw std::runtime_error(
+        "output file exists: " + out +
+        " (pass --resume to continue it, or remove it to start over)");
+  exp::GridRunOptions options;
+  options.jsonl_path = out;
+  options.resume = resume;
+  options.threads = threads;
+  std::cerr << "running " << campaign.cells() << " cells over "
+            << campaign.grid.points() << " points ("
+            << (threads == 0 ? default_thread_count() : threads)
+            << " workers) -> " << out << '\n';
+  const std::vector<exp::PointResult> points =
+      exp::run_campaign(campaign, options);
+  std::cout << exp::render_campaign_table(campaign, points);
+  std::cout << "\nresults written to " << out << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    CliParser cli(argc, argv);
+    cli.describe("campaign", "campaign grid file (see src/exp/campaign.hpp)")
+        .describe("out", "JSONL results file (one record per cell)")
+        .describe("resume", "continue an interrupted --out file")
+        .describe("summarize",
+                  "aggregate this JSONL file instead of running anything")
+        .describe("list", "print the grid points and configurations, then exit")
+        .describe("threads", "worker threads (default: COREDIS_THREADS or all cores)")
+        .describe("runs", "override the campaign's repetitions per point")
+        .describe("seed", "override the campaign's master seed");
+    if (cli.wants_help()) {
+      std::cout << cli.usage("campaign grid runner (run/resume/summarize)");
+      return 0;
+    }
+    cli.reject_unknown();
+
+    const std::string campaign_path = cli.get_string("campaign", "");
+    if (campaign_path.empty())
+      throw std::invalid_argument("--campaign <file> is required");
+    exp::Campaign campaign = exp::load_campaign(campaign_path);
+    // Overrides parse through the scenario-file semantics, so --seed
+    // covers the same full 64-bit range campaign files do.
+    if (const auto runs = cli.get("runs"))
+      exp::apply_scenario_key(campaign.grid.base, "runs", *runs);
+    if (const auto seed = cli.get("seed"))
+      exp::apply_scenario_key(campaign.grid.base, "seed", *seed);
+    if (campaign.grid.base.runs < 1)
+      throw std::runtime_error("campaign: runs must be >= 1");
+
+    if (cli.get_bool("list")) return list_campaign(campaign);
+    if (const auto summarize = cli.get("summarize"))
+      return summarize_campaign(campaign, *summarize);
+
+    const std::string out = cli.get_string("out", "");
+    if (out.empty())
+      throw std::invalid_argument(
+          "--out <file.jsonl> is required (or --list/--summarize)");
+    const long threads = cli.get_int("threads", 0);
+    if (threads < 0) throw std::invalid_argument("--threads must be >= 0");
+    return run_campaign_to(campaign, out, cli.get_bool("resume"),
+                           static_cast<std::size_t>(threads));
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}
