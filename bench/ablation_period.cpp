@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
         {"Young and Daly periods agree within 2% in the paper's regimes",
          worst < 0.02, "worst relative difference=" + format_double(worst)});
     std::cout << "Shape checks:\n" << exp::render_checks(checks) << '\n';
+    write_checks(options, "Ablation: checkpoint-period rules", checks);
     return 0;
   });
 }

@@ -89,6 +89,8 @@ int main(int argc, char** argv) {
                       ratio > 6.0 && ratio < 16.0,
                       "q(1e-9)/q(1e-7)=" + format_double(ratio, 2)});
     std::cout << "Shape checks:\n" << exp::render_checks(checks) << '\n';
+    write_checks(options, "Ablation: silent errors, verified checkpointing",
+                 checks);
     return 0;
   });
 }

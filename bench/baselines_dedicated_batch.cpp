@@ -141,6 +141,8 @@ int main(int argc, char** argv) {
              format_double(units::to_days(batch_s.makespan.mean()), 1) + "d"});
     std::cout << "Shape checks against the paper's motivation:\n"
               << exp::render_checks(checks) << '\n';
+    write_checks(options, "Baselines: dedicated vs batch vs co-scheduling",
+                 checks);
     return 0;
   });
 }

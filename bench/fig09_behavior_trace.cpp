@@ -124,6 +124,7 @@ int main(int argc, char** argv) {
              " static=" + format_double(baseline_spread, 2)});
     std::cout << "Shape checks against the paper:\n"
               << exp::render_checks(checks) << '\n';
+    write_checks(options, "Figure 9: behavior along one execution", checks);
 
     if (!options.csv.empty()) {
       CsvWriter csv({"fault_time", "makespan_base", "makespan_ig",

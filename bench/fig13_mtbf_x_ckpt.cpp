@@ -67,6 +67,8 @@ int main(int argc, char** argv) {
              "  gap(c=0.01)=" + format_double(ig_gap_by_cost[2])});
     std::cout << "Cross-panel checks:\n"
               << exp::render_checks(panel_checks) << '\n';
+    write_checks(options, "Figure 13: cross-panel MTBF x checkpoint cost",
+                 panel_checks);
     return 0;
   });
 }

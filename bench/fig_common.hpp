@@ -18,6 +18,7 @@
 #include <iostream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "exp/campaign.hpp"
@@ -37,6 +38,9 @@ struct FigureOptions {
   std::string scenario_file;  ///< optional scenario overrides (see apply())
   std::string jsonl;          ///< stream per-cell results here (campaign format)
   bool resume = false;        ///< continue an interrupted --jsonl file
+  std::string checks;         ///< append ShapeCheck verdicts here (JSONL)
+  std::string figure;         ///< binary basename (stable figure id)
+  std::string command;        ///< reconstructed command line, minus --checks
 
   /// Apply the file overrides (if any) on top of a figure's per-point
   /// scenario, then re-apply the sweep-critical fields the caller set.
@@ -90,7 +94,10 @@ inline FigureOptions parse_options(int argc, const char* const* argv,
       .describe("csv", "write the series to this CSV file")
       .describe("scenario",
                 "scenario file overriding workload/platform knobs "
-                "(see src/exp/scenario_file.hpp)");
+                "(see src/exp/scenario_file.hpp)")
+      .describe("checks",
+                "append shape-check verdicts to this JSONL file "
+                "(aggregated into EXPERIMENTS.md by coredis_report)");
   if (sweep_flags) {
     cli.describe("jsonl",
                  "stream per-cell results to this JSONL file "
@@ -108,6 +115,7 @@ inline FigureOptions parse_options(int argc, const char* const* argv,
   options.full = cli.get_bool("full");
   options.csv = cli.get_string("csv", "");
   options.scenario_file = cli.get_string("scenario", "");
+  options.checks = cli.get_string("checks", "");
   if (sweep_flags) {
     options.jsonl = cli.get_string("jsonl", "");
     options.resume = cli.get_bool("resume");
@@ -115,7 +123,38 @@ inline FigureOptions parse_options(int argc, const char* const* argv,
       throw std::invalid_argument(
           "--resume requires --jsonl (there is no file to resume from)");
   }
+  // Identity for check records: the binary basename plus the command
+  // line that produced the verdicts — minus the --checks sink itself, so
+  // the committed EXPERIMENTS.md shows the reproduction command, not the
+  // temp file CI streamed into.
+  {
+    const std::string argv0 = argc > 0 ? argv[0] : "";
+    const auto slash = argv0.find_last_of("/\\");
+    options.figure =
+        slash == std::string::npos ? argv0 : argv0.substr(slash + 1);
+    options.command = options.figure;
+    for (int a = 1; a < argc; ++a) {
+      const std::string_view arg = argv[a];
+      if (arg == "--checks") {
+        ++a;  // skip the sink path too
+        continue;
+      }
+      if (arg.rfind("--checks=", 0) == 0) continue;
+      options.command += ' ';
+      options.command += arg;
+    }
+  }
   return options;
+}
+
+/// Append the checks to options.checks (no-op without the flag); the
+/// custom-output binaries (fig09, baselines) call this directly,
+/// print_figure calls it for everyone else.
+inline void write_checks(const FigureOptions& options, const std::string& title,
+                         const std::vector<exp::ShapeCheck>& checks) {
+  if (options.checks.empty() || checks.empty()) return;
+  exp::append_check_records(options.checks,
+                            {options.figure, title, options.command, checks});
 }
 
 /// Run one sweep: scenario(x) configures each point. Every (point,
@@ -158,6 +197,7 @@ inline void print_figure(const std::string& title, const exp::Sweep& sweep,
     std::cout << "Shape checks against the paper:\n"
               << exp::render_checks(checks) << '\n';
   }
+  write_checks(options, title, checks);
   if (!options.csv.empty()) {
     exp::save_sweep_csv(sweep, options.csv);
     std::cout << "series written to " << options.csv << '\n';

@@ -16,6 +16,7 @@
 #include <string_view>
 #include <utility>
 
+#include "exp/detail/jsonl.hpp"
 #include "exp/scenario_file.hpp"
 #include "util/contracts.hpp"
 #include "util/parallel.hpp"
@@ -28,7 +29,12 @@ namespace {
 
 // --- campaign-file parsing ------------------------------------------------
 
+using detail::expect_token;
+using detail::json_escape;
 using detail::lower;
+using detail::scan_double;
+using detail::scan_quoted;
+using detail::scan_size;
 using detail::trim;
 
 [[noreturn]] void fail_line(std::size_t number, const std::string& raw,
@@ -55,6 +61,7 @@ std::vector<ConfigSpec> config_set(const std::string& value) {
   const std::string spec = lower(trim(value));
   if (spec == "paper") return paper_curves();
   if (spec == "fault_free") return fault_free_curves();
+  if (spec == "online") return online_curves();
   std::vector<ConfigSpec> configs;
   for (const std::string& name : split_list(spec)) {
     if (name == "baseline") {
@@ -69,11 +76,17 @@ std::vector<ConfigSpec> config_set(const std::string& value) {
       configs.push_back(stf_end_local());
     } else if (name == "rc_fault_free") {
       configs.push_back(fault_free_with_rc_local());
+    } else if (name == "malleable") {
+      configs.push_back(online_malleable());
+    } else if (name == "easy") {
+      configs.push_back(online_easy());
+    } else if (name == "fcfs") {
+      configs.push_back(online_fcfs());
     } else {
       throw std::runtime_error(
           "unknown configuration '" + name +
-          "' (paper|fault_free|baseline|ig_greedy|ig_local|stf_greedy|"
-          "stf_local|rc_fault_free)");
+          "' (paper|fault_free|online|baseline|ig_greedy|ig_local|"
+          "stf_greedy|stf_local|rc_fault_free|malleable|easy|fcfs)");
     }
   }
   return configs;
@@ -86,7 +99,9 @@ enum class AxisKey {
   Mtbf,
   FaultLaw,
   CheckpointCost,
-  PeriodRule
+  PeriodRule,
+  ArrivalLaw,
+  LoadFactor
 };
 
 AxisKey axis_of(const std::string& key) {
@@ -96,6 +111,8 @@ AxisKey axis_of(const std::string& key) {
   if (key == "fault_law") return AxisKey::FaultLaw;
   if (key == "checkpoint_unit_cost" || key == "c") return AxisKey::CheckpointCost;
   if (key == "period_rule") return AxisKey::PeriodRule;
+  if (key == "arrival_law") return AxisKey::ArrivalLaw;
+  if (key == "load_factor" || key == "load") return AxisKey::LoadFactor;
   return AxisKey::None;
 }
 
@@ -107,6 +124,8 @@ void clear_axis(ScenarioGrid& grid, AxisKey axis) {
     case AxisKey::FaultLaw: grid.fault_laws.clear(); break;
     case AxisKey::CheckpointCost: grid.checkpoint_unit_costs.clear(); break;
     case AxisKey::PeriodRule: grid.period_rules.clear(); break;
+    case AxisKey::ArrivalLaw: grid.arrival_laws.clear(); break;
+    case AxisKey::LoadFactor: grid.load_factors.clear(); break;
     case AxisKey::None: break;
   }
 }
@@ -134,6 +153,12 @@ void set_axis(ScenarioGrid& grid, AxisKey axis, const std::string& key,
       case AxisKey::PeriodRule:
         grid.period_rules.push_back(scratch.period_rule);
         break;
+      case AxisKey::ArrivalLaw:
+        grid.arrival_laws.push_back(scratch.arrival_law);
+        break;
+      case AxisKey::LoadFactor:
+        grid.load_factors.push_back(scratch.load_factor);
+        break;
       case AxisKey::None: break;
     }
   }
@@ -157,24 +182,6 @@ std::string format_double17(double value) {
   char buffer[40];
   std::snprintf(buffer, sizeof buffer, "%.17g", value);
   return buffer;
-}
-
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buffer[8];
-      std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
-      out += buffer;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
 }
 
 std::uint64_t fingerprint_mix(std::uint64_t hash, const std::string& text) {
@@ -242,71 +249,8 @@ std::string cell_line(std::size_t cell, std::size_t point, std::size_t rep,
   return out.str();
 }
 
-// Strict scanners for the exact shape emitted above; any deviation marks
-// the record as corrupt.
-
-bool expect_token(const std::string& text, std::size_t& pos,
-                  std::string_view token) {
-  if (text.compare(pos, token.size(), token) != 0) return false;
-  pos += token.size();
-  return true;
-}
-
-bool scan_size(const std::string& text, std::size_t& pos, std::size_t& out) {
-  bool any = false;
-  out = 0;
-  while (pos < text.size() &&
-         std::isdigit(static_cast<unsigned char>(text[pos]))) {
-    out = out * 10 + static_cast<std::size_t>(text[pos] - '0');
-    ++pos;
-    any = true;
-  }
-  return any;
-}
-
-bool scan_double(const std::string& text, std::size_t& pos, double& out) {
-  const char* begin = text.c_str() + pos;
-  char* end = nullptr;
-  out = std::strtod(begin, &end);
-  if (end == begin) return false;
-  pos += static_cast<std::size_t>(end - begin);
-  return true;
-}
-
-bool scan_quoted(const std::string& text, std::size_t& pos, std::string& out) {
-  if (pos >= text.size() || text[pos] != '"') return false;
-  ++pos;
-  out.clear();
-  while (pos < text.size() && text[pos] != '"') {
-    if (text[pos] == '\\') {
-      if (pos + 1 >= text.size()) return false;
-      // Decode exactly what json_escape emits: \" \\ and \uXXXX.
-      if (text[pos + 1] == 'u') {
-        if (pos + 6 > text.size()) return false;
-        unsigned code = 0;
-        for (std::size_t h = pos + 2; h < pos + 6; ++h) {
-          const char c = text[h];
-          if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
-          code = code * 16 +
-                 static_cast<unsigned>(std::isdigit(static_cast<unsigned char>(c))
-                                           ? c - '0'
-                                           : std::tolower(c) - 'a' + 10);
-        }
-        if (code > 0xFF) return false;  // json_escape only emits \u00XX
-        out.push_back(static_cast<char>(code));
-        pos += 6;
-      } else {
-        out.push_back(text[pos + 1]);
-        pos += 2;
-      }
-    } else {
-      out.push_back(text[pos++]);
-    }
-  }
-  if (pos >= text.size()) return false;
-  ++pos;  // closing quote
-  return true;
-}
+// Strict scanners (exp/detail/jsonl.hpp) for the exact shape emitted
+// above; any deviation marks the record as corrupt.
 
 struct ParsedCell {
   std::size_t cell = 0;
@@ -506,7 +450,8 @@ std::size_t ScenarioGrid::points() const noexcept {
   };
   return dim(n.size()) * dim(p.size()) * dim(mtbf_years.size()) *
          dim(fault_laws.size()) * dim(checkpoint_unit_costs.size()) *
-         dim(period_rules.size());
+         dim(period_rules.size()) * dim(arrival_laws.size()) *
+         dim(load_factors.size());
 }
 
 Scenario ScenarioGrid::point(std::size_t index) const {
@@ -519,6 +464,10 @@ Scenario ScenarioGrid::point(std::size_t index) const {
     return k;
   };
   // The innermost axis decodes first, making n the outermost loop.
+  if (!load_factors.empty())
+    scenario.load_factor = load_factors[take(load_factors.size())];
+  if (!arrival_laws.empty())
+    scenario.arrival_law = arrival_laws[take(arrival_laws.size())];
   if (!period_rules.empty())
     scenario.period_rule = period_rules[take(period_rules.size())];
   if (!checkpoint_unit_costs.empty())
@@ -553,6 +502,10 @@ std::string ScenarioGrid::point_label(std::size_t index) const {
     add(std::string("period_rule=") +
         (scenario.period_rule == checkpoint::PeriodRule::Daly ? "daly"
                                                               : "young"));
+  if (!arrival_laws.empty())
+    add("arrival_law=" + extensions::to_string(scenario.arrival_law));
+  if (!load_factors.empty())
+    add("load_factor=" + format_g(scenario.load_factor));
   return label.empty() ? "base" : label;
 }
 
@@ -596,7 +549,8 @@ Campaign parse_campaign(const std::string& text, Scenario base) {
           throw std::runtime_error(
               "key '" + key +
               "' cannot be swept (axes: n, p, mtbf_years, fault_law, "
-              "checkpoint_unit_cost, period_rule)");
+              "checkpoint_unit_cost, period_rule, arrival_law, "
+              "load_factor)");
         }
         set_axis(campaign.grid, axis, key, value);
       } else {

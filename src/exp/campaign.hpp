@@ -32,12 +32,15 @@
 ///   n = 100, 200
 ///   mtbf_years = 5, 25, 100
 ///   fault_law = exponential, weibull
+///   arrival_law = poisson        # online workload (none|poisson|bulk|trace)
+///   load_factor = 0.25, 1, 4     # offered load rho, sweepable
 ///   # configuration set (default: paper)
 ///   configs = paper
 ///
 /// `configs` accepts `paper` (the six section-6.2 curves), `fault_free`
-/// (the Figure 5-6 trio), or a comma list of baseline, ig_greedy,
-/// ig_local, stf_greedy, stf_local, rc_fault_free.
+/// (the Figure 5-6 trio), `online` (the malleable/EASY/FCFS arrival
+/// trio), or a comma list of baseline, ig_greedy, ig_local, stf_greedy,
+/// stf_local, rc_fault_free, malleable, easy, fcfs.
 
 #include <cstddef>
 #include <string>
@@ -50,9 +53,10 @@ namespace coredis::exp {
 
 /// Declarative parameter grid: a base scenario plus sweep axes. An empty
 /// axis keeps the base value. Axes nest n (outermost) -> p -> mtbf_years
-/// -> fault_laws -> checkpoint_unit_costs -> period_rules (innermost);
-/// point(i) decodes i in that mixed-radix order, so the flattened grid
-/// walks the innermost axis fastest.
+/// -> fault_laws -> checkpoint_unit_costs -> period_rules ->
+/// arrival_laws -> load_factors (innermost); point(i) decodes i in that
+/// mixed-radix order, so the flattened grid walks the innermost axis
+/// fastest.
 struct ScenarioGrid {
   Scenario base;
   std::vector<int> n;
@@ -61,6 +65,8 @@ struct ScenarioGrid {
   std::vector<FaultLaw> fault_laws;
   std::vector<double> checkpoint_unit_costs;
   std::vector<checkpoint::PeriodRule> period_rules;
+  std::vector<extensions::ArrivalLaw> arrival_laws;
+  std::vector<double> load_factors;
 
   /// Number of grid points (product of axis sizes; 1 with no axes).
   [[nodiscard]] std::size_t points() const noexcept;

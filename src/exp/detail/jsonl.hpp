@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file jsonl.hpp
+/// Shared escaping and strict scanning for the line-oriented JSON files
+/// the exp layer writes and reads back: campaign cell records
+/// (exp/campaign.cpp) and shape-check records (exp/report.cpp). Internal
+/// like core/detail: include only from exp/*.cpp and white-box tests.
+///
+/// The dialect is deliberately minimal — only `"` `\` and control
+/// characters are escaped (`\u00XX`), and the scanners accept exactly
+/// what the writers emit, so both record formats stay in lockstep by
+/// construction: any change here retunes writer and readers of both
+/// files together.
+
+#include <cctype>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace coredis::exp::detail {
+
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+      out += buffer;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+inline bool expect_token(const std::string& text, std::size_t& pos,
+                         std::string_view token) {
+  if (text.compare(pos, token.size(), token) != 0) return false;
+  pos += token.size();
+  return true;
+}
+
+inline bool scan_size(const std::string& text, std::size_t& pos,
+                      std::size_t& out) {
+  bool any = false;
+  out = 0;
+  while (pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    out = out * 10 + static_cast<std::size_t>(text[pos] - '0');
+    ++pos;
+    any = true;
+  }
+  return any;
+}
+
+inline bool scan_double(const std::string& text, std::size_t& pos,
+                        double& out) {
+  const char* begin = text.c_str() + pos;
+  char* end = nullptr;
+  out = std::strtod(begin, &end);
+  if (end == begin) return false;
+  pos += static_cast<std::size_t>(end - begin);
+  return true;
+}
+
+inline bool scan_quoted(const std::string& text, std::size_t& pos,
+                        std::string& out) {
+  if (pos >= text.size() || text[pos] != '"') return false;
+  ++pos;
+  out.clear();
+  while (pos < text.size() && text[pos] != '"') {
+    if (text[pos] == '\\') {
+      if (pos + 1 >= text.size()) return false;
+      // Decode exactly what json_escape emits: \" \\ and \u00XX.
+      if (text[pos + 1] == 'u') {
+        if (pos + 6 > text.size()) return false;
+        unsigned code = 0;
+        for (std::size_t h = pos + 2; h < pos + 6; ++h) {
+          const char c = text[h];
+          if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+          code = code * 16 +
+                 static_cast<unsigned>(std::isdigit(static_cast<unsigned char>(c))
+                                           ? c - '0'
+                                           : std::tolower(c) - 'a' + 10);
+        }
+        if (code > 0xFF) return false;  // json_escape only emits \u00XX
+        out.push_back(static_cast<char>(code));
+        pos += 6;
+      } else {
+        out.push_back(text[pos + 1]);
+        pos += 2;
+      }
+    } else {
+      out.push_back(text[pos++]);
+    }
+  }
+  if (pos >= text.size()) return false;
+  ++pos;  // closing quote
+  return true;
+}
+
+}  // namespace coredis::exp::detail

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "extensions/batch.hpp"
+#include "extensions/online.hpp"
 #include "fault/exponential.hpp"
 #include "fault/weibull.hpp"
 #include "speedup/synthetic.hpp"
@@ -18,10 +20,11 @@ namespace coredis::exp {
 
 namespace {
 
-/// Derived, per-repetition seeds: workload and fault streams must be
-/// independent of each other but shared across configurations.
+/// Derived, per-repetition seeds: workload, fault and arrival streams
+/// must be independent of each other but shared across configurations.
 constexpr std::uint64_t kWorkloadStream = 0x9E3779B97F4A7C15ULL;
 constexpr std::uint64_t kFaultStream = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kArrivalStream = 0x5851F42D4C957F2DULL;
 
 core::Pack make_pack(const Scenario& scenario, std::uint64_t run) {
   Rng rng = Rng::child(scenario.seed ^ kWorkloadStream, run);
@@ -49,13 +52,15 @@ fault::GeneratorPtr make_faults(const Scenario& scenario, std::uint64_t run,
 }
 
 /// True when the two specs would run the exact same simulation: every
-/// semantics-bearing EngineConfig knob and the fault-stream switch must
-/// match before one run can stand in for the other (an ablation variant
-/// that only flips e.g. faults_in_blackout must not be aliased away).
+/// semantics-bearing EngineConfig knob, the scheduler dispatch and the
+/// fault-stream switch must match before one run can stand in for the
+/// other (an ablation variant that only flips e.g. faults_in_blackout
+/// must not be aliased away).
 bool same_simulation(const ConfigSpec& a, const ConfigSpec& b) {
   const core::EngineConfig& x = a.engine;
   const core::EngineConfig& y = b.engine;
-  return x.end_policy == y.end_policy &&
+  return a.scheduler == b.scheduler &&
+         x.end_policy == y.end_policy &&
          x.failure_policy == y.failure_policy &&
          x.record_trace == y.record_trace &&
          x.zero_redistribution_cost == y.zero_redistribution_cost &&
@@ -63,6 +68,26 @@ bool same_simulation(const ConfigSpec& a, const ConfigSpec& b) {
          x.record_timeline == y.record_timeline &&
          x.linear_event_scan == y.linear_event_scan &&
          a.force_fault_free == b.force_fault_free;
+}
+
+core::RunResult from_online(extensions::OnlineResult&& r) {
+  core::RunResult out;
+  out.makespan = r.makespan;
+  out.faults_effective = r.faults_effective;
+  out.redistributions = r.redistributions;
+  out.redistribution_cost = r.redistribution_cost;
+  out.completion_times = std::move(r.completion_times);
+  out.final_allocation = std::move(r.final_allocation);
+  return out;
+}
+
+core::RunResult from_batch(extensions::BatchResult&& r) {
+  core::RunResult out;
+  out.makespan = r.makespan;
+  out.faults_effective = r.faults_effective;
+  out.completion_times = std::move(r.completion_times);
+  out.final_allocation = std::move(r.allocations);
+  return out;
 }
 
 }  // namespace
@@ -75,8 +100,25 @@ CellResult run_cell(const Scenario& scenario,
   const core::Pack pack = make_pack(scenario, rep);
   const checkpoint::Model resilience(params);
 
+  // Release dates, shared by every non-engine configuration of this cell
+  // (the arrival stream shards like the workload/fault streams: it is a
+  // pure function of (point seed, rep)). Built lazily — engine-only cells
+  // never touch the arrival machinery.
+  std::vector<double> releases;
+  const auto release_times = [&]() -> const std::vector<double>& {
+    if (releases.empty()) {
+      Rng arrivals = Rng::child(scenario.seed ^ kArrivalStream, rep);
+      releases = extensions::make_release_times(
+          scenario.arrival_spec(), pack, resilience, scenario.p, arrivals);
+    }
+    return releases;
+  };
+
   CellResult cell;
-  // Baseline: no redistribution, faults as configured.
+  // Baseline: no redistribution, faults as configured. It also normalizes
+  // the online-workload configurations — every scheduler of a repetition
+  // divides by the same static no-RC pack makespan, so ratios stay
+  // comparable across the load_factor axis.
   core::RunResult baseline_result;
   {
     core::Engine engine(pack, resilience, scenario.p, baseline.engine);
@@ -92,9 +134,26 @@ CellResult run_cell(const Scenario& scenario,
       cell.results.push_back(baseline_result);
       continue;
     }
-    core::Engine engine(pack, resilience, scenario.p, spec.engine);
     auto faults = make_faults(scenario, rep, spec.force_fault_free);
-    cell.results.push_back(engine.run(*faults));
+    switch (spec.scheduler) {
+      case SchedulerKind::PackEngine: {
+        core::Engine engine(pack, resilience, scenario.p, spec.engine);
+        cell.results.push_back(engine.run(*faults));
+        break;
+      }
+      case SchedulerKind::OnlineMalleable:
+        cell.results.push_back(from_online(extensions::run_online(
+            pack, resilience, scenario.p, release_times(), *faults)));
+        break;
+      case SchedulerKind::BatchEasy:
+      case SchedulerKind::BatchFcfs: {
+        extensions::BatchConfig batch;
+        batch.backfilling = spec.scheduler == SchedulerKind::BatchEasy;
+        cell.results.push_back(from_batch(extensions::run_batch(
+            pack, resilience, scenario.p, release_times(), batch, *faults)));
+        break;
+      }
+    }
   }
   return cell;
 }

@@ -13,6 +13,15 @@ checkpoint::ResilienceParams Scenario::resilience_params() const {
   return params;
 }
 
+extensions::ArrivalSpec Scenario::arrival_spec() const {
+  extensions::ArrivalSpec spec;
+  spec.law = arrival_law;
+  spec.load_factor = load_factor;
+  spec.bulk_phases = bulk_phases;
+  spec.trace_path = arrival_trace;
+  return spec;
+}
+
 ConfigSpec baseline_no_redistribution() {
   return {"Fault context without RC",
           {core::EndPolicy::None, core::FailurePolicy::None, false},
@@ -54,6 +63,34 @@ ConfigSpec fault_free_with_rc_local() {
 std::vector<ConfigSpec> paper_curves() {
   return {baseline_no_redistribution(), ig_end_greedy(), ig_end_local(),
           stf_end_greedy(), stf_end_local(), fault_free_with_rc_local()};
+}
+
+ConfigSpec online_malleable() {
+  ConfigSpec spec{"Online malleable (RC)",
+                  {core::EndPolicy::None, core::FailurePolicy::None, false},
+                  false};
+  spec.scheduler = SchedulerKind::OnlineMalleable;
+  return spec;
+}
+
+ConfigSpec online_easy() {
+  ConfigSpec spec{"Online EASY backfilling",
+                  {core::EndPolicy::None, core::FailurePolicy::None, false},
+                  false};
+  spec.scheduler = SchedulerKind::BatchEasy;
+  return spec;
+}
+
+ConfigSpec online_fcfs() {
+  ConfigSpec spec{"Online FCFS (rigid)",
+                  {core::EndPolicy::None, core::FailurePolicy::None, false},
+                  false};
+  spec.scheduler = SchedulerKind::BatchFcfs;
+  return spec;
+}
+
+std::vector<ConfigSpec> online_curves() {
+  return {online_malleable(), online_easy(), online_fcfs()};
 }
 
 std::vector<ConfigSpec> fault_free_curves() {

@@ -14,6 +14,7 @@
 
 #include "checkpoint/model.hpp"
 #include "core/types.hpp"
+#include "extensions/online.hpp"
 #include "util/units.hpp"
 
 namespace coredis::exp {
@@ -38,10 +39,28 @@ struct Scenario {
   int runs = 8;                ///< Monte-Carlo repetitions (paper: 50)
   std::uint64_t seed = 42;     ///< campaign master seed
 
+  // Online-arrival workload (DESIGN.md section 8). `None` keeps the
+  // paper's static pack; otherwise jobs carry release dates drawn from
+  // the law at the given offered load, and the online scheduler
+  // configurations (online_curves) become meaningful.
+  extensions::ArrivalLaw arrival_law = extensions::ArrivalLaw::None;
+  double load_factor = 1.0;    ///< offered load rho (> 0)
+  int bulk_phases = 4;         ///< Bulk law: number of release waves
+  std::string arrival_trace;   ///< Trace law: release-date file
+
   [[nodiscard]] double mtbf_seconds() const noexcept {
     return mtbf_years > 0.0 ? units::years(mtbf_years) : 0.0;
   }
   [[nodiscard]] checkpoint::ResilienceParams resilience_params() const;
+  [[nodiscard]] extensions::ArrivalSpec arrival_spec() const;
+};
+
+/// Which simulator executes a configuration at a scenario point.
+enum class SchedulerKind {
+  PackEngine,       ///< the paper's engine (static pack; ignores releases)
+  OnlineMalleable,  ///< extensions::run_online (arrival-driven, malleable)
+  BatchEasy,        ///< extensions::run_batch with EASY backfilling
+  BatchFcfs,        ///< extensions::run_batch, plain FCFS (no backfilling)
 };
 
 /// One engine configuration to evaluate at a scenario point.
@@ -51,6 +70,8 @@ struct ConfigSpec {
   /// Run this configuration under an empty fault stream regardless of the
   /// scenario MTBF (the "fault-free context with RC" curve of Figs. 7-14).
   bool force_fault_free = false;
+  /// Simulator dispatch; `engine` only applies to PackEngine.
+  SchedulerKind scheduler = SchedulerKind::PackEngine;
 };
 
 /// The named configurations of section 6.2.
@@ -68,5 +89,14 @@ struct ConfigSpec {
 /// The three curves of Figures 5-6 (fault-free redistribution study):
 /// without RC, with RC (greedy), with RC (local decisions).
 [[nodiscard]] std::vector<ConfigSpec> fault_free_curves();
+
+/// The online-arrival workload schedulers (DESIGN.md section 8).
+[[nodiscard]] ConfigSpec online_malleable();
+[[nodiscard]] ConfigSpec online_easy();
+[[nodiscard]] ConfigSpec online_fcfs();
+
+/// The three online-arrival curves: malleable co-scheduling, EASY
+/// backfilling, plain FCFS — the comparison of bench/fig_online_load.cpp.
+[[nodiscard]] std::vector<ConfigSpec> online_curves();
 
 }  // namespace coredis::exp

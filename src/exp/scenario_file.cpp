@@ -113,6 +113,25 @@ bool apply_scenario_key(Scenario& scenario, const std::string& key,
     scenario.seed = parse_seed(value);
   } else if (key == "weibull_shape") {
     scenario.weibull_shape = parse_number(value);
+  } else if (key == "arrival_law") {
+    const std::string law = lower(trim(value));
+    if (law == "none") {
+      scenario.arrival_law = extensions::ArrivalLaw::None;
+    } else if (law == "poisson") {
+      scenario.arrival_law = extensions::ArrivalLaw::Poisson;
+    } else if (law == "bulk") {
+      scenario.arrival_law = extensions::ArrivalLaw::Bulk;
+    } else if (law == "trace") {
+      scenario.arrival_law = extensions::ArrivalLaw::Trace;
+    } else {
+      fail("unknown arrival law (none|poisson|bulk|trace)");
+    }
+  } else if (key == "load_factor" || key == "load") {
+    scenario.load_factor = parse_number(value);
+  } else if (key == "bulk_phases") {
+    scenario.bulk_phases = static_cast<int>(parse_number(value));
+  } else if (key == "arrival_trace") {
+    scenario.arrival_trace = value;  // verbatim path; not lower-cased
   } else if (key == "fault_law") {
     const std::string law = lower(trim(value));
     if (law == "exponential") {
@@ -143,6 +162,14 @@ void validate_scenario(const Scenario& scenario) {
   if (scenario.m_inf <= 1.0 || scenario.m_sup < scenario.m_inf)
     fail("invalid data-size window");
   if (scenario.runs < 1) fail("runs must be >= 1");
+  if (!(scenario.load_factor > 0.0)) fail("load_factor must be > 0");
+  if (scenario.bulk_phases < 1) fail("bulk_phases must be >= 1");
+  if (scenario.arrival_law == extensions::ArrivalLaw::Trace &&
+      scenario.arrival_trace.empty())
+    fail("arrival_law = trace requires arrival_trace = <file>");
+  if (scenario.arrival_law != extensions::ArrivalLaw::Trace &&
+      !scenario.arrival_trace.empty())
+    fail("arrival_trace requires arrival_law = trace");
 }
 
 Scenario parse_scenario(const std::string& text, Scenario base) {
@@ -191,6 +218,15 @@ std::string format_scenario(const Scenario& scenario) {
       << (scenario.fault_law == FaultLaw::Weibull ? "weibull" : "exponential")
       << '\n';
   out << "weibull_shape = " << scenario.weibull_shape << '\n';
+  out << "arrival_law = " << extensions::to_string(scenario.arrival_law)
+      << '\n';
+  out << "load_factor = " << scenario.load_factor << '\n';
+  out << "bulk_phases = " << scenario.bulk_phases << '\n';
+  // split_assignment rejects empty values, so the (default) empty trace
+  // path is expressed by omitting the line; parse(format(s)) still
+  // round-trips because the base scenario's path is empty too.
+  if (!scenario.arrival_trace.empty())
+    out << "arrival_trace = " << scenario.arrival_trace << '\n';
   out << "runs = " << scenario.runs << '\n';
   out << "seed = " << scenario.seed << '\n';
   return out.str();

@@ -15,6 +15,8 @@
 ///   fault_law = weibull
 ///   weibull_shape = 0.7
 ///   period_rule = daly
+///   arrival_law = poisson     # none|poisson|bulk|trace (DESIGN.md section 8)
+///   load_factor = 2           # offered load rho of the arrival process
 ///   runs = 25
 ///   seed = 7
 

@@ -6,13 +6,13 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <numeric>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "core/expected_time.hpp"
 #include "fault/exponential.hpp"
-#include "fault/generator.hpp"
 #include "util/contracts.hpp"
 
 namespace coredis::extensions {
@@ -30,25 +30,27 @@ struct Job {
   double start_time = 0.0;
 };
 
-/// Smallest even allocation reaching the task's best expected time within
-/// the platform (the Eq. 6 threshold made concrete).
-int best_useful_allocation(core::TrEvaluator& evaluator, int task, int p) {
-  const double best = evaluator(task, p - p % 2, 1.0);
-  for (int j = 2; j <= p; j += 2)
-    if (evaluator(task, j, 1.0) <= best * (1.0 + 1e-12)) return j;
-  return p - p % 2;
-}
-
 }  // namespace
+
+int best_useful_allocation(core::TrEvaluator& evaluator, int task,
+                           int processors) {
+  const int pmax = processors - processors % 2;
+  const double best = evaluator(task, pmax, 1.0);
+  for (int j = 2; j <= pmax; j += 2)
+    if (evaluator(task, j, 1.0) <= best * (1.0 + 1e-12)) return j;
+  return pmax;
+}
 
 BatchResult run_batch(const core::Pack& pack,
                       const checkpoint::Model& resilience, int processors,
-                      const BatchConfig& config, std::uint64_t fault_seed,
-                      double mtbf_seconds) {
+                      const std::vector<double>& release_times,
+                      const BatchConfig& config, fault::Generator& faults) {
   COREDIS_EXPECTS(processors >= 2);
   const int n = pack.size();
+  COREDIS_EXPECTS(static_cast<int>(release_times.size()) == n);
   const core::ExpectedTimeModel model(pack, resilience);
   core::TrEvaluator evaluator(model, processors - processors % 2);
+  const double infinity = std::numeric_limits<double>::infinity();
 
   std::vector<Job> jobs(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -59,17 +61,17 @@ BatchResult run_batch(const core::Pack& pack,
     COREDIS_ASSERT(job.request >= 2 && job.request % 2 == 0);
   }
 
-  // Queue in submission (index) order; `waiting` keeps that order.
-  std::vector<int> waiting(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) waiting[static_cast<std::size_t>(i)] = i;
-
-  fault::GeneratorPtr generator;
-  if (mtbf_seconds > 0.0) {
-    generator = std::make_unique<fault::ExponentialGenerator>(
-        processors, 1.0 / mtbf_seconds, Rng::child(fault_seed, 0));
-  } else {
-    generator = std::make_unique<fault::NullGenerator>(processors);
-  }
+  // Jobs queue in release order (ties by index); `waiting` holds the
+  // released-but-not-started jobs in that order, `arrivals` the ones not
+  // yet released.
+  std::vector<int> arrivals(static_cast<std::size_t>(n));
+  std::iota(arrivals.begin(), arrivals.end(), 0);
+  std::stable_sort(arrivals.begin(), arrivals.end(), [&](int a, int b) {
+    return release_times[static_cast<std::size_t>(a)] <
+           release_times[static_cast<std::size_t>(b)];
+  });
+  std::size_t next_arrival = 0;
+  std::vector<int> waiting;
 
   BatchResult result;
   result.start_times.assign(static_cast<std::size_t>(n), 0.0);
@@ -148,16 +150,18 @@ BatchResult run_batch(const core::Pack& pack,
     }
   };
 
-  schedule(0.0);
-
-  std::optional<fault::Fault> next_fault = generator->next();
+  std::optional<fault::Fault> next_fault = faults.next();
   int live = n;
   // Processor ownership for fault attribution: jobs own abstract slots;
   // map each fault to a running job with probability request / p by
   // walking the running set (the merged stream draws processors
   // uniformly, so picking the owner by slot index is equivalent).
   while (live > 0) {
-    double end_time = std::numeric_limits<double>::infinity();
+    const double t_release =
+        next_arrival < static_cast<std::size_t>(n)
+            ? release_times[static_cast<std::size_t>(arrivals[next_arrival])]
+            : infinity;
+    double end_time = infinity;
     int ending = -1;
     for (int i = 0; i < n; ++i) {
       const Job& job = jobs[static_cast<std::size_t>(i)];
@@ -166,11 +170,12 @@ BatchResult run_batch(const core::Pack& pack,
         ending = i;
       }
     }
-    COREDIS_ASSERT(ending >= 0);
+    const double t_next = std::min(t_release, end_time);
+    COREDIS_ASSERT(std::isfinite(t_next));
 
-    if (next_fault && next_fault->time < end_time) {
+    if (next_fault && next_fault->time < t_next) {
       const fault::Fault fault = *next_fault;
-      next_fault = generator->next();
+      next_fault = faults.next();
       // Attribute the fault: processor indices [0, p) are laid out over
       // the running jobs in start order, idle slots last.
       int cursor = 0;
@@ -206,6 +211,20 @@ BatchResult run_batch(const core::Pack& pack,
       continue;
     }
 
+    // Release event: queue every job released by t_release, then run a
+    // scheduling pass (the head may start right away, or later jobs may
+    // backfill around it).
+    if (t_release <= end_time) {
+      while (next_arrival < static_cast<std::size_t>(n) &&
+             release_times[static_cast<std::size_t>(arrivals[next_arrival])] <=
+                 t_release) {
+        waiting.push_back(arrivals[next_arrival]);
+        ++next_arrival;
+      }
+      schedule(t_release);
+      continue;
+    }
+
     Job& job = jobs[static_cast<std::size_t>(ending)];
     job.done = true;
     result.completion_times[static_cast<std::size_t>(ending)] = end_time;
@@ -217,6 +236,22 @@ BatchResult run_batch(const core::Pack& pack,
     if (live > 0) schedule(end_time);
   }
   return result;
+}
+
+BatchResult run_batch(const core::Pack& pack,
+                      const checkpoint::Model& resilience, int processors,
+                      const BatchConfig& config, std::uint64_t fault_seed,
+                      double mtbf_seconds) {
+  fault::GeneratorPtr generator;
+  if (mtbf_seconds > 0.0) {
+    generator = std::make_unique<fault::ExponentialGenerator>(
+        processors, 1.0 / mtbf_seconds, Rng::child(fault_seed, 0));
+  } else {
+    generator = std::make_unique<fault::NullGenerator>(processors);
+  }
+  const std::vector<double> releases(static_cast<std::size_t>(pack.size()),
+                                     0.0);
+  return run_batch(pack, resilience, processors, releases, config, *generator);
 }
 
 }  // namespace coredis::extensions

@@ -6,23 +6,38 @@
 /// with packs can be seen as the static counterpart of batch scheduling
 /// techniques").
 ///
-/// Jobs are the pack's tasks, all released at time 0 (the paper's
-/// setting). Each job requests a *fixed* (rigid) allocation at
-/// submission; the scheduler starts jobs FCFS, optionally backfilling
-/// later jobs into idle processors under the classic EASY rule: a
-/// backfilled job must either finish before the queue head's reservation
-/// (the "shadow time") or only use processors the head will not need.
-/// Running jobs checkpoint and roll back on faults exactly like the
-/// co-scheduled tasks, but their allocations never change — which is
-/// precisely what redistribution adds.
+/// Jobs are the pack's tasks. Each job carries a *release date* (all
+/// zero reproduces the paper's static setting; extensions/online.hpp
+/// generates Poisson / bulk / trace arrival processes) and requests a
+/// *fixed* (rigid) allocation at submission. A job becomes eligible only
+/// once released; the scheduler starts eligible jobs FCFS in release
+/// order (ties by index), optionally backfilling later jobs into idle
+/// processors under the classic EASY rule: a backfilled job must either
+/// finish before the queue head's reservation (the "shadow time") or
+/// only use processors the head will not need. Running jobs checkpoint
+/// and roll back on faults exactly like the co-scheduled tasks, but
+/// their allocations never change — which is precisely what the
+/// malleable schedulers (the engine's redistribution, and
+/// extensions::run_online for this arrival setting) add.
 
 #include <cstdint>
 #include <vector>
 
 #include "checkpoint/model.hpp"
+#include "core/expected_time.hpp"
 #include "core/pack.hpp"
+#include "fault/generator.hpp"
 
 namespace coredis::extensions {
+
+/// Smallest even allocation reaching the task's best clamped expected
+/// time within the platform (the Eq. 6 threshold made concrete): the
+/// rigid request of a sensible moldable submission, and the per-job
+/// demand estimate of the online arrival-rate calibration
+/// (extensions/online.hpp). Both simulators share this single
+/// definition so request sizes and load calibration cannot diverge.
+[[nodiscard]] int best_useful_allocation(core::TrEvaluator& evaluator,
+                                         int task, int processors);
 
 /// How a job chooses its rigid allocation request.
 enum class RequestRule {
@@ -49,9 +64,21 @@ struct BatchResult {
   double busy_processor_seconds = 0.0;   ///< for energy accounting
 };
 
-/// Simulate the batch execution. Faults are drawn from an exponential
-/// stream seeded with `fault_seed` (mtbf_seconds <= 0 gives the
-/// fault-free variant).
+/// Simulate the batch execution with per-job release dates (one per pack
+/// task, non-negative; all zero is the paper's static setting). Faults
+/// come from `faults`; the scheduler re-runs its FCFS + backfilling pass
+/// at every release and completion event. Deterministic in
+/// (pack, release_times, fault stream).
+[[nodiscard]] BatchResult run_batch(const core::Pack& pack,
+                                    const checkpoint::Model& resilience,
+                                    int processors,
+                                    const std::vector<double>& release_times,
+                                    const BatchConfig& config,
+                                    fault::Generator& faults);
+
+/// Static-release convenience overload: every job released at time 0,
+/// faults drawn from an exponential stream seeded with `fault_seed`
+/// (mtbf_seconds <= 0 gives the fault-free variant).
 [[nodiscard]] BatchResult run_batch(const core::Pack& pack,
                                     const checkpoint::Model& resilience,
                                     int processors, const BatchConfig& config,

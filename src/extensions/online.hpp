@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file online.hpp
+/// Online-arrival malleable co-scheduling (DESIGN.md section 8).
+///
+/// The paper studies the static case: every task of the pack is released
+/// at time 0. Batch schedulers face the dynamic counterpart — jobs arrive
+/// over time — and section 2.3 positions packs as "the static counterpart
+/// of batch scheduling techniques". This extension closes the loop: jobs
+/// carry release dates drawn from a configurable arrival law, wait in a
+/// pending queue, and are admitted by re-running the paper's pack
+/// machinery (Algorithm 1 over the remaining work fractions) at every
+/// arrival and completion event. Admitted jobs are *malleable*: an
+/// admission may shrink running jobs to make room, and a completion grows
+/// them back — each change paying the section 3.3 redistribution cost
+/// plus an initial checkpoint, exactly like the engine's redistributions.
+/// The rigid baselines (EASY backfilling / plain FCFS) run the same
+/// workload through extensions::run_batch, which accepts the same release
+/// dates.
+///
+/// Faults roll the struck job back to its last checkpoint with the
+/// engine's arithmetic, but never trigger a redistribution here: the
+/// online scheduler re-plans at arrivals and completions only.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checkpoint/model.hpp"
+#include "core/pack.hpp"
+#include "fault/generator.hpp"
+#include "util/rng.hpp"
+
+namespace coredis::extensions {
+
+/// How release dates are generated. `None` is the paper's static setting
+/// (everything released at time 0).
+enum class ArrivalLaw {
+  None,     ///< all jobs released at time 0 (the paper's pack)
+  Poisson,  ///< i.i.d. exponential inter-arrival times
+  Bulk,     ///< evenly spaced bulk phases of n / phases jobs each
+  Trace,    ///< explicit release dates loaded from a file
+};
+
+[[nodiscard]] std::string to_string(ArrivalLaw law);
+
+/// The arrival process of one scenario. `load_factor` is the offered load
+/// rho: the arrival rate is chosen so the long-run arriving
+/// processor-seconds per second equal rho * p, where each job's demand is
+/// estimated as (best-useful allocation) x (fault-free time on it). Thus
+/// rho -> 0 isolates every job (all schedulers converge) and rho >= 1
+/// saturates the platform (the workload degenerates toward the paper's
+/// simultaneous pack).
+struct ArrivalSpec {
+  ArrivalLaw law = ArrivalLaw::None;
+  double load_factor = 1.0;  ///< offered load rho; > 0
+  int bulk_phases = 4;       ///< Bulk only: number of release waves
+  std::string trace_path;    ///< Trace only: release dates, one per line
+};
+
+/// Release dates for the pack's jobs, deterministic in (spec, pack, rng
+/// state). Poisson draws come from `rng` (pass Rng::child(seed, rep) for
+/// campaign sharding); Bulk and Trace never touch it. Trace dates are
+/// read from `spec.trace_path` (>= pack.size() entries, seconds, sorted
+/// ascending after load) and divided by the load factor so the same
+/// trace sweeps in density. Throws std::runtime_error on an unreadable
+/// or short trace file.
+[[nodiscard]] std::vector<double> make_release_times(
+    const ArrivalSpec& spec, const core::Pack& pack,
+    const checkpoint::Model& resilience, int processors, Rng& rng);
+
+/// Outcome of one online simulation.
+struct OnlineResult {
+  double makespan = 0.0;                 ///< latest completion
+  std::vector<double> start_times;       ///< first admission per job
+  std::vector<double> completion_times;  ///< per job
+  std::vector<int> final_allocation;     ///< sigma at each job's end
+  int faults_effective = 0;              ///< faults that rolled a job back
+  int redistributions = 0;               ///< committed allocation changes
+  double redistribution_cost = 0.0;      ///< total RC seconds paid
+  double busy_processor_seconds = 0.0;   ///< for energy accounting
+  double mean_queue_wait = 0.0;          ///< mean (start - release)
+};
+
+/// Simulate the malleable online execution: jobs released per
+/// `release_times` (one per pack task, non-negative), admitted and
+/// re-balanced by the Algorithm 1 greedy over remaining work at every
+/// arrival and completion event, rolled back on faults. Deterministic in
+/// (pack, release_times, fault stream). `processors` is rounded down to
+/// even (allocations are buddy pairs); a job in a blackout window
+/// (paying a redistribution or recovering from a fault) keeps its
+/// allocation until the next event after the window ends.
+[[nodiscard]] OnlineResult run_online(const core::Pack& pack,
+                                      const checkpoint::Model& resilience,
+                                      int processors,
+                                      const std::vector<double>& release_times,
+                                      fault::Generator& faults);
+
+}  // namespace coredis::extensions

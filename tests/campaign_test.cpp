@@ -386,6 +386,121 @@ TEST(CampaignResume, MismatchedCampaignIsRefused) {
   std::filesystem::remove(path);
 }
 
+/// The online-arrival workload campaign of the acceptance criteria:
+/// Poisson arrivals swept over two loads x 2 repetitions, the three
+/// online schedulers (malleable / EASY / FCFS).
+const char* const kOnlineCampaign = R"(
+n = 6
+p = 24
+runs = 2
+seed = 20260726
+mtbf_years = 5
+arrival_law = poisson
+load_factor = 0.5, 4
+configs = online
+)";
+
+TEST(CampaignOnline, ParsesArrivalAxesAndOnlineConfigs) {
+  const Campaign campaign = parse_campaign(kOnlineCampaign);
+  ASSERT_EQ(campaign.grid.points(), 2u);
+  EXPECT_EQ(campaign.cells(), 4u);
+  ASSERT_EQ(campaign.configs.size(), 3u);
+  EXPECT_EQ(campaign.configs[0].name, online_malleable().name);
+  EXPECT_EQ(campaign.configs[0].scheduler, SchedulerKind::OnlineMalleable);
+  EXPECT_EQ(campaign.configs[1].scheduler, SchedulerKind::BatchEasy);
+  EXPECT_EQ(campaign.configs[2].scheduler, SchedulerKind::BatchFcfs);
+  EXPECT_EQ(campaign.grid.point(0).arrival_law,
+            extensions::ArrivalLaw::Poisson);
+  EXPECT_DOUBLE_EQ(campaign.grid.point(0).load_factor, 0.5);
+  EXPECT_DOUBLE_EQ(campaign.grid.point(1).load_factor, 4.0);
+  EXPECT_EQ(campaign.grid.point_label(1), "load_factor=4");
+  // Both arrival axes sweep together when listed.
+  const Campaign both = parse_campaign(
+      "n = 4\np = 8\narrival_law = none, poisson\nload_factor = 1, 2\n");
+  EXPECT_EQ(both.grid.points(), 4u);
+  EXPECT_EQ(both.grid.point_label(3), "arrival_law=poisson load_factor=2");
+}
+
+TEST(CampaignOnline, JsonlIsByteIdenticalAcrossThreadCounts) {
+  const Campaign campaign = parse_campaign(kOnlineCampaign);
+  std::string reference;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const auto path = temp_jsonl("online_threads" + std::to_string(threads));
+    std::filesystem::remove(path);
+    GridRunOptions options;
+    options.jsonl_path = path.string();
+    options.threads = threads;
+    (void)run_campaign(campaign, options);
+    const std::string content = read_file(path);
+    if (reference.empty()) {
+      reference = content;
+      EXPECT_EQ(lines_of(content).size(), 1u + campaign.cells());
+    } else {
+      EXPECT_EQ(content, reference)
+          << "online JSONL differs at " << threads << " threads";
+    }
+    std::filesystem::remove(path);
+  }
+  // The COREDIS_THREADS override goes through the same path.
+  const ThreadsEnv env("3");
+  const auto path = temp_jsonl("online_threads_env");
+  std::filesystem::remove(path);
+  GridRunOptions options;
+  options.jsonl_path = path.string();
+  (void)run_campaign(campaign, options);
+  EXPECT_EQ(read_file(path), reference);
+  std::filesystem::remove(path);
+}
+
+TEST(CampaignOnline, InterruptResumeReproducesIdenticalBytes) {
+  const Campaign campaign = parse_campaign(kOnlineCampaign);
+  const auto full_path = temp_jsonl("online_resume_full");
+  std::filesystem::remove(full_path);
+  GridRunOptions options;
+  options.jsonl_path = full_path.string();
+  options.threads = 2;
+  const std::vector<PointResult> uninterrupted =
+      run_campaign(campaign, options);
+  const std::string full = read_file(full_path);
+  const std::vector<std::string> lines = lines_of(full);
+  ASSERT_EQ(lines.size(), 1u + campaign.cells());
+
+  for (const std::size_t keep : {0u, 1u, 3u}) {
+    const auto path = temp_jsonl("online_resume_keep" + std::to_string(keep));
+    std::string prefix = lines[0] + '\n';
+    for (std::size_t k = 0; k < keep; ++k) prefix += lines[1 + k] + '\n';
+    // Torn tail: half of the next record, no trailing newline.
+    prefix += lines[1 + keep].substr(0, lines[1 + keep].size() / 2);
+    write_file(path, prefix);
+
+    GridRunOptions resume = options;
+    resume.jsonl_path = path.string();
+    resume.resume = true;
+    const std::vector<PointResult> resumed = run_campaign(campaign, resume);
+    EXPECT_EQ(read_file(path), full) << "resume after " << keep << " cells";
+    expect_same_points(resumed, uninterrupted);
+    std::filesystem::remove(path);
+  }
+  std::filesystem::remove(full_path);
+}
+
+TEST(CampaignOnline, OnlineCellsRewardMalleabilityAtHighLoad) {
+  // Sanity on the simulated content (not just the plumbing): at load 4
+  // the malleable scheduler must beat both rigid baselines on mean
+  // normalized makespan, and the EASY/FCFS pair must not beat it.
+  const Campaign campaign = parse_campaign(kOnlineCampaign);
+  const std::vector<PointResult> points = run_campaign(campaign);
+  const PointResult& high = points[1];
+  EXPECT_LT(high.configs[0].normalized.mean(),
+            high.configs[1].normalized.mean());
+  EXPECT_LE(high.configs[1].normalized.mean(),
+            high.configs[2].normalized.mean() * (1.0 + 1e-9));
+  // Online runs report their redistribution activity through the same
+  // counters as the engine.
+  EXPECT_GT(high.configs[0].redistributions.mean(), 0.0);
+  EXPECT_EQ(high.configs[1].redistributions.mean(), 0.0);
+}
+
 TEST(CampaignSummarize, MatchesTheRunThatProducedTheFile) {
   const Campaign campaign = parse_campaign(kSmokeCampaign);
   const auto path = temp_jsonl("summarize");

@@ -1,8 +1,11 @@
 /// Tests of the future-work extensions: multi-pack partitioning and the
 /// silent-error (verified checkpointing) model.
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <filesystem>
+#include <fstream>
 #include <gtest/gtest.h>
 #include <memory>
 #include <set>
@@ -10,10 +13,14 @@
 #include <utility>
 #include <vector>
 
+#include "extensions/batch.hpp"
+#include "extensions/online.hpp"
 #include "extensions/pack_partition.hpp"
 #include "extensions/silent_errors.hpp"
 #include "extensions/silent_sim.hpp"
+#include "fault/exponential.hpp"
 #include "speedup/synthetic.hpp"
+#include "speedup/table_profile.hpp"
 #include "util/units.hpp"
 
 namespace coredis::extensions {
@@ -234,6 +241,253 @@ TEST(SilentErrors, ExecutionTimeExceedsWork) {
   params.recovery_cost = 8.0;
   params.processors = 2;
   EXPECT_GT(silent::expected_execution_time(params, 5.0e5), 5.0e5);
+}
+
+// ---- online arrivals (extensions/online.hpp) ------------------------------
+
+checkpoint::Model online_resilience(double mtbf_years) {
+  return checkpoint::Model({mtbf_years > 0.0 ? units::years(mtbf_years) : 0.0,
+                            60.0, 1.0, checkpoint::PeriodRule::Young, 0.0});
+}
+
+TEST(OnlineArrivals, ReleaseTimesFollowTheLaws) {
+  const core::Pack pack = make_pack({2.0e6, 1.0e6, 2.5e6, 1.5e6, 1.2e6,
+                                     2.2e6, 1.8e6, 2.4e6});
+  const checkpoint::Model resilience = online_resilience(25.0);
+
+  ArrivalSpec spec;
+  Rng rng(7);
+  // None: everything at time 0 regardless of the load factor.
+  const std::vector<double> none =
+      make_release_times(spec, pack, resilience, 32, rng);
+  ASSERT_EQ(none.size(), 8u);
+  for (double r : none) EXPECT_EQ(r, 0.0);
+
+  // Poisson: sorted ascending, deterministic in the rng stream, and the
+  // load factor scales density (same stream, higher load => earlier).
+  spec.law = ArrivalLaw::Poisson;
+  spec.load_factor = 0.5;
+  Rng rng_a(7);
+  const std::vector<double> poisson =
+      make_release_times(spec, pack, resilience, 32, rng_a);
+  EXPECT_TRUE(std::is_sorted(poisson.begin(), poisson.end()));
+  EXPECT_GT(poisson.front(), 0.0);
+  Rng rng_b(7);
+  const std::vector<double> replay =
+      make_release_times(spec, pack, resilience, 32, rng_b);
+  EXPECT_EQ(poisson, replay);
+  spec.load_factor = 2.0;
+  Rng rng_c(7);
+  const std::vector<double> dense =
+      make_release_times(spec, pack, resilience, 32, rng_c);
+  for (std::size_t i = 0; i < dense.size(); ++i)
+    EXPECT_DOUBLE_EQ(dense[i], poisson[i] / 4.0);  // rho 0.5 -> 2 is 4x
+
+  // Bulk: exactly `bulk_phases` distinct waves, index order.
+  spec.law = ArrivalLaw::Bulk;
+  spec.bulk_phases = 4;
+  const std::vector<double> bulk =
+      make_release_times(spec, pack, resilience, 32, rng);
+  std::set<double> waves(bulk.begin(), bulk.end());
+  EXPECT_EQ(waves.size(), 4u);
+  EXPECT_EQ(bulk.front(), 0.0);
+  EXPECT_TRUE(std::is_sorted(bulk.begin(), bulk.end()));
+}
+
+TEST(OnlineArrivals, TraceLawLoadsScalesAndValidates) {
+  const core::Pack pack = make_pack({2.0e6, 1.0e6, 2.5e6});
+  const checkpoint::Model resilience = online_resilience(25.0);
+  const auto path = std::filesystem::temp_directory_path() /
+                    "coredis_online_trace_test.txt";
+  {
+    std::ofstream file(path);
+    file << "100 50\n75\n";
+  }
+  ArrivalSpec spec;
+  spec.law = ArrivalLaw::Trace;
+  spec.trace_path = path.string();
+  spec.load_factor = 2.0;
+  Rng rng(1);
+  const std::vector<double> releases =
+      make_release_times(spec, pack, resilience, 8, rng);
+  // Sorted ascending and divided by the load factor.
+  const std::vector<double> expected{25.0, 37.5, 50.0};
+  EXPECT_EQ(releases, expected);
+
+  // Too few entries for the pack fails loudly.
+  const core::Pack big = make_pack({2.0e6, 1.0e6, 2.5e6, 1.5e6});
+  EXPECT_THROW((void)make_release_times(spec, big, resilience, 8, rng),
+               std::runtime_error);
+  spec.trace_path = "/nonexistent/coredis_trace";
+  EXPECT_THROW((void)make_release_times(spec, pack, resilience, 8, rng),
+               std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(OnlineArrivals, SparseJobsRunAloneOnTheirBestAllocation) {
+  // Releases far apart: every job runs alone, so the malleable scheduler,
+  // both rigid baselines and the isolated-run arithmetic must agree.
+  const core::Pack pack = make_pack({2.0e6, 1.0e6, 2.5e6});
+  const checkpoint::Model resilience = online_resilience(0.0);  // fault-free
+  const std::vector<double> releases{0.0, 1.0e9, 2.0e9};
+  const int p = 32;
+
+  fault::NullGenerator none_a(p);
+  const OnlineResult malleable =
+      run_online(pack, resilience, p, releases, none_a);
+  fault::NullGenerator none_b(p);
+  const BatchResult easy =
+      run_batch(pack, resilience, p, releases, {}, none_b);
+  fault::NullGenerator none_c(p);
+  BatchConfig fcfs;
+  fcfs.backfilling = false;
+  const BatchResult plain =
+      run_batch(pack, resilience, p, releases, fcfs, none_c);
+
+  for (int i = 0; i < pack.size(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(malleable.start_times[idx], releases[idx]);
+    EXPECT_NEAR(malleable.completion_times[idx], easy.completion_times[idx],
+                1e-6 * easy.completion_times[idx]);
+    EXPECT_EQ(easy.completion_times[idx], plain.completion_times[idx]);
+  }
+  EXPECT_EQ(malleable.redistributions, 0);
+  EXPECT_EQ(malleable.mean_queue_wait, 0.0);
+  EXPECT_NEAR(malleable.makespan, easy.makespan, 1e-6 * easy.makespan);
+}
+
+TEST(OnlineArrivals, SimultaneousReleaseSharesThePlatform) {
+  // Everything released at 0 on a tight platform: the malleable scheduler
+  // co-schedules (every job starts at 0) while rigid FCFS serializes.
+  const core::Pack pack = make_pack({2.0e6, 1.9e6, 2.1e6, 2.2e6});
+  const checkpoint::Model resilience = online_resilience(0.0);
+  const std::vector<double> releases(4, 0.0);
+  const int p = 8;
+
+  fault::NullGenerator none_a(p);
+  const OnlineResult malleable =
+      run_online(pack, resilience, p, releases, none_a);
+  for (int i = 0; i < pack.size(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(malleable.start_times[idx], 0.0);
+    EXPECT_GT(malleable.completion_times[idx], 0.0);
+    // Allocations are buddy pairs within the platform (the value is the
+    // job's sigma at its own completion; completions grow survivors, so
+    // the sum across different completion instants may exceed p).
+    EXPECT_GE(malleable.final_allocation[idx], 2);
+    EXPECT_LE(malleable.final_allocation[idx], p);
+    EXPECT_EQ(malleable.final_allocation[idx] % 2, 0);
+  }
+
+  fault::NullGenerator none_b(p);
+  BatchConfig fcfs;
+  fcfs.backfilling = false;
+  const BatchResult plain =
+      run_batch(pack, resilience, p, releases, fcfs, none_b);
+  EXPECT_LT(malleable.makespan, plain.makespan);
+}
+
+TEST(OnlineArrivals, MalleableResizePaysRedistribution) {
+  // Two staggered jobs on a tight platform: admitting the second shrinks
+  // the first (one redistribution), and its completion grows the second
+  // back (another) — each paying Eq. 9 cost.
+  const core::Pack pack = make_pack({2.0e6, 1.0e6});
+  const checkpoint::Model resilience = online_resilience(0.0);
+  fault::NullGenerator none(8);
+  const OnlineResult result =
+      run_online(pack, resilience, 8, {0.0, 1.0e5}, none);
+  EXPECT_GE(result.redistributions, 1);
+  EXPECT_GT(result.redistribution_cost, 0.0);
+  EXPECT_EQ(result.start_times[1], 1.0e5);
+}
+
+TEST(OnlineArrivals, FaultsRollJobsBack) {
+  const core::Pack pack = make_pack({2.0e6, 1.0e6, 2.5e6});
+  const checkpoint::Model with_faults = online_resilience(0.5);
+  const std::vector<double> releases(3, 0.0);
+  const int p = 12;
+
+  fault::ExponentialGenerator faults(p, 1.0 / units::years(0.5), Rng(11));
+  const OnlineResult faulty =
+      run_online(pack, with_faults, p, releases, faults);
+  fault::NullGenerator none(p);
+  const OnlineResult clean =
+      run_online(pack, with_faults, p, releases, none);
+  EXPECT_GT(faulty.faults_effective, 0);
+  EXPECT_GT(faulty.makespan, clean.makespan);
+}
+
+TEST(OnlineArrivals, DeterministicInItsInputs) {
+  const core::Pack pack = make_pack({2.0e6, 1.0e6, 2.5e6, 1.5e6});
+  const checkpoint::Model resilience = online_resilience(2.0);
+  const std::vector<double> releases{0.0, 5.0e5, 1.0e6, 1.5e6};
+  const int p = 16;
+  fault::ExponentialGenerator faults_a(p, 1.0 / units::years(2.0), Rng(3));
+  fault::ExponentialGenerator faults_b(p, 1.0 / units::years(2.0), Rng(3));
+  const OnlineResult a = run_online(pack, resilience, p, releases, faults_a);
+  const OnlineResult b = run_online(pack, resilience, p, releases, faults_b);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.completion_times, b.completion_times);
+  EXPECT_EQ(a.redistributions, b.redistributions);
+  EXPECT_EQ(a.redistribution_cost, b.redistribution_cost);
+}
+
+TEST(OnlineArrivals, BatchBackfillsAReleaseDatedCandidate) {
+  // Crafted best-useful requests (table profiles): job 0 occupies 2 of 4
+  // processors until t = 60, job 1 (released at 10) wants all 4 and
+  // blocks, job 2 (released at 20, short, 2 processors) finishes before
+  // the head's shadow time — EASY starts it on release, FCFS holds it.
+  const auto crafted = [] {
+    std::vector<core::TaskSpec> tasks;
+    tasks.push_back({1000.0, std::make_shared<speedup::TableModel>(
+                                 1000.0,
+                                 std::vector<std::pair<int, double>>{
+                                     {1, 100.0}, {2, 60.0}})});
+    tasks.push_back({1000.0, std::make_shared<speedup::TableModel>(
+                                 1000.0,
+                                 std::vector<std::pair<int, double>>{
+                                     {1, 400.0}, {2, 220.0}, {4, 110.0}})});
+    tasks.push_back({1000.0, std::make_shared<speedup::TableModel>(
+                                 1000.0,
+                                 std::vector<std::pair<int, double>>{
+                                     {1, 40.0}, {2, 30.0}})});
+    return core::Pack(std::move(tasks),
+                      std::make_shared<speedup::SyntheticModel>(0.08));
+  };
+  const core::Pack pack = crafted();
+  const checkpoint::Model resilience = online_resilience(0.0);
+  const std::vector<double> releases{0.0, 10.0, 20.0};
+
+  fault::NullGenerator none_a(4);
+  const BatchResult easy = run_batch(pack, resilience, 4, releases, {}, none_a);
+  EXPECT_EQ(easy.backfilled_jobs, 1);
+  EXPECT_DOUBLE_EQ(easy.start_times[2], 20.0);  // backfilled on release
+  EXPECT_DOUBLE_EQ(easy.start_times[1], 60.0);  // head not delayed
+
+  fault::NullGenerator none_b(4);
+  BatchConfig no_backfill;
+  no_backfill.backfilling = false;
+  const BatchResult fcfs =
+      run_batch(pack, resilience, 4, releases, no_backfill, none_b);
+  EXPECT_EQ(fcfs.backfilled_jobs, 0);
+  EXPECT_GE(fcfs.start_times[2], fcfs.start_times[1]);
+}
+
+TEST(OnlineArrivals, ZeroReleaseBatchMatchesLegacyOverload) {
+  // The static-release overload must reproduce the release-dated path
+  // with all-zero releases bit for bit (same generator seeding).
+  const core::Pack pack = make_pack({2.0e6, 1.0e6, 2.5e6});
+  const checkpoint::Model resilience = online_resilience(5.0);
+  const int p = 12;
+  const double mtbf = units::years(5.0);
+
+  const BatchResult legacy = run_batch(pack, resilience, p, {}, 99, mtbf);
+  fault::ExponentialGenerator faults(p, 1.0 / mtbf, Rng::child(99, 0));
+  const BatchResult dated = run_batch(pack, resilience, p,
+                                      std::vector<double>(3, 0.0), {}, faults);
+  EXPECT_EQ(legacy.makespan, dated.makespan);
+  EXPECT_EQ(legacy.completion_times, dated.completion_times);
+  EXPECT_EQ(legacy.faults_effective, dated.faults_effective);
 }
 
 }  // namespace

@@ -19,12 +19,14 @@
 #include "core/pack.hpp"
 #include "core/timeline.hpp"
 #include "core/types.hpp"
+#include "exp/campaign.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
 #include "exp/scenario_file.hpp"
 #include "extensions/batch.hpp"
 #include "extensions/dedicated.hpp"
+#include "extensions/online.hpp"
 #include "extensions/pack_partition.hpp"
 #include "extensions/silent_errors.hpp"
 #include "extensions/silent_sim.hpp"

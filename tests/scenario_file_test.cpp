@@ -84,6 +84,62 @@ TEST(ScenarioFile, RejectsInconsistentScenarios) {
   EXPECT_THROW((void)parse_scenario("runs = 0\n"), std::runtime_error);
 }
 
+TEST(ScenarioFile, ParsesArrivalKeys) {
+  const Scenario scenario = parse_scenario(R"(
+arrival_law = poisson
+load_factor = 2.5
+bulk_phases = 6
+)");
+  EXPECT_EQ(scenario.arrival_law, extensions::ArrivalLaw::Poisson);
+  EXPECT_DOUBLE_EQ(scenario.load_factor, 2.5);
+  EXPECT_EQ(scenario.bulk_phases, 6);
+  // `load` aliases load_factor; the trace path keeps its case.
+  const Scenario alias = parse_scenario(
+      "load = 0.25\narrival_law = trace\narrival_trace = /Tmp/Trace.TXT\n");
+  EXPECT_DOUBLE_EQ(alias.load_factor, 0.25);
+  EXPECT_EQ(alias.arrival_law, extensions::ArrivalLaw::Trace);
+  EXPECT_EQ(alias.arrival_trace, "/Tmp/Trace.TXT");
+}
+
+TEST(ScenarioFile, RejectsBadArrivalSettings) {
+  // Unknown laws name the accepted list; cross-field rules fail loudly.
+  try {
+    (void)parse_scenario("arrival_law = uniform\n");
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("none|poisson|bulk|trace"),
+              std::string::npos)
+        << error.what();
+  }
+  EXPECT_THROW((void)parse_scenario("load_factor = 0\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("load_factor = -1\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("bulk_phases = 0\n"), std::runtime_error);
+  // Trace law without a file, and a file without the trace law.
+  EXPECT_THROW((void)parse_scenario("arrival_law = trace\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("arrival_trace = /tmp/t.txt\n"),
+               std::runtime_error);
+}
+
+TEST(ScenarioFile, ArrivalKeysRoundTripThroughFormat) {
+  Scenario original;
+  original.arrival_law = extensions::ArrivalLaw::Bulk;
+  original.load_factor = 0.125;
+  original.bulk_phases = 3;
+  const Scenario round_trip = parse_scenario(format_scenario(original));
+  EXPECT_EQ(round_trip.arrival_law, original.arrival_law);
+  EXPECT_DOUBLE_EQ(round_trip.load_factor, original.load_factor);
+  EXPECT_EQ(round_trip.bulk_phases, original.bulk_phases);
+
+  Scenario with_trace;
+  with_trace.arrival_law = extensions::ArrivalLaw::Trace;
+  with_trace.arrival_trace = "/tmp/releases.txt";
+  const Scenario trace_trip = parse_scenario(format_scenario(with_trace));
+  EXPECT_EQ(trace_trip.arrival_law, extensions::ArrivalLaw::Trace);
+  EXPECT_EQ(trace_trip.arrival_trace, with_trace.arrival_trace);
+}
+
 TEST(ScenarioFile, FormatParsesBackIdentically) {
   Scenario original;
   original.n = 33;
@@ -119,6 +175,10 @@ void expect_exact_round_trip(const Scenario& original) {
   EXPECT_EQ(r.period_rule, original.period_rule) << text;
   EXPECT_EQ(r.fault_law, original.fault_law) << text;
   EXPECT_EQ(r.weibull_shape, original.weibull_shape) << text;
+  EXPECT_EQ(r.arrival_law, original.arrival_law) << text;
+  EXPECT_EQ(r.load_factor, original.load_factor) << text;
+  EXPECT_EQ(r.bulk_phases, original.bulk_phases) << text;
+  EXPECT_EQ(r.arrival_trace, original.arrival_trace) << text;
   EXPECT_EQ(r.runs, original.runs) << text;
   EXPECT_EQ(r.seed, original.seed) << text;
 }
@@ -143,6 +203,17 @@ TEST(ScenarioFile, RoundTripPropertyOverRandomizedScenarios) {
     s.fault_law =
         iteration % 3 == 0 ? FaultLaw::Weibull : FaultLaw::Exponential;
     s.weibull_shape = rng.uniform(0.05, 5.0);
+    switch (iteration % 4) {
+      case 0: s.arrival_law = extensions::ArrivalLaw::None; break;
+      case 1: s.arrival_law = extensions::ArrivalLaw::Poisson; break;
+      case 2: s.arrival_law = extensions::ArrivalLaw::Bulk; break;
+      default:
+        s.arrival_law = extensions::ArrivalLaw::Trace;
+        s.arrival_trace = "/tmp/trace_" + std::to_string(iteration);
+        break;
+    }
+    s.load_factor = log_uniform(1e-3, 1e3);
+    s.bulk_phases = 1 + static_cast<int>(rng.uniform_int(0, 19));
     s.runs = 1 + static_cast<int>(rng.uniform_int(0, 99));
     s.seed = rng();  // the full 64-bit range, beyond double precision
     expect_exact_round_trip(s);

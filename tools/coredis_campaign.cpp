@@ -2,8 +2,10 @@
 /// grids (src/exp/campaign.hpp).
 ///
 /// A campaign file is a scenario file whose grid keys (n, p, mtbf_years,
-/// fault_law, checkpoint_unit_cost, period_rule) accept comma-separated
-/// sweep lists, plus a `configs = ...` selector. The orchestrator
+/// fault_law, checkpoint_unit_cost, period_rule, arrival_law,
+/// load_factor) accept comma-separated sweep lists, plus a
+/// `configs = ...` selector (`paper`, `fault_free`, `online`, or a comma
+/// list of configuration names — see campaign.hpp). The orchestrator
 /// flattens grid x repetitions into cells, executes them on one global
 /// parallel queue, streams each completed cell to --out as a JSONL record
 /// (committed in cell order, so the file is deterministic for any
@@ -84,7 +86,11 @@ int run_campaign_to(const exp::Campaign& campaign, const std::string& out,
 int main(int argc, char** argv) {
   try {
     CliParser cli(argc, argv);
-    cli.describe("campaign", "campaign grid file (see src/exp/campaign.hpp)")
+    cli.describe("campaign",
+                 "campaign grid file: scenario keys, sweepable axes (n, p, "
+                 "mtbf_years, fault_law, checkpoint_unit_cost, period_rule, "
+                 "arrival_law, load_factor) and a configs selector "
+                 "(see src/exp/campaign.hpp)")
         .describe("out", "JSONL results file (one record per cell)")
         .describe("resume", "continue an interrupted --out file")
         .describe("summarize",

@@ -10,7 +10,18 @@
 ///  * --compare: run the full section-6.2 configuration matrix (the four
 ///    heuristic combinations plus both baselines) over --runs
 ///    repetitions, print normalized makespans with confidence intervals
-///    and a Welch significance verdict for the best heuristic.
+///    and a Welch significance verdict for the best heuristic. With an
+///    online workload (--arrival != none) the matrix becomes the three
+///    arrival-driven schedulers (malleable / EASY / FCFS) instead.
+///
+/// Workloads (--workload pack|malleable|easy|fcfs): `pack` is the
+/// paper's engine on a static pack (every task released at time 0; the
+/// engine ignores release dates by construction). The other three run
+/// the same tasks as *jobs with release dates* drawn from --arrival
+/// (none|poisson|bulk|trace, scaled by --load; `trace` reads
+/// --arrival-trace, one release date per line): `malleable` re-runs the
+/// pack machinery at every arrival/completion (extensions/online.hpp),
+/// `easy` and `fcfs` are the rigid batch baselines (extensions/batch.hpp).
 ///
 /// The scenario comes from flags (--n, --p, --mtbf, ...) or from a
 /// scenario file (--scenario, see src/exp/scenario_file.hpp); flags win.
@@ -30,6 +41,8 @@
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario_file.hpp"
+#include "extensions/batch.hpp"
+#include "extensions/online.hpp"
 #include "fault/exponential.hpp"
 #include "fault/trace.hpp"
 #include "fault/weibull.hpp"
@@ -42,6 +55,17 @@
 namespace {
 
 using namespace coredis;
+
+/// Which simulator a single run drives (--workload). Unknown names fail
+/// loudly with the accepted list.
+exp::SchedulerKind parse_workload(const std::string& name) {
+  if (name == "pack") return exp::SchedulerKind::PackEngine;
+  if (name == "malleable") return exp::SchedulerKind::OnlineMalleable;
+  if (name == "easy") return exp::SchedulerKind::BatchEasy;
+  if (name == "fcfs") return exp::SchedulerKind::BatchFcfs;
+  throw std::invalid_argument("--workload expects pack|malleable|easy|fcfs (got '" +
+                              name + "')");
+}
 
 core::EndPolicy parse_end(const std::string& name) {
   if (name == "none") return core::EndPolicy::None;
@@ -138,7 +162,80 @@ int run_single(const exp::Scenario& scenario, const CliParser& cli) {
   return 0;
 }
 
+/// Single run of one of the arrival-driven workloads (malleable online
+/// co-scheduling or a rigid batch baseline) on the scenario's pack.
+int run_online_single(const exp::Scenario& scenario,
+                      exp::SchedulerKind workload, const CliParser& cli) {
+  Rng workload_rng = Rng::child(scenario.seed, 0);
+  const core::Pack pack = core::Pack::uniform_random(
+      scenario.n, scenario.m_inf, scenario.m_sup,
+      std::make_shared<speedup::SyntheticModel>(scenario.sequential_fraction),
+      workload_rng);
+  const checkpoint::Model resilience(scenario.resilience_params());
+  Rng arrival_rng = Rng::child(scenario.seed ^ 0xA881ULL, 0);
+  const std::vector<double> releases = extensions::make_release_times(
+      scenario.arrival_spec(), pack, resilience, scenario.p, arrival_rng);
+  auto faults = make_generator(scenario, scenario.seed ^ 0xFA17ULL,
+                               cli.get_string("trace-in", ""));
+
+  double last_release = 0.0;
+  for (double r : releases) last_release = std::max(last_release, r);
+  std::cout << "jobs: n = " << scenario.n << ", platform: p = " << scenario.p
+            << ", arrivals: " << extensions::to_string(scenario.arrival_law)
+            << " (load " << format_double(scenario.load_factor, 2)
+            << ", last release " << format_double(units::to_days(last_release), 2)
+            << " days)\n";
+
+  if (workload == exp::SchedulerKind::OnlineMalleable) {
+    const extensions::OnlineResult result =
+        extensions::run_online(pack, resilience, scenario.p, releases, *faults);
+    std::cout << "workload: malleable online co-scheduling\n";
+    std::cout << "makespan: " << result.makespan << " s ("
+              << format_double(units::to_days(result.makespan), 2)
+              << " days)\n";
+    std::cout << "faults: " << result.faults_effective
+              << " effective; redistributions: " << result.redistributions
+              << " (RC total "
+              << format_double(result.redistribution_cost, 0)
+              << " s); mean queue wait: "
+              << format_double(units::to_days(result.mean_queue_wait), 2)
+              << " days\n";
+    return 0;
+  }
+
+  extensions::BatchConfig config;
+  config.backfilling = workload == exp::SchedulerKind::BatchEasy;
+  const extensions::BatchResult result = extensions::run_batch(
+      pack, resilience, scenario.p, releases, config, *faults);
+  std::cout << "workload: rigid batch ("
+            << (config.backfilling ? "EASY backfilling" : "plain FCFS")
+            << ")\n";
+  std::cout << "makespan: " << result.makespan << " s ("
+            << format_double(units::to_days(result.makespan), 2)
+            << " days)\n";
+  std::cout << "faults: " << result.faults_effective
+            << " effective; backfilled jobs: " << result.backfilled_jobs
+            << "\n";
+  return 0;
+}
+
 int run_compare(const exp::Scenario& scenario) {
+  // An online workload compares the three arrival-driven schedulers; the
+  // static pack compares the paper's section 6.2 matrix.
+  if (scenario.arrival_law != extensions::ArrivalLaw::None) {
+    const auto configs = exp::online_curves();
+    const exp::PointResult point = exp::run_point(scenario, configs);
+    TextTable table({"configuration", "normalized", "ci95",
+                     "makespan (days)", "redistributions"});
+    for (const exp::ConfigOutcome& config : point.configs) {
+      table.add_row({config.name, format_double(config.normalized.mean(), 4),
+                     format_double(config.normalized.ci95_halfwidth(), 4),
+                     format_double(units::to_days(config.makespan.mean()), 1),
+                     format_double(config.redistributions.mean(), 1)});
+    }
+    std::cout << table.to_string() << '\n';
+    return 0;
+  }
   const auto configs = exp::paper_curves();
   const exp::PointResult point = exp::run_point(scenario, configs);
 
@@ -187,7 +284,19 @@ int main(int argc, char** argv) {
         .describe("seed", "master seed")
         .describe("end", "end-of-task policy: none|local|greedy")
         .describe("fail", "failure policy: none|stf|ig")
-        .describe("compare", "run the section-6.2 configuration matrix")
+        .describe("workload",
+                  "simulator: pack|malleable|easy|fcfs (pack = the paper's "
+                  "static engine; the others schedule release-dated jobs)")
+        .describe("arrival",
+                  "release-date law: none|poisson|bulk|trace (jobs all "
+                  "released at 0 when none)")
+        .describe("load", "offered load rho of the arrival law (> 0)")
+        .describe("bulk-phases", "bulk law: number of release waves")
+        .describe("arrival-trace",
+                  "trace law: release dates file, one per line (seconds)")
+        .describe("compare",
+                  "run the section-6.2 configuration matrix (or the "
+                  "malleable/EASY/FCFS trio when --arrival != none)")
         .describe("gantt", "print the allocation Gantt chart (single mode)")
         .describe("timeline-csv", "write the allocation timeline CSV")
         .describe("trace-out", "record the fault trace to this file")
@@ -217,9 +326,30 @@ int main(int argc, char** argv) {
     scenario.runs = static_cast<int>(cli.get_int("runs", scenario.runs));
     scenario.seed = static_cast<std::uint64_t>(
         cli.get_int("seed", static_cast<long>(scenario.seed)));
+    // Arrival flags route through the scenario-file key semantics, so the
+    // accepted values (and their error messages) match campaign files.
+    if (const auto arrival = cli.get("arrival"))
+      exp::apply_scenario_key(scenario, "arrival_law", *arrival);
+    if (const auto load = cli.get("load"))
+      exp::apply_scenario_key(scenario, "load_factor", *load);
+    if (const auto phases = cli.get("bulk-phases"))
+      exp::apply_scenario_key(scenario, "bulk_phases", *phases);
+    if (const auto trace = cli.get("arrival-trace"))
+      exp::apply_scenario_key(scenario, "arrival_trace", *trace);
 
-    return cli.get_bool("compare") ? run_compare(scenario)
-                                   : run_single(scenario, cli);
+    const exp::SchedulerKind workload =
+        parse_workload(cli.get_string("workload", "pack"));
+    if (workload != exp::SchedulerKind::PackEngine &&
+        scenario.arrival_law == extensions::ArrivalLaw::None &&
+        !cli.has("arrival"))
+      std::cerr << "note: --workload without --arrival releases every job "
+                   "at time 0 (the static setting)\n";
+    exp::validate_scenario(scenario);
+
+    if (cli.get_bool("compare")) return run_compare(scenario);
+    return workload == exp::SchedulerKind::PackEngine
+               ? run_single(scenario, cli)
+               : run_online_single(scenario, workload, cli);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Regenerate EXPERIMENTS.md from the pinned smoke grid.
+#
+# Runs every figure/ablation driver with trimmed sweeps and a fixed seed,
+# streams their shape-check verdicts into one check-records file, and
+# folds it into EXPERIMENTS.md with coredis_report. The whole pipeline is
+# deterministic (seeded simulations, thread-count-independent campaign
+# aggregation), so the output is byte-identical on every machine — CI
+# regenerates it and fails when the committed file drifts.
+#
+# Usage: tools/regen_experiments.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build}"
+case "$build" in
+  /*) ;;
+  *) build="$root/$build" ;;
+esac
+bench="$build/bench"
+checks="$(mktemp /tmp/coredis_checks.XXXXXX.jsonl)"
+trap 'rm -f "$checks"' EXIT
+rm -f "$checks"
+
+# The pinned smoke grid: default (trimmed) sweeps, seed 42, two
+# Monte-Carlo repetitions — except fig08, whose IG-vs-STF margin needs
+# four repetitions to resolve. Order here is the row order of the table.
+run() { "$bench/$1" "${@:2}" --checks "$checks" > /dev/null; }
+
+run fig05_faultfree_n100   --runs 2
+run fig06_faultfree_n1000  --runs 2
+run fig07_impact_n         --runs 2
+run fig08_impact_p         --runs 4
+run fig09_behavior_trace   --runs 2
+run fig10_impact_mtbf_p1000 --runs 2
+run fig11_impact_mtbf_p5000 --runs 2
+run fig12_impact_ckpt_cost --runs 2
+run fig13_mtbf_x_ckpt      --runs 2
+run fig14_impact_seqfrac   --runs 2
+run fig_online_load        --runs 2
+run baselines_dedicated_batch --runs 2
+run ablation_blackout      --runs 2
+run ablation_costmodel     --runs 2
+run ablation_downtime      --runs 2
+run ablation_period        --runs 2
+run ablation_silent        --runs 2
+run ablation_weibull       --runs 2
+
+"$build/coredis_report" --checks "$checks" --out "$root/EXPERIMENTS.md"
