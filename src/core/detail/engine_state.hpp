@@ -5,7 +5,10 @@
 /// and the redistribution heuristics (Algorithms 3-5). Not part of the
 /// public API; include only from core/*.cpp and white-box tests.
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -29,26 +32,36 @@ struct EngineState;
 ///                + Tr(i, target, alpha)
 ///
 /// One prober serves every probe of a (task, alpha) scan: it caches the
-/// redistribution-cost constants (sigma_init, m_i) and binds the
-/// TrEvaluator column once, so a warm probe is a handful of flops (RC
-/// inlined from redistrib::cost, Eq. 9, term for term).
+/// redistribution-cost constants (sigma_init, m_i / sigma_init) and binds
+/// the TrEvaluator column once, so a warm probe is pure flops plus one
+/// dense array read — Eq. 9 and C_{i,j} = C_i / j are inlined term for
+/// term (the same arithmetic as redistrib::cost and the coefficient
+/// table's cost field, so results are bit-identical), with no coefficient
+/// record fetched.
 class CandidateProber {
  public:
   CandidateProber(EngineState& s, double t, int i, double alpha);
 
   [[nodiscard]] double operator()(int target) const {
-    const double rc = target != from_ && !zero_rc_
-                          ? redistrib::cost(from_, target, data_size_)
-                          : 0.0;
-    return t_ + rc + model_->checkpoint_cost(task_, target) + column_(target);
+    double rc = 0.0;
+    if (target != from_ && !zero_rc_) {
+      // Eq. 9: rounds * (1 / target) * (m / from), the exact operation
+      // order of redistrib::cost (m / from is cached; same bits).
+      const int delta = target > from_ ? target - from_ : from_ - target;
+      const double r = static_cast<double>(std::max(std::min(from_, target),
+                                                    delta));
+      rc = r * (1.0 / static_cast<double>(target)) * m_over_from_;
+    }
+    return t_ + rc + seq_ckpt_ / static_cast<double>(target) +
+           column_(target);
   }
 
  private:
   double t_;
   int from_;
-  double data_size_;
+  double m_over_from_;  ///< data_size / sigma_init, Eq. 9's cached factor
+  double seq_ckpt_;     ///< C_i (0 in the fault-free context: C_{i,j} = 0)
   bool zero_rc_;
-  const ExpectedTimeModel* model_;
   int task_;
   TrEvaluator::Column column_;
 };
@@ -70,7 +83,14 @@ struct EngineState {
   platform::Platform* platform = nullptr;
   TrEvaluator* tr = nullptr;
   bool zero_redistribution_cost = false;  ///< Theorem 2 ablation knob
+  /// Validate/debug: run the heuristics' from-scratch probe scans instead
+  /// of the lazy stale-bound machinery (EngineConfig::eager_scans).
+  bool eager_scans = false;
   std::vector<TaskRuntime> tasks;
+
+  /// --profile sink (engine-owned, null when profiling is off):
+  /// commit_changes adds its wall time and batch count.
+  EngineProfile* profile = nullptr;
 
   // Counters surfaced in RunResult.
   int redistributions = 0;
@@ -96,6 +116,33 @@ struct EngineState {
   util::IndexedHeap<util::MinKeyThenId> projection_queue;
   util::IndexedHeap<util::MaxKeyThenId> tu_queue;
 
+  // Lazy stale-bound scan state (DESIGN.md section 6.5). `version[i]`
+  // counts mutations of task i's committed runtime (commit, rollback,
+  // blackout restart); a cached no-improvement verdict is valid only at
+  // the version it was computed at. `scan_cache[i]` carries EndLocal's
+  // failed improvability scans across events: while the task's version is
+  // unchanged, the pool no larger and the time before the conservative
+  // horizon, the task is provably still unimprovable and is dropped in
+  // O(1) without probing anything.
+  std::vector<std::uint32_t> version;
+  struct ScanCache {
+    std::uint32_t version = 0;
+    int k = -1;  ///< pool size the failed scan covered; -1 = no verdict
+    double horizon = -std::numeric_limits<double>::infinity();
+  };
+  std::vector<ScanCache> scan_cache;
+  /// IteratedGreedy's per-task committed-state constants — the free-return
+  /// tE (tlastR + Tr at the committed allocation and alpha) and Eq. 9's
+  /// m_i / sigma_init — memoized against the task version: stable between
+  /// commits, so the regrow setup skips one evaluator bind and one pack
+  /// record fetch per task per call.
+  struct FreeReturnCache {
+    std::uint32_t version = ~0U;
+    double tE = 0.0;
+    double m_over = 0.0;
+  };
+  std::vector<FreeReturnCache> free_return;
+
   /// Reusable per-call buffers of the heuristics (Algorithms 3-5 run once
   /// or twice per simulation event; reallocating five vectors each time
   /// showed up in profiles). Contents are dead between calls.
@@ -106,6 +153,23 @@ struct EngineState {
     std::vector<char> included;
     std::vector<std::pair<double, int>> heap;  ///< max-heap via push_heap
     std::vector<std::optional<CandidateProber>> probers;  ///< per-task binds
+    std::vector<int> changed;  ///< ascending commit change-list
+    /// Flat per-task probe state of IteratedGreedy's incremental regrow
+    /// (heuristics.cpp): the column data pointer, Eq. 9 constants and the
+    /// precomputed free-return tE packed into one cache line per task, so
+    /// a warm grant-scan probe touches the row, the key array and one
+    /// prefix-min entry and nothing else.
+    struct RegrowRow {
+      const double* pm = nullptr;  ///< tentative column prefix-min data
+      double m_over = 0.0;         ///< m_i / sigma_init (Eq. 9 factor)
+      double seq = 0.0;            ///< C_i (0 in the fault-free context)
+      double free_tE = 0.0;        ///< Alg. 5 line 16 free return
+      int pm_len = 0;              ///< filled prefix-min depth
+      int sigma_init = 0;          ///< committed allocation
+    };
+    std::vector<RegrowRow> rows;
+    std::vector<int> tourney;  ///< winner tree over included tasks
+    std::vector<int> leaf_of;  ///< task -> tournament leaf slot
   };
   Scratch scratch;
 
@@ -116,6 +180,21 @@ struct EngineState {
   [[nodiscard]] const TaskRuntime& task(int i) const {
     return tasks[static_cast<std::size_t>(i)];
   }
+
+  /// Size the lazy-scan bookkeeping to the tasks vector (idempotent; the
+  /// heuristics call it on entry so hand-built states — white-box tests —
+  /// need no explicit setup).
+  void ensure_lazy_state() {
+    if (static_cast<int>(version.size()) != n()) {
+      version.assign(static_cast<std::size_t>(n()), 0);
+      scan_cache.assign(static_cast<std::size_t>(n()), ScanCache{});
+      free_return.assign(static_cast<std::size_t>(n()), FreeReturnCache{});
+    }
+  }
+
+  /// Record a mutation of task i's committed runtime (alpha, sigma, tlastR
+  /// or tU): cached scan verdicts computed against the old state die.
+  void touch(int i) { ++version[static_cast<std::size_t>(i)]; }
 
   /// A task participates in a redistribution at time t iff it is live,
   /// still owns its processors, and is not inside a blackout window
@@ -168,9 +247,19 @@ struct EngineState {
   /// updating alpha/tlastR/tU/proj and the platform ledger; shrinks are
   /// applied before growths so the pool never goes negative). For the
   /// faulty task (faulty >= 0) the new baseline keeps the downtime +
-  /// recovery already folded into its tlastR (section 3.3.2).
+  /// recovery already folded into its tlastR (section 3.3.2). Scans all
+  /// n tasks for changes; the heuristics pass their exact change-list to
+  /// commit_changes below instead.
   void commit(double t, int faulty, const std::vector<int>& new_sigma,
               const std::vector<double>& alpha_t);
+
+  /// commit() restricted to `changed` — the ascending list of exactly the
+  /// live tasks whose new_sigma differs from their current sigma. Same
+  /// shrink-before-grow pass order over the list, so the platform ledger
+  /// sees the identical grant/revoke sequence as the full scan.
+  void commit_changes(double t, int faulty, const std::vector<int>& new_sigma,
+                      const std::vector<double>& alpha_t,
+                      const std::vector<int>& changed);
 };
 
 /// Algorithm 3 (EndLocal): grow the currently-longest tasks with the k
@@ -190,9 +279,12 @@ inline CandidateProber::CandidateProber(EngineState& s, double t, int i,
                                         double alpha)
     : t_(t),
       from_(s.task(i).sigma),
-      data_size_(s.model->pack().task(i).data_size),
+      m_over_from_(s.model->pack().task(i).data_size /
+                   static_cast<double>(s.task(i).sigma)),
+      seq_ckpt_(s.model->resilience().fault_free()
+                    ? 0.0
+                    : s.model->sequential_checkpoint(i)),
       zero_rc_(s.zero_redistribution_cost),
-      model_(s.model),
       task_(i),
       column_(s.tr->column(i, alpha)) {}
 

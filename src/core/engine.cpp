@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstddef>
 #include <optional>
@@ -73,7 +74,28 @@ double allocation_stddev(const EngineState& state) {
   return stats.stddev_population();
 }
 
+/// Monotonic seconds for the --profile phase breakdown.
+double profile_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
+
+RunResult Engine::run(fault::Generator& faults,
+                      const EngineConfig& config) {
+  // The per-run configuration swap is transparent: config_ only steers
+  // policies and instrumentation inside this call, and the caches that
+  // persist across calls (model_, evaluator_) hold pure values.
+  struct ConfigGuard {
+    Engine* engine;
+    EngineConfig saved;
+    ~ConfigGuard() { engine->config_ = saved; }
+  } guard{this, config_};
+  config_ = config;
+  return run(faults);
+}
 
 RunResult Engine::run(fault::Generator& faults) {
   COREDIS_EXPECTS(faults.processors() == processors_);
@@ -88,11 +110,27 @@ RunResult Engine::run(fault::Generator& faults) {
   state.platform = &platform;
   state.tr = &evaluator;
   state.zero_redistribution_cost = config_.zero_redistribution_cost;
+  state.eager_scans = config_.eager_scans;
   state.tasks.resize(static_cast<std::size_t>(n));
+  state.ensure_lazy_state();
   if (!config_.linear_event_scan) state.build_event_index();
+
+  // --profile plumbing: phase timers bracket the call sites below; the
+  // commit share is accumulated by commit_changes through state.profile.
+  EngineProfile profile;
+  const bool profiling = config_.profile;
+  if (profiling) state.profile = &profile;
+  double mark = profiling ? profile_now() : 0.0;
+  const auto phase = [&](double& sink) {
+    if (!profiling) return;
+    const double now = profile_now();
+    sink += now - mark;
+    mark = now;
+  };
 
   // Initial allocation: Algorithm 1 (optimal without redistribution).
   const std::vector<int> sigma0 = optimal_schedule(model, processors_, evaluator);
+  phase(profile.algorithm1_seconds);
   for (int i = 0; i < n; ++i) {
     TaskRuntime& task = state.task(i);
     task.sigma = sigma0[static_cast<std::size_t>(i)];
@@ -122,6 +160,10 @@ RunResult Engine::run(fault::Generator& faults) {
   std::vector<int> surrender;  // Alg. 2 line 28 scratch, reused per fault
 
   while (live > 0) {
+    if (profiling) {
+      ++profile.events;
+      mark = profile_now();
+    }
     evaluator.begin_event();
     // Earliest projected completion among unfinished tasks.
     const int ending = state.earliest_unfinished();
@@ -159,6 +201,7 @@ RunResult Engine::run(fault::Generator& faults) {
           state.time_lost_to_faults += task.tlastR - before;
           task.tU = task.tlastR + evaluator(owner, task.sigma, task.alpha);
           state.refresh_projection(owner);
+          state.touch(owner);  // blackout restart moved the baseline
           ++result.faults_effective;
         } else {
           ++result.faults_discarded;  // idle processor or protected window
@@ -186,6 +229,7 @@ RunResult Engine::run(fault::Generator& faults) {
                     model.recovery_time(owner, j);
       task.tU = task.tlastR + evaluator(owner, j, task.alpha);
       state.refresh_projection(owner);
+      state.touch(owner);  // rollback rewrote the committed baseline
       recovery_partner[static_cast<std::size_t>(owner)] =
           platform.pair_partner(fault.processor);
       recovery_until[static_cast<std::size_t>(owner)] = task.tlastR;
@@ -212,10 +256,13 @@ RunResult Engine::run(fault::Generator& faults) {
         // Alg. 2 line 30: rebalance only if the faulty task became the
         // longest one (otherwise the makespan estimate did not move).
         if (task.tU >= state.longest_expected_finish()) {
+          phase(profile.dispatch_seconds);
+          if (profiling) ++profile.heuristic_calls;
           redistributed =
               config_.failure_policy == FailurePolicy::ShortestTasksFirst
                   ? detail::shortest_tasks_first(state, fault.time, owner)
                   : detail::iterated_greedy(state, fault.time, owner);
+          phase(profile.scan_seconds);
         }
       }
 
@@ -225,6 +272,7 @@ RunResult Engine::run(fault::Generator& faults) {
                                            allocation_stddev(state),
                                            redistributed});
       }
+      phase(profile.dispatch_seconds);
       continue;
     }
 
@@ -256,13 +304,24 @@ RunResult Engine::run(fault::Generator& faults) {
     if (owned_processors) platform.release_all(ending);
 
     if (live > 0 && owned_processors && config_.end_policy != EndPolicy::None) {
+      phase(profile.dispatch_seconds);
+      if (profiling) ++profile.heuristic_calls;
       if (config_.end_policy == EndPolicy::Local)
         detail::end_local(state, end_time);
       else
         detail::end_greedy(state, end_time);
+      phase(profile.scan_seconds);
+    } else {
+      phase(profile.dispatch_seconds);
     }
   }
 
+  if (profiling) {
+    // The heuristics' commit share was accumulated inside scan time;
+    // carve it out so probe scans and commits read as disjoint phases.
+    profile.scan_seconds -= profile.commit_seconds;
+    result.profile = profile;
+  }
   result.makespan = *std::max_element(result.completion_times.begin(),
                                       result.completion_times.end());
   result.redistributions = state.redistributions;

@@ -61,8 +61,26 @@ class Engine {
   /// warm-up entirely; results are identical either way.
   [[nodiscard]] RunResult run(fault::Generator& faults);
 
+  /// run() under a caller-supplied configuration: one engine — one warm
+  /// coefficient table — serves every configuration of a campaign cell
+  /// (the config only steers policies and instrumentation, never the
+  /// cached pure values). Results are identical to a fresh
+  /// Engine(pack, resilience, p, config).run(faults).
+  [[nodiscard]] RunResult run(fault::Generator& faults,
+                              const EngineConfig& config);
+
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
   [[nodiscard]] int processors() const noexcept { return processors_; }
+
+  /// The engine's expected-time model and evaluator cache. Shared with
+  /// the arrival-driven schedulers by the campaign runner so one warm
+  /// coefficient table serves a whole cell; cached entries are pure in
+  /// (task, j, alpha), so sharing cannot change any result. The usual
+  /// thread-compatibility caveat applies (one engine, one thread).
+  [[nodiscard]] const ExpectedTimeModel& model() const noexcept {
+    return model_;
+  }
+  [[nodiscard]] TrEvaluator& evaluator() noexcept { return evaluator_; }
 
  private:
   /// Throws std::invalid_argument unless p is even and >= 2n. Called from

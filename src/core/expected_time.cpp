@@ -18,6 +18,7 @@ ExpectedTimeModel::ExpectedTimeModel(const Pack& pack,
     seq_ckpt_.push_back(resilience.sequential_cost(pack.task(i).data_size));
   table_even_.resize(n);
   table_odd_.resize(n);
+  even_dense_.assign(n, 0);
 }
 
 void ExpectedTimeModel::fill_coeffs(int task, int j, Coeffs& c) const {
@@ -38,6 +39,51 @@ void ExpectedTimeModel::fill_coeffs(int task, int j, Coeffs& c) const {
                (1.0 / c.lambda_j + resilience_->downtime());
     c.expm1_tau = std::expm1(c.lambda_j * c.tau);
   }
+}
+
+void ExpectedTimeModel::ensure_even_row(int task, std::size_t h_count) const {
+  COREDIS_EXPECTS(task >= 0 && task < pack_->size());
+  if (even_dense_[static_cast<std::size_t>(task)] >= h_count) return;
+  auto& row = table_even_[static_cast<std::size_t>(task)];
+  if (row.size() <= h_count) {
+    row.reserve(std::max(h_count + 1, 2 * row.size()));
+    row.resize(h_count + 1);
+  }
+  for (std::size_t h = even_dense_[static_cast<std::size_t>(task)]; h < h_count;
+       ++h) {
+    Coeffs& c = row[h + 1];  // slot j/2: entry h covers j = 2(h+1)
+    if (c.t_ij < 0.0) fill_coeffs(task, 2 * (static_cast<int>(h) + 1), c);
+  }
+  even_dense_[static_cast<std::size_t>(task)] = h_count;
+}
+
+void ExpectedTimeModel::probe_many(int task, int h_begin, int h_end,
+                                   double alpha, double* out) const {
+  COREDIS_EXPECTS(0 <= h_begin && h_begin <= h_end);
+  COREDIS_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
+  if (h_begin == h_end) return;
+  const Coeffs* recs = row_records(task, static_cast<std::size_t>(h_end));
+  const auto lo = static_cast<std::size_t>(h_begin);
+  const auto hi = static_cast<std::size_t>(h_end);
+  if (alpha == 0.0) {  // expected_time_raw's early-out, batched
+    std::fill(out, out + (hi - lo), 0.0);
+    return;
+  }
+  if (resilience_->fault_free()) {
+    for (std::size_t h = lo; h < hi; ++h) out[h - lo] = alpha * recs[h].t_ij;
+    return;
+  }
+  // One raw_kernel per record: identical arithmetic to the scalar queries
+  // by construction (shared inline kernel over the same bits); the
+  // coefficient loads stream one cache line per allocation.
+  for (std::size_t h = lo; h < hi; ++h)
+    out[h - lo] = raw_kernel(alpha, recs[h]);
+}
+
+void ExpectedTimeModel::probe_many_reference(int task, int h_begin, int h_end,
+                                             double alpha, double* out) const {
+  for (int h = h_begin; h < h_end; ++h)
+    out[h - h_begin] = expected_time_raw(task, 2 * (h + 1), alpha);
 }
 
 double ExpectedTimeModel::expected_time(int task, int j, double alpha) const {
@@ -93,6 +139,25 @@ TrEvaluator::TrEvaluator(const ExpectedTimeModel& model, int max_processors)
     : model_(&model), max_j_(max_processors) {
   COREDIS_EXPECTS(max_processors >= 2 && max_processors % 2 == 0);
   slots_.resize(static_cast<std::size_t>(model.pack().size()));
+}
+
+void TrEvaluator::Column::extend(std::size_t want) const {
+  auto& pm = slot_->prefix_min;
+  const std::size_t have = pm.size();
+  pm.reserve(std::max(want, 2 * have));  // columns deepen one probe at a time
+  pm.resize(want);
+  // Batch fill straight into the column: probe_many streams the raw Eq. 4
+  // values (independent expm1 calls overlap in the pipeline), then the
+  // in-place sweep applies the exact Eq. 6 prefix-min — the same std::min
+  // sequence as the one-at-a-time loop, on the same bits.
+  model_->probe_many(task_, static_cast<int>(have), static_cast<int>(want),
+                     alpha_, pm.data() + have);
+  double running =
+      have == 0 ? std::numeric_limits<double>::infinity() : pm[have - 1];
+  for (std::size_t h = have; h < want; ++h) {
+    running = std::min(running, pm[h]);
+    pm[h] = running;
+  }
 }
 
 TrEvaluator::Column TrEvaluator::column(int task, double alpha) {

@@ -13,8 +13,23 @@
 ///    superscripts of Algorithms 3-5.
 ///  * Two documented deviations from the paper's *pseudocode* (not its
 ///    prose) are flagged NOTE(paper) below.
+///
+/// Scan strategy (DESIGN.md section 6.5): EndLocal's improvability scans
+/// dominate the event loop at scale — every completion re-verifies, for
+/// each still-longest task, that no grant of idle pairs would help, and
+/// the verdict is almost always the same as last time. The lazy path
+/// therefore *carries* a failed scan across events: when a scan proves a
+/// task unimprovable, a conservative validity horizon is computed from
+/// the scan's exact margins (how fast they can decay, and how soon a
+/// checkpoint-count boundary of Eq. 2 could discontinuously improve a
+/// candidate), and until that horizon — same committed state, no larger
+/// pool — the task is dropped in O(1) without probing anything. Probes
+/// themselves are never approximated: any scan that actually runs is the
+/// from-scratch exact scan, which also survives unconditionally behind
+/// EngineConfig::eager_scans for the equivalence tests.
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstddef>
 #include <limits>
@@ -25,6 +40,7 @@
 #include "core/detail/engine_state.hpp"
 #include "redistrib/cost.hpp"
 #include "util/contracts.hpp"
+#include "util/heap_ops.hpp"
 
 namespace coredis::core::detail {
 
@@ -32,14 +48,20 @@ double EngineState::alpha_tentative(int i, double t) const {
   const TaskRuntime& rt = task(i);
   const double elapsed = t - rt.tlastR;
   if (elapsed <= 0.0) return rt.alpha;
-  const double tau = model->period(i, rt.sigma);
-  const double cost = model->checkpoint_cost(i, rt.sigma);
-  const double completed =
-      std::isfinite(tau) ? std::floor(elapsed / tau) : 0.0;  // N_{i,j}, Eq. 8
-  const double t_ij = model->fault_free_time(i, rt.sigma);
+  // One record fetch for tau, C and t_ij (this runs once per eligible
+  // task per heuristic call). In the fault-free context the period is
+  // infinite and no checkpoint is ever taken: same arithmetic as the
+  // period()/checkpoint_cost() accessors it replaces.
+  const ExpectedTimeModel::Coeffs& c = model->record(i, rt.sigma);
+  double completed = 0.0;  // N_{i,j}, Eq. 8
+  double cost = 0.0;
+  if (!model->resilience().fault_free()) {
+    completed = std::floor(elapsed / c.tau);
+    cost = c.cost;
+  }
   // Work = elapsed time minus completed checkpoints (the in-progress
   // period counts: redistribution starts with a checkpoint that saves it).
-  const double done_fraction = (elapsed - completed * cost) / t_ij;
+  const double done_fraction = (elapsed - completed * cost) / c.t_ij;
   return std::clamp(rt.alpha - done_fraction, 0.0, 1.0);
 }
 
@@ -121,22 +143,45 @@ void EngineState::unfinished_ending_by(double bound, int except,
 void EngineState::commit(double t, int faulty, const std::vector<int>& new_sigma,
                          const std::vector<double>& alpha_t) {
   COREDIS_EXPECTS(static_cast<int>(new_sigma.size()) == n());
-  COREDIS_EXPECTS(static_cast<int>(alpha_t.size()) == n());
-  // Shrink before growing so the idle pool can never go negative.
+  std::vector<int>& changed = scratch.changed;
+  changed.clear();
   for (int i = 0; i < n(); ++i) {
+    const TaskRuntime& rt = task(i);
+    if (rt.done || rt.released) continue;
+    if (new_sigma[static_cast<std::size_t>(i)] != rt.sigma)
+      changed.push_back(i);
+  }
+  commit_changes(t, faulty, new_sigma, alpha_t, changed);
+}
+
+void EngineState::commit_changes(double t, int faulty,
+                                 const std::vector<int>& new_sigma,
+                                 const std::vector<double>& alpha_t,
+                                 const std::vector<int>& changed) {
+  COREDIS_EXPECTS(static_cast<int>(new_sigma.size()) == n());
+  COREDIS_EXPECTS(static_cast<int>(alpha_t.size()) == n());
+  ensure_lazy_state();
+  const auto commit_start = profile != nullptr
+                                ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
+  // Shrink before growing so the idle pool can never go negative; both
+  // passes walk the ascending change-list, reproducing the full scan's
+  // platform-ledger call order exactly (processor identity matters to
+  // fault attribution).
+  for (const int i : changed) {
     const TaskRuntime& rt = task(i);
     if (rt.done || rt.released) continue;
     if (new_sigma[static_cast<std::size_t>(i)] < rt.sigma)
       platform->revoke(i, rt.sigma - new_sigma[static_cast<std::size_t>(i)]);
   }
-  for (int i = 0; i < n(); ++i) {
+  for (const int i : changed) {
     const TaskRuntime& rt = task(i);
     if (rt.done || rt.released) continue;
     if (new_sigma[static_cast<std::size_t>(i)] > rt.sigma)
       platform->grant(i, new_sigma[static_cast<std::size_t>(i)] - rt.sigma);
   }
   const bool fault_free = model->resilience().fault_free();
-  for (int i = 0; i < n(); ++i) {
+  for (const int i : changed) {
     TaskRuntime& rt = task(i);
     const int target = new_sigma[static_cast<std::size_t>(i)];
     if (rt.done || rt.released || target == rt.sigma) continue;
@@ -166,8 +211,16 @@ void EngineState::commit(double t, int faulty, const std::vector<int>& new_sigma
     rt.tlastR = base + rc + model->checkpoint_cost(i, target);
     rt.tU = rt.tlastR + (*tr)(i, target, rt.alpha);
     refresh_projection(i);
+    touch(i);  // carried scan verdicts die with the old committed state
     ++redistributions;
     redistribution_cost_total += rc;
+  }
+  if (profile != nullptr) {
+    profile->commit_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      commit_start)
+            .count();
+    ++profile->commits;
   }
 }
 
@@ -177,8 +230,12 @@ namespace {
 /// Entries are pairwise distinct (one per task, index tiebreak), so heap
 /// pops follow a strict total order whatever the internal layout — the
 /// push_heap/pop_heap scratch vector below pops exactly like the
-/// std::priority_queue it replaced, without reallocating per call.
+/// std::priority_queue it replaced, without reallocating per call. The
+/// replace-top / stays-top primitives are the shared util/heap_ops.hpp
+/// definitions (one definition serves every grant loop).
 using HeapEntry = std::pair<double, int>;
+using util::heap_replace_top;
+using util::stays_top;
 
 /// Drop the root (the task leaves the heap for good).
 void heap_drop_top(std::vector<HeapEntry>& heap) {
@@ -186,33 +243,95 @@ void heap_drop_top(std::vector<HeapEntry>& heap) {
   heap.pop_back();
 }
 
-/// Rewrite the root in place and restore the heap with a single
-/// sift-down — the grant loops pop the top, rescore it, and reinsert it,
-/// which this fuses into one O(log n) pass (zero when it stays the max).
-void heap_replace_top(std::vector<HeapEntry>& heap, HeapEntry entry) {
-  const std::size_t n = heap.size();
-  std::size_t hole = 0;
-  while (true) {
-    std::size_t child = 2 * hole + 1;
-    if (child >= n) break;
-    if (child + 1 < n && heap[child] < heap[child + 1]) ++child;
-    if (!(entry < heap[child])) break;
-    heap[hole] = heap[child];
-    hole = child;
-  }
-  heap[hole] = entry;
-}
+/// Conservative validity horizon of a failed EndLocal improvability scan
+/// (DESIGN.md section 6.5). The scan just proved, with exact probes, that
+/// every even target sigma + q, q in [2, k], satisfies
+///
+///   t + RC_q + C_{i,sigma+q} + Tr(i, sigma+q, alpha_t) >= tU.
+///
+/// Until when does that provably keep holding (same committed state, pool
+/// <= k)? Tr(sigma + q, .) is the Eq. 6 prefix-min over the raw Eq. 4
+/// columns, so target q breaks only once some column h <= (sigma + q)/2
+/// falls below its threat level tU - t' - RC_q - C_q; with t' only
+/// growing past t, every threat level is bounded by
+///
+///   L = tU - t - min_q (RC_q + C_q)
+///
+/// (flops: Eq. 9 and C_i/j need no Eq. 4 evaluation). Column h therefore
+/// has to burn the budget pm[h] - L first, where pm is the scan's freshly
+/// filled prefix-min (raw_h >= pm[h]). It burns alpha at rate at most
+/// g_h = t_{i,j} factor lambda_j (expm1_tau + 1) — Eq. 4's slope bound,
+/// e^{lambda tau_last} <= e^{lambda tau}; exactly t_{i,j} in the
+/// fault-free context — plus one exact Eq. 4 drop of factor * expm1_tau
+/// each time the remaining work crosses an Eq. 2 completed-checkpoint
+/// boundary (every tau - C of work on that column; the first crossing
+/// sits tau_last of work away). Charging each drop continuously over the
+/// period *before* it falls due only shortens the horizon, so the
+/// per-column alpha span solves
+///
+///   span_h * g_h + drops(span_h) * factor * expm1_tau <= pm[h] - L,
+///
+/// and since the tentative alpha falls at most 1 / t_{i,sigma} per
+/// wall-clock second, the verdict holds until t + min_h span_h *
+/// t_{i,sigma}, shaved by 1e-9 to cover this computation's own rounding.
+double drop_horizon(const EngineState& s, int i, double t, double alpha_t,
+                    int sigma, int k, double threshold,
+                    const std::vector<double>& pm) {
+  const auto slots = static_cast<std::size_t>(sigma + k) / 2;
+  COREDIS_ASSERT(pm.size() >= slots);
+  const ExpectedTimeModel::Coeffs* recs = s.model->row_records(i, slots);
+  const bool fault_free = s.model->resilience().fault_free();
 
-/// True when `entry`, written at the root, would stay the maximum — i.e.
-/// it beats both children, hence every entry (strict order, no
-/// duplicates). Lets the grant loops keep probing the same task with no
-/// heap work at all.
-[[nodiscard]] bool stays_top(const std::vector<HeapEntry>& heap,
-                             const HeapEntry& entry) {
-  const std::size_t n = heap.size();
-  if (n > 1 && entry < heap[1]) return false;
-  if (n > 2 && entry < heap[2]) return false;
-  return true;
+  // min over targets of RC + C (same inline Eq. 9 / C_i over j arithmetic
+  // as CandidateProber; any consistent evaluation of the same math makes
+  // a valid bound, and this is the exact one).
+  const double seq =
+      fault_free ? 0.0 : s.model->sequential_checkpoint(i);
+  const double m_over_from =
+      s.model->pack().task(i).data_size / static_cast<double>(sigma);
+  double min_rc_c = std::numeric_limits<double>::infinity();
+  for (int q = 2; q <= k; q += 2) {
+    const int target = sigma + q;
+    const double rc =
+        s.zero_redistribution_cost
+            ? 0.0
+            : static_cast<double>(std::max(std::min(sigma, target), q)) *
+                  (1.0 / static_cast<double>(target)) * m_over_from;
+    min_rc_c = std::min(min_rc_c, rc + seq / static_cast<double>(target));
+  }
+  const double threat = threshold - t - min_rc_c;
+
+  double span_alpha = std::numeric_limits<double>::infinity();
+  for (std::size_t h = 0; h < slots; ++h) {
+    const ExpectedTimeModel::Coeffs& c = recs[h];
+    const double budget = pm[h] - threat;
+    if (budget <= 0.0) return t;  // no provable carry
+    if (fault_free) {
+      span_alpha = std::min(span_alpha, budget / c.t_ij);
+      continue;
+    }
+    const double g = c.t_ij * c.factor * c.lambda_j * (c.expm1_tau + 1.0);
+    double span = budget / g;
+    const double work = alpha_t * c.t_ij;
+    const double n_ff = std::floor(work / c.tau_minus_cost);
+    const double to_boundary = (work - n_ff * c.tau_minus_cost) / c.t_ij;
+    if (span > to_boundary) {
+      const double drop = c.factor * c.expm1_tau;
+      const double after_first = budget - to_boundary * g - drop;
+      if (after_first <= 0.0) {
+        span = to_boundary;
+      } else {
+        // Smooth decay plus one amortized boundary drop per period.
+        const double per_alpha = g + drop * c.t_ij / c.tau_minus_cost;
+        span = to_boundary + after_first / per_alpha;
+      }
+    }
+    span_alpha = std::min(span_alpha, span);
+  }
+  const double w_sigma = s.model->fault_free_time(i, sigma);
+  const double span = span_alpha * w_sigma;
+  if (!std::isfinite(span)) return std::numeric_limits<double>::infinity();
+  return t + span * (1.0 - 1e-9);
 }
 
 }  // namespace
@@ -221,29 +340,66 @@ bool end_local(EngineState& s, double t) {
   const int n = s.n();
   int k = s.platform->free_count();
   if (k < 2) return false;
+  s.ensure_lazy_state();
 
   EngineState::Scratch& scr = s.scratch;
   std::vector<int>& new_sigma = scr.new_sigma;
   std::vector<double>& alpha_t = scr.alpha_t;
   std::vector<double>& tU = scr.tU;
+  std::vector<int>& changed = scr.changed;
   new_sigma.resize(static_cast<std::size_t>(n));
   alpha_t.assign(static_cast<std::size_t>(n), 0.0);
   tU.assign(static_cast<std::size_t>(n), 0.0);
+  changed.clear();
   std::vector<HeapEntry>& heap = scr.heap;
   heap.clear();
   for (int i = 0; i < n; ++i) {
     new_sigma[static_cast<std::size_t>(i)] = s.task(i).sigma;
     if (!s.included(i, t)) continue;
-    alpha_t[static_cast<std::size_t>(i)] = s.alpha_tentative(i, t);  // Alg. 3 line 8
+    if (!s.eager_scans) {
+      // A carried verdict that already covers this call's pool never
+      // reaches a scan — its pop would drop it unprobed (k only shrinks
+      // within the call, so validity here implies validity at pop time).
+      // Skip the heap entirely.
+      const EngineState::ScanCache& cache =
+          s.scan_cache[static_cast<std::size_t>(i)];
+      if (cache.k >= k && cache.version == s.version[static_cast<std::size_t>(i)] &&
+          t <= cache.horizon)
+        continue;
+    }
     tU[static_cast<std::size_t>(i)] = s.task(i).tU;
     heap.emplace_back(s.task(i).tU, i);
   }
   std::make_heap(heap.begin(), heap.end());
 
-  bool changed = false;
+  bool changed_any = false;
   while (k >= 2 && !heap.empty()) {
     const int i = heap.front().second;  // peek; the entry stays in place
     const auto idx = static_cast<std::size_t>(i);
+    const bool at_committed = new_sigma[idx] == s.task(i).sigma;
+
+    if (!s.eager_scans && at_committed) {
+      // A task that failed a scan at least as wide, at the same committed
+      // state, before its horizon: provably still unimprovable (see
+      // drop_horizon above), dropped without probing anything.
+      const EngineState::ScanCache& cache = s.scan_cache[idx];
+      if (cache.k >= k && cache.version == s.version[idx] &&
+          t <= cache.horizon) {
+        heap_drop_top(heap);
+        continue;
+      }
+    }
+
+    // Alg. 3 line 8, computed on first actual scan of the task: with the
+    // carried verdicts most pops never probe, so the per-event
+    // all-included tentative-alpha sweep would be mostly dead work.
+    alpha_t[idx] = s.alpha_tentative(i, t);
+    // Prefill the whole scan range in one probe_many batch (lazy path):
+    // the surviving scans are overwhelmingly full-width failures, and a
+    // batched fill streams independent expm1 calls at several times the
+    // throughput of the one-step-per-probe fill. Value-neutral.
+    if (!s.eager_scans)
+      (void)s.tr->column(i, alpha_t[idx])(new_sigma[idx] + k);
     const CandidateProber probe(s, t, i, alpha_t[idx]);
     // Improvability probe (Alg. 3 lines 10-15): first q that helps.
     bool improvable = false;
@@ -257,26 +413,41 @@ bool end_local(EngineState& s, double t) {
       }
     }
     if (!improvable) {  // dropped for good; try the next-longest task
+      if (!s.eager_scans && at_committed) {
+        // The scan filled this (task, alpha_t) column to (sigma + k) / 2;
+        // its prefix-min and the coefficient records price the horizon.
+        EngineState::ScanCache& cache = s.scan_cache[idx];
+        cache.version = s.version[idx];
+        cache.k = k;
+        cache.horizon =
+            drop_horizon(s, i, t, alpha_t[idx], new_sigma[idx], k, tU[idx],
+                         s.tr->column(i, alpha_t[idx]).prefix());
+      }
       heap_drop_top(heap);
       continue;
     }
+    if (at_committed) changed.push_back(i);
     new_sigma[idx] += 2;  // grants are pair-by-pair (Alg. 3 line 17)
     // The grant lands on new_sigma + 2, whose tE the scan just computed.
     tU[idx] = first_tE;
     k -= 2;
-    changed = true;
+    changed_any = true;
     const HeapEntry rescored(tU[idx], i);
     if (stays_top(heap, rescored))
       heap.front() = rescored;  // keeps the lead: no sift needed
     else
       heap_replace_top(heap, rescored);
   }
-  if (changed) s.commit(t, /*faulty=*/-1, new_sigma, alpha_t);
-  return changed;
+  if (changed_any) {
+    std::sort(changed.begin(), changed.end());
+    s.commit_changes(t, /*faulty=*/-1, new_sigma, alpha_t, changed);
+  }
+  return changed_any;
 }
 
 bool iterated_greedy(EngineState& s, double t, int faulty) {
   const int n = s.n();
+  s.ensure_lazy_state();
   EngineState::Scratch& scr = s.scratch;
   std::vector<char>& in = scr.included;
   std::vector<double>& alpha_t = scr.alpha_t;
@@ -304,76 +475,228 @@ bool iterated_greedy(EngineState& s, double t, int faulty) {
   if (n_included == 0) return false;
   COREDIS_ASSERT(pool >= 2 * n_included);
 
-  // One prober per eligible task, bound lazily and reused across every
-  // pop of that task in the regrow loop (the bind — slot search plus
-  // constant caching — showed up in profiles at ~5 pops per task). The
-  // scratch vector keeps its capacity across calls.
-  std::vector<std::optional<CandidateProber>>& probers = scr.probers;
-  probers.assign(static_cast<std::size_t>(n), std::nullopt);
-  const auto probe_for = [&](int task) -> const CandidateProber& {
-    auto& p = probers[static_cast<std::size_t>(task)];
-    if (!p)
-      p.emplace(s, t, task, alpha_t[static_cast<std::size_t>(task)]);
-    return *p;
-  };
-
-  // Reset every eligible task to one pair (Alg. 5 lines 3-8); a task whose
-  // original allocation was already 2 keeps its committed tU (no cost).
   std::vector<HeapEntry>& heap = scr.heap;
   heap.clear();
-  for (int i = 0; i < n; ++i) {
-    const auto idx = static_cast<std::size_t>(i);
-    if (!in[idx]) continue;
-    new_sigma[idx] = 2;
-    tU[idx] = new_sigma[idx] == s.task(i).sigma ? s.task(i).tU
-                                                : probe_for(i)(2);
-    heap.emplace_back(tU[idx], i);
-  }
-  std::make_heap(heap.begin(), heap.end());
+  const int available0 = pool - 2 * n_included;
 
-  int available = pool - 2 * n_included;
-  while (available >= 2 && !heap.empty()) {
-    const int i = heap.front().second;  // peek; the entry stays in place
-    const auto idx = static_cast<std::size_t>(i);
-    const int sigma_init = s.task(i).sigma;
-    const int pmax = new_sigma[idx] + available;
-    const CandidateProber& probe = probe_for(i);
+  if (s.eager_scans) {
+    // Reference regrow: one lazily-bound prober per task, columns filled
+    // one probe at a time as the scans deepen (the pre-incremental
+    // implementation, kept verbatim for the equivalence tests).
+    std::vector<std::optional<CandidateProber>>& probers = scr.probers;
+    probers.assign(static_cast<std::size_t>(n), std::nullopt);
+    const auto probe_for = [&](int task) -> const CandidateProber& {
+      auto& p = probers[static_cast<std::size_t>(task)];
+      if (!p)
+        p.emplace(s, t, task, alpha_t[static_cast<std::size_t>(task)]);
+      return *p;
+    };
 
-    bool improvable = false;
-    double first_tE = 0.0;  // tE at new_sigma + 2, reused on grant
-    for (int target = new_sigma[idx] + 2; target <= pmax; target += 2) {
-      // Returning to the original allocation costs nothing: the task just
-      // keeps computing from tlastR with its committed fraction (line 16).
-      const double tE =
-          target == sigma_init
-              ? s.task(i).tlastR + (*s.tr)(i, target, s.task(i).alpha)
-              : probe(target);
-      if (target == new_sigma[idx] + 2) first_tE = tE;
-      if (tE < tU[idx]) {
-        improvable = true;
-        break;
-      }
+    // Reset every eligible task to one pair (Alg. 5 lines 3-8); a task
+    // whose original allocation was already 2 keeps its committed tU.
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (!in[idx]) continue;
+      new_sigma[idx] = 2;
+      tU[idx] = new_sigma[idx] == s.task(i).sigma ? s.task(i).tU
+                                                  : probe_for(i)(2);
+      heap.emplace_back(tU[idx], i);
     }
-    if (!improvable) break;  // line 30: the longest task is stuck -> stop
+    std::make_heap(heap.begin(), heap.end());
 
-    new_sigma[idx] += 2;
-    // The grant lands on new_sigma + 2, whose tE the scan just computed.
-    tU[idx] = first_tE;
-    available -= 2;
-    const HeapEntry rescored(tU[idx], i);
-    if (stays_top(heap, rescored))
-      heap.front() = rescored;  // keeps the lead: no sift needed
-    else
-      heap_replace_top(heap, rescored);
+    int available = available0;
+    while (available >= 2 && !heap.empty()) {
+      const int i = heap.front().second;  // peek; the entry stays in place
+      const auto idx = static_cast<std::size_t>(i);
+      const int sigma_init = s.task(i).sigma;
+      const int pmax = new_sigma[idx] + available;
+      const CandidateProber& probe = probe_for(i);
+
+      bool improvable = false;
+      double first_tE = 0.0;  // tE at new_sigma + 2, reused on grant
+      for (int target = new_sigma[idx] + 2; target <= pmax; target += 2) {
+        // Returning to the original allocation costs nothing: the task
+        // just keeps computing from tlastR with its committed fraction
+        // (line 16).
+        const double tE =
+            target == sigma_init
+                ? s.task(i).tlastR + (*s.tr)(i, target, s.task(i).alpha)
+                : probe(target);
+        if (target == new_sigma[idx] + 2) first_tE = tE;
+        if (tE < tU[idx]) {
+          improvable = true;
+          break;
+        }
+      }
+      if (!improvable) break;  // line 30: the longest task is stuck
+
+      new_sigma[idx] += 2;
+      // The grant lands on new_sigma + 2, whose tE the scan computed.
+      tU[idx] = first_tE;
+      available -= 2;
+      const HeapEntry rescored(tU[idx], i);
+      if (stays_top(heap, rescored))
+        heap.front() = rescored;  // keeps the lead: no sift needed
+      else
+        heap_replace_top(heap, rescored);
+    }
+  } else {
+    // Incremental regrow (DESIGN.md section 6.5): the rebuild re-derives
+    // ~98% of the committed allocation unchanged, so its cost is pure
+    // replanning overhead — dominated by scattered pointer chasing and
+    // one latency-bound Eq. 4 fill per heap pop. Three changes, all
+    // value-neutral: each task's tentative column is prefilled to its
+    // committed depth in one probe_many batch (the exact values the
+    // grant scans will read, streamed back to back), the scan state is
+    // packed into one RegrowRow cache line per task (column pointer,
+    // Eq. 9 constants, precomputed free-return tE), and a tournament
+    // tree replaces the binary heap — the regrow only ever takes the
+    // maximum by (key, task) and re-keys it, and any structure returning
+    // that exact maximum yields the identical grant sequence, while a
+    // re-key replays one fixed leaf-to-root path instead of a
+    // data-dependent sift. The probe arithmetic is the CandidateProber's,
+    // term for term, so decisions are identical (locked by the
+    // equivalence tests driving both paths).
+    std::vector<EngineState::Scratch::RegrowRow>& rows = scr.rows;
+    rows.resize(static_cast<std::size_t>(n));
+    const bool fault_free = s.model->resilience().fault_free();
+    const bool zero_rc = s.zero_redistribution_cost;
+
+    std::vector<int>& tree = scr.tourney;
+    std::vector<int>& leaf_of = scr.leaf_of;
+    std::size_t P = 1;
+    while (P < static_cast<std::size_t>(n_included)) P <<= 1;
+    tree.assign(2 * P, -1);
+    leaf_of.resize(static_cast<std::size_t>(n));
+
+    std::size_t slot = 0;
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (!in[idx]) continue;
+      EngineState::Scratch::RegrowRow& row = rows[idx];
+      const int sigma_init = s.task(i).sigma;
+      row.sigma_init = sigma_init;
+      row.seq = fault_free ? 0.0 : s.model->sequential_checkpoint(i);
+      // Committed-state constants, memoized against the task version:
+      // the Eq. 9 factor and the free return to the committed allocation
+      // (Alg. 5 line 16; never read when sigma_init == 2 — targets start
+      // at 4 — and the regrow crosses sigma_init for almost every task).
+      EngineState::FreeReturnCache& fc = s.free_return[idx];
+      if (fc.version != s.version[idx]) {
+        fc.version = s.version[idx];
+        fc.m_over = s.model->pack().task(i).data_size /
+                    static_cast<double>(sigma_init);
+        fc.tE = sigma_init > 2
+                    ? s.task(i).tlastR +
+                          (*s.tr)(i, sigma_init, s.task(i).alpha)
+                    : 0.0;
+      }
+      row.m_over = fc.m_over;
+      row.free_tE = fc.tE;
+      // Batched prefill to the committed depth + flat column view.
+      const TrEvaluator::Column col = s.tr->column(i, alpha_t[idx]);
+      (void)col(sigma_init);
+      row.pm = col.prefix().data();
+      row.pm_len = static_cast<int>(col.prefix().size());
+      // Reset to one pair (Alg. 5 lines 3-8); a task whose committed
+      // allocation was already 2 keeps its committed tU (no cost). The
+      // reset key is the probe of target 2 (prober arithmetic inlined).
+      new_sigma[idx] = 2;
+      if (sigma_init == 2) {
+        tU[idx] = s.task(i).tU;
+      } else {
+        const double rc =
+            zero_rc ? 0.0
+                    : static_cast<double>(
+                          std::max(std::min(sigma_init, 2), sigma_init - 2)) *
+                          (1.0 / 2.0) * row.m_over;
+        tU[idx] = t + rc + row.seq / 2.0 + row.pm[0];
+      }
+      leaf_of[idx] = static_cast<int>(slot);
+      tree[P + slot] = i;
+      ++slot;
+    }
+    // Max by the HeapEntry pair order (tU, task): ties go to the larger
+    // task index, exactly like std::pair's operator<.
+    const auto better = [&tU](int a, int b) {
+      if (a < 0) return b;
+      if (b < 0) return a;
+      if (tU[static_cast<std::size_t>(a)] != tU[static_cast<std::size_t>(b)])
+        return tU[static_cast<std::size_t>(a)] >
+                       tU[static_cast<std::size_t>(b)]
+                   ? a
+                   : b;
+      return a > b ? a : b;
+    };
+    for (std::size_t x = P - 1; x >= 1; --x)
+      tree[x] = better(tree[2 * x], tree[2 * x + 1]);
+
+    int available = available0;
+    while (available >= 2) {
+      const int i = tree[1];  // the winner; its leaf stays in place
+      const auto idx = static_cast<std::size_t>(i);
+      EngineState::Scratch::RegrowRow& row = rows[idx];
+      const int sigma_init = row.sigma_init;
+      const int pmax = new_sigma[idx] + available;
+
+      bool improvable = false;
+      double first_tE = 0.0;  // tE at new_sigma + 2, reused on grant
+      for (int target = new_sigma[idx] + 2; target <= pmax; target += 2) {
+        double tE;
+        if (target == sigma_init) {
+          tE = row.free_tE;
+        } else {
+          double rc = 0.0;
+          if (!zero_rc) {
+            const int d = target > sigma_init ? target - sigma_init
+                                              : sigma_init - target;
+            rc = static_cast<double>(
+                     std::max(std::min(sigma_init, target), d)) *
+                 (1.0 / static_cast<double>(target)) * row.m_over;
+          }
+          if (target / 2 > row.pm_len) [[unlikely]] {
+            // Scan overshot the prefill: extend the column by a chunk
+            // (consecutive overshoot probes then stay on the fast path)
+            // and refresh the flat view (the vector may have
+            // reallocated).
+            const TrEvaluator::Column col = s.tr->column(i, alpha_t[idx]);
+            (void)col(target + 16);
+            row.pm = col.prefix().data();
+            row.pm_len = static_cast<int>(col.prefix().size());
+          }
+          tE = t + rc + row.seq / static_cast<double>(target) +
+               row.pm[target / 2 - 1];
+        }
+        if (target == new_sigma[idx] + 2) first_tE = tE;
+        if (tE < tU[idx]) {
+          improvable = true;
+          break;
+        }
+      }
+      if (!improvable) break;  // line 30: the longest task is stuck
+
+      new_sigma[idx] += 2;
+      // The grant lands on new_sigma + 2, whose tE the scan computed.
+      tU[idx] = first_tE;
+      available -= 2;
+      // Re-key the winner: replay its fixed leaf-to-root path.
+      for (std::size_t x = (P + static_cast<std::size_t>(leaf_of[idx])) >> 1;
+           x >= 1; x >>= 1)
+        tree[x] = better(tree[2 * x], tree[2 * x + 1]);
+    }
   }
 
-  bool changed = false;
+  bool changed_any = false;
+  std::vector<int>& changed = scr.changed;
+  changed.clear();
   for (int i = 0; i < n; ++i)
     if (in[static_cast<std::size_t>(i)] &&
-        new_sigma[static_cast<std::size_t>(i)] != s.task(i).sigma)
-      changed = true;
-  if (changed) s.commit(t, faulty, new_sigma, alpha_t);
-  return changed;
+        new_sigma[static_cast<std::size_t>(i)] != s.task(i).sigma) {
+      changed_any = true;
+      changed.push_back(i);
+    }
+  if (changed_any) s.commit_changes(t, faulty, new_sigma, alpha_t, changed);
+  return changed_any;
 }
 
 bool end_greedy(EngineState& s, double t) {
@@ -413,7 +736,7 @@ bool shortest_tasks_first(EngineState& s, double t, int faulty) {
   const double alpha_f = f.alpha;
   double tU_f = f.tU;
   int k = s.platform->free_count();
-  bool changed = false;
+  bool changed_any = false;
   const CandidateProber probe_faulty(s, t, faulty, alpha_f);
 
   // Phase 1 (Alg. 4 lines 12-25): hand idle pairs to the faulty task. The
@@ -436,7 +759,7 @@ bool shortest_tasks_first(EngineState& s, double t, int faulty) {
     k -= grant;
     // The grant lands exactly on the target the scan just found improving.
     tU_f = grant_tE;
-    changed = true;
+    changed_any = true;
   }
 
   // Phase 2 (Alg. 4 lines 27-41): steal pairs from the shortest task.
@@ -483,12 +806,12 @@ bool shortest_tasks_first(EngineState& s, double t, int faulty) {
     new_sigma[vidx] -= 2;
     tU_f = first_tE_f;
     tU[vidx] = first_tE_s;
-    changed = true;
+    changed_any = true;
     if (tU[vidx] > tU_f) break;  // line 39: the victim became the bottleneck
   }
 
-  if (changed) s.commit(t, faulty, new_sigma, alpha_t);
-  return changed;
+  if (changed_any) s.commit(t, faulty, new_sigma, alpha_t);
+  return changed_any;
 }
 
 }  // namespace coredis::core::detail

@@ -1,12 +1,13 @@
 #include "core/optimal_schedule.hpp"
 
+#include <algorithm>
 #include <cstddef>
-#include <queue>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "util/contracts.hpp"
+#include "util/heap_ops.hpp"
 
 namespace coredis::core {
 
@@ -14,16 +15,12 @@ namespace {
 
 /// Max-heap entry ordered by expected completion time (the paper's
 /// non-increasing "preceq^R_sigma" order, ties broken by task id for
-/// determinism).
-struct HeapEntry {
-  double expected_time;
-  int task;
-  bool operator<(const HeapEntry& other) const {
-    if (expected_time != other.expected_time)
-      return expected_time < other.expected_time;
-    return task < other.task;
-  }
-};
+/// determinism): entries are pairwise distinct, so any max-heap pops the
+/// same strict total order the old std::priority_queue did. Replace-top /
+/// stays-top come from the shared util/heap_ops.hpp definitions.
+using HeapEntry = std::pair<double, int>;
+using util::heap_replace_top;
+using util::stays_top;
 
 }  // namespace
 
@@ -43,26 +40,41 @@ std::vector<int> optimal_schedule(const ExpectedTimeModel& model,
   std::vector<int> sigma(static_cast<std::size_t>(n), 2);
   int available = processors - 2 * n;
 
-  std::priority_queue<HeapEntry> heap;
-  for (int i = 0; i < n; ++i) heap.push({evaluator(i, 2, 1.0), i});
+  std::vector<HeapEntry> heap;
+  heap.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) heap.emplace_back(evaluator(i, 2, 1.0), i);
+  std::make_heap(heap.begin(), heap.end());
 
-  while (available >= 2) {
-    const HeapEntry head = heap.top();
-    heap.pop();
-    const int i = head.task;
-    const int current = sigma[static_cast<std::size_t>(i)];
-    const int pmax = current + available - available % 2;  // even allocations
+  while (available >= 2 && !heap.empty()) {
+    const int i = heap.front().second;  // peek; the entry stays in place
     const TrEvaluator::Column tr = evaluator.column(i, 1.0);
-    // Line 9 lookahead: can this task be improved at all with everything
-    // still in the pool? (Eq. 6 clamping makes the evaluator monotone, so
-    // equality means no allocation in (current, pmax] helps.)
-    if (tr(current) > tr(pmax)) {
+    // Grant pairs to the longest task while it provably stays the longest
+    // (the rescored entry beats both heap children, so re-pushing and
+    // re-popping it — what the one-grant-per-pop loop did — is a no-op):
+    // each bulk iteration is two column reads and zero heap traffic.
+    // Invariant: pmax = current + available is unchanged by a grant.
+    bool granted = false;
+    while (available >= 2) {
+      const int current = sigma[static_cast<std::size_t>(i)];
+      const int pmax = current + available - available % 2;  // even allocations
+      // Line 9 lookahead: can this task be improved at all with everything
+      // still in the pool? (Eq. 6 clamping makes the evaluator monotone, so
+      // equality means no allocation in (current, pmax] helps.)
+      if (!(tr(current) > tr(pmax))) {
+        // Keep the remaining processors for future redistributions.
+        if (!granted) return sigma;  // the longest task is stuck: stop
+        break;
+      }
       sigma[static_cast<std::size_t>(i)] = current + 2;
-      heap.push({tr(current + 2), i});
       available -= 2;
-    } else {
-      // Keep the remaining processors for future redistributions.
-      break;
+      granted = true;
+      const HeapEntry rescored(tr(current + 2), i);
+      if (stays_top(heap, rescored)) {
+        heap.front() = rescored;  // keeps the lead: grant again
+      } else {
+        heap_replace_top(heap, rescored);
+        break;  // another task took the lead; re-peek
+      }
     }
   }
 

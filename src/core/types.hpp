@@ -45,6 +45,15 @@ struct EngineConfig {
   /// Both implementations produce bit-identical simulations — the golden
   /// determinism test runs every pinned scenario through each.
   bool linear_event_scan = false;
+  /// Debug/validation: run the heuristics' from-scratch improvability
+  /// scans instead of the lazy stale-bound machinery (DESIGN.md section
+  /// 6.5). Decisions are identical either way — the lazy scans re-probe
+  /// exactly every target their conservative bounds cannot clear — and
+  /// the golden and equivalence tests drive both paths.
+  bool eager_scans = false;
+  /// Collect the per-phase wall-time breakdown into RunResult::profile
+  /// (a few steady_clock reads per event; simulated results unchanged).
+  bool profile = false;
 };
 
 /// One constant-allocation span of a task's execution.
@@ -67,6 +76,22 @@ struct HeuristicCombo {
   std::string name;
   EndPolicy end_policy;
   FailurePolicy failure_policy;
+};
+
+/// Per-phase wall-time breakdown of one engine run
+/// (EngineConfig::profile; `coredis_sim --profile` prints it). Phases
+/// partition the run loop: Algorithm 1's initial allocation, event
+/// dispatch (queue peeks, fault attribution, rollbacks, completion
+/// bookkeeping), the heuristics' probe scans and heap traffic, and the
+/// allocation commits. Counters give the per-phase denominators.
+struct EngineProfile {
+  double algorithm1_seconds = 0.0;  ///< initial Algorithm 1 build
+  double dispatch_seconds = 0.0;    ///< event selection + rollbacks
+  double scan_seconds = 0.0;        ///< heuristic probe scans + heap work
+  double commit_seconds = 0.0;      ///< allocation commits (ledger, tU)
+  long long events = 0;             ///< dispatched events (faults + ends)
+  long long heuristic_calls = 0;    ///< end/failure policy invocations
+  long long commits = 0;            ///< commit batches applied
 };
 
 /// Per-fault instrumentation record (Figure 9).
@@ -103,6 +128,7 @@ struct RunResult {
   std::vector<int> final_allocation;     ///< sigma at each task's end
   std::vector<FaultRecord> trace;        ///< only when record_trace
   std::vector<AllocationSegment> timeline;  ///< only when record_timeline
+  EngineProfile profile;                 ///< only when EngineConfig::profile
 };
 
 }  // namespace coredis::core

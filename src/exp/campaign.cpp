@@ -229,24 +229,38 @@ std::string header_line(const std::vector<Scenario>& points,
   return out.str();
 }
 
-std::string cell_line(std::size_t cell, std::size_t point, std::size_t rep,
-                      const CellResult& result,
-                      const std::vector<ConfigSpec>& configs) {
-  std::ostringstream out;
-  out << "{\"cell\":" << cell << ",\"point\":" << point << ",\"rep\":" << rep
-      << ",\"baseline\":" << format_double17(result.baseline)
-      << ",\"configs\":[";
+/// Render one cell record into `line` (cleared first). The buffer is the
+/// caller's — the grid runner hands each worker a reusable thread-local
+/// string, so streaming a campaign allocates no per-cell stringstream.
+void cell_line(std::size_t cell, std::size_t point, std::size_t rep,
+               const CellResult& result,
+               const std::vector<ConfigSpec>& configs, std::string& line) {
+  line.clear();
+  line += "{\"cell\":";
+  line += std::to_string(cell);
+  line += ",\"point\":";
+  line += std::to_string(point);
+  line += ",\"rep\":";
+  line += std::to_string(rep);
+  line += ",\"baseline\":";
+  line += format_double17(result.baseline);
+  line += ",\"configs\":[";
   for (std::size_t c = 0; c < configs.size(); ++c) {
-    if (c != 0) out << ',';
+    if (c != 0) line += ',';
     const core::RunResult& r = result.results[c];
-    out << "{\"name\":\"" << json_escape(configs[c].name)
-        << "\",\"makespan\":" << format_double17(r.makespan)
-        << ",\"normalized\":" << format_double17(r.makespan / result.baseline)
-        << ",\"redistributions\":" << r.redistributions
-        << ",\"effective_faults\":" << r.faults_effective << '}';
+    line += "{\"name\":\"";
+    line += json_escape(configs[c].name);
+    line += "\",\"makespan\":";
+    line += format_double17(r.makespan);
+    line += ",\"normalized\":";
+    line += format_double17(r.makespan / result.baseline);
+    line += ",\"redistributions\":";
+    line += std::to_string(r.redistributions);
+    line += ",\"effective_faults\":";
+    line += std::to_string(r.faults_effective);
+    line += '}';
   }
-  out << "]}";
-  return out.str();
+  line += "]}";
 }
 
 // Strict scanners (exp/detail/jsonl.hpp) for the exact shape emitted
@@ -631,9 +645,12 @@ std::vector<PointResult> run_grid(const std::vector<Scenario>& points,
           const std::size_t k = done + index;
           const CellRef ref = cells[k];
           results[k] = run_cell(points[ref.point], configs, ref.rep);
-          if (sink.is_open())
-            writer.commit(k,
-                          cell_line(k, ref.point, ref.rep, results[k], configs));
+          if (sink.is_open()) {
+            // Per-worker reusable line buffer (the committer copies it).
+            thread_local std::string line;
+            cell_line(k, ref.point, ref.rep, results[k], configs, line);
+            writer.commit(k, line);
+          }
         },
         options.threads);
   }

@@ -100,16 +100,29 @@ CellResult run_cell(const Scenario& scenario,
   const core::Pack pack = make_pack(scenario, rep);
   const checkpoint::Model resilience(params);
 
+  // The cell workspace (DESIGN.md section 7.1): one engine — hence one
+  // expected-time model, one coefficient table, one evaluator cache —
+  // serves the baseline and every configuration of the cell. The cached
+  // entries are pure functions of (pack, resilience), which every
+  // configuration of a cell shares, so the simulations are identical to
+  // building a fresh engine per configuration; what disappears is the
+  // per-configuration transcendental warm-up and allocation churn. The
+  // arrival-driven schedulers run over the same model and evaluator.
+  core::Engine engine(pack, resilience, scenario.p, baseline.engine);
+
   // Release dates, shared by every non-engine configuration of this cell
   // (the arrival stream shards like the workload/fault streams: it is a
   // pure function of (point seed, rep)). Built lazily — engine-only cells
   // never touch the arrival machinery.
   std::vector<double> releases;
+  bool releases_built = false;
   const auto release_times = [&]() -> const std::vector<double>& {
-    if (releases.empty()) {
+    if (!releases_built) {
+      releases_built = true;
       Rng arrivals = Rng::child(scenario.seed ^ kArrivalStream, rep);
       releases = extensions::make_release_times(
-          scenario.arrival_spec(), pack, resilience, scenario.p, arrivals);
+          scenario.arrival_spec(), pack, resilience, scenario.p, arrivals,
+          engine.model(), engine.evaluator());
     }
     return releases;
   };
@@ -121,7 +134,6 @@ CellResult run_cell(const Scenario& scenario,
   // comparable across the load_factor axis.
   core::RunResult baseline_result;
   {
-    core::Engine engine(pack, resilience, scenario.p, baseline.engine);
     auto faults = make_faults(scenario, rep, baseline.force_fault_free);
     baseline_result = engine.run(*faults);
     cell.baseline = baseline_result.makespan;
@@ -136,21 +148,21 @@ CellResult run_cell(const Scenario& scenario,
     }
     auto faults = make_faults(scenario, rep, spec.force_fault_free);
     switch (spec.scheduler) {
-      case SchedulerKind::PackEngine: {
-        core::Engine engine(pack, resilience, scenario.p, spec.engine);
-        cell.results.push_back(engine.run(*faults));
+      case SchedulerKind::PackEngine:
+        cell.results.push_back(engine.run(*faults, spec.engine));
         break;
-      }
       case SchedulerKind::OnlineMalleable:
         cell.results.push_back(from_online(extensions::run_online(
-            pack, resilience, scenario.p, release_times(), *faults)));
+            pack, resilience, scenario.p, release_times(), *faults,
+            engine.model(), engine.evaluator())));
         break;
       case SchedulerKind::BatchEasy:
       case SchedulerKind::BatchFcfs: {
         extensions::BatchConfig batch;
         batch.backfilling = spec.scheduler == SchedulerKind::BatchEasy;
         cell.results.push_back(from_batch(extensions::run_batch(
-            pack, resilience, scenario.p, release_times(), batch, *faults)));
+            pack, resilience, scenario.p, release_times(), batch, *faults,
+            engine.model(), engine.evaluator())));
         break;
       }
     }

@@ -45,11 +45,23 @@ BatchResult run_batch(const core::Pack& pack,
                       const checkpoint::Model& resilience, int processors,
                       const std::vector<double>& release_times,
                       const BatchConfig& config, fault::Generator& faults) {
-  COREDIS_EXPECTS(processors >= 2);
-  const int n = pack.size();
-  COREDIS_EXPECTS(static_cast<int>(release_times.size()) == n);
   const core::ExpectedTimeModel model(pack, resilience);
   core::TrEvaluator evaluator(model, processors - processors % 2);
+  return run_batch(pack, resilience, processors, release_times, config,
+                   faults, model, evaluator);
+}
+
+BatchResult run_batch(const core::Pack& pack,
+                      const checkpoint::Model& resilience, int processors,
+                      const std::vector<double>& release_times,
+                      const BatchConfig& config, fault::Generator& faults,
+                      const core::ExpectedTimeModel& model,
+                      core::TrEvaluator& evaluator) {
+  COREDIS_EXPECTS(processors >= 2);
+  COREDIS_EXPECTS(&model.pack() == &pack);
+  COREDIS_EXPECTS(&model.resilience() == &resilience);
+  const int n = pack.size();
+  COREDIS_EXPECTS(static_cast<int>(release_times.size()) == n);
   const double infinity = std::numeric_limits<double>::infinity();
 
   std::vector<Job> jobs(static_cast<std::size_t>(n));

@@ -76,6 +76,20 @@ struct BatchResult {
                                     const BatchConfig& config,
                                     fault::Generator& faults);
 
+/// run_batch over a caller-provided expected-time model and evaluator
+/// (both built over the same pack and resilience): the campaign runner
+/// shares one warm coefficient table across every scheduler of a cell.
+/// Cached entries are pure in (task, j, alpha), so results are identical
+/// to the self-contained overload.
+[[nodiscard]] BatchResult run_batch(const core::Pack& pack,
+                                    const checkpoint::Model& resilience,
+                                    int processors,
+                                    const std::vector<double>& release_times,
+                                    const BatchConfig& config,
+                                    fault::Generator& faults,
+                                    const core::ExpectedTimeModel& model,
+                                    core::TrEvaluator& evaluator);
+
 /// Static-release convenience overload: every job released at time 0,
 /// faults drawn from an exponential stream seeded with `fault_seed`
 /// (mtbf_seconds <= 0 gives the fault-free variant).

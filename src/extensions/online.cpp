@@ -15,6 +15,7 @@
 #include "extensions/batch.hpp"
 #include "redistrib/cost.hpp"
 #include "util/contracts.hpp"
+#include "util/heap_ops.hpp"
 
 namespace coredis::extensions {
 
@@ -60,7 +61,11 @@ std::vector<double> load_trace(const std::string& path, int n) {
 }
 
 /// Max-heap entry ordered like optimal_schedule's: longest expected
-/// completion first, deterministic index ties.
+/// completion first, deterministic index ties. Entries are pairwise
+/// distinct (one per live job), so pops follow a strict total order and
+/// any max-heap (std::priority_queue or the replace-top scratch vector of
+/// the incremental path, built on the shared util/heap_ops.hpp
+/// primitives) yields the identical grant sequence.
 struct HeapEntry {
   double expected_time;
   int job;
@@ -70,6 +75,8 @@ struct HeapEntry {
     return job < other.job;
   }
 };
+using util::heap_replace_top;
+using util::stays_top;
 
 /// Runtime state of one online job.
 struct Job {
@@ -99,8 +106,22 @@ std::vector<double> make_release_times(const ArrivalSpec& spec,
                                        const core::Pack& pack,
                                        const checkpoint::Model& resilience,
                                        int processors, Rng& rng) {
+  const core::ExpectedTimeModel model(pack, resilience);
+  core::TrEvaluator evaluator(model, processors - processors % 2);
+  return make_release_times(spec, pack, resilience, processors, rng, model,
+                            evaluator);
+}
+
+std::vector<double> make_release_times(const ArrivalSpec& spec,
+                                       const core::Pack& pack,
+                                       const checkpoint::Model& resilience,
+                                       int processors, Rng& rng,
+                                       const core::ExpectedTimeModel& model,
+                                       core::TrEvaluator& evaluator) {
   COREDIS_EXPECTS(processors >= 2);
   COREDIS_EXPECTS(spec.load_factor > 0.0);
+  COREDIS_EXPECTS(&model.pack() == &pack);
+  COREDIS_EXPECTS(&model.resilience() == &resilience);
   const int n = pack.size();
   std::vector<double> releases(static_cast<std::size_t>(n), 0.0);
   if (spec.law == ArrivalLaw::None || n == 0) return releases;
@@ -114,8 +135,6 @@ std::vector<double> make_release_times(const ArrivalSpec& spec,
   // one job demands a_bar processor-seconds on average, so rho * p
   // processor-seconds per second means one arrival every
   // a_bar / (rho * p) seconds.
-  const core::ExpectedTimeModel model(pack, resilience);
-  core::TrEvaluator evaluator(model, processors - processors % 2);
   const double area = mean_job_area(model, evaluator, processors);
   const double mean_gap =
       area / (spec.load_factor * static_cast<double>(processors));
@@ -146,13 +165,26 @@ std::vector<double> make_release_times(const ArrivalSpec& spec,
 OnlineResult run_online(const core::Pack& pack,
                         const checkpoint::Model& resilience, int processors,
                         const std::vector<double>& release_times,
-                        fault::Generator& faults) {
+                        fault::Generator& faults,
+                        const OnlineOptions& options) {
+  const core::ExpectedTimeModel model(pack, resilience);
+  core::TrEvaluator evaluator(model, processors - processors % 2);
+  return run_online(pack, resilience, processors, release_times, faults,
+                    model, evaluator, options);
+}
+
+OnlineResult run_online(const core::Pack& pack,
+                        const checkpoint::Model& resilience, int processors,
+                        const std::vector<double>& release_times,
+                        fault::Generator& faults,
+                        const core::ExpectedTimeModel& model,
+                        core::TrEvaluator& evaluator,
+                        const OnlineOptions& options) {
   COREDIS_EXPECTS(processors >= 2);
+  COREDIS_EXPECTS(&model.pack() == &pack);
   const int n = pack.size();
   COREDIS_EXPECTS(static_cast<int>(release_times.size()) == n);
   const int p = processors - processors % 2;
-  const core::ExpectedTimeModel model(pack, resilience);
-  core::TrEvaluator evaluator(model, p);
   const double infinity = std::numeric_limits<double>::infinity();
 
   std::vector<Job> jobs(static_cast<std::size_t>(n));
@@ -165,7 +197,11 @@ OnlineResult run_online(const core::Pack& pack,
            release_times[static_cast<std::size_t>(b)];
   });
   std::size_t next_arrival = 0;
-  std::vector<int> waiting;  ///< released, not yet admitted (arrival order)
+  // Released, not yet admitted, in arrival order: a consumed-prefix cursor
+  // instead of front-erasure (the erase was quadratic in queue depth).
+  std::vector<int> waiting;
+  std::size_t waiting_head = 0;
+  const auto waiting_empty = [&] { return waiting_head >= waiting.size(); };
 
   OnlineResult result;
   result.start_times.assign(static_cast<std::size_t>(n), 0.0);
@@ -197,6 +233,8 @@ OnlineResult run_online(const core::Pack& pack,
   std::vector<int> live;      // reused across events
   std::vector<double> alpha_now;
   std::vector<int> target;
+  std::vector<HeapEntry> heap;  // incremental path's scratch (reused)
+  const bool eager_replan = options.eager_replan;
   const auto reschedule = [&](double t) {
     live.clear();
     int reserved = 0;
@@ -212,10 +250,10 @@ OnlineResult run_online(const core::Pack& pack,
       }
     }
     // Admission in release order, while one pair per live job still fits.
-    while (!waiting.empty() &&
+    while (!waiting_empty() &&
            2 * (static_cast<int>(live.size()) + 1) <= p - reserved) {
-      const int i = waiting.front();
-      waiting.erase(waiting.begin());
+      const int i = waiting[waiting_head];
+      ++waiting_head;
       Job& job = jobs[static_cast<std::size_t>(i)];
       job.admitted = true;
       job.alpha = 1.0;
@@ -240,23 +278,69 @@ OnlineResult run_online(const core::Pack& pack,
     // even with the whole remaining pool.
     int available = p - reserved - 2 * static_cast<int>(count);
     COREDIS_ASSERT(available >= 0);
-    std::priority_queue<HeapEntry> heap;
-    for (std::size_t k = 0; k < count; ++k)
-      heap.push({evaluator(live[k], 2, alpha_now[k]), static_cast<int>(k)});
-    while (available >= 2) {
-      const HeapEntry head = heap.top();
-      heap.pop();
-      const auto k = static_cast<std::size_t>(head.job);
-      const int current = target[k];
-      const int pmax = current + available - available % 2;
-      const core::TrEvaluator::Column tr =
-          evaluator.column(live[k], alpha_now[k]);
-      if (tr(current) > tr(pmax)) {
-        target[k] = current + 2;
-        heap.push({tr(current + 2), head.job});
-        available -= 2;
-      } else {
-        break;
+    if (!eager_replan) {
+      // Incremental repair (DESIGN.md section 8.2): the regrow re-derives
+      // almost every job's allocation unchanged, so prefill each
+      // admissible job's fresh-alpha column to its current allocation
+      // depth in one probe_many batch — the exact Eq. 4 values the grant
+      // scans will read, streamed back to back — then regrow with a
+      // replace-top scratch heap, granting in bulk while a job provably
+      // keeps the lead (the rescored entry beats both heap children, so
+      // re-pushing and re-popping it would be a no-op). The probes and
+      // their order are identical to the from-scratch rebuild kept below.
+      heap.clear();
+      for (std::size_t k = 0; k < count; ++k) {
+        const core::TrEvaluator::Column col =
+            evaluator.column(live[k], alpha_now[k]);
+        (void)col(std::max(jobs[static_cast<std::size_t>(live[k])].sigma, 2));
+        heap.emplace_back(col(2), static_cast<int>(k));
+      }
+      std::make_heap(heap.begin(), heap.end());
+      bool stuck = false;  // the longest job cannot improve: stop granting
+      while (!stuck && available >= 2 && !heap.empty()) {
+        const auto k = static_cast<std::size_t>(heap.front().job);
+        const core::TrEvaluator::Column tr =
+            evaluator.column(live[k], alpha_now[k]);
+        bool granted = false;
+        while (available >= 2) {
+          const int current = target[k];
+          const int pmax = current + available - available % 2;
+          if (!(tr(current) > tr(pmax))) {
+            stuck = !granted;
+            break;
+          }
+          target[k] = current + 2;
+          available -= 2;
+          granted = true;
+          const HeapEntry rescored{tr(current + 2),
+                                   static_cast<int>(k)};
+          if (stays_top(heap, rescored)) {
+            heap.front() = rescored;  // keeps the lead: grant again
+          } else {
+            heap_replace_top(heap, rescored);
+            break;  // another job took the lead; re-peek
+          }
+        }
+      }
+    } else {
+      std::priority_queue<HeapEntry> queue;
+      for (std::size_t k = 0; k < count; ++k)
+        queue.push({evaluator(live[k], 2, alpha_now[k]), static_cast<int>(k)});
+      while (available >= 2) {
+        const HeapEntry head = queue.top();
+        queue.pop();
+        const auto k = static_cast<std::size_t>(head.job);
+        const int current = target[k];
+        const int pmax = current + available - available % 2;
+        const core::TrEvaluator::Column tr =
+            evaluator.column(live[k], alpha_now[k]);
+        if (tr(current) > tr(pmax)) {
+          target[k] = current + 2;
+          queue.push({tr(current + 2), head.job});
+          available -= 2;
+        } else {
+          break;
+        }
       }
     }
 
@@ -311,7 +395,7 @@ OnlineResult run_online(const core::Pack& pack,
     // the expiring reservation may be exactly what admission waits for,
     // and the next completion can be arbitrarily far away.
     double t_unblock = infinity;
-    if (!waiting.empty()) {
+    if (!waiting_empty()) {
       for (int i = 0; i < n; ++i) {
         const Job& job = jobs[static_cast<std::size_t>(i)];
         if (job.admitted && !job.done && job.baseline > now)

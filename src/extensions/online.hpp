@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "checkpoint/model.hpp"
+#include "core/expected_time.hpp"
 #include "core/pack.hpp"
 #include "fault/generator.hpp"
 #include "util/rng.hpp"
@@ -82,6 +83,18 @@ struct OnlineResult {
   double mean_queue_wait = 0.0;          ///< mean (start - release)
 };
 
+/// Replanning knobs of run_online (DESIGN.md section 8.2). The default is
+/// the incremental repair: every replan still validates each admissible
+/// job's allocation with exact Algorithm 1 probes, but repairs warm state
+/// — each job's fresh-alpha column is prefilled to its current allocation
+/// depth in one batch, grants reuse a replace-top scratch heap, and the
+/// shared evaluator keeps coefficient rows warm across events — so
+/// admission decisions are byte-identical to the from-scratch rebuild,
+/// which survives behind eager_replan for the equivalence tests.
+struct OnlineOptions {
+  bool eager_replan = false;  ///< re-pack from scratch at every event
+};
+
 /// Simulate the malleable online execution: jobs released per
 /// `release_times` (one per pack task, non-negative), admitted and
 /// re-balanced by the Algorithm 1 greedy over remaining work at every
@@ -94,6 +107,27 @@ struct OnlineResult {
                                       const checkpoint::Model& resilience,
                                       int processors,
                                       const std::vector<double>& release_times,
-                                      fault::Generator& faults);
+                                      fault::Generator& faults,
+                                      const OnlineOptions& options = {});
+
+/// run_online over a caller-provided expected-time model and evaluator
+/// (both built over the same pack and resilience): the campaign runner
+/// shares one warm coefficient table across every scheduler of a cell.
+/// Cached entries are pure in (task, j, alpha), so results are identical
+/// to the self-contained overload.
+[[nodiscard]] OnlineResult run_online(const core::Pack& pack,
+                                      const checkpoint::Model& resilience,
+                                      int processors,
+                                      const std::vector<double>& release_times,
+                                      fault::Generator& faults,
+                                      const core::ExpectedTimeModel& model,
+                                      core::TrEvaluator& evaluator,
+                                      const OnlineOptions& options = {});
+
+/// make_release_times over a shared evaluator (same sharing rationale).
+[[nodiscard]] std::vector<double> make_release_times(
+    const ArrivalSpec& spec, const core::Pack& pack,
+    const checkpoint::Model& resilience, int processors, Rng& rng,
+    const core::ExpectedTimeModel& model, core::TrEvaluator& evaluator);
 
 }  // namespace coredis::extensions

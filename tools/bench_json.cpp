@@ -30,10 +30,12 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "extensions/online.hpp"
 #include "fault/exponential.hpp"
 #include "fault/weibull.hpp"
 #include "speedup/synthetic.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -46,8 +48,15 @@ constexpr std::uint64_t kSeed = 20260726;
 struct GridPoint {
   std::string name;
   int n;
+  int p;                ///< platform size (p = 10n for the paper regime)
   core::FailurePolicy failure_policy;
   bool weibull;
+  /// Repetition multiplier over --runs: sub-millisecond scenarios need
+  /// more attempts for a stable min-over-runs (the gate's estimator).
+  int runs_scale = 1;
+  /// Online-workload point: run_online over Poisson releases at this
+  /// offered load instead of the engine (0 = engine scenario).
+  double online_load = 0.0;
 };
 
 struct Measurement {
@@ -95,19 +104,100 @@ std::vector<GridPoint> pinned_grid(bool smoke) {
         name += policy == core::FailurePolicy::ShortestTasksFirst ? "_stf"
                                                                   : "_ig";
         name += weibull ? "_weib" : "_exp";
-        grid.push_back({std::move(name), n, policy, weibull});
+        // The n = 100 runs finish in well under a millisecond: multiply
+        // the repetitions so the min-over-runs estimator has enough
+        // attempts to shed scheduler noise.
+        grid.push_back({std::move(name), n, 10 * n, policy, weibull,
+                        n <= 100 ? 4 : 1, 0.0});
       }
     }
+  }
+  // Online-workload cells: the malleable scheduler over Poisson releases
+  // (DESIGN.md section 8), at a moderate and a saturating offered load.
+  for (const double load : {1.0, 4.0}) {
+    std::string name = "n100_online_load";
+    name += load == 1.0 ? "1" : "4";
+    grid.push_back({std::move(name), 100, 1000,
+                    core::FailurePolicy::IteratedGreedy, false, 4, load});
+  }
+  if (!smoke) {
+    // Beyond-paper scale. p = 2.4n (not the paper's 10n): the coefficient
+    // table is dense per task up to the deepest probed allocation, and a
+    // leaner pool keeps the n = 5000 grid point inside a few hundred MB
+    // (DESIGN.md section 6.2) while still exercising redistribution.
+    grid.push_back({"n5000_stf_exp", 5000, 12000,
+                    core::FailurePolicy::ShortestTasksFirst, false, 1, 0.0});
+    grid.push_back({"n5000_ig_exp", 5000, 12000,
+                    core::FailurePolicy::IteratedGreedy, false, 1, 0.0});
   }
   return grid;
 }
 
-Measurement run_point(const GridPoint& point, int runs) {
+/// Online-workload measurement: run_online over a shared warm workspace
+/// (one engine per scenario, exactly like the campaign runner's cell
+/// workspace), Poisson releases redrawn per repetition.
+Measurement run_online_point(const GridPoint& point, int runs) {
   Measurement m;
   m.point = point;
   m.runs = runs;
 
-  const int p = 10 * point.n;
+  const int p = point.p;
+  Rng pack_rng(kSeed);
+  const core::Pack pack = core::Pack::uniform_random(
+      point.n, 1.5e6, 2.5e6, std::make_shared<speedup::SyntheticModel>(0.08),
+      pack_rng);
+  const checkpoint::Model resilience({units::years(kMtbfYears), 60.0, 1.0,
+                                      checkpoint::PeriodRule::Young, 0.0});
+  core::Engine engine(pack, resilience, p, {});
+  extensions::ArrivalSpec spec;
+  spec.law = extensions::ArrivalLaw::Poisson;
+  spec.load_factor = point.online_load;
+  const double mtbf = units::years(kMtbfYears);
+
+  const auto one_run = [&](std::uint64_t seed) {
+    Rng arrivals(seed ^ 0xA881ULL);
+    const std::vector<double> releases = extensions::make_release_times(
+        spec, pack, resilience, p, arrivals, engine.model(),
+        engine.evaluator());
+    fault::ExponentialGenerator gen(p, 1.0 / mtbf, Rng(seed));
+    return extensions::run_online(pack, resilience, p, releases, gen,
+                                  engine.model(), engine.evaluator());
+  };
+
+  (void)one_run(kSeed ^ 0x5EEDULL);  // untimed warm-up (coefficient table)
+  long long events = 0, faults = 0;
+  double makespan_sum = 0.0, total_seconds = 0.0;
+  double min_seconds = std::numeric_limits<double>::infinity();
+  for (int run = 0; run < runs; ++run) {
+    const auto start = std::chrono::steady_clock::now();
+    const extensions::OnlineResult result =
+        one_run(kSeed + static_cast<std::uint64_t>(run));
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    total_seconds += elapsed.count();
+    min_seconds = std::min(min_seconds, elapsed.count());
+    // Events: admission/replan points (arrivals + completions) + faults.
+    events += 2 * point.n + result.faults_effective;
+    faults += result.faults_effective;
+    makespan_sum += result.makespan;
+  }
+  m.seconds_per_run = total_seconds / runs;
+  m.seconds_per_run_min = min_seconds;
+  m.events_per_sec =
+      total_seconds > 0.0 ? static_cast<double>(events) / total_seconds : 0.0;
+  m.faults_per_run = static_cast<double>(faults) / runs;
+  m.makespan_mean = makespan_sum / runs;
+  m.checkpoints_per_run = 0.0;  // run_online does not count checkpoints
+  return m;
+}
+
+Measurement run_point(const GridPoint& point, int runs) {
+  if (point.online_load > 0.0) return run_online_point(point, runs);
+  Measurement m;
+  m.point = point;
+  m.runs = runs;
+
+  const int p = point.p;
   Rng pack_rng(kSeed);
   const core::Pack pack = core::Pack::uniform_random(
       point.n, 1.5e6, 2.5e6, std::make_shared<speedup::SyntheticModel>(0.08),
@@ -177,7 +267,7 @@ std::string to_json(const std::vector<Measurement>& measurements,
   for (std::size_t i = 0; i < measurements.size(); ++i) {
     const Measurement& m = measurements[i];
     out << "    {\"name\": \"" << m.point.name << "\", \"n\": " << m.point.n
-        << ", \"p\": " << 10 * m.point.n << ", \"runs\": " << m.runs
+        << ", \"p\": " << m.point.p << ", \"runs\": " << m.runs
         << ",\n     \"seconds_per_run\": " << m.seconds_per_run
         << ", \"seconds_per_run_min\": " << m.seconds_per_run_min
         << ", \"events_per_sec\": " << m.events_per_sec
@@ -222,7 +312,11 @@ int main(int argc, char** argv) {
         .describe("check",
                   "baseline JSON to compare against; exits 1 on regression")
         .describe("tolerance",
-                  "seconds_per_run ratio treated as a regression (default 2)");
+                  "seconds_per_run ratio treated as a regression (default 2)")
+        .describe("check-makespan",
+                  "with --check: fail when a scenario's makespan_mean "
+                  "differs from the baseline's at matching run counts "
+                  "(catches silent semantic drift)");
     if (cli.wants_help()) {
       std::cout << cli.usage("Pinned-grid performance baseline (JSON)");
       return 0;
@@ -232,12 +326,13 @@ int main(int argc, char** argv) {
     const bool smoke = cli.get_bool("smoke");
     const int runs = static_cast<int>(cli.get_int("runs", smoke ? 2 : 5));
     const double tolerance = cli.get_double("tolerance", 2.0);
+    const bool check_makespan = cli.get_bool("check-makespan");
 
     const double calibration = calibration_seconds();
     std::fprintf(stderr, "calibration: %.4f s\n", calibration);
     std::vector<Measurement> measurements;
     for (const GridPoint& point : pinned_grid(smoke)) {
-      measurements.push_back(run_point(point, runs));
+      measurements.push_back(run_point(point, runs * point.runs_scale));
       const Measurement& m = measurements.back();
       std::fprintf(stderr, "%-16s %8.4f s/run %12.0f events/s %7.1f faults\n",
                    m.point.name.c_str(), m.seconds_per_run, m.events_per_sec,
@@ -278,6 +373,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "machine speed vs baseline: %.2fx\n", speed_ratio);
 
     bool regressed = false;
+    bool drifted = false;
     for (const Measurement& m : measurements) {
       // Gate on the fastest run of each side: the minimum is the classic
       // noise-robust benchmark estimator (scheduler hiccups only ever add
@@ -295,19 +391,34 @@ int main(int argc, char** argv) {
         continue;
       }
       const double base_runs = baseline_value(baseline, m.point.name, "runs");
-      if (base_runs > 0.0 && static_cast<int>(base_runs) != m.runs)
+      if (base_runs > 0.0 && static_cast<int>(base_runs) != m.runs) {
         std::fprintf(stderr,
                      "%-16s warning: %d runs vs %d in baseline — run seeds "
                      "differ, comparison is between different workloads\n",
                      m.point.name.c_str(), m.runs,
                      static_cast<int>(base_runs));
+      } else if (check_makespan) {
+        // Same workload definition: the simulated results must be the
+        // exact bits the baseline recorded (%.17g round-trips doubles).
+        const double base_makespan =
+            baseline_value(baseline, m.point.name, "makespan_mean");
+        if (base_makespan > 0.0 && base_makespan != m.makespan_mean) {
+          drifted = true;
+          std::fprintf(stderr,
+                       "%-16s makespan_mean drift: %.17g vs baseline %.17g\n",
+                       m.point.name.c_str(), m.makespan_mean, base_makespan);
+        }
+      }
       const double ratio = mine / (base * speed_ratio);
       const bool bad = ratio > tolerance;
       regressed = regressed || bad;
       std::fprintf(stderr, "%-16s %.2fx vs baseline (normalized)%s\n",
                    m.point.name.c_str(), ratio, bad ? "  REGRESSION" : "");
     }
-    return regressed ? 1 : 0;
+    if (drifted)
+      std::fprintf(stderr, "makespan drift detected: simulated results "
+                           "changed relative to the baseline\n");
+    return regressed || drifted ? 1 : 0;
   } catch (const std::exception& error) {
     std::cerr << "bench_json: " << error.what() << "\n";
     return 2;

@@ -108,6 +108,7 @@ int run_single(const exp::Scenario& scenario, const CliParser& cli) {
   config.record_trace = true;
   config.record_timeline =
       cli.get_bool("gantt") || cli.has("timeline-csv");
+  config.profile = cli.get_bool("profile");
 
   Rng workload = Rng::child(scenario.seed, 0);
   const core::Pack pack = core::Pack::uniform_random(
@@ -145,6 +146,25 @@ int run_single(const exp::Scenario& scenario, const CliParser& cli) {
             << format_double(units::to_days(result.time_lost_to_faults), 2)
             << " days; buddy-fatal risks: " << result.buddy_fatal_risks
             << "\n";
+
+  if (config.profile) {
+    const core::EngineProfile& prof = result.profile;
+    const double total = prof.algorithm1_seconds + prof.dispatch_seconds +
+                         prof.scan_seconds + prof.commit_seconds;
+    const auto row = [&](const char* name, double seconds) {
+      std::cout << "  " << name << "  " << format_double(seconds * 1e3, 3)
+                << " ms  ("
+                << format_double(total > 0.0 ? 100.0 * seconds / total : 0.0, 1)
+                << "%)\n";
+    };
+    std::cout << "\nprofile (" << prof.events << " events, "
+              << prof.heuristic_calls << " heuristic calls, " << prof.commits
+              << " commits):\n";
+    row("algorithm 1       ", prof.algorithm1_seconds);
+    row("event dispatch    ", prof.dispatch_seconds);
+    row("probe scans + heap", prof.scan_seconds);
+    row("commits           ", prof.commit_seconds);
+  }
 
   if (cli.get_bool("gantt"))
     std::cout << '\n' << core::render_gantt(result.timeline, scenario.n);
@@ -297,6 +317,10 @@ int main(int argc, char** argv) {
         .describe("compare",
                   "run the section-6.2 configuration matrix (or the "
                   "malleable/EASY/FCFS trio when --arrival != none)")
+        .describe("profile",
+                  "print the per-phase wall-time breakdown after the run "
+                  "(single mode): Algorithm 1, event dispatch, probe scans "
+                  "+ heap work, commits")
         .describe("gantt", "print the allocation Gantt chart (single mode)")
         .describe("timeline-csv", "write the allocation timeline CSV")
         .describe("trace-out", "record the fault trace to this file")
