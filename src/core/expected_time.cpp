@@ -3,11 +3,109 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 
+#include "core/detail/eq4_simd.hpp"
 #include "util/contracts.hpp"
 
 namespace coredis::core {
+
+namespace detail {
+namespace {
+
+/// One-time bitwise self-check of every vector kernel against the scalar
+/// expressions compiled in this (baseline) translation unit. The probe
+/// set is deterministic and spans the interesting regimes: lambda·tau
+/// across ~40 decades (denormal through overflow), expm1 arguments
+/// straddling both ends of the vectorized k == 0 domain, zero work,
+/// boundary-exact period multiples, and every residual tail length.
+/// Any mismatch retires the vector path for the process lifetime — the
+/// documented exact-fallback trigger (DESIGN.md section 6.6).
+bool eq4_self_check() {
+  constexpr std::size_t kCount = 512;
+  std::vector<double> t_ij(kCount), tmc(kCount), lam(kCount), fac(kCount),
+      emt(kCount), alpha(kCount);
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  const auto uniform = [&s]() {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(s >> 11) * 0x1p-53;
+  };
+  for (std::size_t k = 0; k < kCount; ++k) {
+    // lambda spans ~40 decades so lambda * tau_last covers denormals,
+    // both k == 0 domain boundaries (2^-54 and 0.5 ln 2) and overflow.
+    lam[k] = std::exp((uniform() * 2.0 - 1.0) * 46.0);
+    const double tau = (0.5 + uniform()) / lam[k];
+    const double cost = tau * 0.1 * uniform();
+    tmc[k] = tau - cost;
+    t_ij[k] = tmc[k] * (uniform() * 40.0 + 1e-3);
+    alpha[k] = k % 7 == 0 ? 0.0 : uniform();
+    if (k % 11 == 0)  // exact period multiple: tau_last underflows to ~0
+      t_ij[k] = tmc[k] * static_cast<double>(1 + k % 9);
+    if (k % 13 == 0) alpha[k] = 1.0;
+    fac[k] = std::exp(lam[k] * cost) * (1.0 / lam[k] + 60.0);
+    emt[k] = std::expm1(lam[k] * tau);
+  }
+  // Pin lanes exactly onto the vector/libm boundary cases.
+  const double edges[] = {0x1p-55,    0x1p-54,    0x1.8p-54, 0.34657,
+                          0.34657359, 0.3466,     1.0,       709.0,
+                          710.0,      5e-324,     1e-308,    0.0};
+  for (std::size_t k = 0; k < std::size(edges); ++k) {
+    t_ij[k] = 1.0;
+    tmc[k] = 2.0;  // n_ff = 0, tau_last = alpha * t_ij
+    alpha[k] = 1.0;
+    lam[k] = edges[k];
+  }
+
+  const Eq4Lanes lanes{t_ij.data(), tmc.data(), lam.data(), fac.data(),
+                       emt.data()};
+  std::vector<double> got(kCount), want(kCount);
+  for (std::size_t k = 0; k < kCount; ++k) {
+    ExpectedTimeModel::Coeffs c;
+    c.t_ij = t_ij[k];
+    c.tau_minus_cost = tmc[k];
+    c.lambda_j = lam[k];
+    c.factor = fac[k];
+    c.expm1_tau = emt[k];
+    want[k] = ExpectedTimeModel::raw_kernel(alpha[k], c);
+  }
+  const auto identical = [](const double* a, const double* b, std::size_t n) {
+    return std::memcmp(a, b, n * sizeof(double)) == 0;
+  };
+  // Every residual tail length, then the full batch.
+  for (std::size_t count = 1; count <= 9; ++count) {
+    eq4_probe_row(lanes, alpha[0], count, got.data());
+    for (std::size_t k = 0; k < count; ++k) {
+      ExpectedTimeModel::Coeffs c;
+      c.t_ij = t_ij[k];
+      c.tau_minus_cost = tmc[k];
+      c.lambda_j = lam[k];
+      c.factor = fac[k];
+      c.expm1_tau = emt[k];
+      if (got[k] != ExpectedTimeModel::raw_kernel(alpha[0], c) &&
+          !(std::isnan(got[k]) &&
+            std::isnan(ExpectedTimeModel::raw_kernel(alpha[0], c))))
+        return false;
+    }
+  }
+  eq4_probe_gather(lanes, alpha.data(), kCount, got.data());
+  return identical(got.data(), want.data(), kCount);
+}
+
+}  // namespace
+
+bool eq4_simd_active() {
+  static const bool active = [] {
+    if (!eq4_simd_compiled() || !eq4_simd_cpu_supported()) return false;
+    if (const char* env = std::getenv("COREDIS_NO_SIMD"))
+      if (env[0] == '1' && env[1] == '\0') return false;
+    return eq4_self_check();
+  }();
+  return active;
+}
+
+}  // namespace detail
 
 ExpectedTimeModel::ExpectedTimeModel(const Pack& pack,
                                      const checkpoint::Model& resilience)
@@ -19,6 +117,7 @@ ExpectedTimeModel::ExpectedTimeModel(const Pack& pack,
   table_even_.resize(n);
   table_odd_.resize(n);
   even_dense_.assign(n, 0);
+  soa_even_.resize(n);
 }
 
 void ExpectedTimeModel::fill_coeffs(int task, int j, Coeffs& c) const {
@@ -41,20 +140,37 @@ void ExpectedTimeModel::fill_coeffs(int task, int j, Coeffs& c) const {
   }
 }
 
-void ExpectedTimeModel::ensure_even_row(int task, std::size_t h_count) const {
-  COREDIS_EXPECTS(task >= 0 && task < pack_->size());
-  if (even_dense_[static_cast<std::size_t>(task)] >= h_count) return;
-  auto& row = table_even_[static_cast<std::size_t>(task)];
+void ExpectedTimeModel::grow_even_row(int task, std::size_t h_count) const {
+  const auto ti = static_cast<std::size_t>(task);
+  auto& row = table_even_[ti];
   if (row.size() <= h_count) {
     row.reserve(std::max(h_count + 1, 2 * row.size()));
     row.resize(h_count + 1);
   }
-  for (std::size_t h = even_dense_[static_cast<std::size_t>(task)]; h < h_count;
-       ++h) {
+  // The SoA mirror grows in lockstep with the dense prefix; reserve all
+  // five lanes up front so the per-entry appends never reallocate.
+  const bool mirror = !resilience_->fault_free();
+  SoaRow& soa = soa_even_[ti];
+  if (mirror && soa.t_ij.capacity() < h_count) {
+    const std::size_t cap = std::max(h_count, 2 * soa.t_ij.size());
+    soa.t_ij.reserve(cap);
+    soa.tau_minus_cost.reserve(cap);
+    soa.lambda_j.reserve(cap);
+    soa.factor.reserve(cap);
+    soa.expm1_tau.reserve(cap);
+  }
+  for (std::size_t h = even_dense_[ti]; h < h_count; ++h) {
     Coeffs& c = row[h + 1];  // slot j/2: entry h covers j = 2(h+1)
     if (c.t_ij < 0.0) fill_coeffs(task, 2 * (static_cast<int>(h) + 1), c);
+    if (mirror) {
+      soa.t_ij.push_back(c.t_ij);
+      soa.tau_minus_cost.push_back(c.tau_minus_cost);
+      soa.lambda_j.push_back(c.lambda_j);
+      soa.factor.push_back(c.factor);
+      soa.expm1_tau.push_back(c.expm1_tau);
+    }
   }
-  even_dense_[static_cast<std::size_t>(task)] = h_count;
+  even_dense_[ti] = h_count;
 }
 
 void ExpectedTimeModel::probe_many(int task, int h_begin, int h_end,
@@ -73,11 +189,61 @@ void ExpectedTimeModel::probe_many(int task, int h_begin, int h_end,
     for (std::size_t h = lo; h < hi; ++h) out[h - lo] = alpha * recs[h].t_ij;
     return;
   }
+  // Vector lanes over the SoA mirror when live (DESIGN.md section 6.6):
+  // bit-identical to the scalar loop below by the kernel's construction
+  // and the process self-check. Short batches stay scalar — below one
+  // vector width the AoS row is the cheaper read (one cache line per
+  // record against five lane touches).
+  if (hi - lo >= 4 && detail::eq4_simd_active()) {
+    const SoaRow& soa = soa_even_[static_cast<std::size_t>(task)];
+    const detail::Eq4Lanes lanes{
+        soa.t_ij.data() + lo, soa.tau_minus_cost.data() + lo,
+        soa.lambda_j.data() + lo, soa.factor.data() + lo,
+        soa.expm1_tau.data() + lo};
+    detail::eq4_probe_row(lanes, alpha, hi - lo, out);
+    return;
+  }
   // One raw_kernel per record: identical arithmetic to the scalar queries
   // by construction (shared inline kernel over the same bits); the
   // coefficient loads stream one cache line per allocation.
   for (std::size_t h = lo; h < hi; ++h)
     out[h - lo] = raw_kernel(alpha, recs[h]);
+}
+
+void ExpectedTimeModel::probe_tasks(const int* tasks, const int* js,
+                                    const double* alphas, std::size_t count,
+                                    double* out) const {
+  // Fault-free queries are a multiply each, and without live vector
+  // lanes the gather would only add a copy: both run the scalar query.
+  if (count == 0) return;
+  if (resilience_->fault_free() || !detail::eq4_simd_active()) {
+    for (std::size_t k = 0; k < count; ++k)
+      out[k] = expected_time_raw(tasks[k], js[k], alphas[k]);
+    return;
+  }
+  // Transpose the scattered records into contiguous lanes. alpha == 0
+  // elements need no special case: raw_kernel degenerates to
+  // factor * (0 * expm1_tau + expm1(0)) = +0.0, the early-out's exact
+  // bits.
+  gather_.resize(6 * count);
+  double* t_ij = gather_.data();
+  double* tmc = t_ij + count;
+  double* lam = tmc + count;
+  double* fac = lam + count;
+  double* emt = fac + count;
+  double* al = emt + count;
+  for (std::size_t k = 0; k < count; ++k) {
+    COREDIS_EXPECTS(alphas[k] >= 0.0 && alphas[k] <= 1.0);
+    const Coeffs& c = coeffs(tasks[k], js[k]);
+    t_ij[k] = c.t_ij;
+    tmc[k] = c.tau_minus_cost;
+    lam[k] = c.lambda_j;
+    fac[k] = c.factor;
+    emt[k] = c.expm1_tau;
+    al[k] = alphas[k];
+  }
+  const detail::Eq4Lanes lanes{t_ij, tmc, lam, fac, emt};
+  detail::eq4_probe_gather(lanes, al, count, out);
 }
 
 void ExpectedTimeModel::probe_many_reference(int task, int h_begin, int h_end,

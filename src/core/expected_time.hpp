@@ -35,14 +35,25 @@
 /// arithmetic-identical (bit for bit) to the *_reference straight-line
 /// evaluations kept for tests and benches.
 ///
-/// The incremental-replanning machinery (DESIGN.md section 6.5) adds two
+/// The incremental-replanning machinery (DESIGN.md section 6.5) adds
 /// batched entry points over the same records: probe_many() evaluates a
 /// dense run of consecutive even allocations through the shared
-/// raw_kernel (bit-identical to the scalar query, locked by tests), and
-/// row_records() exposes a task's dense record row so the heuristics'
-/// lazy bound passes can stream coefficients one cache line per
-/// allocation. Odd j (sequential baselines, tests) lives in a separate
-/// table that stays empty during simulations.
+/// raw_kernel (bit-identical to the scalar query, locked by tests),
+/// probe_tasks() evaluates one exact Eq. 4 query per element across
+/// tasks, and row_records() exposes a task's dense record row so the
+/// heuristics' lazy bound passes can stream coefficients one cache line
+/// per allocation. Odd j (sequential baselines, tests) lives in a
+/// separate table that stays empty during simulations.
+///
+/// The batched paths run on vector lanes where the machine allows it
+/// (DESIGN.md section 6.6): the even rows are mirrored field-by-field
+/// into structure-of-arrays lanes as they densify, and the AVX2+FMA
+/// kernel of core/detail/eq4_simd evaluates Eq. 4 four allocations at a
+/// time — bit-identical to raw_kernel by construction and by a one-time
+/// process self-check that otherwise retires the vector path for good.
+/// The AoS records stay authoritative for every scalar accessor and for
+/// the cold paths; the mirror costs five extra doubles per probed even
+/// allocation in the fault-aware context only.
 ///
 /// Thread-compatibility: the const query methods fill the table, so a
 /// single instance must not be probed from multiple threads concurrently.
@@ -202,6 +213,16 @@ class ExpectedTimeModel {
   void probe_many_reference(int task, int h_begin, int h_end, double alpha,
                             double* out) const;
 
+  /// Batched exact Eq. 4 across tasks: out[k] = expected_time_raw(
+  /// tasks[k], js[k], alphas[k]) for every k in [0, count), bit for bit
+  /// (locked by tests). The cross-task sibling of probe_many for the
+  /// heuristics' per-task setup sweeps: coefficients are gathered into
+  /// transposed lanes once and the vector kernel amortizes the Eq. 4
+  /// transcendentals over lane width; without live vector lanes it is
+  /// the scalar loop it replaces.
+  void probe_tasks(const int* tasks, const int* js, const double* alphas,
+                   std::size_t count, double* out) const;
+
   /// Dense view of task's even-j records: entry h covers j = 2 * (h + 1),
   /// filled through at least h_count entries. For the heuristics' lazy
   /// bound passes (DESIGN.md section 6.5). The pointer is invalidated by
@@ -252,13 +273,38 @@ class ExpectedTimeModel {
     return c;
   }
 
-  /// Densify even slots [1, h_count] (j = 2 .. 2 * h_count) of the task's
-  /// row; the dense-prefix mark keeps repeat calls O(1).
-  void ensure_even_row(int task, std::size_t h_count) const;
+  /// Densify even slots [1, h_count] (j = 2 .. 2 * h_count) of the
+  /// task's row. The dense-prefix check is inline — the batched probes
+  /// re-ask for the same densified prefix millions of times per run, so
+  /// the warm case must be a load and a compare — and the cold growth
+  /// (which also appends the SoA mirror) stays out of line.
+  void ensure_even_row(int task, std::size_t h_count) const {
+    COREDIS_EXPECTS(task >= 0 && task < pack_->size());
+    if (even_dense_[static_cast<std::size_t>(task)] < h_count) [[unlikely]]
+      grow_even_row(task, h_count);
+  }
+
+  /// Cold path of ensure_even_row: fill [dense, h_count) and append the
+  /// SoA mirror alongside.
+  void grow_even_row(int task, std::size_t h_count) const;
 
   /// Cold path of coeffs(): derive every alpha-independent quantity of
   /// Eqs. 1-4 once for this (task, j).
   void fill_coeffs(int task, int j, Coeffs& c) const;
+
+  /// Structure-of-arrays mirror of one task's even row (DESIGN.md
+  /// section 6.6): entry h covers j = 2 (h + 1) — no unused slot 0,
+  /// unlike the AoS row — and the five arrays are exactly raw_kernel's
+  /// inputs, copied from the records as grow_even_row densifies them.
+  /// Dense to even_dense_[task]; fault-aware context only (the
+  /// fault-free batch is a plain multiply over t_ij).
+  struct SoaRow {
+    std::vector<double> t_ij;
+    std::vector<double> tau_minus_cost;
+    std::vector<double> lambda_j;
+    std::vector<double> factor;
+    std::vector<double> expm1_tau;
+  };
 
   const Pack* pack_;
   const checkpoint::Model* resilience_;
@@ -268,6 +314,10 @@ class ExpectedTimeModel {
   mutable std::vector<std::vector<Coeffs>> table_odd_;
   /// Dense-prefix mark per task: even slots [1, mark] are known filled.
   mutable std::vector<std::size_t> even_dense_;
+  mutable std::vector<SoaRow> soa_even_;  ///< per-field vector lanes
+  /// Transposed coefficient scratch of probe_tasks (per-call contents;
+  /// single-threaded use per the thread-compatibility note above).
+  mutable std::vector<double> gather_;
 };
 
 /// Incrementally cached evaluator of the Eq. 6 clamped expected time.

@@ -10,7 +10,40 @@
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace coredis {
+
+namespace {
+
+#if defined(__linux__)
+/// CPUs the process may run on, in id order — the pin targets. Respects
+/// an inherited mask (cgroups, taskset), so sharding never pins outside
+/// what the operator allowed.
+std::vector<int> allowed_cpus() {
+  std::vector<int> cpus;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0)
+    for (int c = 0; c < CPU_SETSIZE; ++c)
+      if (CPU_ISSET(c, &set)) cpus.push_back(c);
+  return cpus;
+}
+
+/// Best-effort self-pin; a failure (mask raced away, exotic kernel) just
+/// leaves the worker on the default scheduler.
+void pin_current_thread(int cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+}
+#endif
+
+}  // namespace
 
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("COREDIS_THREADS")) {
@@ -21,8 +54,18 @@ std::size_t default_thread_count() {
   return hc == 0 ? 1 : hc;
 }
 
-void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
-                  std::size_t threads) {
+bool affinity_sharding_default() {
+  static const bool on = [] {
+    const char* env = std::getenv("COREDIS_AFFINITY");
+    return env != nullptr && env[0] == '1' && env[1] == '\0';
+  }();
+  return on;
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  const ParallelOptions& options) {
+  std::size_t threads = options.threads;
   if (threads == 0) threads = default_thread_count();
   if (threads <= 1 || count <= 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);
@@ -35,7 +78,15 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
-  auto worker = [&] {
+  const auto record_error = [&] {
+    {
+      std::lock_guard lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+    stop.store(true, std::memory_order_release);
+  };
+
+  auto dynamic_worker = [&] {
     for (;;) {
       // The stop flag is checked both before claiming an index and before
       // running the body, so after a throw the surviving workers stop
@@ -49,11 +100,35 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
       try {
         body(i);
       } catch (...) {
-        {
-          std::lock_guard lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        stop.store(true, std::memory_order_release);
+        record_error();
+        return;
+      }
+    }
+  };
+
+#if defined(__linux__)
+  const std::vector<int> cpus = options.affinity ? allowed_cpus()
+                                                 : std::vector<int>{};
+#endif
+  // Static affinity schedule: worker t owns the contiguous shard
+  // [t * count / T, (t + 1) * count / T) — every index is covered exactly
+  // once by the telescoping bounds — and pins itself onto one allowed
+  // CPU, spread evenly over the set so shards land on distinct cores
+  // (and across NUMA nodes, whose CPUs are contiguous id ranges on
+  // Linux). Same stop-flag contract as the dynamic schedule.
+  auto static_worker = [&](std::size_t t) {
+#if defined(__linux__)
+    if (!cpus.empty())
+      pin_current_thread(cpus[t * cpus.size() / threads]);
+#endif
+    const std::size_t begin = t * count / threads;
+    const std::size_t end = (t + 1) * count / threads;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (stop.load(std::memory_order_acquire)) return;
+      try {
+        body(i);
+      } catch (...) {
+        record_error();
         return;
       }
     }
@@ -61,10 +136,23 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
 
   std::vector<std::jthread> pool;
   pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::size_t t = 0; t < threads; ++t) {
+    if (options.affinity)
+      pool.emplace_back(static_worker, t);
+    else
+      pool.emplace_back(dynamic_worker);
+  }
   pool.clear();  // join
 
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+  ParallelOptions options;
+  options.threads = threads;
+  parallel_for(count, body, options);
 }
 
 }  // namespace coredis

@@ -19,14 +19,47 @@ namespace coredis {
 /// threading, useful when debugging).
 [[nodiscard]] std::size_t default_thread_count();
 
+/// Whether parallel_for defaults to affinity sharding: opt-in via
+/// COREDIS_AFFINITY=1 (read once per process). Off by default — the
+/// dynamic schedule is the right choice for uneven run lengths.
+[[nodiscard]] bool affinity_sharding_default();
+
+/// Scheduling options of parallel_for. The two schedules produce the
+/// same outputs for the same inputs — results are indexed by i, so only
+/// which worker computes an index changes — the choice is purely a
+/// throughput/locality trade.
+struct ParallelOptions {
+  /// Worker count; 0 means default_thread_count().
+  std::size_t threads = 0;
+  /// Affinity-aware static sharding (opt-in; default honours
+  /// COREDIS_AFFINITY=1): worker t runs the contiguous index shard
+  /// [t * count / T, (t + 1) * count / T) and pins itself to one CPU of
+  /// the process's allowed set, spread evenly across it. Contiguous
+  /// shards keep each worker's touched engine workspaces, allocator
+  /// arenas and page-cache lines on the core (and NUMA node) that
+  /// first-touched them, at the price of no dynamic balancing. On
+  /// non-Linux builds the pinning is a no-op and only the static
+  /// schedule remains.
+  bool affinity = affinity_sharding_default();
+};
+
 /// Run body(i) for every i in [0, count). Work is distributed dynamically
-/// (atomic counter) so uneven run lengths balance out. Exceptions thrown by
-/// the body propagate to the caller (the first one recorded wins; later
-/// ones are swallowed). After any throw the workers stop claiming new
-/// indices and stop starting bodies (best-effort: each surviving worker
-/// may finish at most one body already in flight), so a failing campaign
-/// aborts promptly instead of draining the rest of the grid.
-void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+/// (atomic counter) so uneven run lengths balance out, unless
+/// options.affinity selects the static pinned schedule above. Exceptions
+/// thrown by the body propagate to the caller (the first one recorded
+/// wins; later ones are swallowed). After any throw the workers stop
+/// claiming new indices and stop starting bodies (best-effort: each
+/// surviving worker may finish at most one body already in flight), so a
+/// failing campaign aborts promptly instead of draining the rest of the
+/// grid.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  const ParallelOptions& options);
+
+/// Back-compat spelling: parallel_for with the default schedule and an
+/// explicit thread count.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
 
 }  // namespace coredis

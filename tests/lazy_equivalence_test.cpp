@@ -16,9 +16,12 @@
 ///    current version, commits invalidate it, and within its horizon the
 ///    carried drop agrees with an eager re-scan.
 
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <gtest/gtest.h>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "core/detail/engine_state.hpp"
@@ -28,6 +31,7 @@
 #include "fault/weibull.hpp"
 #include "speedup/amdahl.hpp"
 #include "speedup/synthetic.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -307,6 +311,109 @@ TEST_F(ScanCacheTest, CarriedDropAgreesWithEagerWithinHorizon) {
       EXPECT_EQ(state_.task(i).tU, fresh.task(i).tU);
     }
   }
+}
+
+TEST(LazyEquivalence, WeibullHeavyIteratedGreedyBattery) {
+  // The fig07-regime stressor at test scale: Weibull faults (shape 0.7 —
+  // infant-mortality bursts), fragile MTBF, IteratedGreedy under both
+  // end policies, several independent grids. Beyond re-proving the
+  // carried-verdict machinery under its heaviest rebuild load, this
+  // crosses the vector Eq. 4 pass (DESIGN.md section 6.6) with the
+  // scalar reference: the lazy path prefs its regrow columns through
+  // the batched SIMD probe_many while the eager branch issues scalar
+  // one-slot probes, so lazy == eager here also proves SIMD == scalar
+  // through whole simulations, double for double.
+  Rng rng(0x5EEDF00DULL);
+  for (int trial = 0; trial < 4; ++trial) {
+    const int n = 10 + static_cast<int>(rng.uniform01() * 14);
+    const int p = 10 * n;
+    const auto seed = static_cast<std::uint64_t>(rng.uniform01() * 1e9);
+    Rng pack_rng(seed);
+    const core::Pack pack = core::Pack::uniform_random(
+        n, 1.5e6, 2.5e6, std::make_shared<speedup::SyntheticModel>(0.08),
+        pack_rng);
+    // 2-year MTBF: roughly 5x the fault pressure of the randomized-grid
+    // battery above, so Algorithm 5 rebuilds dominate the run.
+    const checkpoint::Model resilience({units::years(2.0), 60.0, 1.0,
+                                        checkpoint::PeriodRule::Young, 0.0});
+    for (const auto end :
+         {core::EndPolicy::Local, core::EndPolicy::Greedy}) {
+      SCOPED_TRACE(::testing::Message() << "n=" << n << " p=" << p
+                                        << " end=" << to_string(end)
+                                        << " seed=" << seed);
+      core::EngineConfig lazy;
+      lazy.end_policy = end;
+      lazy.failure_policy = core::FailurePolicy::IteratedGreedy;
+      core::EngineConfig eager = lazy;
+      eager.eager_scans = true;
+      expect_identical(
+          run_engine(pack, resilience, p, lazy, /*weibull=*/true,
+                     seed ^ 0x77EBULL),
+          run_engine(pack, resilience, p, eager, /*weibull=*/true,
+                     seed ^ 0x77EBULL));
+    }
+  }
+}
+
+TEST(ParallelFor, AffinityShardingMatchesDynamicAcrossThreadCounts) {
+  // The affinity schedule is a locality optimization, never a semantic
+  // one: for a body indexed by i, every (schedule, thread count) pair —
+  // including the COREDIS_THREADS-driven default — must fill the exact
+  // same result vector.
+  constexpr std::size_t kCount = 97;  // not a multiple of any shard count
+  const auto value_of = [](std::size_t i) {
+    // Deterministic per-index payload with float content (so any
+    // cross-thread reordering of *writes* would be caught bit-exactly).
+    return std::exp(std::sin(static_cast<double>(i) * 0.37)) +
+           static_cast<double>(i * i);
+  };
+  std::vector<double> reference(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) reference[i] = value_of(i);
+
+  for (const bool affinity : {false, true}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{3}, std::size_t{7}}) {
+      std::vector<double> got(kCount, -1.0);
+      ParallelOptions options;
+      options.threads = threads;
+      options.affinity = affinity;
+      parallel_for(kCount, [&](std::size_t i) { got[i] = value_of(i); },
+                   options);
+      EXPECT_EQ(got, reference)
+          << "affinity=" << affinity << " threads=" << threads;
+    }
+  }
+
+  // COREDIS_THREADS-crossed: the env-driven default thread count feeds
+  // both schedules through the same sharding arithmetic.
+  for (const char* env_threads : {"2", "5"}) {
+    ASSERT_EQ(0, setenv("COREDIS_THREADS", env_threads, 1));
+    for (const bool affinity : {false, true}) {
+      std::vector<double> got(kCount, -1.0);
+      ParallelOptions options;  // threads = 0: resolve from the env
+      options.affinity = affinity;
+      parallel_for(kCount, [&](std::size_t i) { got[i] = value_of(i); },
+                   options);
+      EXPECT_EQ(got, reference) << "affinity=" << affinity
+                                << " COREDIS_THREADS=" << env_threads;
+    }
+  }
+  unsetenv("COREDIS_THREADS");
+}
+
+TEST(ParallelFor, AffinityShardingPropagatesTheFirstError) {
+  // Same exception contract as the dynamic schedule: a throwing body
+  // aborts the loop promptly and the caller sees a propagated error.
+  ParallelOptions options;
+  options.threads = 3;
+  options.affinity = true;
+  EXPECT_THROW(
+      parallel_for(64,
+                   [](std::size_t i) {
+                     if (i % 5 == 0) throw std::runtime_error("boom");
+                   },
+                   options),
+      std::runtime_error);
 }
 
 TEST(ProbeMany, BitIdenticalToScalarQueries) {

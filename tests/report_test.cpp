@@ -185,6 +185,58 @@ TEST(Report, CheckRecordsRejectMalformedLines) {
   std::filesystem::remove(path);
 }
 
+/// Minimal bench_json outputs for the trend renderer: the seed machine
+/// is twice as fast (calibration 0.005 vs 0.010), so its 10 ms run
+/// normalizes to 20 ms on the latest machine.
+BenchBaseline seed_baseline() {
+  return {"BENCH_PR2",
+          "{\n"
+          "  \"calibration_seconds\": 0.005,\n"
+          "  \"scenarios\": [\n"
+          "    { \"name\": \"smoke_a\", \"seconds_per_run_min\": 0.010 }\n"
+          "  ]\n"
+          "}\n",
+          0.005};
+}
+
+BenchBaseline latest_baseline() {
+  return {"BENCH_PR6",
+          "{\n"
+          "  \"calibration_seconds\": 0.010,\n"
+          "  \"scenarios\": [\n"
+          "    { \"name\": \"smoke_a\", \"seconds_per_run_min\": 0.012 },\n"
+          "    { \"name\": \"smoke_b\", \"seconds_per_run_min\": 0.020 }\n"
+          "  ]\n"
+          "}\n",
+          0.010};
+}
+
+TEST(Report, BenchTrendGolden) {
+  // smoke_a: 10 ms at cal 0.005 -> 20 ms normalized, vs 12 ms -> 1.67x.
+  // smoke_b only exists in the latest file, so its speedup is "-".
+  const std::string expected =
+      "scenario  BENCH_PR2 (ms)  BENCH_PR6 (ms)  speedup\n"
+      "-------------------------------------------------\n"
+      " smoke_a           20.00           12.00    1.67x\n"
+      " smoke_b               -           20.00        -\n";
+  EXPECT_EQ(render_bench_trend({seed_baseline(), latest_baseline()}),
+            expected);
+}
+
+TEST(Report, BenchTrendSeedOnlyAndEmptyListsAreNotErrors) {
+  // One file: values but no trend yet.
+  const std::string seed_only =
+      "scenario  BENCH_PR2 (ms)  speedup\n"
+      "---------------------------------\n"
+      " smoke_a           10.00        -\n";
+  EXPECT_EQ(render_bench_trend({seed_baseline()}), seed_only);
+  // No files at all: the header-only seed table, not a throw — the CLI
+  // leans on this to keep `bench_trend` usable on a baseline-less clone.
+  EXPECT_EQ(render_bench_trend({}),
+            "scenario  speedup\n"
+            "-----------------\n");
+}
+
 TEST(Report, ExperimentsMarkdownGolden) {
   CheckReport pass;
   pass.figure = "fig07_impact_n";

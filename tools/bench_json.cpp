@@ -308,6 +308,10 @@ int main(int argc, char** argv) {
     CliParser cli(argc, argv);
     cli.describe("runs", "repetitions per scenario (default 5, smoke 2)")
         .describe("smoke", "run only the n = 100 half of the grid")
+        .describe("scenarios",
+                  "comma-separated scenario names to run (default: all); "
+                  "unknown names are an error so CI gates cannot silently "
+                  "skip a cell")
         .describe("out", "write the JSON report to this path")
         .describe("check",
                   "baseline JSON to compare against; exits 1 on regression")
@@ -328,10 +332,29 @@ int main(int argc, char** argv) {
     const double tolerance = cli.get_double("tolerance", 2.0);
     const bool check_makespan = cli.get_bool("check-makespan");
 
+    std::vector<GridPoint> grid = pinned_grid(smoke);
+    const std::string only = cli.get_string("scenarios", "");
+    if (!only.empty()) {
+      std::vector<GridPoint> selected;
+      std::stringstream names(only);
+      for (std::string name; std::getline(names, name, ',');) {
+        if (name.empty()) continue;
+        const auto it = std::find_if(
+            grid.begin(), grid.end(),
+            [&](const GridPoint& g) { return g.name == name; });
+        if (it == grid.end())
+          throw std::runtime_error("unknown scenario: " + name);
+        selected.push_back(*it);
+      }
+      if (selected.empty())
+        throw std::runtime_error("--scenarios selected nothing");
+      grid = std::move(selected);
+    }
+
     const double calibration = calibration_seconds();
     std::fprintf(stderr, "calibration: %.4f s\n", calibration);
     std::vector<Measurement> measurements;
-    for (const GridPoint& point : pinned_grid(smoke)) {
+    for (const GridPoint& point : grid) {
       measurements.push_back(run_point(point, runs * point.runs_scale));
       const Measurement& m = measurements.back();
       std::fprintf(stderr, "%-16s %8.4f s/run %12.0f events/s %7.1f faults\n",

@@ -7,141 +7,51 @@
 ///
 ///   build/bench_trend BENCH_PR2.json BENCH_PR5.json
 ///
-/// Reads only the JSON this repository's bench_json writes (the same
-/// narrow scanner, not a general parser). Referenced from README
+/// An empty or missing baseline list is not an error: unreadable files
+/// are skipped with a warning and the table renders from whatever
+/// remains — down to the header-only seed table when nothing does — so
+/// the README recipe works on a fresh clone and in CI jobs that prune
+/// old baselines. Reads only the JSON this repository's bench_json
+/// writes (the same narrow scanner, not a general parser; see
+/// exp/report.hpp render_bench_trend). Referenced from README
 /// "Performance".
 
-#include <cstdio>
+#include <cstddef>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
-#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "util/table.hpp"
-
-namespace {
-
-struct Baseline {
-  std::string label;
-  std::string json;
-  double calibration = 0.0;
-};
-
-/// Extract `"key": <number>` scoped to the scenario object named `name`
-/// (bench_json's own schema; mirrors its baseline_value).
-double scenario_value(const std::string& json, const std::string& name,
-                      const std::string& key) {
-  std::string anchor = "\"name\": \"";
-  anchor += name;
-  anchor += '"';
-  const std::size_t at = json.find(anchor);
-  if (at == std::string::npos) return -1.0;
-  const std::size_t end = json.find('}', at);
-  std::string field = "\"";
-  field += key;
-  field += "\":";
-  const std::size_t k = json.find(field, at);
-  if (k == std::string::npos || k > end) return -1.0;
-  return std::strtod(json.c_str() + k + field.size(), nullptr);
-}
-
-/// Every scenario name, in file order of first appearance.
-std::vector<std::string> scenario_names(const std::vector<Baseline>& files) {
-  std::vector<std::string> names;
-  for (const Baseline& file : files) {
-    std::size_t pos = 0;
-    const std::string anchor = "\"name\": \"";
-    while ((pos = file.json.find(anchor, pos)) != std::string::npos) {
-      pos += anchor.size();
-      const std::size_t quote = file.json.find('"', pos);
-      const std::string name = file.json.substr(pos, quote - pos);
-      bool known = false;
-      for (const std::string& existing : names) known |= existing == name;
-      if (!known) names.push_back(name);
-      pos = quote;
-    }
-  }
-  return names;
-}
-
-std::string format_ms(double seconds) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof buffer, "%.2f", seconds * 1e3);
-  return buffer;
-}
-
-}  // namespace
+#include "exp/report.hpp"
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: bench_trend BENCH_A.json [BENCH_B.json ...]\n"
-                 "renders the per-scenario min-over-runs trajectory "
-                 "(calibration-normalized to the last file's machine)\n";
-    return 2;
-  }
-  try {
-    std::vector<Baseline> files;
-    for (int a = 1; a < argc; ++a) {
-      std::ifstream in(argv[a]);
-      if (!in)
-        throw std::runtime_error(std::string("cannot read ") + argv[a]);
-      std::ostringstream text;
-      text << in.rdbuf();
-      Baseline file;
-      file.label = argv[a];
-      const std::size_t slash = file.label.find_last_of('/');
-      if (slash != std::string::npos) file.label = file.label.substr(slash + 1);
-      const std::size_t dot = file.label.find_last_of('.');
-      if (dot != std::string::npos) file.label = file.label.substr(0, dot);
-      file.json = text.str();
-      const std::size_t cal = file.json.find("\"calibration_seconds\":");
-      file.calibration =
-          cal == std::string::npos
-              ? 0.0
-              : std::strtod(file.json.c_str() + cal + 22, nullptr);
-      files.push_back(std::move(file));
+  std::vector<coredis::exp::BenchBaseline> files;
+  for (int a = 1; a < argc; ++a) {
+    std::ifstream in(argv[a]);
+    if (!in) {
+      std::cerr << "bench_trend: skipping unreadable baseline " << argv[a]
+                << "\n";
+      continue;
     }
-    // Normalize every file to the last file's machine speed: t * (cal_last
-    // / cal_file) is what the run would have taken there, to first order.
-    const double cal_ref = files.back().calibration;
-
-    std::vector<std::string> headers{"scenario"};
-    for (const Baseline& file : files) headers.push_back(file.label + " (ms)");
-    headers.push_back("speedup");
-    coredis::TextTable table(std::move(headers));
-    for (const std::string& name : scenario_names(files)) {
-      std::vector<std::string> row{name};
-      double first = -1.0, last = -1.0;
-      for (const Baseline& file : files) {
-        double value = scenario_value(file.json, name, "seconds_per_run_min");
-        if (value <= 0.0)  // pre-min schema: fall back to the mean
-          value = scenario_value(file.json, name, "seconds_per_run");
-        if (value <= 0.0) {
-          row.push_back("-");
-          continue;
-        }
-        if (file.calibration > 0.0 && cal_ref > 0.0)
-          value *= cal_ref / file.calibration;
-        if (first < 0.0) first = value;
-        last = value;
-        row.push_back(format_ms(value));
-      }
-      if (first > 0.0 && last > 0.0 && first != last) {
-        char buffer[32];
-        std::snprintf(buffer, sizeof buffer, "%.2fx", first / last);
-        row.push_back(buffer);
-      } else {
-        row.push_back("-");
-      }
-      table.add_row(row);
-    }
-    std::cout << table.to_string();
-    return 0;
-  } catch (const std::exception& error) {
-    std::cerr << "bench_trend: " << error.what() << "\n";
-    return 2;
+    std::ostringstream text;
+    text << in.rdbuf();
+    coredis::exp::BenchBaseline file;
+    file.label = argv[a];
+    const std::size_t slash = file.label.find_last_of('/');
+    if (slash != std::string::npos) file.label = file.label.substr(slash + 1);
+    const std::size_t dot = file.label.find_last_of('.');
+    if (dot != std::string::npos) file.label = file.label.substr(0, dot);
+    file.json = text.str();
+    const std::size_t cal = file.json.find("\"calibration_seconds\":");
+    file.calibration =
+        cal == std::string::npos
+            ? 0.0
+            : std::strtod(file.json.c_str() + cal + 22, nullptr);
+    files.push_back(std::move(file));
   }
+  std::cout << coredis::exp::render_bench_trend(files);
+  return 0;
 }
