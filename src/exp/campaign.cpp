@@ -7,8 +7,8 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
-#include <iterator>
-#include <map>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
@@ -18,6 +18,7 @@
 
 #include "exp/detail/jsonl.hpp"
 #include "exp/scenario_file.hpp"
+#include "exp/storage.hpp"
 #include "util/contracts.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -211,21 +212,50 @@ std::size_t total_cells(const std::vector<Scenario>& points) {
   return cells;
 }
 
-std::string header_line(const std::vector<Scenario>& points,
-                        const std::vector<ConfigSpec>& configs) {
+std::string fingerprint_hex(const std::vector<Scenario>& points,
+                            const std::vector<ConfigSpec>& configs) {
   char fingerprint[24];
   std::snprintf(fingerprint, sizeof fingerprint, "%016llx",
                 static_cast<unsigned long long>(
                     grid_fingerprint(points, configs)));
-  std::ostringstream out;
-  out << "{\"coredis_campaign\":1,\"fingerprint\":\"" << fingerprint
-      << "\",\"points\":" << points.size()
-      << ",\"cells\":" << total_cells(points) << ",\"configs\":[";
+  return fingerprint;
+}
+
+void append_config_names(std::ostringstream& out,
+                         const std::vector<ConfigSpec>& configs) {
+  out << "\"configs\":[";
   for (std::size_t c = 0; c < configs.size(); ++c) {
     if (c != 0) out << ',';
     out << '"' << json_escape(configs[c].name) << '"';
   }
   out << "]}";
+}
+
+std::string header_line(const std::vector<Scenario>& points,
+                        const std::vector<ConfigSpec>& configs) {
+  std::ostringstream out;
+  out << "{\"coredis_campaign\":1,\"fingerprint\":\""
+      << fingerprint_hex(points, configs)
+      << "\",\"points\":" << points.size()
+      << ",\"cells\":" << total_cells(points) << ",";
+  append_config_names(out, configs);
+  return out.str();
+}
+
+/// A shard file opens with its own header — deliberately a different
+/// record shape, so shard files and final artifacts can never be taken
+/// for one another — carrying the same grid fingerprint plus the shard's
+/// identity and global cell range.
+std::string shard_header_line(const std::vector<Scenario>& points,
+                              const std::vector<ConfigSpec>& configs,
+                              const ShardSpec& shard, std::size_t begin,
+                              std::size_t end) {
+  std::ostringstream out;
+  out << "{\"coredis_campaign_shard\":1,\"fingerprint\":\""
+      << fingerprint_hex(points, configs) << "\",\"shard\":" << shard.index
+      << ",\"workers\":" << shard.count << ",\"begin\":" << begin
+      << ",\"end\":" << end << ",\"cells\":" << total_cells(points) << ",";
+  append_config_names(out, configs);
   return out.str();
 }
 
@@ -312,67 +342,106 @@ bool parse_cell_line(const std::string& line,
   return pos == line.size();
 }
 
-// --- the in-order writer and the resume scan ------------------------------
+// --- the in-order committer and the resume scan ---------------------------
 
-/// Serializes out-of-order cell completions into in-cell-order file
-/// appends: a record is held back until every earlier cell has been
-/// written, so the file layout is independent of thread scheduling and an
-/// interrupted file is always header + a prefix of records (+ at most one
-/// torn line).
-class OrderedJsonlWriter {
+/// Serializes out-of-order cell completions into in-cell-order
+/// retirement: append the record to the JSONL sink (when streaming) and
+/// fold the cell into the per-point aggregates. A cell that arrives
+/// early is handed to the ResultSpill as its *serialized record*, not
+/// kept as a live CellResult — the backlog costs its bytes (or, with the
+/// file backend, at most the spill's RAM budget). Retiring a spilled
+/// cell re-parses the record, which reproduces the simulated bits
+/// exactly ("%.17g" round-trip), so the fold is bit-identical whichever
+/// path a cell took.
+class OrderedCommitter {
  public:
-  OrderedJsonlWriter(std::ofstream* sink, std::size_t next)
-      : sink_(sink), next_(next) {}
+  using Fold = std::function<void(std::size_t, const CellResult&)>;
 
-  void commit(std::size_t index, std::string line) {
-    if (sink_ == nullptr) return;
+  OrderedCommitter(std::ofstream* sink, std::size_t next, ResultSpill& spill,
+                   const std::vector<ConfigSpec>& configs, Fold fold)
+      : sink_(sink),
+        next_(next),
+        spill_(spill),
+        configs_(configs),
+        fold_(std::move(fold)) {}
+
+  void commit(std::size_t index, const CellResult& result,
+              const std::string& line) {
     const std::lock_guard lock(mutex_);
-    pending_.emplace(index, std::move(line));
-    for (auto it = pending_.find(next_); it != pending_.end();
-         it = pending_.find(next_)) {
-      *sink_ << it->second << '\n';
-      sink_->flush();
-      pending_.erase(it);
-      ++next_;
+    if (index != next_) {
+      spill_.put(index, line);
+      return;
+    }
+    retire(line, result);
+    std::string spilled;
+    ParsedCell cell;
+    while (spill_.take(next_, spilled)) {
+      if (!parse_cell_line(spilled, configs_, cell))
+        throw std::runtime_error(
+            "internal: spilled campaign record failed to re-parse");
+      retire(spilled, cell.result);
     }
   }
 
-  [[nodiscard]] bool drained() const { return pending_.empty(); }
+  [[nodiscard]] bool drained() const { return spill_.pending() == 0; }
 
  private:
+  void retire(const std::string& line, const CellResult& result) {
+    if (sink_ != nullptr) {
+      *sink_ << line << '\n';
+      sink_->flush();
+    }
+    if (fold_) fold_(next_, result);
+    ++next_;
+  }
+
   std::ofstream* sink_;
   std::size_t next_;
-  std::map<std::size_t, std::string> pending_;
+  ResultSpill& spill_;
+  const std::vector<ConfigSpec>& configs_;
+  Fold fold_;
   std::mutex mutex_;
 };
 
-struct CellRef {
-  std::size_t point = 0;
-  std::size_t rep = 0;
-};
+std::vector<std::size_t> runs_per_point(const std::vector<Scenario>& points) {
+  std::vector<std::size_t> runs;
+  runs.reserve(points.size());
+  for (const Scenario& point : points)
+    runs.push_back(static_cast<std::size_t>(point.runs));
+  return runs;
+}
 
-std::vector<CellRef> layout_cells(const std::vector<Scenario>& points) {
-  std::vector<CellRef> cells;
-  cells.reserve(total_cells(points));
+std::vector<PointResult> point_frames(const std::vector<Scenario>& points,
+                                      const std::vector<ConfigSpec>& configs) {
+  std::vector<PointResult> frames;
+  frames.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i)
-    for (std::size_t rep = 0; rep < static_cast<std::size_t>(points[i].runs);
-         ++rep)
-      cells.push_back({i, rep});
-  return cells;
+    frames.push_back(make_point_frame(configs));
+  return frames;
 }
 
 struct JsonlScan {
-  std::vector<ParsedCell> cells;   ///< the valid prefix, cell k at index k
+  std::size_t cells_present = 0;   ///< valid records (always a prefix)
   std::uintmax_t valid_bytes = 0;  ///< header + accepted records, with '\n'
   bool dropped_tail = false;       ///< a torn/corrupt trailing record existed
 };
 
+/// Called once per valid record, in cell order, with the global cell
+/// index, the raw line (without '\n') and the parsed cell.
+using CellScanSink =
+    std::function<void(std::size_t, const std::string&, ParsedCell&&)>;
+
+/// Scan the `count` records of global cells [first, first + count) that
+/// `path` should hold under `header`. Streamed line by line: the scan
+/// holds one line at a time and hands each valid record to `on_cell`, so
+/// resume/summarize/merge run in O(1) memory per record.
 JsonlScan scan_jsonl(const std::string& path, const std::string& header,
-                     const std::vector<CellRef>& layout,
-                     const std::vector<ConfigSpec>& configs) {
-  // Streamed line by line: resume/summarize hold one line plus the parsed
-  // cells, not the whole file. After a successful getline, eof() set means
-  // the line had no trailing '\n' — a record torn mid-write.
+                     const CellQueue& layout, std::size_t first,
+                     std::size_t count,
+                     const std::vector<ConfigSpec>& configs,
+                     const CellScanSink& on_cell) {
+  // After a successful getline, eof() set means the line had no trailing
+  // '\n' — a record torn mid-write.
   std::ifstream file(path, std::ios::binary);
   if (!file)
     throw std::runtime_error("cannot open campaign results: " + path);
@@ -394,55 +463,100 @@ JsonlScan scan_jsonl(const std::string& path, const std::string& header,
         path);
   scan.valid_bytes = line.size() + 1;
 
-  for (std::size_t k = 0; k < layout.size(); ++k) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t k = first + i;
     if (!std::getline(file, line)) break;
     if (file.eof()) {
       scan.dropped_tail = true;
       break;
     }
     ParsedCell cell;
+    const CellRef ref = layout.at(k);
     const bool valid = parse_cell_line(line, configs, cell) &&
-                       cell.cell == k && cell.point == layout[k].point &&
-                       cell.rep == layout[k].rep;
+                       cell.cell == k && cell.point == ref.point &&
+                       cell.rep == ref.rep;
     if (!valid) {
       // A broken record is tolerated only as the very last line (a write
-      // cut short by the interrupt); the in-order writer cannot produce
+      // cut short by the interrupt); the in-order committer cannot produce
       // valid data after a bad record.
       if (more_content())
         throw std::runtime_error("corrupt campaign record mid-file: " + path);
       scan.dropped_tail = true;
       break;
     }
-    scan.cells.push_back(std::move(cell));
+    if (on_cell) on_cell(k, line, std::move(cell));
+    ++scan.cells_present;
     scan.valid_bytes += line.size() + 1;
   }
-  if (scan.cells.size() == layout.size() && more_content())
+  if (scan.cells_present == count && more_content())
     throw std::runtime_error("trailing data beyond the campaign grid: " +
                              path);
   return scan;
 }
 
-std::vector<PointResult> aggregate_points(
-    const std::vector<Scenario>& points,
-    const std::vector<ConfigSpec>& configs, std::vector<CellResult>&& cells,
-    std::size_t cells_present) {
-  std::vector<PointResult> aggregated;
-  aggregated.reserve(points.size());
-  std::size_t offset = 0;
-  for (const Scenario& point : points) {
-    const auto runs = static_cast<std::size_t>(point.runs);
-    const std::size_t available =
-        offset >= cells_present
-            ? 0
-            : std::min(runs, cells_present - offset);
-    std::vector<CellResult> slice(
-        std::make_move_iterator(cells.begin() + static_cast<std::ptrdiff_t>(offset)),
-        std::make_move_iterator(cells.begin() +
-                                static_cast<std::ptrdiff_t>(offset + available)));
-    aggregated.push_back(aggregate_point(configs, slice));
-    offset += runs;
+/// Shared core of run_grid and run_shard: execute global cells
+/// [first, first + count) of the flattened grid, streaming records to
+/// `path` (under `header`; empty path keeps results in memory) and
+/// retiring each cell in order through `fold`. With resume, the file's
+/// valid prefix is adopted (folded, not recomputed) and the torn tail
+/// dropped, exactly as before the storage layer existed.
+void run_cell_span(const std::vector<Scenario>& points,
+                   const std::vector<ConfigSpec>& configs,
+                   const CellQueue& queue, std::size_t first,
+                   std::size_t count, const std::string& header,
+                   const std::string& path, const GridRunOptions& options,
+                   const OrderedCommitter::Fold& fold) {
+  std::size_t done = 0;
+  std::ofstream sink;
+  if (!path.empty()) {
+    namespace fs = std::filesystem;
+    if (options.resume && fs::exists(path)) {
+      const JsonlScan scan = scan_jsonl(
+          path, header, queue, first, count, configs,
+          [&fold](std::size_t k, const std::string&, ParsedCell&& cell) {
+            if (fold) fold(k, cell.result);
+          });
+      done = scan.cells_present;
+      // Drop the torn tail so the append below continues a clean prefix.
+      if (fs::file_size(path) > scan.valid_bytes)
+        fs::resize_file(path, scan.valid_bytes);
+      sink.open(path, std::ios::binary | std::ios::app);
+      if (!sink) throw std::runtime_error("cannot write " + path);
+      if (scan.valid_bytes == 0) {
+        sink << header << '\n';
+        sink.flush();
+      }
+    } else {
+      sink.open(path, std::ios::binary | std::ios::trunc);
+      if (!sink) throw std::runtime_error("cannot write " + path);
+      sink << header << '\n';
+      sink.flush();
+    }
   }
-  return aggregated;
+
+  const std::unique_ptr<ResultSpill> spill = make_result_spill(
+      options.storage, options.storage_dir, options.spill_ram_budget_bytes);
+  OrderedCommitter committer(sink.is_open() ? &sink : nullptr, first + done,
+                             *spill, configs, fold);
+  if (done < count) {
+    parallel_for(
+        count - done,
+        [&](std::size_t index) {
+          const std::size_t k = first + done + index;
+          const CellRef ref = queue.at(k);
+          const CellResult result =
+              run_cell(points[ref.point], configs, ref.rep);
+          // Per-worker reusable line buffer (the committer copies only
+          // what it must spill).
+          thread_local std::string line;
+          cell_line(k, ref.point, ref.rep, result, configs, line);
+          committer.commit(k, result, line);
+        },
+        options.threads);
+  }
+  COREDIS_EXPECTS(committer.drained());
+  if (sink.is_open() && !sink)
+    throw std::runtime_error("failed writing " + path);
 }
 
 std::vector<Scenario> materialize(const Campaign& campaign) {
@@ -604,62 +718,19 @@ Campaign load_campaign(const std::string& path, Scenario base) {
 std::vector<PointResult> run_grid(const std::vector<Scenario>& points,
                                   const std::vector<ConfigSpec>& configs,
                                   const GridRunOptions& options) {
-  const std::vector<CellRef> cells = layout_cells(points);
-  const std::size_t total = cells.size();
-  std::vector<CellResult> results(total);
-
-  std::size_t done = 0;
-  std::ofstream sink;
-  if (!options.jsonl_path.empty()) {
-    namespace fs = std::filesystem;
-    const std::string header = header_line(points, configs);
-    if (options.resume && fs::exists(options.jsonl_path)) {
-      JsonlScan scan = scan_jsonl(options.jsonl_path, header, cells, configs);
-      done = scan.cells.size();
-      for (std::size_t k = 0; k < done; ++k)
-        results[k] = std::move(scan.cells[k].result);
-      // Drop the torn tail so the append below continues a clean prefix.
-      if (fs::file_size(options.jsonl_path) > scan.valid_bytes)
-        fs::resize_file(options.jsonl_path, scan.valid_bytes);
-      sink.open(options.jsonl_path, std::ios::binary | std::ios::app);
-      if (!sink)
-        throw std::runtime_error("cannot write " + options.jsonl_path);
-      if (scan.valid_bytes == 0) {
-        sink << header << '\n';
-        sink.flush();
-      }
-    } else {
-      sink.open(options.jsonl_path, std::ios::binary | std::ios::trunc);
-      if (!sink)
-        throw std::runtime_error("cannot write " + options.jsonl_path);
-      sink << header << '\n';
-      sink.flush();
-    }
-  }
-
-  OrderedJsonlWriter writer(sink.is_open() ? &sink : nullptr, done);
-  if (done < total) {
-    parallel_for(
-        total - done,
-        [&](std::size_t index) {
-          const std::size_t k = done + index;
-          const CellRef ref = cells[k];
-          results[k] = run_cell(points[ref.point], configs, ref.rep);
-          if (sink.is_open()) {
-            // Per-worker reusable line buffer (the committer copies it).
-            thread_local std::string line;
-            cell_line(k, ref.point, ref.rep, results[k], configs, line);
-            writer.commit(k, line);
-          }
-        },
-        options.threads);
-  }
-  if (sink.is_open()) {
-    COREDIS_EXPECTS(writer.drained());
-    if (!sink) throw std::runtime_error("failed writing " + options.jsonl_path);
-  }
-
-  return aggregate_points(points, configs, std::move(results), total);
+  const std::unique_ptr<CellQueue> queue = make_cell_queue(
+      options.storage, runs_per_point(points), options.storage_dir);
+  // Aggregates build incrementally as the committer retires cells in
+  // order — the run holds O(points) statistics, never O(cells) results.
+  std::vector<PointResult> aggregated = point_frames(points, configs);
+  const OrderedCommitter::Fold fold =
+      [&aggregated, &queue](std::size_t k, const CellResult& result) {
+        fold_cell(aggregated[queue->at(k).point], result);
+      };
+  run_cell_span(points, configs, *queue, 0, queue->size(),
+                header_line(points, configs), options.jsonl_path, options,
+                fold);
+  return aggregated;
 }
 
 std::vector<PointResult> run_campaign(const Campaign& campaign,
@@ -667,24 +738,135 @@ std::vector<PointResult> run_campaign(const Campaign& campaign,
   return run_grid(materialize(campaign), campaign.configs, options);
 }
 
+// --- the shard fabric -----------------------------------------------------
+
+ShardSpec parse_shard_spec(const std::string& text) {
+  ShardSpec shard;
+  std::size_t pos = 0;
+  const bool ok = scan_size(text, pos, shard.index) &&
+                  expect_token(text, pos, "/") &&
+                  scan_size(text, pos, shard.count) && pos == text.size();
+  if (!ok)
+    throw std::runtime_error(
+        "shard spec must be <index>/<count>, e.g. 1/4 (got '" + text + "')");
+  if (shard.count == 0 || shard.index >= shard.count)
+    throw std::runtime_error("shard index " + std::to_string(shard.index) +
+                             " out of range for " +
+                             std::to_string(shard.count) + " workers");
+  return shard;
+}
+
+std::pair<std::size_t, std::size_t> shard_range(std::size_t total_cells,
+                                                const ShardSpec& shard) {
+  COREDIS_EXPECTS(shard.count > 0 && shard.index < shard.count);
+  // Balanced contiguous ranges: sizes differ by at most one and the
+  // W ranges tile [0, total) exactly, whatever total % count is.
+  return {total_cells * shard.index / shard.count,
+          total_cells * (shard.index + 1) / shard.count};
+}
+
+std::string shard_path(const std::string& jsonl_path, const ShardSpec& shard) {
+  std::filesystem::path path(jsonl_path);
+  const std::string extension = path.extension().string();
+  path.replace_extension();
+  path += ".shard" + std::to_string(shard.index) + "of" +
+          std::to_string(shard.count) + extension;
+  return path.string();
+}
+
+void run_shard(const std::vector<Scenario>& points,
+               const std::vector<ConfigSpec>& configs, const ShardSpec& shard,
+               const GridRunOptions& options) {
+  if (options.jsonl_path.empty())
+    throw std::runtime_error(
+        "shard runs need a JSONL output path to derive their shard file");
+  const std::unique_ptr<CellQueue> queue = make_cell_queue(
+      options.storage, runs_per_point(points), options.storage_dir);
+  const auto [begin, end] = shard_range(queue->size(), shard);
+  run_cell_span(points, configs, *queue, begin, end - begin,
+                shard_header_line(points, configs, shard, begin, end),
+                shard_path(options.jsonl_path, shard), options, {});
+}
+
+void merge_shards(const std::vector<Scenario>& points,
+                  const std::vector<ConfigSpec>& configs, std::size_t workers,
+                  const std::string& jsonl_path) {
+  namespace fs = std::filesystem;
+  if (workers == 0)
+    throw std::runtime_error("merge needs at least one shard");
+  const std::unique_ptr<CellQueue> queue =
+      make_cell_queue(StorageKind::Ram, runs_per_point(points));
+  std::ofstream out(jsonl_path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + jsonl_path);
+  try {
+    // The single-process header, then every shard's record lines verbatim
+    // in global cell order: the merged bytes are the uninterrupted
+    // single-process artifact by construction.
+    out << header_line(points, configs) << '\n';
+    for (std::size_t k = 0; k < workers; ++k) {
+      const ShardSpec shard{k, workers};
+      const auto [begin, end] = shard_range(queue->size(), shard);
+      const std::string path = shard_path(jsonl_path, shard);
+      const std::string spec =
+          std::to_string(k) + "/" + std::to_string(workers);
+      if (!fs::exists(path))
+        throw std::runtime_error("missing shard file " + path +
+                                 ": run shard " + spec + " with --worker " +
+                                 spec + " before merging");
+      const JsonlScan scan = scan_jsonl(
+          path, shard_header_line(points, configs, shard, begin, end), *queue,
+          begin, end - begin, configs,
+          [&out](std::size_t, const std::string& line, ParsedCell&&) {
+            out << line << '\n';
+          });
+      if (scan.cells_present != end - begin)
+        throw std::runtime_error(
+            "shard file " + path + " is incomplete (" +
+            std::to_string(scan.cells_present) + " of " +
+            std::to_string(end - begin) + " cells" +
+            (scan.dropped_tail ? ", torn tail" : "") +
+            "): resume it with --worker " + spec + " --resume, then merge");
+    }
+    out.flush();
+    if (!out) throw std::runtime_error("failed writing " + jsonl_path);
+  } catch (...) {
+    // Never leave a half-merged artifact behind a loud refusal.
+    out.close();
+    std::error_code ignored;
+    fs::remove(jsonl_path, ignored);
+    throw;
+  }
+}
+
+void run_campaign_shard(const Campaign& campaign, const ShardSpec& shard,
+                        const GridRunOptions& options) {
+  run_shard(materialize(campaign), campaign.configs, shard, options);
+}
+
+void merge_campaign_shards(const Campaign& campaign, std::size_t workers,
+                           const std::string& jsonl_path) {
+  merge_shards(materialize(campaign), campaign.configs, workers, jsonl_path);
+}
+
 std::vector<PointResult> summarize_jsonl(const Campaign& campaign,
                                          const std::string& path,
                                          JsonlCoverage* coverage) {
   const std::vector<Scenario> points = materialize(campaign);
-  const std::vector<CellRef> cells = layout_cells(points);
-  JsonlScan scan =
-      scan_jsonl(path, header_line(points, campaign.configs), cells,
-                 campaign.configs);
+  const std::unique_ptr<CellQueue> queue =
+      make_cell_queue(StorageKind::Ram, runs_per_point(points));
+  std::vector<PointResult> aggregated = point_frames(points, campaign.configs);
+  const JsonlScan scan = scan_jsonl(
+      path, header_line(points, campaign.configs), *queue, 0, queue->size(),
+      campaign.configs,
+      [&aggregated](std::size_t, const std::string&, ParsedCell&& cell) {
+        fold_cell(aggregated[cell.point], cell.result);
+      });
   if (coverage != nullptr) {
-    coverage->cells_present = scan.cells.size();
-    coverage->cells_total = cells.size();
+    coverage->cells_present = scan.cells_present;
+    coverage->cells_total = queue->size();
     coverage->dropped_corrupt_tail = scan.dropped_tail;
   }
-  std::vector<CellResult> results(cells.size());
-  for (std::size_t k = 0; k < scan.cells.size(); ++k)
-    results[k] = std::move(scan.cells[k].result);
-  return aggregate_points(points, campaign.configs, std::move(results),
-                          scan.cells.size());
+  return aggregated;
 }
 
 std::string render_campaign_table(const Campaign& campaign,

@@ -44,10 +44,12 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
+#include "exp/storage.hpp"
 
 namespace coredis::exp {
 
@@ -109,6 +111,15 @@ struct GridRunOptions {
   bool resume = false;
   /// Worker override for the global queue (0 = default_thread_count()).
   std::size_t threads = 0;
+  /// Storage backend for the cell queue and the out-of-order result spill
+  /// (DESIGN.md section 7.5). `ram` is the historical behavior; `file`
+  /// bounds RAM at O(points) + spill_ram_budget_bytes however large the
+  /// grid is. The choice cannot reach the output bytes or aggregates.
+  StorageKind storage = StorageKind::Ram;
+  /// Scratch directory for the file backend (empty: system temp dir).
+  std::string storage_dir;
+  /// Result payload the file-backed spill keeps resident in RAM.
+  std::size_t spill_ram_budget_bytes = std::size_t{16} << 20;
 };
 
 /// Run every (point, repetition) cell of `points` x `configs` through one
@@ -122,6 +133,60 @@ struct GridRunOptions {
 /// run_grid over the campaign's materialized grid points.
 [[nodiscard]] std::vector<PointResult> run_campaign(
     const Campaign& campaign, const GridRunOptions& options = {});
+
+// --- distributed shard fabric (DESIGN.md section 7.4) ---------------------
+//
+// A distributed campaign partitions the flattened cell space [0, cells)
+// into `count` contiguous ranges; worker k computes global cells
+// [shard_range(total, {k, count})) and streams them — with their *global*
+// cell indices and the exact single-process record bytes — to its own
+// shard file under a shard header. merge_shards then validates every
+// shard and concatenates the record lines under the single-process
+// campaign header, so the merged artifact is byte-identical (cmp) to the
+// file one uninterrupted run_grid would have produced.
+
+/// One shard of a distributed campaign: worker `index` of `count`.
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+};
+
+/// Parse "<index>/<count>" (e.g. "1/4"); throws std::runtime_error on
+/// malformed specs and on index >= count.
+[[nodiscard]] ShardSpec parse_shard_spec(const std::string& text);
+
+/// Contiguous global cell range [begin, end) of the shard: balanced
+/// (sizes differ by at most one) and tiling [0, total_cells) exactly.
+[[nodiscard]] std::pair<std::size_t, std::size_t> shard_range(
+    std::size_t total_cells, const ShardSpec& shard);
+
+/// The shard's own JSONL file, derived from the final artifact path:
+/// "out.jsonl" -> "out.shard1of4.jsonl".
+[[nodiscard]] std::string shard_path(const std::string& jsonl_path,
+                                     const ShardSpec& shard);
+
+/// Run one shard's cells into shard_path(options.jsonl_path, shard).
+/// Same committer, storage and resume semantics as run_grid — a killed
+/// worker rerun with resume=true adopts its shard file's valid prefix.
+/// Throws std::runtime_error when options.jsonl_path is empty.
+void run_shard(const std::vector<Scenario>& points,
+               const std::vector<ConfigSpec>& configs, const ShardSpec& shard,
+               const GridRunOptions& options);
+
+/// Reassemble `workers` completed shard files into the single-process
+/// artifact at jsonl_path (overwritten). Refuses loudly — naming the
+/// offending shard file — when a shard is missing, incomplete, torn at
+/// the tail, corrupt, or from a different grid; on failure the partial
+/// output is removed.
+void merge_shards(const std::vector<Scenario>& points,
+                  const std::vector<ConfigSpec>& configs, std::size_t workers,
+                  const std::string& jsonl_path);
+
+/// run_shard / merge_shards over the campaign's materialized grid.
+void run_campaign_shard(const Campaign& campaign, const ShardSpec& shard,
+                        const GridRunOptions& options);
+void merge_campaign_shards(const Campaign& campaign, std::size_t workers,
+                           const std::string& jsonl_path);
 
 /// How much of a campaign a JSONL results file covers.
 struct JsonlCoverage {

@@ -322,7 +322,37 @@ std::string render_bench_trend(const std::vector<BenchBaseline>& files) {
     }
     table.add_row(row);
   }
-  return table.to_string();
+
+  // Peak-RSS series, appended only when some baseline recorded it
+  // (bench_json gained per-scenario `peak_rss_kb` in PR 7) — older
+  // trajectories render the unchanged timing table. Memory is not
+  // machine-speed, so no calibration normalization here.
+  bool any_rss = false;
+  for (const BenchBaseline& file : files)
+    any_rss |= file.json.find("\"peak_rss_kb\":") != std::string::npos;
+  if (!any_rss) return table.to_string();
+
+  std::vector<std::string> rss_headers{"scenario"};
+  for (const BenchBaseline& file : files)
+    rss_headers.push_back(file.label + " (peak MB)");
+  TextTable rss_table(std::move(rss_headers));
+  for (const std::string& name : scenario_names(files)) {
+    std::vector<std::string> row{name};
+    bool any = false;
+    for (const BenchBaseline& file : files) {
+      const double kb = scenario_value(file.json, name, "peak_rss_kb");
+      if (kb <= 0.0) {
+        row.push_back("-");
+        continue;
+      }
+      any = true;
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, "%.1f", kb / 1024.0);
+      row.push_back(buffer);
+    }
+    if (any) rss_table.add_row(row);
+  }
+  return table.to_string() + "\n" + rss_table.to_string();
 }
 
 double mean_normalized(const Sweep& sweep, std::size_t config) {

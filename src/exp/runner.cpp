@@ -170,24 +170,30 @@ CellResult run_cell(const Scenario& scenario,
   return cell;
 }
 
+PointResult make_point_frame(const std::vector<ConfigSpec>& configs) {
+  PointResult point;
+  point.configs.resize(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c)
+    point.configs[c].name = configs[c].name;
+  return point;
+}
+
+void fold_cell(PointResult& point, const CellResult& cell) {
+  point.baseline_makespan.add(cell.baseline);
+  for (std::size_t c = 0; c < point.configs.size(); ++c) {
+    const core::RunResult& r = cell.results[c];
+    ConfigOutcome& out = point.configs[c];
+    out.makespan.add(r.makespan);
+    out.normalized.add(r.makespan / cell.baseline);
+    out.redistributions.add(static_cast<double>(r.redistributions));
+    out.effective_faults.add(static_cast<double>(r.faults_effective));
+  }
+}
+
 PointResult aggregate_point(const std::vector<ConfigSpec>& configs,
                             const std::vector<CellResult>& cells) {
-  const auto n_configs = configs.size();
-  PointResult point;
-  point.configs.resize(n_configs);
-  for (std::size_t c = 0; c < n_configs; ++c)
-    point.configs[c].name = configs[c].name;
-  for (const CellResult& cell : cells) {
-    point.baseline_makespan.add(cell.baseline);
-    for (std::size_t c = 0; c < n_configs; ++c) {
-      const core::RunResult& r = cell.results[c];
-      ConfigOutcome& out = point.configs[c];
-      out.makespan.add(r.makespan);
-      out.normalized.add(r.makespan / cell.baseline);
-      out.redistributions.add(static_cast<double>(r.redistributions));
-      out.effective_faults.add(static_cast<double>(r.faults_effective));
-    }
-  }
+  PointResult point = make_point_frame(configs);
+  for (const CellResult& cell : cells) fold_cell(point, cell);
   return point;
 }
 

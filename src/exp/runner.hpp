@@ -54,6 +54,17 @@ struct CellResult {
                                   const std::vector<ConfigSpec>& configs,
                                   std::uint64_t rep);
 
+/// An empty PointResult frame for `configs`: names set, all statistics
+/// at zero repetitions. The starting state of incremental folding.
+[[nodiscard]] PointResult make_point_frame(
+    const std::vector<ConfigSpec>& configs);
+
+/// Fold one cell into a point's statistics. Folding cells in repetition
+/// order is exactly aggregate_point — the incremental form lets a grid
+/// run aggregate each cell as the in-order committer retires it, holding
+/// O(points) state instead of every CellResult of the grid.
+void fold_cell(PointResult& point, const CellResult& cell);
+
 /// Fold per-repetition cells (indexed by rep) into the reported
 /// statistics. Cells are always folded in rep order, so the result is
 /// independent of the schedule that produced them.

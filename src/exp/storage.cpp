@@ -1,0 +1,297 @@
+#include "exp/storage.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "util/contracts.hpp"
+
+namespace coredis::exp {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Distinguishes the scratch files of cooperating worker *processes*
+/// sharing one directory; forked children must not alias their parent,
+/// so a static's address is not enough — use the pid where there is one.
+std::uint64_t process_tag() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  static const int anchor = 0;
+  return static_cast<std::uint64_t>(
+      reinterpret_cast<std::uintptr_t>(&anchor));
+#endif
+}
+
+/// A self-deleting scratch file under `dir`, opened read+write. Names
+/// carry the process tag and a process-wide sequence number so concurrent
+/// workers (and concurrent stores within one worker) never collide.
+class ScratchFile {
+ public:
+  ScratchFile(const std::string& dir, const char* tag) {
+    static std::atomic<std::uint64_t> sequence{0};
+    const fs::path parent = dir.empty() ? fs::temp_directory_path()
+                                        : fs::path(dir);
+    path_ = parent / ("coredis_" + std::string(tag) + "_" +
+                      std::to_string(process_tag()) + "_" +
+                      std::to_string(sequence.fetch_add(1)) + ".bin");
+    stream_.open(path_, std::ios::binary | std::ios::in | std::ios::out |
+                            std::ios::trunc);
+    if (!stream_)
+      throw std::runtime_error("storage: cannot create scratch file " +
+                               path_.string());
+  }
+
+  ~ScratchFile() {
+    stream_.close();
+    std::error_code ignored;
+    fs::remove(path_, ignored);
+  }
+
+  ScratchFile(const ScratchFile&) = delete;
+  ScratchFile& operator=(const ScratchFile&) = delete;
+
+  [[nodiscard]] std::fstream& stream() { return stream_; }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+  /// Drop the file back to zero bytes (backlog fully drained): the next
+  /// append starts over, so disk usage is bounded by the peak backlog.
+  void reset() {
+    stream_.flush();
+    std::error_code error;
+    fs::resize_file(path_, 0, error);
+    if (error)
+      throw std::runtime_error("storage: cannot truncate scratch file " +
+                               path_.string());
+    stream_.clear();
+  }
+
+ private:
+  fs::path path_;
+  std::fstream stream_;
+};
+
+// --- cell queues ----------------------------------------------------------
+
+class RamCellQueue final : public CellQueue {
+ public:
+  explicit RamCellQueue(const std::vector<std::size_t>& runs_per_point) {
+    std::size_t total = 0;
+    for (const std::size_t runs : runs_per_point) total += runs;
+    cells_.reserve(total);
+    for (std::size_t point = 0; point < runs_per_point.size(); ++point)
+      for (std::size_t rep = 0; rep < runs_per_point[point]; ++rep)
+        cells_.push_back({point, rep});
+  }
+
+  [[nodiscard]] CellRef at(std::size_t index) const override {
+    COREDIS_EXPECTS(index < cells_.size());
+    return cells_[index];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return cells_.size();
+  }
+
+ private:
+  std::vector<CellRef> cells_;
+};
+
+/// Fixed-width (point, rep) records streamed to a scratch file at build
+/// time; lookups read one 16-byte record back. RAM stays O(1) however
+/// large the grid is — the out-of-core trade of the file backend.
+class FileCellQueue final : public CellQueue {
+ public:
+  FileCellQueue(const std::vector<std::size_t>& runs_per_point,
+                const std::string& dir)
+      : scratch_(dir, "cellqueue") {
+    std::fstream& out = scratch_.stream();
+    for (std::size_t point = 0; point < runs_per_point.size(); ++point) {
+      for (std::size_t rep = 0; rep < runs_per_point[point]; ++rep) {
+        const std::uint64_t record[2] = {point, rep};
+        out.write(reinterpret_cast<const char*>(record), sizeof record);
+        ++size_;
+      }
+    }
+    out.flush();
+    if (!out)
+      throw std::runtime_error("storage: cannot write cell-queue layout to " +
+                               scratch_.path().string());
+  }
+
+  [[nodiscard]] CellRef at(std::size_t index) const override {
+    COREDIS_EXPECTS(index < size_);
+    // One tiny read per multi-millisecond cell: a mutex (portable, and
+    // trivially race-free under TSan) costs nothing here.
+    const std::lock_guard lock(mutex_);
+    std::fstream& in = scratch_.stream();
+    std::uint64_t record[2] = {0, 0};
+    in.seekg(static_cast<std::streamoff>(index * sizeof record));
+    in.read(reinterpret_cast<char*>(record), sizeof record);
+    if (!in)
+      throw std::runtime_error("storage: cannot read cell-queue layout from " +
+                               scratch_.path().string());
+    return {static_cast<std::size_t>(record[0]),
+            static_cast<std::size_t>(record[1])};
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept override { return size_; }
+
+ private:
+  mutable ScratchFile scratch_;
+  mutable std::mutex mutex_;
+  std::size_t size_ = 0;
+};
+
+// --- result spills --------------------------------------------------------
+
+class RamResultSpill final : public ResultSpill {
+ public:
+  void put(std::size_t index, std::string_view record) override {
+    resident_ += record.size();
+    pending_.emplace(index, std::string(record));
+  }
+
+  [[nodiscard]] bool take(std::size_t index, std::string& out) override {
+    const auto it = pending_.find(index);
+    if (it == pending_.end()) return false;
+    out = std::move(it->second);
+    resident_ -= out.size();
+    pending_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t pending() const noexcept override {
+    return pending_.size();
+  }
+
+  [[nodiscard]] std::size_t resident_bytes() const noexcept override {
+    return resident_;
+  }
+
+ private:
+  std::map<std::size_t, std::string> pending_;
+  std::size_t resident_ = 0;
+};
+
+/// Record payloads beyond the RAM budget go to a scratch file (append;
+/// reads are random); what stays in RAM is a small (offset, size) index
+/// per spilled record plus at most `budget` bytes of hot payload. The
+/// scratch file is cut back to zero whenever the backlog fully drains,
+/// so its size is bounded by the worst backlog, not the whole run.
+class FileResultSpill final : public ResultSpill {
+ public:
+  FileResultSpill(const std::string& dir, std::size_t ram_budget_bytes)
+      : scratch_(dir, "spill"), budget_(ram_budget_bytes) {}
+
+  void put(std::size_t index, std::string_view record) override {
+    if (resident_ + record.size() <= budget_) {
+      resident_ += record.size();
+      hot_.emplace(index, std::string(record));
+      return;
+    }
+    std::fstream& out = scratch_.stream();
+    out.seekp(static_cast<std::streamoff>(end_));
+    out.write(record.data(), static_cast<std::streamsize>(record.size()));
+    out.flush();
+    if (!out)
+      throw std::runtime_error("storage: cannot append to spill file " +
+                               scratch_.path().string());
+    spilled_.emplace(index, Extent{end_, record.size()});
+    end_ += record.size();
+  }
+
+  [[nodiscard]] bool take(std::size_t index, std::string& out) override {
+    if (const auto hot = hot_.find(index); hot != hot_.end()) {
+      out = std::move(hot->second);
+      resident_ -= out.size();
+      hot_.erase(hot);
+      reset_if_drained();
+      return true;
+    }
+    const auto cold = spilled_.find(index);
+    if (cold == spilled_.end()) return false;
+    out.resize(cold->second.size);
+    std::fstream& in = scratch_.stream();
+    in.seekg(static_cast<std::streamoff>(cold->second.offset));
+    in.read(out.data(), static_cast<std::streamsize>(out.size()));
+    if (!in)
+      throw std::runtime_error("storage: cannot read back spill record from " +
+                               scratch_.path().string());
+    spilled_.erase(cold);
+    reset_if_drained();
+    return true;
+  }
+
+  [[nodiscard]] std::size_t pending() const noexcept override {
+    return hot_.size() + spilled_.size();
+  }
+
+  [[nodiscard]] std::size_t resident_bytes() const noexcept override {
+    return resident_;
+  }
+
+ private:
+  struct Extent {
+    std::size_t offset = 0;
+    std::size_t size = 0;
+  };
+
+  void reset_if_drained() {
+    if (end_ != 0 && spilled_.empty()) {
+      scratch_.reset();
+      end_ = 0;
+    }
+  }
+
+  ScratchFile scratch_;
+  std::size_t budget_;
+  std::map<std::size_t, std::string> hot_;
+  std::map<std::size_t, Extent> spilled_;
+  std::size_t resident_ = 0;
+  std::size_t end_ = 0;  ///< append offset (== bytes live in the scratch file)
+};
+
+}  // namespace
+
+StorageKind parse_storage_kind(const std::string& text) {
+  if (text == "ram") return StorageKind::Ram;
+  if (text == "file") return StorageKind::File;
+  throw std::runtime_error("unknown storage backend '" + text +
+                           "' (ram|file)");
+}
+
+const char* to_string(StorageKind kind) noexcept {
+  return kind == StorageKind::File ? "file" : "ram";
+}
+
+std::unique_ptr<CellQueue> make_cell_queue(
+    StorageKind kind, const std::vector<std::size_t>& runs_per_point,
+    const std::string& dir) {
+  if (kind == StorageKind::File)
+    return std::make_unique<FileCellQueue>(runs_per_point, dir);
+  return std::make_unique<RamCellQueue>(runs_per_point);
+}
+
+std::unique_ptr<ResultSpill> make_result_spill(StorageKind kind,
+                                               const std::string& dir,
+                                               std::size_t ram_budget_bytes) {
+  if (kind == StorageKind::File)
+    return std::make_unique<FileResultSpill>(dir, ram_budget_bytes);
+  return std::make_unique<RamResultSpill>();
+}
+
+}  // namespace coredis::exp

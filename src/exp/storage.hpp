@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file storage.hpp
+/// Pluggable cell-queue and result-spill storage for grid/shard runs
+/// (DESIGN.md section 7.5).
+///
+/// A campaign worker holds two data structures whose size scales with the
+/// grid, not with the machine: the *cell queue* (the (point, repetition)
+/// layout of every cell the run will execute) and the *result spill* (the
+/// serialized records of cells that finished out of order, held back until
+/// the in-order committer can append them). Both hide behind an interface
+/// with interchangeable backends, the way layered search engines stack
+/// `queue_*`/`swap_*` implementations behind one contract:
+///
+///  * `ram`  — everything in memory. Fastest; RAM is O(cells) for the
+///    queue and O(backlog bytes) for the spill. The default, and exactly
+///    the pre-storage-layer behavior.
+///  * `file` — bounded RAM. The queue streams its fixed-width layout
+///    records into an anonymous scratch file at build time and reads them
+///    back per lookup; the spill keeps at most `ram_budget_bytes` of
+///    record payload resident and appends the rest to a scratch file
+///    (record payloads on disk, a small offset index in RAM), truncating
+///    the file whenever the backlog fully drains.
+///
+/// The backend choice cannot reach any output: queues serve the same
+/// refs in the same order and spills return the same bytes, so a grid
+/// run's JSONL artifact and aggregates are byte-identical across
+/// backends (locked by tests/storage_test.cpp). Scratch files live in
+/// `dir` (defaulting to the system temp directory) and are removed on
+/// destruction.
+///
+/// Thread safety: `CellQueue::at` is const and safe to call concurrently
+/// after construction. `ResultSpill` is *externally synchronized* — the
+/// in-order committer already serializes commits under its mutex, so the
+/// spill does not pay for a second lock.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coredis::exp {
+
+/// Backend selector for the storage layer ("ram" | "file").
+enum class StorageKind { Ram, File };
+
+/// Parse "ram" / "file" (used by --storage flags). Throws
+/// std::runtime_error naming the accepted values on anything else.
+[[nodiscard]] StorageKind parse_storage_kind(const std::string& text);
+[[nodiscard]] const char* to_string(StorageKind kind) noexcept;
+
+/// One cell of the flattened grid: which scenario point it evaluates and
+/// which Monte-Carlo repetition it is.
+struct CellRef {
+  std::size_t point = 0;
+  std::size_t rep = 0;
+};
+
+/// The flattened (point, repetition) layout of a run, cell index ->
+/// CellRef. Immutable once built; lookups are concurrency-safe.
+class CellQueue {
+ public:
+  virtual ~CellQueue() = default;
+  [[nodiscard]] virtual CellRef at(std::size_t index) const = 0;
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+};
+
+/// Holds byte records keyed by cell index until the committer drains
+/// them in order. put/take round-trip the exact bytes.
+class ResultSpill {
+ public:
+  virtual ~ResultSpill() = default;
+  /// Store `record` under `index` (indices are unique until taken).
+  virtual void put(std::size_t index, std::string_view record) = 0;
+  /// Remove the record at `index` into `out`; false when absent.
+  [[nodiscard]] virtual bool take(std::size_t index, std::string& out) = 0;
+  /// Records currently held.
+  [[nodiscard]] virtual std::size_t pending() const noexcept = 0;
+  /// Bytes of record payload currently resident in RAM (diagnostic; the
+  /// file backend keeps this at or under its budget).
+  [[nodiscard]] virtual std::size_t resident_bytes() const noexcept = 0;
+};
+
+/// Build a cell queue over `runs_per_point` (point i contributes
+/// runs_per_point[i] consecutive cells). The file backend writes its
+/// layout into a scratch file under `dir` (empty: the system temp
+/// directory); construction streams, so peak RAM is O(points).
+[[nodiscard]] std::unique_ptr<CellQueue> make_cell_queue(
+    StorageKind kind, const std::vector<std::size_t>& runs_per_point,
+    const std::string& dir = {});
+
+/// Build a result spill. The file backend keeps at most
+/// `ram_budget_bytes` of payload in RAM and spills the rest under `dir`;
+/// the ram backend ignores both knobs.
+[[nodiscard]] std::unique_ptr<ResultSpill> make_result_spill(
+    StorageKind kind, const std::string& dir = {},
+    std::size_t ram_budget_bytes = std::size_t{16} << 20);
+
+}  // namespace coredis::exp

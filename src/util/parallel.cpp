@@ -62,6 +62,13 @@ bool affinity_sharding_default() {
   return on;
 }
 
+std::size_t thread_budget_share(std::size_t workers, std::size_t index) {
+  if (workers == 0) return default_thread_count();
+  const std::size_t total = default_thread_count();
+  const std::size_t share = total / workers + (index < total % workers);
+  return std::max<std::size_t>(share, 1);
+}
+
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body,
                   const ParallelOptions& options) {

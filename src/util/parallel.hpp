@@ -24,6 +24,15 @@ namespace coredis {
 /// dynamic schedule is the right choice for uneven run lengths.
 [[nodiscard]] bool affinity_sharding_default();
 
+/// Fair slice of the machine's thread budget for worker `index` of
+/// `workers` co-scheduled worker processes: the default_thread_count()
+/// threads split as evenly as possible (the first total % workers
+/// workers get one extra), never below 1 — so N local campaign workers
+/// oversubscribe nothing while every worker keeps making progress even
+/// when workers > threads.
+[[nodiscard]] std::size_t thread_budget_share(std::size_t workers,
+                                              std::size_t index);
+
 /// Scheduling options of parallel_for. The two schedules produce the
 /// same outputs for the same inputs — results are indexed by i, so only
 /// which worker computes an index changes — the choice is purely a

@@ -1,8 +1,10 @@
 /// Campaign orchestrator tests (exp/campaign.hpp): grid parsing with
 /// line-numbered errors, whole-grid execution equivalence with run_point,
-/// byte-identical JSONL under any thread count, and the interrupt/resume
-/// contract (truncated and corrupted-tail files).
+/// byte-identical JSONL under any thread count, the interrupt/resume
+/// contract (truncated and corrupted-tail files), and the distributed
+/// shard fabric (shard ranges, worker shard files, byte-identical merge).
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdlib>
 #include <filesystem>
@@ -499,6 +501,225 @@ TEST(CampaignOnline, OnlineCellsRewardMalleabilityAtHighLoad) {
   // counters as the engine.
   EXPECT_GT(high.configs[0].redistributions.mean(), 0.0);
   EXPECT_EQ(high.configs[1].redistributions.mean(), 0.0);
+}
+
+// --- the distributed shard fabric (DESIGN.md section 7.4) -----------------
+
+TEST(CampaignShard, ParsesSpecsAndRejectsMalformedOnes) {
+  EXPECT_EQ(parse_shard_spec("1/4").index, 1u);
+  EXPECT_EQ(parse_shard_spec("1/4").count, 4u);
+  EXPECT_EQ(parse_shard_spec("0/1").count, 1u);
+  for (const char* bad : {"4/4", "0/0", "x/4", "1-4", "1/4 ", "1/", "/4", ""})
+    EXPECT_THROW((void)parse_shard_spec(bad), std::runtime_error) << bad;
+}
+
+TEST(CampaignShard, RangesTileTheCellSpaceInBalance) {
+  for (const std::size_t total : {0u, 1u, 7u, 8u, 23u}) {
+    for (const std::size_t workers : {1u, 2u, 3u, 5u, 9u}) {
+      std::size_t expected_begin = 0;
+      std::size_t min_size = total + 1;
+      std::size_t max_size = 0;
+      for (std::size_t k = 0; k < workers; ++k) {
+        const auto [begin, end] = shard_range(total, {k, workers});
+        EXPECT_EQ(begin, expected_begin)
+            << "shard " << k << "/" << workers << " over " << total;
+        EXPECT_LE(begin, end);
+        expected_begin = end;
+        min_size = std::min(min_size, end - begin);
+        max_size = std::max(max_size, end - begin);
+      }
+      EXPECT_EQ(expected_begin, total);
+      EXPECT_LE(max_size - min_size, 1u);
+    }
+  }
+}
+
+TEST(CampaignShard, ShardPathSplicesBeforeTheExtension) {
+  EXPECT_EQ(shard_path("out.jsonl", {0, 4}), "out.shard0of4.jsonl");
+  EXPECT_EQ(shard_path("noext", {1, 2}), "noext.shard1of2");
+  const std::filesystem::path nested =
+      std::filesystem::path("dir") / "results.jsonl";
+  EXPECT_EQ(shard_path(nested.string(), {2, 3}),
+            (std::filesystem::path("dir") / "results.shard2of3.jsonl")
+                .string());
+}
+
+/// Run every shard of `campaign` for `workers` workers into the shard
+/// files of `out`, then merge into `out`.
+void run_all_shards_and_merge(const Campaign& campaign, std::size_t workers,
+                              const std::string& out) {
+  for (std::size_t k = 0; k < workers; ++k) {
+    GridRunOptions options;
+    options.jsonl_path = out;
+    options.threads = 2;
+    run_campaign_shard(campaign, {k, workers}, options);
+  }
+  merge_campaign_shards(campaign, workers, out);
+}
+
+void remove_shard_files(const std::string& out, std::size_t workers) {
+  for (std::size_t k = 0; k < workers; ++k)
+    std::filesystem::remove(shard_path(out, {k, workers}));
+}
+
+TEST(CampaignShard, MergedShardsAreByteIdenticalToSingleProcess) {
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  const auto single_path = temp_jsonl("shard_single");
+  std::filesystem::remove(single_path);
+  GridRunOptions options;
+  options.jsonl_path = single_path.string();
+  options.threads = 2;
+  const std::vector<PointResult> single = run_campaign(campaign, options);
+  const std::string reference = read_file(single_path);
+
+  // 16 workers > 8 cells: some shards are legitimately empty.
+  for (const std::size_t workers : {1u, 2u, 3u, 8u, 16u}) {
+    const auto path = temp_jsonl("shard_w" + std::to_string(workers));
+    std::filesystem::remove(path);
+    run_all_shards_and_merge(campaign, workers, path.string());
+    EXPECT_EQ(read_file(path), reference) << workers << " workers";
+    // The merged artifact summarizes exactly like the single-process one.
+    expect_same_points(summarize_jsonl(campaign, path.string()), single);
+    remove_shard_files(path.string(), workers);
+    std::filesystem::remove(path);
+  }
+  std::filesystem::remove(single_path);
+}
+
+TEST(CampaignShard, TornShardResumesToAnIdenticalMerge) {
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  const auto single_path = temp_jsonl("shard_torn_single");
+  std::filesystem::remove(single_path);
+  GridRunOptions options;
+  options.jsonl_path = single_path.string();
+  options.threads = 2;
+  (void)run_campaign(campaign, options);
+
+  const auto out = temp_jsonl("shard_torn");
+  std::filesystem::remove(out);
+  GridRunOptions shard_options;
+  shard_options.jsonl_path = out.string();
+  shard_options.threads = 2;
+  run_campaign_shard(campaign, {0, 2}, shard_options);
+  run_campaign_shard(campaign, {1, 2}, shard_options);
+
+  // Kill simulation: shard 0 loses half of its last record (no newline),
+  // exactly what a SIGKILL mid-append leaves behind.
+  const std::string shard0 = shard_path(out.string(), {0, 2});
+  const std::string full_shard = read_file(shard0);
+  const std::vector<std::string> lines = lines_of(full_shard);
+  std::string torn;
+  for (std::size_t i = 0; i + 1 < lines.size(); ++i) torn += lines[i] + '\n';
+  torn += lines.back().substr(0, lines.back().size() / 2);
+  write_file(shard0, torn);
+
+  // Merging the torn shard refuses loudly and leaves no artifact behind.
+  try {
+    merge_campaign_shards(campaign, 2, out.string());
+    FAIL() << "must refuse a torn shard";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(shard0), std::string::npos) << what;
+    EXPECT_NE(what.find("incomplete"), std::string::npos) << what;
+  }
+  EXPECT_FALSE(std::filesystem::exists(out));
+
+  // The re-issued worker resumes its own shard file; the merge is then
+  // byte-identical to the uninterrupted single-process artifact.
+  GridRunOptions resume = shard_options;
+  resume.resume = true;
+  run_campaign_shard(campaign, {0, 2}, resume);
+  EXPECT_EQ(read_file(shard0), full_shard);
+  merge_campaign_shards(campaign, 2, out.string());
+  EXPECT_EQ(read_file(out), read_file(single_path));
+
+  remove_shard_files(out.string(), 2);
+  std::filesystem::remove(out);
+  std::filesystem::remove(single_path);
+}
+
+TEST(CampaignShard, MergeRefusesMissingMismatchedAndOversizedShards) {
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  const auto out = temp_jsonl("shard_refuse");
+  std::filesystem::remove(out);
+  GridRunOptions options;
+  options.jsonl_path = out.string();
+  options.threads = 2;
+  run_campaign_shard(campaign, {0, 2}, options);
+  const std::string shard0 = shard_path(out.string(), {0, 2});
+  const std::string shard1 = shard_path(out.string(), {1, 2});
+
+  // Missing shard 1: the refusal names the missing file.
+  try {
+    merge_campaign_shards(campaign, 2, out.string());
+    FAIL() << "must refuse a missing shard";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find(shard1), std::string::npos)
+        << error.what();
+  }
+  EXPECT_FALSE(std::filesystem::exists(out));
+
+  // A shard of a *different* campaign is a fingerprint mismatch.
+  Campaign other = campaign;
+  other.grid.base.seed = 7;
+  GridRunOptions other_options = options;
+  run_campaign_shard(other, {1, 2}, other_options);
+  EXPECT_THROW(merge_campaign_shards(campaign, 2, out.string()),
+               std::runtime_error);
+  EXPECT_FALSE(std::filesystem::exists(out));
+
+  // Trailing data beyond the shard's range refuses too.
+  run_campaign_shard(campaign, {1, 2}, options);
+  {
+    std::ofstream append(shard1, std::ios::binary | std::ios::app);
+    append << "{\"cell\":99}\n";
+  }
+  EXPECT_THROW(merge_campaign_shards(campaign, 2, out.string()),
+               std::runtime_error);
+  EXPECT_FALSE(std::filesystem::exists(out));
+
+  // Shard files are not campaign files: resuming the final artifact from
+  // a shard file (or merging a campaign file as a shard) cannot work.
+  GridRunOptions resume = options;
+  resume.jsonl_path = shard0;
+  resume.resume = true;
+  EXPECT_THROW((void)run_campaign(campaign, resume), std::runtime_error);
+
+  remove_shard_files(out.string(), 2);
+  std::filesystem::remove(out);
+}
+
+TEST(CampaignShard, ShardRunsNeedAnOutputPath) {
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  EXPECT_THROW(run_campaign_shard(campaign, {0, 2}, GridRunOptions{}),
+               std::runtime_error);
+}
+
+TEST(CampaignShard, FileStorageShardsMergeIdentically) {
+  // The whole fabric over the file backend with a 1-byte spill budget:
+  // worker RAM is bounded, bytes are not allowed to change.
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  const auto ram_out = temp_jsonl("shard_storage_ram");
+  const auto file_out = temp_jsonl("shard_storage_file");
+  std::filesystem::remove(ram_out);
+  std::filesystem::remove(file_out);
+  run_all_shards_and_merge(campaign, 2, ram_out.string());
+
+  for (std::size_t k = 0; k < 2; ++k) {
+    GridRunOptions options;
+    options.jsonl_path = file_out.string();
+    options.threads = 8;
+    options.storage = StorageKind::File;
+    options.spill_ram_budget_bytes = 1;
+    run_campaign_shard(campaign, {k, 2}, options);
+  }
+  merge_campaign_shards(campaign, 2, file_out.string());
+  EXPECT_EQ(read_file(file_out), read_file(ram_out));
+
+  remove_shard_files(ram_out.string(), 2);
+  remove_shard_files(file_out.string(), 2);
+  std::filesystem::remove(ram_out);
+  std::filesystem::remove(file_out);
 }
 
 TEST(CampaignSummarize, MatchesTheRunThatProducedTheFile) {

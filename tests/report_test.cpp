@@ -223,6 +223,36 @@ TEST(Report, BenchTrendGolden) {
             expected);
 }
 
+TEST(Report, BenchTrendAppendsThePeakRssSeriesWhenRecorded) {
+  // Only the newest file records peak_rss_kb (the field arrived with the
+  // PR 7 bench schema): the timing table is unchanged and the RSS table
+  // shows "-" for the older file, skipping scenarios nobody measured.
+  BenchBaseline with_rss{"BENCH_PR7",
+                         "{\n"
+                         "  \"calibration_seconds\": 0.010,\n"
+                         "  \"scenarios\": [\n"
+                         "    { \"name\": \"smoke_a\", "
+                         "\"seconds_per_run_min\": 0.012, "
+                         "\"peak_rss_kb\": 10240 },\n"
+                         "    { \"name\": \"grid_spill\", "
+                         "\"seconds_per_run_min\": 0.500, "
+                         "\"peak_rss_kb\": 39936 }\n"
+                         "  ]\n"
+                         "}\n",
+                         0.010};
+  const std::string expected =
+      "  scenario  BENCH_PR2 (ms)  BENCH_PR7 (ms)  speedup\n"
+      "---------------------------------------------------\n"
+      "   smoke_a           20.00           12.00    1.67x\n"
+      "grid_spill               -          500.00        -\n"
+      "\n"
+      "  scenario  BENCH_PR2 (peak MB)  BENCH_PR7 (peak MB)\n"
+      "----------------------------------------------------\n"
+      "   smoke_a                    -                 10.0\n"
+      "grid_spill                    -                 39.0\n";
+  EXPECT_EQ(render_bench_trend({seed_baseline(), with_rss}), expected);
+}
+
 TEST(Report, BenchTrendSeedOnlyAndEmptyListsAreNotErrors) {
   // One file: values but no trend yet.
   const std::string seed_only =

@@ -1,0 +1,186 @@
+/// Storage-layer tests (exp/storage.hpp): the ram and file backends must
+/// be interchangeable — identical cell layouts, identical record bytes
+/// through the spill — the file spill must honour a tiny RAM budget, and
+/// a whole-grid run over the file backend must reproduce the ram
+/// backend's JSONL artifact and aggregates bit for bit.
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.hpp"
+#include "exp/storage.hpp"
+
+namespace coredis::exp {
+namespace {
+
+TEST(StorageKindSelector, ParsesAndNamesBothBackends) {
+  EXPECT_EQ(parse_storage_kind("ram"), StorageKind::Ram);
+  EXPECT_EQ(parse_storage_kind("file"), StorageKind::File);
+  EXPECT_STREQ(to_string(StorageKind::Ram), "ram");
+  EXPECT_STREQ(to_string(StorageKind::File), "file");
+  try {
+    (void)parse_storage_kind("mmap");
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("mmap"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("ram|file"), std::string::npos);
+  }
+}
+
+TEST(CellQueueBackends, ServeTheSameLayoutInTheSameOrder) {
+  // Mixed repetition counts, including an empty point.
+  const std::vector<std::size_t> runs_per_point{3, 1, 0, 2};
+  const std::unique_ptr<CellQueue> ram =
+      make_cell_queue(StorageKind::Ram, runs_per_point);
+  const std::unique_ptr<CellQueue> file =
+      make_cell_queue(StorageKind::File, runs_per_point);
+  ASSERT_EQ(ram->size(), 6u);
+  ASSERT_EQ(file->size(), 6u);
+  for (std::size_t k = 0; k < ram->size(); ++k) {
+    const CellRef a = ram->at(k);
+    const CellRef b = file->at(k);
+    EXPECT_EQ(a.point, b.point) << "cell " << k;
+    EXPECT_EQ(a.rep, b.rep) << "cell " << k;
+  }
+  // The layout itself: points in order, repetitions contiguous.
+  EXPECT_EQ(ram->at(0).point, 0u);
+  EXPECT_EQ(ram->at(2).rep, 2u);
+  EXPECT_EQ(ram->at(3).point, 1u);
+  EXPECT_EQ(ram->at(4).point, 3u);
+  EXPECT_EQ(ram->at(5).rep, 1u);
+}
+
+TEST(ResultSpillBackends, RoundTripExactBytesOutOfOrder) {
+  for (const StorageKind kind : {StorageKind::Ram, StorageKind::File}) {
+    // A 16-byte budget forces the file backend to spill most records.
+    const std::unique_ptr<ResultSpill> spill = make_result_spill(kind, "", 16);
+    const std::vector<std::string> records{
+        R"({"cell":0,"x":1})", R"({"cell":1,"y":"with \"quotes\""})",
+        std::string(100, 'z'), "", R"({"cell":4})"};
+    // Arrive out of order, as a parallel grid would deliver them.
+    for (const std::size_t k : {3u, 1u, 4u, 0u, 2u})
+      spill->put(k, records[k]);
+    EXPECT_EQ(spill->pending(), records.size());
+
+    std::string out;
+    EXPECT_FALSE(spill->take(7, out)) << to_string(kind);
+    for (std::size_t k = 0; k < records.size(); ++k) {
+      ASSERT_TRUE(spill->take(k, out)) << to_string(kind) << " cell " << k;
+      EXPECT_EQ(out, records[k]) << to_string(kind) << " cell " << k;
+    }
+    EXPECT_EQ(spill->pending(), 0u);
+    EXPECT_FALSE(spill->take(0, out));
+  }
+}
+
+TEST(ResultSpillBackends, FileSpillHonoursTheRamBudget) {
+  const std::size_t budget = 64;
+  const std::unique_ptr<ResultSpill> spill =
+      make_result_spill(StorageKind::File, "", budget);
+  // 20 records of 24 bytes: at most two fit the budget at a time.
+  std::vector<std::string> records;
+  for (std::size_t k = 0; k < 20; ++k)
+    records.push_back("record-" + std::to_string(k) + "-" +
+                      std::string(24 - 9 - std::to_string(k).size(), 'x'));
+  for (std::size_t k = 0; k < records.size(); ++k) {
+    spill->put(k, records[k]);
+    EXPECT_LE(spill->resident_bytes(), budget) << "after put " << k;
+  }
+  EXPECT_EQ(spill->pending(), records.size());
+  std::string out;
+  for (std::size_t k = 0; k < records.size(); ++k) {
+    ASSERT_TRUE(spill->take(k, out));
+    EXPECT_EQ(out, records[k]);
+    EXPECT_LE(spill->resident_bytes(), budget);
+  }
+  EXPECT_EQ(spill->pending(), 0u);
+  EXPECT_EQ(spill->resident_bytes(), 0u);
+  // A drained spill starts over cleanly.
+  spill->put(0, records[0]);
+  ASSERT_TRUE(spill->take(0, out));
+  EXPECT_EQ(out, records[0]);
+}
+
+TEST(ResultSpillBackends, ScratchFilesAreRemovedOnDestruction) {
+  const std::string dir = (std::filesystem::temp_directory_path() /
+                           "coredis_storage_test_scratch")
+                              .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    const std::unique_ptr<ResultSpill> spill =
+        make_result_spill(StorageKind::File, dir, 1);
+    spill->put(0, "spilled-beyond-the-one-byte-budget");
+    EXPECT_FALSE(std::filesystem::is_empty(dir));
+  }
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+  {
+    const std::unique_ptr<CellQueue> queue =
+        make_cell_queue(StorageKind::File, {2, 2}, dir);
+    EXPECT_EQ(queue->size(), 4u);
+    EXPECT_FALSE(std::filesystem::is_empty(dir));
+  }
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StorageGrid, FileBackendReproducesTheRamArtifactBitForBit) {
+  // The pinned smoke grid of campaign_test, run once per backend; the
+  // file run gets a 1-byte spill budget (every out-of-order record goes
+  // to disk) and 8 threads (maximum reordering pressure).
+  const Campaign campaign = parse_campaign(
+      "n = 6\np = 24\nruns = 2\nseed = 20260726\nmtbf_years = 2, 50\n"
+      "fault_law = exponential, weibull\nconfigs = baseline, ig_local\n");
+  const auto path_of = [](const char* tag) {
+    return (std::filesystem::temp_directory_path() /
+            ("coredis_storage_test_" + std::string(tag) + ".jsonl"))
+        .string();
+  };
+  const auto read_all = [](const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    std::ostringstream text;
+    text << file.rdbuf();
+    return text.str();
+  };
+
+  GridRunOptions ram;
+  ram.jsonl_path = path_of("ram");
+  ram.threads = 8;
+  std::filesystem::remove(ram.jsonl_path);
+  const std::vector<PointResult> ram_points = run_campaign(campaign, ram);
+
+  GridRunOptions file = ram;
+  file.jsonl_path = path_of("file");
+  file.storage = StorageKind::File;
+  file.spill_ram_budget_bytes = 1;
+  std::filesystem::remove(file.jsonl_path);
+  const std::vector<PointResult> file_points = run_campaign(campaign, file);
+
+  EXPECT_EQ(read_all(ram.jsonl_path), read_all(file.jsonl_path));
+  ASSERT_EQ(ram_points.size(), file_points.size());
+  for (std::size_t i = 0; i < ram_points.size(); ++i) {
+    EXPECT_EQ(ram_points[i].baseline_makespan.mean(),
+              file_points[i].baseline_makespan.mean());
+    EXPECT_EQ(ram_points[i].baseline_makespan.variance(),
+              file_points[i].baseline_makespan.variance());
+    ASSERT_EQ(ram_points[i].configs.size(), file_points[i].configs.size());
+    for (std::size_t c = 0; c < ram_points[i].configs.size(); ++c) {
+      EXPECT_EQ(ram_points[i].configs[c].normalized.mean(),
+                file_points[i].configs[c].normalized.mean());
+      EXPECT_EQ(ram_points[i].configs[c].makespan.variance(),
+                file_points[i].configs[c].makespan.variance());
+    }
+  }
+  std::filesystem::remove(ram.jsonl_path);
+  std::filesystem::remove(file.jsonl_path);
+}
+
+}  // namespace
+}  // namespace coredis::exp

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <gtest/gtest.h>
 #include <set>
 #include <sstream>
@@ -152,6 +153,35 @@ TEST(Stats, MedianOddEven) {
   EXPECT_DOUBLE_EQ(median_of({5.0, 1.0, 3.0}), 3.0);
   EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 3.0, 2.0}), 2.5);
   EXPECT_DOUBLE_EQ(median_of({}), 0.0);
+}
+
+TEST(ThreadBudget, SplitsTheMachineBudgetFairly) {
+  // Pin the machine budget via COREDIS_THREADS so the assertions are
+  // deterministic on any host (restored below; the suite may itself run
+  // under an override, e.g. CI's COREDIS_THREADS=2).
+  const char* previous = std::getenv("COREDIS_THREADS");
+  const std::string saved = previous == nullptr ? "" : previous;
+  ::setenv("COREDIS_THREADS", "7", 1);
+
+  EXPECT_EQ(thread_budget_share(1, 0), 7u);
+  // 7 threads over 3 workers: 3 + 2 + 2, covering the budget exactly.
+  EXPECT_EQ(thread_budget_share(3, 0), 3u);
+  EXPECT_EQ(thread_budget_share(3, 1), 2u);
+  EXPECT_EQ(thread_budget_share(3, 2), 2u);
+  std::size_t covered = 0;
+  for (std::size_t k = 0; k < 7; ++k) covered += thread_budget_share(7, k);
+  EXPECT_EQ(covered, 7u);
+  // More workers than threads: every worker still makes progress.
+  EXPECT_EQ(thread_budget_share(16, 0), 1u);
+  EXPECT_EQ(thread_budget_share(16, 15), 1u);
+  // Degenerate "no split" spelling falls back to the whole budget.
+  EXPECT_EQ(thread_budget_share(0, 0), 7u);
+
+  if (previous == nullptr) {
+    ::unsetenv("COREDIS_THREADS");
+  } else {
+    ::setenv("COREDIS_THREADS", saved.c_str(), 1);
+  }
 }
 
 TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {

@@ -13,6 +13,17 @@
 /// regime). Runs are single-threaded and re-use one Engine per scenario,
 /// which also exercises the cross-run persistence of the coefficient
 /// table (DESIGN.md section 6).
+///
+/// The full (non-smoke) grid additionally times whole-campaign
+/// scenarios through the shard fabric (DESIGN.md section 7.4): the
+/// pinned bench campaign single-process (`grid_w1`), as four shards plus
+/// the merge (`grid_w4` — on a single-core runner the shards run one
+/// after another and the reported wall-clock is the coordinator's
+/// critical path, slowest shard + merge), and at 8 threads over the ram
+/// vs the file storage backend with a 1 MiB spill budget
+/// (`grid_ram8`/`grid_spill`). Every scenario runs in a forked child on
+/// POSIX so the report can record a true per-scenario peak RSS next to
+/// its timings.
 
 #include <algorithm>
 #include <chrono>
@@ -20,6 +31,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <iostream>
@@ -29,7 +41,17 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define COREDIS_BENCH_FORK 1
+#endif
+
 #include "core/engine.hpp"
+#include "exp/campaign.hpp"
+#include "exp/storage.hpp"
 #include "extensions/online.hpp"
 #include "fault/exponential.hpp"
 #include "fault/weibull.hpp"
@@ -57,6 +79,15 @@ struct GridPoint {
   /// Online-workload point: run_online over Poisson releases at this
   /// offered load instead of the engine (0 = engine scenario).
   double online_load = 0.0;
+  /// Whole-campaign point: run the pinned bench campaign through this
+  /// many shard-fabric workers instead of the engine (0 = not a grid
+  /// scenario; 1 = single process).
+  int grid_workers = 0;
+  /// Grid scenario only: threads per worker (1 mirrors a real worker on
+  /// this runner; 8 creates the commit reordering the spill feeds on).
+  int grid_threads = 1;
+  /// Grid scenario only: file storage backend with a 1 MiB spill budget.
+  bool grid_file_storage = false;
 };
 
 struct Measurement {
@@ -68,7 +99,23 @@ struct Measurement {
   double faults_per_run = 0.0;
   double makespan_mean = 0.0;
   double checkpoints_per_run = 0.0;
+  long peak_rss_kb = 0;  ///< per-scenario when fork-isolated, else harness
 };
+
+/// This process's high-water resident set, in KB (0 where unsupported).
+long self_peak_rss_kb() {
+#if defined(COREDIS_BENCH_FORK)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<long>(usage.ru_maxrss / 1024);  // bytes there
+#else
+  return static_cast<long>(usage.ru_maxrss);  // KB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 /// Single-core machine-speed probe: a fixed, deterministic spin over the
 /// kernel's cost profile (expm1 + divides). Recorded into the report so
@@ -77,8 +124,11 @@ struct Measurement {
 /// this the tolerance would encode their hardware ratio instead of a
 /// regression margin.
 double calibration_seconds() {
+  // Min over several attempts: on shared containers a single probe can
+  // read 1.5x+ slow, which would skew every normalized ratio the gate
+  // computes; more attempts tighten the min at negligible cost.
   double best = std::numeric_limits<double>::infinity();
-  for (int attempt = 0; attempt < 3; ++attempt) {
+  for (int attempt = 0; attempt < 7; ++attempt) {
     const auto start = std::chrono::steady_clock::now();
     double acc = 0.0, x = 1e-3;
     for (int i = 0; i < 2'000'000; ++i) {
@@ -129,6 +179,28 @@ std::vector<GridPoint> pinned_grid(bool smoke) {
                     core::FailurePolicy::ShortestTasksFirst, false, 1, 0.0});
     grid.push_back({"n5000_ig_exp", 5000, 12000,
                     core::FailurePolicy::IteratedGreedy, false, 1, 0.0});
+    // Whole-campaign scenarios over the shard fabric (kGridCampaign).
+    // grid_w1/grid_w4: single worker vs the four-worker coordinator
+    // critical path, each worker single-threaded like a real local
+    // worker here. grid_ram8/grid_spill: the same campaign at 8 threads
+    // (so commits arrive out of order and the spill engages) over the
+    // ram and file backends — the pair makes the file backend's peak-RSS
+    // cost readable at matching thread counts. One grid is one "run";
+    // the n/p columns echo the campaign's workload.
+    GridPoint grid_point{"grid_w1", 100, 1000,
+                         core::FailurePolicy::IteratedGreedy, false, 1, 0.0};
+    grid_point.grid_workers = 1;
+    grid.push_back(grid_point);
+    grid_point.name = "grid_w4";
+    grid_point.grid_workers = 4;
+    grid.push_back(grid_point);
+    grid_point.name = "grid_ram8";
+    grid_point.grid_workers = 1;
+    grid_point.grid_threads = 8;
+    grid.push_back(grid_point);
+    grid_point.name = "grid_spill";
+    grid_point.grid_file_storage = true;
+    grid.push_back(grid_point);
   }
   return grid;
 }
@@ -191,7 +263,87 @@ Measurement run_online_point(const GridPoint& point, int runs) {
   return m;
 }
 
+/// The pinned campaign behind the grid_* scenarios: one grid point (so
+/// the four shard ranges are homogeneous and the max-over-shards
+/// estimator is tight) with enough repetitions that a grid is seconds,
+/// not milliseconds, of work.
+constexpr const char* kGridCampaign =
+    "n = 100\n"
+    "p = 1000\n"
+    "runs = 600\n"
+    "seed = 20260726\n"
+    "mtbf_years = 10\n"
+    "fault_law = exponential\n"
+    "configs = baseline, stf_local, ig_local\n";
+
+/// Whole-campaign scenario: time one pass of kGridCampaign through the
+/// shard fabric. grid_workers == 1 times run_campaign directly; W > 1
+/// runs the W shards back to back — each single-threaded, exactly what a
+/// real worker process executes — and reports the coordinator's critical
+/// path, max-over-shards + merge, as the W-worker wall-clock estimator.
+Measurement run_grid_point(const GridPoint& point) {
+  namespace fs = std::filesystem;
+  Measurement m;
+  m.point = point;
+  m.runs = 1;
+
+  const exp::Campaign campaign = exp::parse_campaign(kGridCampaign);
+  const std::string base =
+      (fs::temp_directory_path() / ("coredis_bench_" + point.name + ".jsonl"))
+          .string();
+  const std::size_t workers = static_cast<std::size_t>(point.grid_workers);
+  fs::remove(base);
+  for (std::size_t k = 0; k < workers; ++k)
+    fs::remove(exp::shard_path(base, {k, workers}));
+
+  exp::GridRunOptions options;
+  options.jsonl_path = base;
+  options.threads = static_cast<std::size_t>(point.grid_threads);
+  if (point.grid_file_storage) {
+    options.storage = exp::StorageKind::File;
+    options.spill_ram_budget_bytes = std::size_t{1} << 20;
+  }
+
+  const auto seconds_of = [](const auto& body) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+  };
+
+  double wall = 0.0;
+  if (workers <= 1) {
+    std::vector<exp::PointResult> points;
+    wall = seconds_of([&] { points = exp::run_campaign(campaign, options); });
+    m.makespan_mean = points.at(0).baseline_makespan.mean();
+  } else {
+    double slowest = 0.0;
+    for (std::size_t k = 0; k < workers; ++k) {
+      const double shard_wall = seconds_of([&] {
+        exp::run_campaign_shard(campaign, {k, workers}, options);
+      });
+      slowest = std::max(slowest, shard_wall);
+    }
+    wall = slowest + seconds_of([&] {
+      exp::merge_campaign_shards(campaign, workers, base);
+    });
+    m.makespan_mean =
+        exp::summarize_jsonl(campaign, base).at(0).baseline_makespan.mean();
+    for (std::size_t k = 0; k < workers; ++k)
+      fs::remove(exp::shard_path(base, {k, workers}));
+  }
+  fs::remove(base);
+
+  m.seconds_per_run = wall;
+  m.seconds_per_run_min = wall;
+  m.events_per_sec =
+      wall > 0.0 ? static_cast<double>(campaign.cells()) / wall : 0.0;
+  return m;
+}
+
 Measurement run_point(const GridPoint& point, int runs) {
+  if (point.grid_workers > 0) return run_grid_point(point);
   if (point.online_load > 0.0) return run_online_point(point, runs);
   Measurement m;
   m.point = point;
@@ -258,12 +410,105 @@ Measurement run_point(const GridPoint& point, int runs) {
   return m;
 }
 
+#if defined(COREDIS_BENCH_FORK)
+/// The numeric fields of a Measurement, piped back from the forked
+/// child; the parent re-attaches the GridPoint (which owns a string and
+/// cannot cross the pipe as raw bytes).
+struct WireMeasurement {
+  int runs;
+  double seconds_per_run;
+  double seconds_per_run_min;
+  double events_per_sec;
+  double faults_per_run;
+  double makespan_mean;
+  double checkpoints_per_run;
+  long peak_rss_kb;
+};
+#endif
+
+/// Run one scenario in a forked child so its getrusage high-water mark is
+/// (close to) the scenario's own peak RSS, not the running maximum over
+/// every scenario before it. Falls back to an in-process run — where
+/// peak_rss_kb is that cumulative harness maximum — when fork or the
+/// pipe is unavailable, or the child fails.
+Measurement measure_point(const GridPoint& point, int runs) {
+#if defined(COREDIS_BENCH_FORK)
+  int fd[2];
+  if (pipe(fd) == 0) {
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = fork();
+    if (pid == 0) {
+      close(fd[0]);
+      int status = 1;
+      WireMeasurement wire{};
+      try {
+        const Measurement m = run_point(point, runs);
+        wire = {m.runs,           m.seconds_per_run, m.seconds_per_run_min,
+                m.events_per_sec, m.faults_per_run,  m.makespan_mean,
+                m.checkpoints_per_run, self_peak_rss_kb()};
+        status = 0;
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s: %s\n", point.name.c_str(), error.what());
+      }
+      const char* bytes = reinterpret_cast<const char*>(&wire);
+      std::size_t sent = 0;
+      while (status == 0 && sent < sizeof wire) {
+        const ssize_t n = write(fd[1], bytes + sent, sizeof wire - sent);
+        if (n <= 0) status = 1;
+        else sent += static_cast<std::size_t>(n);
+      }
+      close(fd[1]);
+      std::_Exit(status);
+    }
+    if (pid > 0) {
+      close(fd[1]);
+      WireMeasurement wire{};
+      char* bytes = reinterpret_cast<char*>(&wire);
+      std::size_t got = 0;
+      while (got < sizeof wire) {
+        const ssize_t n = read(fd[0], bytes + got, sizeof wire - got);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;
+        got += static_cast<std::size_t>(n);
+      }
+      close(fd[0]);
+      int status = 0;
+      while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      if (got == sizeof wire && WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+        Measurement m;
+        m.point = point;
+        m.runs = wire.runs;
+        m.seconds_per_run = wire.seconds_per_run;
+        m.seconds_per_run_min = wire.seconds_per_run_min;
+        m.events_per_sec = wire.events_per_sec;
+        m.faults_per_run = wire.faults_per_run;
+        m.makespan_mean = wire.makespan_mean;
+        m.checkpoints_per_run = wire.checkpoints_per_run;
+        m.peak_rss_kb = wire.peak_rss_kb;
+        return m;
+      }
+      std::fprintf(stderr, "%s: isolated run failed; re-running in-process\n",
+                   point.name.c_str());
+    } else {
+      close(fd[0]);
+      close(fd[1]);
+    }
+  }
+#endif
+  Measurement m = run_point(point, runs);
+  m.peak_rss_kb = self_peak_rss_kb();
+  return m;
+}
+
 std::string to_json(const std::vector<Measurement>& measurements,
                     double calibration) {
   std::ostringstream out;
   out.precision(17);
   out << "{\n  \"schema\": \"coredis-bench-v1\",\n  \"calibration_seconds\": "
-      << calibration << ",\n  \"scenarios\": [\n";
+      << calibration << ",\n  \"harness_peak_rss_kb\": " << self_peak_rss_kb()
+      << ",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < measurements.size(); ++i) {
     const Measurement& m = measurements[i];
     out << "    {\"name\": \"" << m.point.name << "\", \"n\": " << m.point.n
@@ -273,7 +518,8 @@ std::string to_json(const std::vector<Measurement>& measurements,
         << ", \"events_per_sec\": " << m.events_per_sec
         << ",\n     \"faults_per_run\": " << m.faults_per_run
         << ", \"checkpoints_per_run\": " << m.checkpoints_per_run
-        << ", \"makespan_mean\": " << m.makespan_mean << "}"
+        << ", \"makespan_mean\": " << m.makespan_mean
+        << ", \"peak_rss_kb\": " << m.peak_rss_kb << "}"
         << (i + 1 < measurements.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -307,7 +553,9 @@ int main(int argc, char** argv) {
   try {
     CliParser cli(argc, argv);
     cli.describe("runs", "repetitions per scenario (default 5, smoke 2)")
-        .describe("smoke", "run only the n = 100 half of the grid")
+        .describe("smoke",
+                  "run only the n = 100 half of the grid (skips the n = 5000 "
+                  "and whole-campaign grid_* scenarios)")
         .describe("scenarios",
                   "comma-separated scenario names to run (default: all); "
                   "unknown names are an error so CI gates cannot silently "
@@ -355,11 +603,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "calibration: %.4f s\n", calibration);
     std::vector<Measurement> measurements;
     for (const GridPoint& point : grid) {
-      measurements.push_back(run_point(point, runs * point.runs_scale));
+      measurements.push_back(measure_point(point, runs * point.runs_scale));
       const Measurement& m = measurements.back();
-      std::fprintf(stderr, "%-16s %8.4f s/run %12.0f events/s %7.1f faults\n",
+      std::fprintf(stderr,
+                   "%-16s %8.4f s/run %12.0f events/s %7.1f faults "
+                   "%8ld KB peak\n",
                    m.point.name.c_str(), m.seconds_per_run, m.events_per_sec,
-                   m.faults_per_run);
+                   m.faults_per_run, m.peak_rss_kb);
+    }
+    {
+      // Worker scaling at a glance: single-worker grid wall-clock over
+      // the 4-worker coordinator critical path (when both ran).
+      double w1 = 0.0, w4 = 0.0;
+      for (const Measurement& m : measurements) {
+        if (m.point.name == "grid_w1") w1 = m.seconds_per_run;
+        if (m.point.name == "grid_w4") w4 = m.seconds_per_run;
+      }
+      if (w1 > 0.0 && w4 > 0.0)
+        std::fprintf(stderr, "grid scaling: 4 workers %.2fx vs 1\n", w1 / w4);
     }
 
     const std::string json = to_json(measurements, calibration);

@@ -1,5 +1,5 @@
-/// coredis_campaign — run, resume, and summarize declarative campaign
-/// grids (src/exp/campaign.hpp).
+/// coredis_campaign — run, resume, summarize, shard and merge declarative
+/// campaign grids (src/exp/campaign.hpp).
 ///
 /// A campaign file is a scenario file whose grid keys (n, p, mtbf_years,
 /// fault_law, checkpoint_unit_cost, period_rule, arrival_law,
@@ -11,8 +11,17 @@
 /// (committed in cell order, so the file is deterministic for any
 /// COREDIS_THREADS), and prints the per-point summary table.
 ///
+/// Distributed campaigns (DESIGN.md section 7.4) split the cell space
+/// into contiguous shards: `--workers N` coordinates N local worker
+/// processes (fork; lost shards are re-issued with resume), `--worker
+/// k/W` runs one shard in-process for external launchers (ssh, mpirun),
+/// and `--merge W` reassembles the byte-identical single-file artifact.
+///
 ///   coredis_campaign --campaign grid.txt --out results.jsonl
 ///   coredis_campaign --campaign grid.txt --out results.jsonl --resume
+///   coredis_campaign --campaign grid.txt --out results.jsonl --workers 4
+///   coredis_campaign --campaign grid.txt --out results.jsonl --worker 1/4
+///   coredis_campaign --campaign grid.txt --out results.jsonl --merge 4
 ///   coredis_campaign --campaign grid.txt --summarize results.jsonl
 ///   coredis_campaign --campaign grid.txt --list
 
@@ -22,6 +31,12 @@
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define COREDIS_CAMPAIGN_FORK 1
+#endif
 
 #include "exp/campaign.hpp"
 #include "exp/scenario_file.hpp"
@@ -60,24 +75,164 @@ int summarize_campaign(const exp::Campaign& campaign,
   return 0;
 }
 
-int run_campaign_to(const exp::Campaign& campaign, const std::string& out,
-                    bool resume, std::size_t threads) {
-  if (!resume && std::filesystem::exists(out))
-    throw std::runtime_error(
-        "output file exists: " + out +
-        " (pass --resume to continue it, or remove it to start over)");
-  exp::GridRunOptions options;
-  options.jsonl_path = out;
-  options.resume = resume;
-  options.threads = threads;
+/// Overwrite refusal for the final artifact and for shard files alike:
+/// an existing file is only ever reused under --resume. Shard refusals
+/// are loud and per-file — every clobber candidate is named before the
+/// run aborts, so a mis-aimed launcher cannot silently eat a shard.
+void refuse_existing(const std::string& path, const char* what) {
+  if (!std::filesystem::exists(path)) return;
+  throw std::runtime_error(
+      std::string(what) + " exists: " + path +
+      " (pass --resume to continue it, or remove it to start over)");
+}
+
+void refuse_existing_shards(const std::string& out, std::size_t workers) {
+  bool any = false;
+  for (std::size_t k = 0; k < workers; ++k) {
+    const std::string path = exp::shard_path(out, {k, workers});
+    if (std::filesystem::exists(path)) {
+      std::cerr << "error: shard file exists: " << path
+                << " (pass --resume to continue it, or remove it to start "
+                   "over)\n";
+      any = true;
+    }
+  }
+  if (any)
+    throw std::runtime_error("refusing to overwrite existing shard files");
+}
+
+int run_campaign_to(const exp::Campaign& campaign,
+                    const exp::GridRunOptions& options) {
   std::cerr << "running " << campaign.cells() << " cells over "
             << campaign.grid.points() << " points ("
-            << (threads == 0 ? default_thread_count() : threads)
-            << " workers) -> " << out << '\n';
+            << (options.threads == 0 ? default_thread_count()
+                                     : options.threads)
+            << " threads) -> " << options.jsonl_path << '\n';
   const std::vector<exp::PointResult> points =
       exp::run_campaign(campaign, options);
   std::cout << exp::render_campaign_table(campaign, points);
-  std::cout << "\nresults written to " << out << '\n';
+  std::cout << "\nresults written to " << options.jsonl_path << '\n';
+  return 0;
+}
+
+int run_worker(const exp::Campaign& campaign, const exp::ShardSpec& shard,
+               const exp::GridRunOptions& options) {
+  const auto [begin, end] = exp::shard_range(campaign.cells(), shard);
+  if (!options.resume)
+    refuse_existing(exp::shard_path(options.jsonl_path, shard), "shard file");
+  exp::run_campaign_shard(campaign, shard, options);
+  std::cout << "shard " << shard.index << "/" << shard.count << " (cells "
+            << begin << ".." << end << ") written to "
+            << exp::shard_path(options.jsonl_path, shard) << '\n';
+  return 0;
+}
+
+int merge_to(const exp::Campaign& campaign, std::size_t workers,
+             const std::string& out) {
+  exp::merge_campaign_shards(campaign, workers, out);
+  std::cout << "merged " << workers << " shards -> " << out << '\n';
+  return 0;
+}
+
+/// Coordinator: fork one worker per shard (each with its fair share of
+/// the machine's thread budget), re-issue a lost shard with resume — the
+/// rerun adopts the dead worker's shard-file prefix — and merge. Where
+/// fork() does not exist the shards run sequentially in-process, which
+/// preserves every artifact byte.
+int run_distributed(const exp::Campaign& campaign, std::size_t workers,
+                    bool keep_shards, const exp::GridRunOptions& base) {
+  const std::string& out = base.jsonl_path;
+
+  const auto worker_options = [&](std::size_t k, bool resume) {
+    exp::GridRunOptions options = base;
+    options.resume = resume;
+    if (options.threads == 0)
+      options.threads = thread_budget_share(workers, k);
+    return options;
+  };
+
+#if defined(COREDIS_CAMPAIGN_FORK)
+  std::vector<pid_t> pids(workers, -1);
+  std::vector<int> attempts(workers, 0);
+  const int kMaxAttempts = 3;
+
+  const auto spawn = [&](std::size_t k, bool resume) {
+    std::cout.flush();
+    std::cerr.flush();
+    const pid_t pid = ::fork();
+    if (pid < 0)
+      throw std::runtime_error("cannot fork worker " + std::to_string(k));
+    if (pid == 0) {
+      int status = 1;
+      try {
+        exp::run_campaign_shard(campaign, {k, workers},
+                                worker_options(k, resume));
+        status = 0;
+      } catch (const std::exception& error) {
+        std::cerr << "worker " << k << "/" << workers
+                  << ": error: " << error.what() << '\n';
+      }
+      std::_Exit(status);  // no cleanup: the parent owns the terminal state
+    }
+    pids[k] = pid;
+    ++attempts[k];
+  };
+
+  std::cerr << "coordinating " << workers << " workers over "
+            << campaign.cells() << " cells -> " << out << '\n';
+  for (std::size_t k = 0; k < workers; ++k) spawn(k, base.resume);
+
+  std::size_t alive = workers;
+  bool gave_up = false;
+  while (alive > 0) {
+    int status = 0;
+    const pid_t pid = ::wait(&status);
+    if (pid < 0) break;
+    std::size_t k = workers;
+    for (std::size_t i = 0; i < workers; ++i)
+      if (pids[i] == pid) k = i;
+    if (k == workers) continue;  // not one of ours
+    pids[k] = -1;
+    --alive;
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) continue;
+    if (attempts[k] < kMaxAttempts) {
+      // The shard file holds a valid prefix of the lost shard; re-issue
+      // with resume so only the missing cells are recomputed.
+      std::cerr << "worker " << k << "/" << workers
+                << " lost; re-issuing its shard with resume\n";
+      spawn(k, true);
+      ++alive;
+    } else {
+      std::cerr << "worker " << k << "/" << workers << " failed "
+                << kMaxAttempts << " times; giving up\n";
+      gave_up = true;
+    }
+  }
+  if (gave_up)
+    throw std::runtime_error(
+        "distributed campaign failed: a shard kept dying; fix the cause and "
+        "rerun with --resume to keep the completed cells");
+#else
+  std::cerr << "coordinating " << workers << " shards sequentially over "
+            << campaign.cells() << " cells -> " << out
+            << " (no fork() on this platform)\n";
+  for (std::size_t k = 0; k < workers; ++k)
+    exp::run_campaign_shard(campaign, {k, workers},
+                            worker_options(k, base.resume));
+#endif
+
+  exp::merge_campaign_shards(campaign, workers, out);
+  if (!keep_shards)
+    for (std::size_t k = 0; k < workers; ++k) {
+      std::error_code ignored;
+      std::filesystem::remove(exp::shard_path(out, {k, workers}), ignored);
+    }
+
+  const std::vector<exp::PointResult> points =
+      exp::summarize_jsonl(campaign, out);
+  std::cout << exp::render_campaign_table(campaign, points);
+  std::cout << "\nresults written to " << out << " (" << workers
+            << " workers)\n";
   return 0;
 }
 
@@ -96,9 +251,27 @@ int main(int argc, char** argv) {
         .describe("summarize",
                   "aggregate this JSONL file instead of running anything")
         .describe("list", "print the grid points and configurations, then exit")
-        .describe("threads", "worker threads (default: COREDIS_THREADS or all cores)")
+        .describe("threads", "worker threads (default: COREDIS_THREADS or all cores; "
+                  "per process under --workers, where the default is a fair share)")
         .describe("runs", "override the campaign's repetitions per point")
-        .describe("seed", "override the campaign's master seed");
+        .describe("seed", "override the campaign's master seed")
+        .describe("workers",
+                  "coordinate N local worker processes over contiguous shards, "
+                  "then merge byte-identically into --out")
+        .describe("worker",
+                  "run one shard (<index>/<count>, e.g. 1/4) into its own "
+                  "shard file, for external launchers")
+        .describe("merge",
+                  "merge <count> completed shard files into --out, then exit")
+        .describe("keep-shards", "keep per-shard files after a --workers merge")
+        .describe("storage",
+                  "cell-queue/result-spill backend: ram (default) or file "
+                  "(bounded RAM; see --spill-mb)")
+        .describe("spill-dir",
+                  "scratch directory for --storage file (default: system temp)")
+        .describe("spill-mb",
+                  "RAM budget in MiB for the file-backed result spill "
+                  "(default: 16)");
     if (cli.wants_help()) {
       std::cout << cli.usage("campaign grid runner (run/resume/summarize)");
       return 0;
@@ -128,8 +301,40 @@ int main(int argc, char** argv) {
           "--out <file.jsonl> is required (or --list/--summarize)");
     const long threads = cli.get_int("threads", 0);
     if (threads < 0) throw std::invalid_argument("--threads must be >= 0");
-    return run_campaign_to(campaign, out, cli.get_bool("resume"),
-                           static_cast<std::size_t>(threads));
+
+    exp::GridRunOptions options;
+    options.jsonl_path = out;
+    options.resume = cli.get_bool("resume");
+    options.threads = static_cast<std::size_t>(threads);
+    options.storage = exp::parse_storage_kind(cli.get_string("storage", "ram"));
+    options.storage_dir = cli.get_string("spill-dir", "");
+    const long spill_mb = cli.get_int("spill-mb", 16);
+    if (spill_mb < 1) throw std::invalid_argument("--spill-mb must be >= 1");
+    options.spill_ram_budget_bytes =
+        static_cast<std::size_t>(spill_mb) << 20;
+
+    if (const auto merge = cli.get("merge")) {
+      const long count = cli.get_int("merge", 0);
+      if (count < 1) throw std::invalid_argument("--merge must be >= 1");
+      if (std::filesystem::exists(out))
+        throw std::runtime_error("output file exists: " + out +
+                                 " (remove it to merge again)");
+      return merge_to(campaign, static_cast<std::size_t>(count), out);
+    }
+    if (const auto worker = cli.get("worker"))
+      return run_worker(campaign, exp::parse_shard_spec(*worker), options);
+    if (const auto workers = cli.get("workers")) {
+      const long count = cli.get_int("workers", 0);
+      if (count < 1) throw std::invalid_argument("--workers must be >= 1");
+      if (!options.resume) {
+        refuse_existing(out, "output file");
+        refuse_existing_shards(out, static_cast<std::size_t>(count));
+      }
+      return run_distributed(campaign, static_cast<std::size_t>(count),
+                             cli.get_bool("keep-shards"), options);
+    }
+    if (!options.resume) refuse_existing(out, "output file");
+    return run_campaign_to(campaign, options);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;
