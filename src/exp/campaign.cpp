@@ -19,6 +19,7 @@
 #include "exp/detail/jsonl.hpp"
 #include "exp/scenario_file.hpp"
 #include "exp/storage.hpp"
+#include "util/atomic_file.hpp"
 #include "util/contracts.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -56,41 +57,6 @@ std::vector<std::string> split_list(const std::string& value) {
     start = comma + 1;
   }
   return items;
-}
-
-std::vector<ConfigSpec> config_set(const std::string& value) {
-  const std::string spec = lower(trim(value));
-  if (spec == "paper") return paper_curves();
-  if (spec == "fault_free") return fault_free_curves();
-  if (spec == "online") return online_curves();
-  std::vector<ConfigSpec> configs;
-  for (const std::string& name : split_list(spec)) {
-    if (name == "baseline") {
-      configs.push_back(baseline_no_redistribution());
-    } else if (name == "ig_greedy") {
-      configs.push_back(ig_end_greedy());
-    } else if (name == "ig_local") {
-      configs.push_back(ig_end_local());
-    } else if (name == "stf_greedy") {
-      configs.push_back(stf_end_greedy());
-    } else if (name == "stf_local") {
-      configs.push_back(stf_end_local());
-    } else if (name == "rc_fault_free") {
-      configs.push_back(fault_free_with_rc_local());
-    } else if (name == "malleable") {
-      configs.push_back(online_malleable());
-    } else if (name == "easy") {
-      configs.push_back(online_easy());
-    } else if (name == "fcfs") {
-      configs.push_back(online_fcfs());
-    } else {
-      throw std::runtime_error(
-          "unknown configuration '" + name +
-          "' (paper|fault_free|online|baseline|ig_greedy|ig_local|"
-          "stf_greedy|stf_local|rc_fault_free|malleable|easy|fcfs)");
-    }
-  }
-  return configs;
 }
 
 enum class AxisKey {
@@ -658,7 +624,7 @@ Campaign parse_campaign(const std::string& text, Scenario base) {
       std::string value;
       if (!detail::split_assignment(raw, key, value)) continue;
       if (key == "configs") {
-        campaign.configs = config_set(value);
+        campaign.configs = parse_config_set(value);
         continue;
       }
       const AxisKey axis = axis_of(key);
@@ -796,8 +762,17 @@ void merge_shards(const std::vector<Scenario>& points,
     throw std::runtime_error("merge needs at least one shard");
   const std::unique_ptr<CellQueue> queue =
       make_cell_queue(StorageKind::Ram, runs_per_point(points));
-  std::ofstream out(jsonl_path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot write " + jsonl_path);
+  // Crash-atomic publication (DESIGN.md section 7.4): the merged artifact
+  // is final — unlike shard files it has no resume story — so it is
+  // assembled in a temp sibling and renamed over jsonl_path only after a
+  // flush + fsync. A crash (even kill -9) mid-merge leaves the final
+  // name untouched: either absent or carrying the previous complete
+  // bytes, never a truncated file that would trip the overwrite-refusal
+  // path on retry. The fixed temp name is self-cleaning — the next merge
+  // truncates the same sibling.
+  const std::string temp_path = atomic_temp_path(jsonl_path);
+  std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + temp_path);
   try {
     // The single-process header, then every shard's record lines verbatim
     // in global cell order: the merged bytes are the uninterrupted
@@ -828,12 +803,15 @@ void merge_shards(const std::vector<Scenario>& points,
             "): resume it with --worker " + spec + " --resume, then merge");
     }
     out.flush();
-    if (!out) throw std::runtime_error("failed writing " + jsonl_path);
+    if (!out) throw std::runtime_error("failed writing " + temp_path);
+    out.close();
+    commit_file(temp_path, jsonl_path);
   } catch (...) {
-    // Never leave a half-merged artifact behind a loud refusal.
+    // Never leave a half-merged temp behind a loud refusal; the final
+    // path was not touched.
     out.close();
     std::error_code ignored;
-    fs::remove(jsonl_path, ignored);
+    fs::remove(temp_path, ignored);
     throw;
   }
 }

@@ -92,82 +92,87 @@ core::RunResult from_batch(extensions::BatchResult&& r) {
 
 }  // namespace
 
-CellResult run_cell(const Scenario& scenario,
-                    const std::vector<ConfigSpec>& configs,
-                    std::uint64_t rep) {
-  const checkpoint::ResilienceParams params = scenario.resilience_params();
-  const ConfigSpec baseline = baseline_no_redistribution();
-  const core::Pack pack = make_pack(scenario, rep);
-  const checkpoint::Model resilience(params);
+// The cell workspace (DESIGN.md section 7.1): one engine — hence one
+// expected-time model, one coefficient table, one evaluator cache —
+// serves the baseline and every configuration of the cell. The cached
+// entries are pure functions of (pack, resilience), which every
+// configuration of a cell shares, so the simulations are identical to
+// building a fresh engine per configuration; what disappears is the
+// per-configuration transcendental warm-up and allocation churn. The
+// arrival-driven schedulers run over the same model and evaluator.
+CellWorkspace::CellWorkspace(const Scenario& scenario, std::uint64_t rep)
+    : scenario_(scenario),
+      rep_(rep),
+      baseline_spec_(baseline_no_redistribution()),
+      pack_(make_pack(scenario, rep)),
+      resilience_(scenario.resilience_params()),
+      engine_(pack_, resilience_, scenario.p, baseline_spec_.engine) {}
 
-  // The cell workspace (DESIGN.md section 7.1): one engine — hence one
-  // expected-time model, one coefficient table, one evaluator cache —
-  // serves the baseline and every configuration of the cell. The cached
-  // entries are pure functions of (pack, resilience), which every
-  // configuration of a cell shares, so the simulations are identical to
-  // building a fresh engine per configuration; what disappears is the
-  // per-configuration transcendental warm-up and allocation churn. The
-  // arrival-driven schedulers run over the same model and evaluator.
-  core::Engine engine(pack, resilience, scenario.p, baseline.engine);
+// Release dates, shared by every non-engine configuration of this cell
+// (the arrival stream shards like the workload/fault streams: it is a
+// pure function of (point seed, rep)). Built lazily — engine-only cells
+// never touch the arrival machinery.
+const std::vector<double>& CellWorkspace::release_times() {
+  if (!releases_built_) {
+    releases_built_ = true;
+    Rng arrivals = Rng::child(scenario_.seed ^ kArrivalStream, rep_);
+    releases_ = extensions::make_release_times(
+        scenario_.arrival_spec(), pack_, resilience_, scenario_.p, arrivals,
+        engine_.model(), engine_.evaluator());
+  }
+  return releases_;
+}
 
-  // Release dates, shared by every non-engine configuration of this cell
-  // (the arrival stream shards like the workload/fault streams: it is a
-  // pure function of (point seed, rep)). Built lazily — engine-only cells
-  // never touch the arrival machinery.
-  std::vector<double> releases;
-  bool releases_built = false;
-  const auto release_times = [&]() -> const std::vector<double>& {
-    if (!releases_built) {
-      releases_built = true;
-      Rng arrivals = Rng::child(scenario.seed ^ kArrivalStream, rep);
-      releases = extensions::make_release_times(
-          scenario.arrival_spec(), pack, resilience, scenario.p, arrivals,
-          engine.model(), engine.evaluator());
-    }
-    return releases;
-  };
-
+CellResult CellWorkspace::evaluate(const std::vector<ConfigSpec>& configs) {
   CellResult cell;
   // Baseline: no redistribution, faults as configured. It also normalizes
   // the online-workload configurations — every scheduler of a repetition
   // divides by the same static no-RC pack makespan, so ratios stay
-  // comparable across the load_factor axis.
-  core::RunResult baseline_result;
-  {
-    auto faults = make_faults(scenario, rep, baseline.force_fault_free);
-    baseline_result = engine.run(*faults);
-    cell.baseline = baseline_result.makespan;
+  // comparable across the load_factor axis. Cached across evaluations:
+  // it is a pure function of the workspace's streams.
+  if (!baseline_run_) {
+    baseline_run_ = true;
+    auto faults = make_faults(scenario_, rep_, baseline_spec_.force_fault_free);
+    baseline_ = engine_.run(*faults);
   }
+  cell.baseline = baseline_.makespan;
   cell.results.reserve(configs.size());
   for (const ConfigSpec& spec : configs) {
-    if (same_simulation(spec, baseline)) {
+    if (same_simulation(spec, baseline_spec_)) {
       // The baseline itself: reuse the full simulation above, so its
       // fault/redistribution counters survive into reports and JSONL.
-      cell.results.push_back(baseline_result);
+      cell.results.push_back(baseline_);
       continue;
     }
-    auto faults = make_faults(scenario, rep, spec.force_fault_free);
+    auto faults = make_faults(scenario_, rep_, spec.force_fault_free);
     switch (spec.scheduler) {
       case SchedulerKind::PackEngine:
-        cell.results.push_back(engine.run(*faults, spec.engine));
+        cell.results.push_back(engine_.run(*faults, spec.engine));
         break;
       case SchedulerKind::OnlineMalleable:
         cell.results.push_back(from_online(extensions::run_online(
-            pack, resilience, scenario.p, release_times(), *faults,
-            engine.model(), engine.evaluator())));
+            pack_, resilience_, scenario_.p, release_times(), *faults,
+            engine_.model(), engine_.evaluator())));
         break;
       case SchedulerKind::BatchEasy:
       case SchedulerKind::BatchFcfs: {
         extensions::BatchConfig batch;
         batch.backfilling = spec.scheduler == SchedulerKind::BatchEasy;
         cell.results.push_back(from_batch(extensions::run_batch(
-            pack, resilience, scenario.p, release_times(), batch, *faults,
-            engine.model(), engine.evaluator())));
+            pack_, resilience_, scenario_.p, release_times(), batch, *faults,
+            engine_.model(), engine_.evaluator())));
         break;
       }
     }
   }
   return cell;
+}
+
+CellResult run_cell(const Scenario& scenario,
+                    const std::vector<ConfigSpec>& configs,
+                    std::uint64_t rep) {
+  CellWorkspace workspace(scenario, rep);
+  return workspace.evaluate(configs);
 }
 
 PointResult make_point_frame(const std::vector<ConfigSpec>& configs) {

@@ -17,6 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint/model.hpp"
+#include "core/engine.hpp"
+#include "core/pack.hpp"
 #include "core/types.hpp"
 #include "exp/scenario.hpp"
 #include "util/stats.hpp"
@@ -44,12 +47,57 @@ struct CellResult {
   std::vector<core::RunResult> results;  ///< one per ConfigSpec, same order
 };
 
+/// The warm per-(scenario, repetition) simulation state behind run_cell
+/// (DESIGN.md section 7.1), extracted so long-lived callers — the serving
+/// workspace pool (serve/pool.hpp) — can keep it across requests: one
+/// engine, hence one expected-time model, one coefficient table and one
+/// evaluator cache, serves the baseline and every configuration asked of
+/// this (scenario, rep). All cached state is a pure function of
+/// (scenario, rep), so evaluate() is bit-identical whether the workspace
+/// is freshly built or has already answered a thousand requests — the
+/// same warm-cache contract the lazy==eager battery pins for campaigns.
+/// Not thread-safe (one workspace, one thread at a time), not copyable
+/// (the engine's evaluator points into the workspace).
+class CellWorkspace {
+ public:
+  CellWorkspace(const Scenario& scenario, std::uint64_t rep);
+  CellWorkspace(const CellWorkspace&) = delete;
+  CellWorkspace& operator=(const CellWorkspace&) = delete;
+
+  /// Simulate `configs` over this workspace's workload/fault/arrival
+  /// streams: exactly run_cell(scenario, rep, configs). The baseline is
+  /// simulated once on first use and cached — it is a pure function of
+  /// the streams — so repeated evaluations only pay for the requested
+  /// configurations.
+  [[nodiscard]] CellResult evaluate(const std::vector<ConfigSpec>& configs);
+
+  [[nodiscard]] const Scenario& scenario() const noexcept {
+    return scenario_;
+  }
+  [[nodiscard]] std::uint64_t rep() const noexcept { return rep_; }
+
+ private:
+  const std::vector<double>& release_times();
+
+  Scenario scenario_;
+  std::uint64_t rep_;
+  ConfigSpec baseline_spec_;
+  core::Pack pack_;
+  checkpoint::Model resilience_;
+  core::Engine engine_;
+  core::RunResult baseline_;
+  bool baseline_run_ = false;
+  std::vector<double> releases_;
+  bool releases_built_ = false;
+};
+
 /// Simulate one repetition of the scenario point. Deterministic in
 /// (scenario, rep) only — the workload and fault streams derive from
 /// (scenario.seed, rep), so a cell's outcome is independent of which
 /// thread runs it and of any other cell. The baseline (no RC, faults per
 /// the scenario) is always simulated to provide the normalizer; a config
 /// equal to it reuses that simulation instead of re-running it.
+/// Equivalent to CellWorkspace(scenario, rep).evaluate(configs).
 [[nodiscard]] CellResult run_cell(const Scenario& scenario,
                                   const std::vector<ConfigSpec>& configs,
                                   std::uint64_t rep);

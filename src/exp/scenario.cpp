@@ -1,6 +1,9 @@
 #include "exp/scenario.hpp"
 
+#include <stdexcept>
 #include <vector>
+
+#include "exp/scenario_file.hpp"
 
 namespace coredis::exp {
 
@@ -104,6 +107,49 @@ std::vector<ConfigSpec> fault_free_curves() {
                    {core::EndPolicy::Local, core::FailurePolicy::None, false},
                    true};
   return {without, greedy, local};
+}
+
+std::vector<ConfigSpec> parse_config_set(const std::string& value) {
+  const std::string spec = detail::lower(detail::trim(value));
+  if (spec == "paper") return paper_curves();
+  if (spec == "fault_free") return fault_free_curves();
+  if (spec == "online") return online_curves();
+  std::vector<ConfigSpec> configs;
+  std::size_t start = 0;
+  for (;;) {
+    const auto comma = spec.find(',', start);
+    const std::string name =
+        detail::trim(comma == std::string::npos
+                         ? spec.substr(start)
+                         : spec.substr(start, comma - start));
+    if (name == "baseline") {
+      configs.push_back(baseline_no_redistribution());
+    } else if (name == "ig_greedy") {
+      configs.push_back(ig_end_greedy());
+    } else if (name == "ig_local") {
+      configs.push_back(ig_end_local());
+    } else if (name == "stf_greedy") {
+      configs.push_back(stf_end_greedy());
+    } else if (name == "stf_local") {
+      configs.push_back(stf_end_local());
+    } else if (name == "rc_fault_free") {
+      configs.push_back(fault_free_with_rc_local());
+    } else if (name == "malleable") {
+      configs.push_back(online_malleable());
+    } else if (name == "easy") {
+      configs.push_back(online_easy());
+    } else if (name == "fcfs") {
+      configs.push_back(online_fcfs());
+    } else {
+      throw std::runtime_error(
+          "unknown configuration '" + name +
+          "' (paper|fault_free|online|baseline|ig_greedy|ig_local|"
+          "stf_greedy|stf_local|rc_fault_free|malleable|easy|fcfs)");
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return configs;
 }
 
 }  // namespace coredis::exp

@@ -99,4 +99,14 @@ struct ConfigSpec {
 /// backfilling, plain FCFS — the comparison of bench/fig_online_load.cpp.
 [[nodiscard]] std::vector<ConfigSpec> online_curves();
 
+/// Parse a `configs = ...` selector into ConfigSpecs: one of the curve
+/// sets (`paper`, `fault_free`, `online`) or a comma-separated list of
+/// configuration names (`baseline`, `ig_greedy`, `ig_local`,
+/// `stf_greedy`, `stf_local`, `rc_fault_free`, `malleable`, `easy`,
+/// `fcfs`). Shared by campaign files (campaign.hpp) and the serving
+/// protocol (serve/protocol.hpp), so both spell configurations
+/// identically. Throws std::runtime_error naming an unknown selector.
+[[nodiscard]] std::vector<ConfigSpec> parse_config_set(
+    const std::string& value);
+
 }  // namespace coredis::exp

@@ -54,23 +54,45 @@ using detail::trim;
   throw std::runtime_error("scenario: " + why);
 }
 
-double parse_number(const std::string& value) {
+/// Every std::stod/std::stoull path below names the offending key in its
+/// error: a campaign file is edited by hand, and "malformed number"
+/// without the key makes a 40-line grid a guessing game. The exception
+/// taxonomy matters too — out_of_range (overflow) must not masquerade as
+/// a generic malformed value, and no input may reach the caller as a
+/// silently wrapped cast.
+double parse_number(const std::string& key, const std::string& value) {
   try {
     std::size_t used = 0;
     const double parsed = std::stod(value, &used);
-    if (used != value.size()) fail("trailing characters");
+    if (used != value.size())
+      fail("key '" + key + "': trailing characters in '" + value + "'");
     return parsed;
   } catch (const std::runtime_error&) {
     throw;
+  } catch (const std::out_of_range&) {
+    fail("key '" + key + "': number out of range in '" + value + "'");
   } catch (const std::exception&) {
-    fail("malformed number");
+    fail("key '" + key + "': malformed number '" + value + "'");
   }
+}
+
+/// Integer-valued keys (n, p, runs, bulk_phases) parse through the double
+/// path for the file format's scientific notation, then range-check
+/// before the cast — a value like 3e9 must fail loudly, not wrap through
+/// undefined behaviour into a negative task count.
+int parse_int(const std::string& key, const std::string& value) {
+  const double parsed = parse_number(key, value);
+  constexpr double kMax = std::numeric_limits<int>::max();
+  if (!(parsed >= -kMax && parsed <= kMax))
+    fail("key '" + key + "': value '" + value +
+         "' does not fit a 32-bit integer");
+  return static_cast<int>(parsed);
 }
 
 /// Seeds are 64-bit and must round-trip exactly, so they are parsed as a
 /// decimal integer first; scientific notation ("1e6") still works through
 /// the double path as long as the value fits in 53 bits.
-std::uint64_t parse_seed(const std::string& value) {
+std::uint64_t parse_seed(const std::string& key, const std::string& value) {
   if (!value.empty() && value.front() != '-') {
     try {
       std::size_t used = 0;
@@ -80,10 +102,11 @@ std::uint64_t parse_seed(const std::string& value) {
       // fall through to the double path
     }
   }
-  const double parsed = parse_number(value);
+  const double parsed = parse_number(key, value);
   if (!(parsed >= 0.0) || parsed >= 0x1.0p64 ||
       parsed != std::floor(parsed))
-    fail("seed must be a non-negative 64-bit integer");
+    fail("key '" + key + "': seed must be a non-negative 64-bit integer, got '" +
+         value + "'");
   return static_cast<std::uint64_t>(parsed);
 }
 
@@ -92,27 +115,27 @@ std::uint64_t parse_seed(const std::string& value) {
 bool apply_scenario_key(Scenario& scenario, const std::string& key,
                         const std::string& value) {
   if (key == "n") {
-    scenario.n = static_cast<int>(parse_number(value));
+    scenario.n = parse_int(key, value);
   } else if (key == "p") {
-    scenario.p = static_cast<int>(parse_number(value));
+    scenario.p = parse_int(key, value);
   } else if (key == "m_inf") {
-    scenario.m_inf = parse_number(value);
+    scenario.m_inf = parse_number(key, value);
   } else if (key == "m_sup") {
-    scenario.m_sup = parse_number(value);
+    scenario.m_sup = parse_number(key, value);
   } else if (key == "sequential_fraction" || key == "f") {
-    scenario.sequential_fraction = parse_number(value);
+    scenario.sequential_fraction = parse_number(key, value);
   } else if (key == "mtbf_years") {
-    scenario.mtbf_years = parse_number(value);
+    scenario.mtbf_years = parse_number(key, value);
   } else if (key == "downtime_seconds" || key == "d") {
-    scenario.downtime_seconds = parse_number(value);
+    scenario.downtime_seconds = parse_number(key, value);
   } else if (key == "checkpoint_unit_cost" || key == "c") {
-    scenario.checkpoint_unit_cost = parse_number(value);
+    scenario.checkpoint_unit_cost = parse_number(key, value);
   } else if (key == "runs") {
-    scenario.runs = static_cast<int>(parse_number(value));
+    scenario.runs = parse_int(key, value);
   } else if (key == "seed") {
-    scenario.seed = parse_seed(value);
+    scenario.seed = parse_seed(key, value);
   } else if (key == "weibull_shape") {
-    scenario.weibull_shape = parse_number(value);
+    scenario.weibull_shape = parse_number(key, value);
   } else if (key == "arrival_law") {
     const std::string law = lower(trim(value));
     if (law == "none") {
@@ -127,9 +150,9 @@ bool apply_scenario_key(Scenario& scenario, const std::string& key,
       fail("unknown arrival law (none|poisson|bulk|trace)");
     }
   } else if (key == "load_factor" || key == "load") {
-    scenario.load_factor = parse_number(value);
+    scenario.load_factor = parse_number(key, value);
   } else if (key == "bulk_phases") {
-    scenario.bulk_phases = static_cast<int>(parse_number(value));
+    scenario.bulk_phases = parse_int(key, value);
   } else if (key == "arrival_trace") {
     scenario.arrival_trace = value;  // verbatim path; not lower-cased
   } else if (key == "fault_law") {

@@ -1,0 +1,128 @@
+#include "serve/pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/scenario_file.hpp"
+
+namespace coredis::serve {
+
+namespace {
+
+/// Pool key: tenant, canonical scenario text, rep. format_scenario is
+/// injective over the fields that matter (parse(format(s)) round-trips
+/// exactly), and '\x1f' cannot appear in a scenario line, so distinct
+/// (tenant, scenario, rep) triples never collide.
+std::string pool_key(const std::string& tenant, const exp::Scenario& scenario,
+                     std::uint64_t rep) {
+  std::string key = tenant;
+  key += '\x1f';
+  key += exp::format_scenario(scenario);
+  key += '\x1f';
+  key += std::to_string(rep);
+  return key;
+}
+
+}  // namespace
+
+WorkspacePool::WorkspacePool(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0)
+    throw std::invalid_argument("workspace pool capacity must be >= 1");
+}
+
+WorkspacePool::Lease::Lease(WorkspacePool* pool, void* entry,
+                            std::unique_ptr<exp::CellWorkspace> overflow,
+                            bool warm) noexcept
+    : pool_(pool), entry_(entry), overflow_(std::move(overflow)), warm_(warm) {}
+
+WorkspacePool::Lease::Lease(Lease&& other) noexcept
+    : pool_(other.pool_),
+      entry_(other.entry_),
+      overflow_(std::move(other.overflow_)),
+      warm_(other.warm_) {
+  other.pool_ = nullptr;
+  other.entry_ = nullptr;
+}
+
+WorkspacePool::Lease::~Lease() {
+  if (pool_ != nullptr && entry_ != nullptr)
+    pool_->release(static_cast<Entry*>(entry_));
+}
+
+exp::CellWorkspace& WorkspacePool::Lease::workspace() noexcept {
+  if (entry_ != nullptr) return *static_cast<Entry*>(entry_)->workspace;
+  return *overflow_;
+}
+
+WorkspacePool::Lease WorkspacePool::checkout(const std::string& tenant,
+                                             const exp::Scenario& scenario,
+                                             std::uint64_t rep) {
+  const std::string key = pool_key(tenant, scenario, rep);
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end() && !it->second.leased) {
+      it->second.leased = true;
+      it->second.last_used = ++clock_;
+      ++stats_.hits;
+      return Lease(this, &it->second, nullptr, true);
+    }
+  }
+  // Miss (or the pooled workspace is leased out): build outside the lock.
+  auto built = std::make_unique<exp::CellWorkspace>(scenario, rep);
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (!it->second.leased) {
+      // Someone else pooled it while we built: use the pooled (warmer)
+      // one and drop ours — results are identical either way.
+      it->second.leased = true;
+      it->second.last_used = ++clock_;
+      ++stats_.hits;
+      return Lease(this, &it->second, nullptr, true);
+    }
+    // Same-key collision: serve the private workspace, leave the pooled
+    // entry alone. Bit-identical by purity; only warm-up time differs.
+    ++stats_.overflows;
+    return Lease(this, nullptr, std::move(built), false);
+  }
+  ++stats_.misses;
+  Entry& entry = entries_[key];
+  entry.workspace = std::move(built);
+  entry.leased = true;
+  entry.last_used = ++clock_;
+  evict_over_capacity_locked();
+  return Lease(this, &entry, nullptr, false);
+}
+
+void WorkspacePool::release(Entry* entry) {
+  std::lock_guard lock(mutex_);
+  entry->leased = false;
+  entry->last_used = ++clock_;
+  evict_over_capacity_locked();
+}
+
+void WorkspacePool::evict_over_capacity_locked() {
+  while (entries_.size() > capacity_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.leased) continue;
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used)
+        victim = it;
+    }
+    if (victim == entries_.end()) return;  // everything leased: overflow
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+PoolStats WorkspacePool::stats() const {
+  std::lock_guard lock(mutex_);
+  PoolStats out = stats_;
+  out.resident = entries_.size();
+  return out;
+}
+
+}  // namespace coredis::serve

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file pool.hpp
+/// The workspace pool behind `coredis_serve` (DESIGN.md section 9.2).
+///
+/// PR 5's campaign runner keeps one warm exp::CellWorkspace per cell for
+/// the duration of a grid. A serving daemon answers the same question —
+/// "evaluate these configurations over the streams of (scenario, rep)" —
+/// but for an open-ended request mix, so the pool generalizes the idea:
+/// a bounded LRU cache of warm workspaces keyed by
+/// (tenant, canonical scenario, rep), multiplexing many tenants over
+/// warm model/evaluator state.
+///
+/// Determinism: every cached entry of a CellWorkspace is a pure function
+/// of (scenario, rep), so a pool hit answers bit-identically to a cold
+/// build — the pool trades construction and transcendental warm-up time,
+/// never results. Tenant isolation is by key: two tenants never share a
+/// workspace even for identical scenarios (a tenant's request pattern
+/// must not warm — or evict — another's state).
+///
+/// Thread safety: checkout/release/stats are safe to call concurrently;
+/// the *workspace inside a lease* is single-threaded, and a leased entry
+/// is never handed out twice or evicted. A checkout that collides with
+/// an existing lease of the same key builds a private overflow workspace
+/// (bit-identical by the purity argument) instead of blocking.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+
+namespace coredis::serve {
+
+struct PoolStats {
+  std::uint64_t hits = 0;        ///< checkouts served by a warm workspace
+  std::uint64_t misses = 0;      ///< checkouts that built a workspace
+  std::uint64_t evictions = 0;   ///< LRU entries reclaimed over capacity
+  std::uint64_t overflows = 0;   ///< same-key collisions served unpooled
+  std::size_t resident = 0;      ///< workspaces currently pooled
+};
+
+class WorkspacePool {
+ public:
+  /// `capacity` bounds the resident workspaces (>= 1). Leased entries
+  /// never count against evictability, so the pool may transiently hold
+  /// more than `capacity` entries while they are checked out; it shrinks
+  /// back on release.
+  explicit WorkspacePool(std::size_t capacity);
+
+  /// RAII checkout: returns the workspace to the pool (LRU-touched) on
+  /// destruction. Movable so checkout() can hand it out; not copyable.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    [[nodiscard]] exp::CellWorkspace& workspace() noexcept;
+    /// True when this checkout found a warm pooled workspace.
+    [[nodiscard]] bool warm() const noexcept { return warm_; }
+
+   private:
+    friend class WorkspacePool;
+    Lease(WorkspacePool* pool, void* entry,
+          std::unique_ptr<exp::CellWorkspace> overflow, bool warm) noexcept;
+
+    WorkspacePool* pool_;
+    void* entry_;  ///< opaque Entry*; null for overflow leases
+    std::unique_ptr<exp::CellWorkspace> overflow_;
+    bool warm_;
+  };
+
+  /// Check out the warm workspace for (tenant, scenario, rep), building
+  /// it on a miss. Construction happens outside the pool lock, so a slow
+  /// build never stalls concurrent checkouts of other keys.
+  [[nodiscard]] Lease checkout(const std::string& tenant,
+                               const exp::Scenario& scenario,
+                               std::uint64_t rep);
+
+  [[nodiscard]] PoolStats stats() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<exp::CellWorkspace> workspace;
+    std::uint64_t last_used = 0;
+    bool leased = false;
+  };
+
+  void release(Entry* entry);
+  /// Drop least-recently-used unleased entries until within capacity.
+  /// Caller holds mutex_.
+  void evict_over_capacity_locked();
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::uint64_t clock_ = 0;
+  /// Node-based map: Entry addresses stay stable across insert/erase of
+  /// other keys, which is what lets a Lease hold a bare Entry*.
+  std::map<std::string, Entry> entries_;
+  PoolStats stats_;
+};
+
+}  // namespace coredis::serve

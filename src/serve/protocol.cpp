@@ -1,0 +1,221 @@
+#include "serve/protocol.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/detail/jsonl.hpp"
+#include "exp/scenario_file.hpp"
+#include "util/units.hpp"
+
+namespace coredis::serve {
+
+namespace {
+
+using exp::detail::json_escape;
+using exp::detail::scan_double;
+using exp::detail::scan_quoted;
+using exp::detail::scan_size;
+
+void skip_ws(const std::string& text, std::size_t& pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])))
+    ++pos;
+}
+
+bool expect_char(const std::string& text, std::size_t& pos, char c) {
+  skip_ws(text, pos);
+  if (pos >= text.size() || text[pos] != c) return false;
+  ++pos;
+  return true;
+}
+
+/// %.17g, matching the campaign cell records: doubles round-trip, so two
+/// equal response strings mean bit-equal simulated results.
+std::string format_double(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+bool parse_op(const std::string& text, Op& op) {
+  if (text == "ping") op = Op::Ping;
+  else if (text == "what_if") op = Op::WhatIf;
+  else if (text == "admit") op = Op::Admit;
+  else if (text == "stats") op = Op::Stats;
+  else if (text == "shutdown") op = Op::Shutdown;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+bool parse_request(const std::string& line, Request& request,
+                   std::string& error) {
+  std::size_t pos = 0;
+  std::string op_text = "ping";
+  std::string scenario_text;
+  bool have_scenario = false;
+  std::string configs_text = "paper";
+  double limit_days = -1.0;
+
+  if (!expect_char(line, pos, '{')) {
+    error = "request is not a JSON object";
+    return false;
+  }
+  skip_ws(line, pos);
+  bool first = true;
+  while (pos < line.size() && line[pos] != '}') {
+    if (!first && !expect_char(line, pos, ',')) {
+      error = "expected ',' between fields";
+      return false;
+    }
+    first = false;
+    skip_ws(line, pos);
+    std::string key;
+    if (!scan_quoted(line, pos, key)) {
+      error = "expected a quoted field name";
+      return false;
+    }
+    if (!expect_char(line, pos, ':')) {
+      error = "expected ':' after field '" + key + "'";
+      return false;
+    }
+    skip_ws(line, pos);
+    bool ok = true;
+    if (key == "op") {
+      ok = scan_quoted(line, pos, op_text);
+    } else if (key == "tenant") {
+      ok = scan_quoted(line, pos, request.tenant);
+      if (ok && request.tenant.empty()) {
+        error = "field 'tenant' must be non-empty";
+        return false;
+      }
+    } else if (key == "scenario") {
+      ok = scan_quoted(line, pos, scenario_text);
+      have_scenario = ok;
+    } else if (key == "configs") {
+      ok = scan_quoted(line, pos, configs_text);
+    } else if (key == "id") {
+      ok = scan_size(line, pos, request.id);
+    } else if (key == "rep") {
+      ok = scan_size(line, pos, request.rep);
+    } else if (key == "limit_days") {
+      ok = scan_double(line, pos, limit_days);
+      if (ok && !(limit_days > 0.0)) {
+        error = "field 'limit_days' must be > 0";
+        return false;
+      }
+    } else {
+      error = "unknown field '" + key + "'";
+      return false;
+    }
+    if (!ok) {
+      error = "malformed value for field '" + key + "'";
+      return false;
+    }
+    skip_ws(line, pos);
+  }
+  if (!expect_char(line, pos, '}')) {
+    error = "unterminated request object";
+    return false;
+  }
+  skip_ws(line, pos);
+  if (pos != line.size()) {
+    error = "trailing characters after the request object";
+    return false;
+  }
+
+  if (!parse_op(op_text, request.op)) {
+    error = "unknown op '" + op_text +
+            "' (ping|what_if|admit|stats|shutdown)";
+    return false;
+  }
+  if (request.op != Op::WhatIf && request.op != Op::Admit) return true;
+
+  if (!have_scenario) {
+    error = "op '" + op_text + "' requires a 'scenario' field";
+    return false;
+  }
+  // ';' doubles as a line separator so a scenario fits one JSON string
+  // without literal newlines; the text then parses (and validates)
+  // exactly like a scenario file, errors naming the offending key.
+  for (char& c : scenario_text)
+    if (c == ';') c = '\n';
+  try {
+    request.scenario = exp::parse_scenario(scenario_text);
+    request.configs = exp::parse_config_set(configs_text);
+  } catch (const std::exception& parse_error) {
+    error = parse_error.what();
+    return false;
+  }
+  if (request.configs.empty()) {
+    error = "field 'configs' selected no configurations";
+    return false;
+  }
+  // Canonical text: requests that spell the same scenario differently
+  // (ordering, defaults, number formatting) share one workspace key.
+  request.scenario_text = exp::format_scenario(request.scenario);
+  request.limit_seconds = limit_days > 0.0 ? units::days(limit_days) : -1.0;
+  return true;
+}
+
+std::string error_response(std::uint64_t id, const std::string& error) {
+  std::string out = "{\"id\":";
+  out += std::to_string(id);
+  out += ",\"ok\":false,\"error\":\"";
+  out += json_escape(error);
+  out += "\"}";
+  return out;
+}
+
+std::string ping_response(std::uint64_t id) {
+  return "{\"id\":" + std::to_string(id) + ",\"ok\":true,\"op\":\"ping\"}";
+}
+
+std::string render_response(const Request& request,
+                            const exp::CellResult& cell) {
+  std::string out = "{\"id\":";
+  out += std::to_string(request.id);
+  out += ",\"ok\":true,\"op\":";
+  out += request.op == Op::Admit ? "\"admit\"" : "\"what_if\"";
+  out += ",\"tenant\":\"";
+  out += json_escape(request.tenant);
+  out += "\",\"rep\":";
+  out += std::to_string(request.rep);
+  if (request.op == Op::Admit) {
+    // The admission decision reads the *first* configuration — the one
+    // the client asked the question about; extra configs are advisory.
+    const double makespan = cell.results.front().makespan;
+    const bool admit = request.limit_seconds >= 0.0
+                           ? makespan <= request.limit_seconds
+                           : makespan <= cell.baseline;
+    out += ",\"admit\":";
+    out += admit ? "true" : "false";
+    out += ",\"criterion\":";
+    out += request.limit_seconds >= 0.0 ? "\"limit_days\"" : "\"baseline\"";
+  }
+  out += ",\"baseline_makespan\":";
+  out += format_double(cell.baseline);
+  out += ",\"configs\":[";
+  for (std::size_t c = 0; c < request.configs.size(); ++c) {
+    const core::RunResult& r = cell.results[c];
+    if (c > 0) out += ',';
+    out += "{\"name\":\"";
+    out += json_escape(request.configs[c].name);
+    out += "\",\"makespan\":";
+    out += format_double(r.makespan);
+    out += ",\"normalized\":";
+    out += format_double(r.makespan / cell.baseline);
+    out += ",\"redistributions\":";
+    out += std::to_string(r.redistributions);
+    out += ",\"effective_faults\":";
+    out += std::to_string(r.faults_effective);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace coredis::serve

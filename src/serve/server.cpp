@@ -1,0 +1,312 @@
+#include "serve/server.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define COREDIS_SERVER_POSIX 1
+#endif
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#ifdef COREDIS_SERVER_POSIX
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace coredis::serve {
+
+namespace {
+
+/// Requests longer than this are abuse, not workloads: a full paper-set
+/// what-if line is under a kilobyte.
+constexpr std::size_t kMaxLineBytes = 1u << 20;
+
+#ifdef COREDIS_SERVER_POSIX
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+#endif
+
+}  // namespace
+
+struct Server::Impl {
+  ServerOptions options;
+  Service service;
+
+  std::atomic<bool> stop_requested{false};
+#ifdef COREDIS_SERVER_POSIX
+  int stop_pipe[2] = {-1, -1};
+
+  std::mutex mutex;
+  std::condition_variable slot_cv;
+  std::size_t active = 0;
+
+  struct Handler {
+    std::thread thread;
+    int fd = -1;
+    std::atomic<bool> finished{false};
+  };
+  std::vector<std::unique_ptr<Handler>> handlers;
+#endif
+
+  explicit Impl(const ServerOptions& opts)
+      : options(opts), service(opts.pool_capacity, opts.threads) {}
+};
+
+Server::Server(const ServerOptions& options) : impl_(new Impl(options)) {
+  if (options.socket_path.empty())
+    throw std::invalid_argument("serve: socket path must be non-empty");
+  if (options.max_connections == 0)
+    throw std::invalid_argument("serve: max_connections must be >= 1");
+#ifdef COREDIS_SERVER_POSIX
+  if (::pipe(impl_->stop_pipe) != 0) throw_errno("serve: pipe");
+#else
+  throw std::runtime_error("coredis_serve requires a POSIX platform");
+#endif
+}
+
+Server::~Server() {
+#ifdef COREDIS_SERVER_POSIX
+  close_fd(impl_->stop_pipe[0]);
+  close_fd(impl_->stop_pipe[1]);
+#endif
+  delete impl_;
+}
+
+const std::string& Server::socket_path() const noexcept {
+  return impl_->options.socket_path;
+}
+
+Service& Server::service() noexcept { return impl_->service; }
+
+void Server::request_stop() {
+#ifdef COREDIS_SERVER_POSIX
+  if (impl_->stop_requested.exchange(true)) return;
+  // Wake the poll loop. A full pipe cannot happen (one byte, once) and a
+  // failed write is survivable: the accept loop also checks the flag.
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(impl_->stop_pipe[1], &byte, 1);
+  impl_->slot_cv.notify_all();
+#else
+  impl_->stop_requested.store(true);
+#endif
+}
+
+#ifdef COREDIS_SERVER_POSIX
+
+namespace {
+
+/// Write the whole buffer; MSG_NOSIGNAL so a client that hung up mid-
+/// response fails with EPIPE instead of killing the daemon.
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void Server::run() {
+  Impl& impl = *impl_;
+  if (impl.stop_requested.load()) return;
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (impl.options.socket_path.size() >= sizeof addr.sun_path)
+    throw std::invalid_argument("serve: socket path too long for AF_UNIX: '" +
+                                impl.options.socket_path + "'");
+  std::memcpy(addr.sun_path, impl.options.socket_path.c_str(),
+              impl.options.socket_path.size() + 1);
+
+  struct stat existing {};
+  if (::lstat(impl.options.socket_path.c_str(), &existing) == 0) {
+    if (!impl.options.replace_stale_socket)
+      throw std::runtime_error(
+          "serve: socket path already exists (another daemon? pass "
+          "--replace to take it over): '" +
+          impl.options.socket_path + "'");
+    if (!S_ISSOCK(existing.st_mode))
+      throw std::runtime_error(
+          "serve: refusing to replace non-socket path '" +
+          impl.options.socket_path + "'");
+    if (::unlink(impl.options.socket_path.c_str()) != 0)
+      throw_errno("serve: unlink stale socket");
+  }
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) throw_errno("serve: socket");
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    const int saved = errno;
+    close_fd(listen_fd);
+    errno = saved;
+    throw_errno("serve: bind '" + impl.options.socket_path + "'");
+  }
+  if (::listen(listen_fd, 128) != 0) {
+    const int saved = errno;
+    close_fd(listen_fd);
+    ::unlink(impl.options.socket_path.c_str());
+    errno = saved;
+    throw_errno("serve: listen");
+  }
+
+  while (!impl.stop_requested.load()) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {impl.stop_pipe[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (impl.stop_requested.load()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    // Respect the connection cap before accepting: excess clients queue
+    // in the listen backlog instead of getting threads.
+    {
+      std::unique_lock lock(impl.mutex);
+      impl.slot_cv.wait(lock, [&impl] {
+        return impl.active < impl.options.max_connections ||
+               impl.stop_requested.load();
+      });
+      if (impl.stop_requested.load()) break;
+      ++impl.active;
+    }
+
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) {
+      std::lock_guard lock(impl.mutex);
+      --impl.active;
+      impl.slot_cv.notify_one();
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+
+    std::lock_guard lock(impl.mutex);
+    // Reap handlers whose connections already ended, so a long-lived
+    // daemon holds O(max_connections) thread objects, not O(history).
+    std::erase_if(impl.handlers, [](const std::unique_ptr<Impl::Handler>& h) {
+      if (!h->finished.load()) return false;
+      h->thread.join();
+      return true;
+    });
+    auto handler = std::make_unique<Impl::Handler>();
+    Impl::Handler* raw = handler.get();
+    raw->fd = conn_fd;
+    raw->thread = std::thread([this, &impl, raw] {
+      serve_connection(raw->fd);
+      close_fd(raw->fd);
+      std::lock_guard finish_lock(impl.mutex);
+      raw->fd = -1;
+      raw->finished.store(true);
+      --impl.active;
+      impl.slot_cv.notify_one();
+    });
+    impl.handlers.push_back(std::move(handler));
+  }
+
+  // Wind down: stop accepting, kick live connections off their reads,
+  // join every handler, remove the socket path.
+  close_fd(listen_fd);
+  {
+    std::lock_guard lock(impl.mutex);
+    for (const auto& handler : impl.handlers)
+      if (handler->fd >= 0) ::shutdown(handler->fd, SHUT_RDWR);
+  }
+  for (const auto& handler : impl.handlers)
+    if (handler->thread.joinable()) handler->thread.join();
+  impl.handlers.clear();
+  ::unlink(impl.options.socket_path.c_str());
+}
+
+void Server::serve_connection(int fd) {
+  Impl& impl = *impl_;
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (n == 0) return;  // client hung up
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > kMaxLineBytes &&
+        buffer.find('\n') == std::string::npos) {
+      (void)send_all(fd, error_response(0, "request line too long") + "\n");
+      return;
+    }
+
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos && open; nl = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+
+      Request request;
+      std::string error;
+      std::string response;
+      if (!parse_request(line, request, error)) {
+        response = error_response(request.id, error);
+      } else {
+        switch (request.op) {
+          case Op::Ping:
+            response = ping_response(request.id);
+            break;
+          case Op::Stats:
+            response = impl.service.stats_response(request.id);
+            break;
+          case Op::Shutdown:
+            response = "{\"id\":" + std::to_string(request.id) +
+                       ",\"ok\":true,\"op\":\"shutdown\"}";
+            open = false;  // respond, then stop the daemon
+            break;
+          case Op::WhatIf:
+          case Op::Admit:
+            response = impl.service.submit(request);
+            break;
+        }
+      }
+      response += '\n';
+      if (!send_all(fd, response)) return;
+      if (!open) request_stop();
+    }
+    buffer.erase(0, start);
+  }
+}
+
+#else  // !COREDIS_SERVER_POSIX
+
+void Server::run() {
+  throw std::runtime_error("coredis_serve requires a POSIX platform");
+}
+
+void Server::serve_connection(int) {}
+
+#endif
+
+}  // namespace coredis::serve

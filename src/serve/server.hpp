@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file server.hpp
+/// The transport of `coredis_serve` (DESIGN.md section 9.1): an AF_UNIX
+/// stream listener speaking the newline-delimited protocol, one handler
+/// thread per connection, evaluation requests funneled through
+/// Service::submit so concurrent clients batch.
+///
+/// Lifecycle: run() blocks accepting connections until request_stop() is
+/// called — by a `shutdown` request, by the daemon's signal waiter, or
+/// by a test — then closes the listener, shuts down live connections,
+/// joins their threads and unlinks the socket path, so a graceful stop
+/// leaves neither orphan threads nor a stale socket behind.
+/// request_stop() is async-safe with respect to run() (it writes a stop
+/// pipe) and idempotent.
+///
+/// POSIX-only: on other platforms the constructor throws.
+
+#include <cstddef>
+#include <string>
+
+#include "serve/service.hpp"
+
+namespace coredis::serve {
+
+struct ServerOptions {
+  std::string socket_path;
+  std::size_t pool_capacity = 64;
+  std::size_t threads = 0;          ///< batch evaluation threads; 0 = auto
+  std::size_t max_connections = 64; ///< concurrent connections; excess wait
+  /// Unlink a pre-existing socket path before binding. Off by default:
+  /// a live daemon's socket must not be stolen silently.
+  bool replace_stale_socket = false;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  /// Bind, listen and serve until request_stop(). Throws on bind/listen
+  /// failures (socket path in use, path too long for sockaddr_un, ...).
+  void run();
+
+  /// Ask a running run() to wind down. Safe from any thread, idempotent,
+  /// and callable before run() (which then exits immediately).
+  void request_stop();
+
+  [[nodiscard]] const std::string& socket_path() const noexcept;
+  [[nodiscard]] Service& service() noexcept;
+
+ private:
+  void serve_connection(int fd);
+
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace coredis::serve

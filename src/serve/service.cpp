@@ -1,0 +1,205 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <unordered_map>
+#include <utility>
+
+#include "util/parallel.hpp"
+
+namespace coredis::serve {
+
+namespace {
+
+/// Batch group key. Requests with equal keys share one workspace lease;
+/// '\x1f' cannot appear in a tenant or canonical scenario line.
+std::string group_key(const Request& request) {
+  std::string key = request.tenant;
+  key += '\x1f';
+  key += request.scenario_text;
+  key += '\x1f';
+  key += std::to_string(request.rep);
+  return key;
+}
+
+/// One (tenant, scenario, rep) group of a batch: the member requests and
+/// the union of their configurations. Configurations are keyed by name —
+/// sound because the selector grammar only names fixed presets, so equal
+/// names always mean equal specs — and kept in first-appearance order,
+/// which only affects evaluation order, never results (each
+/// configuration's simulation is independent).
+struct Group {
+  std::vector<std::size_t> members;  ///< request indices, ascending
+  std::vector<exp::ConfigSpec> configs;
+  std::unordered_map<std::string, std::size_t> config_index;
+};
+
+}  // namespace
+
+Service::Service(std::size_t pool_capacity, std::size_t threads)
+    : pool_(pool_capacity), threads_(threads) {}
+
+std::string Service::execute(const Request& request) {
+  std::vector<const Request*> one{&request};
+  return std::move(execute_batch_ptrs(one).front());
+}
+
+std::vector<std::string> Service::execute_batch(
+    const std::vector<Request>& requests) {
+  std::vector<const Request*> ptrs;
+  ptrs.reserve(requests.size());
+  for (const Request& request : requests) ptrs.push_back(&request);
+  return execute_batch_ptrs(ptrs);
+}
+
+std::vector<std::string> Service::execute_batch_ptrs(
+    const std::vector<const Request*>& requests) {
+  std::vector<std::string> responses(requests.size());
+
+  std::vector<Group> groups;
+  std::unordered_map<std::string, std::size_t> group_of;
+  std::atomic<std::uint64_t> errors{0};
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& request = *requests[i];
+    if (request.op != Op::WhatIf && request.op != Op::Admit) {
+      // Ping/stats/shutdown are transport concerns; reaching evaluation
+      // with one is a server bug surfaced loudly rather than silently.
+      responses[i] =
+          error_response(request.id, "op is not an evaluation request");
+      ++errors;
+      continue;
+    }
+    const auto [it, inserted] =
+        group_of.try_emplace(group_key(request), groups.size());
+    if (inserted) groups.emplace_back();
+    Group& group = groups[it->second];
+    group.members.push_back(i);
+    for (const exp::ConfigSpec& spec : request.configs) {
+      const auto [cit, fresh] =
+          group.config_index.try_emplace(spec.name, group.configs.size());
+      if (fresh) group.configs.push_back(spec);
+    }
+  }
+
+  // Evaluate groups in parallel: distinct groups touch distinct
+  // workspaces, and the per-request responses sliced below are pure
+  // functions of the request — batching composition cannot leak in.
+  parallel_for(
+      groups.size(),
+      [&](std::size_t g) {
+        const Group& group = groups[g];
+        const Request& lead = *requests[group.members.front()];
+        try {
+          WorkspacePool::Lease lease =
+              pool_.checkout(lead.tenant, lead.scenario, lead.rep);
+          const exp::CellResult cell =
+              lease.workspace().evaluate(group.configs);
+          for (const std::size_t i : group.members) {
+            const Request& request = *requests[i];
+            exp::CellResult slice;
+            slice.baseline = cell.baseline;
+            slice.results.reserve(request.configs.size());
+            for (const exp::ConfigSpec& spec : request.configs)
+              slice.results.push_back(
+                  cell.results[group.config_index.at(spec.name)]);
+            responses[i] = render_response(request, slice);
+          }
+        } catch (const std::exception& failure) {
+          errors += group.members.size();
+          for (const std::size_t i : group.members)
+            responses[i] = error_response(requests[i]->id, failure.what());
+        }
+      },
+      threads_);
+
+  {
+    std::lock_guard lock(mutex_);
+    requests_ += requests.size();
+    errors_ += errors;
+    ++batches_;
+    if (requests.size() > 1) batched_requests_ += requests.size();
+    max_batch_ = std::max<std::uint64_t>(max_batch_, requests.size());
+  }
+  return responses;
+}
+
+std::string Service::submit(const Request& request) {
+  Waiter waiter;
+  waiter.request = &request;
+
+  std::unique_lock lock(mutex_);
+  queue_.push_back(&waiter);
+  if (leader_active_) {
+    // A batch is in flight; its leader will pick this waiter up in a
+    // later round. Wait for the response.
+    done_cv_.wait(lock, [&waiter] { return waiter.done; });
+    return std::move(waiter.response);
+  }
+
+  // Become the leader: drain the queue in rounds until it is empty, then
+  // hand leadership back. Everything queued while a round evaluates
+  // (lock released) forms the next round's batch.
+  leader_active_ = true;
+  while (!queue_.empty()) {
+    std::vector<Waiter*> batch;
+    batch.swap(queue_);
+    std::vector<const Request*> ptrs;
+    ptrs.reserve(batch.size());
+    for (const Waiter* w : batch) ptrs.push_back(w->request);
+    lock.unlock();
+    std::vector<std::string> responses = execute_batch_ptrs(ptrs);
+    lock.lock();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i]->response = std::move(responses[i]);
+      batch[i]->done = true;
+    }
+    done_cv_.notify_all();
+  }
+  leader_active_ = false;
+  return std::move(waiter.response);
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats out;
+  out.pool = pool_.stats();
+  std::lock_guard lock(mutex_);
+  out.requests = requests_;
+  out.errors = errors_;
+  out.batches = batches_;
+  out.batched_requests = batched_requests_;
+  out.max_batch = max_batch_;
+  return out;
+}
+
+std::string Service::stats_response(std::uint64_t id) const {
+  const ServiceStats s = stats();
+  std::string out = "{\"id\":";
+  out += std::to_string(id);
+  out += ",\"ok\":true,\"op\":\"stats\",\"requests\":";
+  out += std::to_string(s.requests);
+  out += ",\"errors\":";
+  out += std::to_string(s.errors);
+  out += ",\"batches\":";
+  out += std::to_string(s.batches);
+  out += ",\"batched_requests\":";
+  out += std::to_string(s.batched_requests);
+  out += ",\"max_batch\":";
+  out += std::to_string(s.max_batch);
+  out += ",\"pool\":{\"hits\":";
+  out += std::to_string(s.pool.hits);
+  out += ",\"misses\":";
+  out += std::to_string(s.pool.misses);
+  out += ",\"evictions\":";
+  out += std::to_string(s.pool.evictions);
+  out += ",\"overflows\":";
+  out += std::to_string(s.pool.overflows);
+  out += ",\"resident\":";
+  out += std::to_string(s.pool.resident);
+  out += ",\"capacity\":";
+  out += std::to_string(pool_.capacity());
+  out += "}}";
+  return out;
+}
+
+}  // namespace coredis::serve

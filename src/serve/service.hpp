@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file service.hpp
+/// Transport-free core of `coredis_serve` (DESIGN.md section 9.3): turns
+/// parsed requests into response lines over a WorkspacePool, batching
+/// concurrent admissions without changing a single output bit.
+///
+/// The determinism contract, same discipline as the lazy==eager battery:
+/// every response is a pure function of its request. A batch groups
+/// requests by workspace key (tenant, scenario, rep), evaluates each
+/// group's union of configurations once over the pooled workspace, and
+/// slices per-request responses out of the shared cell — legal because
+/// each configuration's simulation is independent (its own fault
+/// generator) over caches that are pure in (scenario, rep), so a
+/// configuration's result does not depend on which other configurations
+/// share the batch. Hence: submit() under any concurrency, in any
+/// interleaving, returns byte-identical responses to execute() called
+/// sequentially — the equivalence battery in tests/serve_test.cpp pins
+/// exactly this.
+///
+/// Batching is leader/follower group commit: the first submitter becomes
+/// the leader and drains the queue (groups evaluated in parallel over
+/// parallel_for); submitters arriving while a batch runs enqueue and
+/// wake with their response. One batch runs at a time, so a pooled
+/// workspace is never evaluated from two threads.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/pool.hpp"
+#include "serve/protocol.hpp"
+
+namespace coredis::serve {
+
+struct ServiceStats {
+  PoolStats pool;
+  std::uint64_t requests = 0;          ///< evaluation requests served
+  std::uint64_t errors = 0;            ///< responses with ok:false
+  std::uint64_t batches = 0;           ///< group-commit batches executed
+  std::uint64_t batched_requests = 0;  ///< requests that shared a batch > 1
+  std::uint64_t max_batch = 0;         ///< largest batch so far
+};
+
+class Service {
+ public:
+  /// `pool_capacity` bounds the warm workspaces; `threads` caps the
+  /// parallel evaluation of a batch's groups (0 = default_thread_count).
+  explicit Service(std::size_t pool_capacity, std::size_t threads = 0);
+
+  /// Evaluate one WhatIf/Admit request; the sequential reference path.
+  [[nodiscard]] std::string execute(const Request& request);
+
+  /// Evaluate a batch: responses[i] answers requests[i], byte-identical
+  /// to execute() on each request in isolation.
+  [[nodiscard]] std::vector<std::string> execute_batch(
+      const std::vector<Request>& requests);
+
+  /// Group-commit entry point for concurrent callers (one per
+  /// connection thread): enqueue, batch, return this request's response.
+  [[nodiscard]] std::string submit(const Request& request);
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// {"id":N,"ok":true,"op":"stats",...} for the `stats` op.
+  [[nodiscard]] std::string stats_response(std::uint64_t id) const;
+
+ private:
+  [[nodiscard]] std::vector<std::string> execute_batch_ptrs(
+      const std::vector<const Request*>& requests);
+
+  struct Waiter {
+    const Request* request = nullptr;
+    std::string response;
+    bool done = false;
+  };
+
+  WorkspacePool pool_;
+  std::size_t threads_;
+
+  mutable std::mutex mutex_;  ///< guards queue_, leader_active_, stats
+  std::condition_variable done_cv_;
+  std::vector<Waiter*> queue_;
+  bool leader_active_ = false;
+
+  std::uint64_t requests_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_requests_ = 0;
+  std::uint64_t max_batch_ = 0;
+};
+
+}  // namespace coredis::serve

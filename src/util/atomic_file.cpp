@@ -1,0 +1,69 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <fcntl.h>
+#include <unistd.h>
+#define COREDIS_ATOMIC_FILE_POSIX 1
+#endif
+
+namespace coredis {
+
+namespace {
+
+#if defined(COREDIS_ATOMIC_FILE_POSIX)
+void fsync_fd_path(const std::string& path, int open_flags, bool required) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) {
+    if (!required) return;
+    throw std::runtime_error("cannot open " + path +
+                             " for fsync: " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0 && required)
+    throw std::runtime_error("fsync failed for " + path + ": " +
+                             std::strerror(saved));
+}
+#endif
+
+}  // namespace
+
+std::string atomic_temp_path(const std::string& path) {
+  return path + ".tmp";
+}
+
+void fsync_path(const std::string& path) {
+#if defined(COREDIS_ATOMIC_FILE_POSIX)
+  fsync_fd_path(path, O_RDONLY, /*required=*/true);
+#else
+  (void)path;
+#endif
+}
+
+void commit_file(const std::string& temp, const std::string& final_path) {
+  fsync_path(temp);
+  std::error_code error;
+  std::filesystem::rename(temp, final_path, error);
+  if (error)
+    throw std::runtime_error("cannot rename " + temp + " -> " + final_path +
+                             ": " + error.message());
+#if defined(COREDIS_ATOMIC_FILE_POSIX)
+  // Directory sync is best-effort: some filesystems refuse fsync on
+  // directory descriptors, and the rename is already atomic; the sync
+  // only narrows the window in which a power loss forgets it.
+  const std::filesystem::path parent =
+      std::filesystem::path(final_path).parent_path();
+  fsync_fd_path(parent.empty() ? "." : parent.string(), O_RDONLY,
+                /*required=*/false);
+#endif
+}
+
+}  // namespace coredis

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file atomic_file.hpp
+/// Crash-atomic publication of final artifacts.
+///
+/// Streamed files (campaign JSONL, shard files) are resumable by
+/// construction — a crash leaves a valid prefix that --resume adopts. A
+/// *final* artifact (a merged campaign, a committed baseline) has no
+/// resume story: readers expect it to be complete or absent. These
+/// helpers give writers the classic temp-sibling discipline: write to
+/// `path + suffix`, flush, fsync, then rename(2) over the final path —
+/// the final name either keeps its previous bytes or carries the new
+/// complete ones, never a truncated in-between.
+
+#include <string>
+
+namespace coredis {
+
+/// The temp-sibling name used by atomic writers: `path + ".tmp"`. One
+/// fixed name (not pid-tagged) keeps crashes self-cleaning: the next
+/// attempt truncates the same sibling instead of accumulating orphans.
+[[nodiscard]] std::string atomic_temp_path(const std::string& path);
+
+/// fsync the file at `path` (opened read-only; Linux permits fsync on
+/// such descriptors). No-op on platforms without the POSIX calls. Throws
+/// std::runtime_error when the sync itself fails — a silently skipped
+/// fsync would void the crash-atomicity promise.
+void fsync_path(const std::string& path);
+
+/// Atomically publish `temp` as `final_path`: fsync(temp), rename it
+/// over final_path, then best-effort fsync the parent directory so the
+/// rename itself is durable. Throws std::runtime_error on failure, with
+/// the temp file left in place for inspection.
+void commit_file(const std::string& temp, const std::string& final_path);
+
+}  // namespace coredis

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -45,19 +47,71 @@ void pin_current_thread(int cpu) {
 
 }  // namespace
 
-std::size_t default_thread_count() {
-  if (const char* env = std::getenv("COREDIS_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 0) return static_cast<std::size_t>(parsed);
+bool parse_thread_count(const std::string& text, std::size_t& count,
+                        std::string& error) {
+  if (text.empty()) {
+    error = "COREDIS_THREADS is empty";
+    return false;
   }
+  std::size_t parsed = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      error = "COREDIS_THREADS='" + text + "' is not a plain decimal integer";
+      return false;
+    }
+    parsed = parsed * 10 + static_cast<std::size_t>(c - '0');
+    if (parsed > max_thread_override()) {
+      error = "COREDIS_THREADS='" + text + "' exceeds the maximum of " +
+              std::to_string(max_thread_override());
+      return false;
+    }
+  }
+  count = parsed;
+  error.clear();
+  return true;
+}
+
+bool parse_affinity_flag(const std::string& text, bool& on,
+                         std::string& error) {
+  if (text == "0" || text == "1") {
+    on = text == "1";
+    error.clear();
+    return true;
+  }
+  error = "COREDIS_AFFINITY='" + text + "' must be 0 or 1";
+  return false;
+}
+
+std::size_t default_thread_count() {
   const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : hc;
+  const std::size_t fallback = hc == 0 ? 1 : hc;
+  if (const char* env = std::getenv("COREDIS_THREADS")) {
+    std::size_t count = 0;
+    std::string error;
+    if (parse_thread_count(env, count, error)) return count;
+    // Warn once per process: default_thread_count runs on every
+    // parallel_for, and a warning per call would drown real output.
+    static const bool warned = [&] {
+      std::fprintf(stderr, "coredis: %s; falling back to %zu hardware %s\n",
+                   error.c_str(), fallback,
+                   fallback == 1 ? "thread" : "threads");
+      return true;
+    }();
+    (void)warned;
+  }
+  return fallback;
 }
 
 bool affinity_sharding_default() {
   static const bool on = [] {
     const char* env = std::getenv("COREDIS_AFFINITY");
-    return env != nullptr && env[0] == '1' && env[1] == '\0';
+    if (env == nullptr) return false;
+    bool flag = false;
+    std::string error;
+    if (parse_affinity_flag(env, flag, error)) return flag;
+    std::fprintf(stderr, "coredis: %s; falling back to affinity off\n",
+                 error.c_str());
+    return false;
   }();
   return on;
 }

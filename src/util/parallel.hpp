@@ -11,17 +11,42 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 
 namespace coredis {
 
+/// Strict parse of a COREDIS_THREADS-style override: a plain base-10
+/// integer, no sign, no trailing characters, at most
+/// max_thread_override(). 0 and 1 are valid (they disable threading).
+/// Returns false and fills `error` (naming the offending value) on
+/// anything else — garbage must never silently become "0 threads".
+[[nodiscard]] bool parse_thread_count(const std::string& text,
+                                      std::size_t& count, std::string& error);
+
+/// Upper bound accepted by parse_thread_count. Far above any real
+/// machine; its purpose is to turn overflow and fat-finger values into
+/// loud errors instead of a sign-wrapped or saturated thread pool.
+[[nodiscard]] constexpr std::size_t max_thread_override() { return 65536; }
+
+/// Strict parse of a COREDIS_AFFINITY-style flag: exactly "0" or "1".
+/// Returns false and fills `error` on anything else, so a typo like
+/// "yes" cannot silently leave affinity sharding off.
+[[nodiscard]] bool parse_affinity_flag(const std::string& text, bool& on,
+                                       std::string& error);
+
 /// Number of workers used by parallel_for: hardware concurrency unless the
 /// COREDIS_THREADS environment variable overrides it (0 or 1 disable
-/// threading, useful when debugging).
+/// threading, useful when debugging). A malformed override — garbage,
+/// trailing characters, negative, overflow — is rejected loudly: one
+/// stderr warning naming the offending value, then the explicit fallback
+/// to hardware concurrency (it is never silently treated as 0).
 [[nodiscard]] std::size_t default_thread_count();
 
 /// Whether parallel_for defaults to affinity sharding: opt-in via
 /// COREDIS_AFFINITY=1 (read once per process). Off by default — the
-/// dynamic schedule is the right choice for uneven run lengths.
+/// dynamic schedule is the right choice for uneven run lengths. Any
+/// value other than "0"/"1" is rejected loudly (one stderr warning) and
+/// falls back explicitly to off.
 [[nodiscard]] bool affinity_sharding_default();
 
 /// Fair slice of the machine's thread budget for worker `index` of

@@ -18,6 +18,7 @@
 #include "exp/campaign.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario_file.hpp"
+#include "util/atomic_file.hpp"
 
 namespace coredis::exp {
 namespace {
@@ -720,6 +721,55 @@ TEST(CampaignShard, FileStorageShardsMergeIdentically) {
   remove_shard_files(file_out.string(), 2);
   std::filesystem::remove(ram_out);
   std::filesystem::remove(file_out);
+}
+
+TEST(CampaignMerge, LeavesNoTempSiblingAfterSuccess) {
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  const auto out = temp_jsonl("merge_atomic_clean");
+  std::filesystem::remove(out);
+  run_all_shards_and_merge(campaign, 2, out.string());
+  EXPECT_TRUE(std::filesystem::exists(out));
+  EXPECT_FALSE(std::filesystem::exists(atomic_temp_path(out.string())));
+  remove_shard_files(out.string(), 2);
+  std::filesystem::remove(out);
+}
+
+TEST(CampaignMerge, FailureTouchesNeitherFinalNorTemp) {
+  // A merge that cannot complete (missing shard) must leave the final
+  // name absent and clean up its temp sibling: readers of the final path
+  // expect complete-or-absent, and a lingering temp would mask the next
+  // crash's debris.
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  const auto out = temp_jsonl("merge_atomic_fail");
+  std::filesystem::remove(out);
+  GridRunOptions options;
+  options.jsonl_path = out.string();
+  options.threads = 2;
+  run_campaign_shard(campaign, {0, 2}, options);  // shard 1 never runs
+  EXPECT_THROW(merge_campaign_shards(campaign, 2, out.string()),
+               std::runtime_error);
+  EXPECT_FALSE(std::filesystem::exists(out));
+  EXPECT_FALSE(std::filesystem::exists(atomic_temp_path(out.string())));
+
+  // Supplying the missing shard makes the same merge succeed, and a
+  // stale temp sibling (a previous crash's debris) is simply truncated.
+  write_file(atomic_temp_path(out.string()), "stale debris\n");
+  run_campaign_shard(campaign, {1, 2}, options);
+  merge_campaign_shards(campaign, 2, out.string());
+  EXPECT_FALSE(std::filesystem::exists(atomic_temp_path(out.string())));
+
+  // The recovered artifact is byte-identical to a clean single-process run.
+  const auto reference = temp_jsonl("merge_atomic_ref");
+  std::filesystem::remove(reference);
+  GridRunOptions single;
+  single.jsonl_path = reference.string();
+  single.threads = 2;
+  (void)run_campaign(campaign, single);
+  EXPECT_EQ(read_file(out), read_file(reference));
+
+  remove_shard_files(out.string(), 2);
+  std::filesystem::remove(out);
+  std::filesystem::remove(reference);
 }
 
 TEST(CampaignSummarize, MatchesTheRunThatProducedTheFile) {

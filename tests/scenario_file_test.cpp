@@ -260,6 +260,57 @@ TEST(ScenarioFile, ParseErrorsNameTheOffendingLine) {
   }
 }
 
+/// Run `text` through the parser and return the error message, failing
+/// the test if it parses cleanly.
+std::string parse_error_of(const std::string& text) {
+  try {
+    (void)parse_scenario(text);
+  } catch (const std::runtime_error& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "expected a parse error for: " << text;
+  return "";
+}
+
+TEST(ScenarioFile, NumberErrorsNameTheOffendingKey) {
+  // Scenario files are hand-edited; a bare "malformed number" without the
+  // key makes a 40-line grid a guessing game. Each stod/stoull path must
+  // echo the key and the rejected value.
+  std::string error = parse_error_of("n = 12x\n");
+  EXPECT_NE(error.find("key 'n'"), std::string::npos) << error;
+  EXPECT_NE(error.find("12x"), std::string::npos) << error;
+
+  error = parse_error_of("n = 1\np = 2\nmtbf_years = 1e999\n");
+  EXPECT_NE(error.find("key 'mtbf_years'"), std::string::npos) << error;
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+
+  error = parse_error_of("n = 1\np = 2\nsequential_fraction = oops\n");
+  EXPECT_NE(error.find("key 'sequential_fraction'"), std::string::npos)
+      << error;
+}
+
+TEST(ScenarioFile, IntegerKeysRefuseToWrap) {
+  // 3e9 overflows int; the cast must fail loudly instead of wrapping
+  // through UB into a negative task count.
+  std::string error = parse_error_of("n = 3e9\n");
+  EXPECT_NE(error.find("key 'n'"), std::string::npos) << error;
+  EXPECT_NE(error.find("does not fit a 32-bit integer"), std::string::npos)
+      << error;
+  error = parse_error_of("n = 1\np = 2\nruns = 1e18\n");
+  EXPECT_NE(error.find("key 'runs'"), std::string::npos) << error;
+}
+
+TEST(ScenarioFile, SeedRejectionsNameTheKeyAndConstraint) {
+  const std::string error = parse_error_of("n = 1\np = 2\nseed = -3\n");
+  EXPECT_NE(error.find("seed"), std::string::npos) << error;
+  EXPECT_NE(error.find("non-negative"), std::string::npos) << error;
+}
+
+TEST(ScenarioFile, EmptyValuesAreRejected) {
+  EXPECT_NE(parse_error_of("n =\n").find("missing value"), std::string::npos);
+  EXPECT_NE(parse_error_of("= 5\n").find("missing key"), std::string::npos);
+}
+
 TEST(ScenarioFile, LoadsFromDisk) {
   const auto path =
       std::filesystem::temp_directory_path() / "coredis_scenario_test.txt";

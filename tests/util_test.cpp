@@ -439,5 +439,75 @@ TEST(IndexedHeap, ForEachAtOrBeforeVisitsExactlyTheBoundedSet) {
   EXPECT_TRUE(visited.empty());
 }
 
+TEST(ThreadEnv, ParseThreadCountAcceptsPlainDecimals) {
+  std::size_t count = 99;
+  std::string error;
+  EXPECT_TRUE(parse_thread_count("0", count, error));
+  EXPECT_EQ(count, 0u);  // 0 means "auto" downstream, and must parse
+  EXPECT_TRUE(parse_thread_count("1", count, error));
+  EXPECT_EQ(count, 1u);
+  EXPECT_TRUE(parse_thread_count("8", count, error));
+  EXPECT_EQ(count, 8u);
+  EXPECT_TRUE(error.empty());
+  EXPECT_TRUE(parse_thread_count(std::to_string(max_thread_override()),
+                                 count, error));
+  EXPECT_EQ(count, max_thread_override());
+}
+
+TEST(ThreadEnv, ParseThreadCountRejectionsNameTheValue) {
+  // Every rejection must carry the offending text: the value comes from
+  // an environment variable, and "invalid thread count" with no echo
+  // would send the operator hunting through their shell profile.
+  const char* const rejected[] = {"abc", "8x", "-1", " 8", "8 ", "0x8", "1e3"};
+  for (const char* text : rejected) {
+    std::size_t count = 0;
+    std::string error;
+    EXPECT_FALSE(parse_thread_count(text, count, error)) << text;
+    EXPECT_NE(error.find(text), std::string::npos) << error;
+  }
+  std::size_t count = 0;
+  std::string error;
+  EXPECT_FALSE(parse_thread_count("", count, error));
+  EXPECT_NE(error.find("empty"), std::string::npos) << error;
+  // Beyond the cap — including values that would overflow size_t if the
+  // parser multiplied blindly — the error names the maximum.
+  for (const char* text : {"65537", "18446744073709551616",
+                           "99999999999999999999999999"}) {
+    EXPECT_FALSE(parse_thread_count(text, count, error)) << text;
+    EXPECT_NE(error.find(std::to_string(max_thread_override())),
+              std::string::npos)
+        << error;
+  }
+}
+
+TEST(ThreadEnv, ParseAffinityFlagIsStrictlyBinary) {
+  bool on = false;
+  std::string error;
+  EXPECT_TRUE(parse_affinity_flag("1", on, error));
+  EXPECT_TRUE(on);
+  EXPECT_TRUE(parse_affinity_flag("0", on, error));
+  EXPECT_FALSE(on);
+  for (const char* text : {"true", "yes", "2", "", " 1", "01"}) {
+    EXPECT_FALSE(parse_affinity_flag(text, on, error)) << text;
+    EXPECT_NE(error.find("must be 0 or 1"), std::string::npos) << error;
+  }
+}
+
+TEST(ThreadEnv, DefaultThreadCountFallsBackLoudlyOnGarbage) {
+  // Garbage in COREDIS_THREADS must not silently become 0 threads (which
+  // parallel_for would treat as "auto" — masking the typo) or crash; it
+  // falls back to hardware concurrency, which is never 0.
+  const char* previous = std::getenv("COREDIS_THREADS");
+  const std::string saved = previous == nullptr ? "" : previous;
+  ::setenv("COREDIS_THREADS", "not-a-number", 1);
+  EXPECT_GT(default_thread_count(), 0u);
+  ::setenv("COREDIS_THREADS", "3", 1);
+  EXPECT_EQ(default_thread_count(), 3u);
+  if (previous == nullptr)
+    ::unsetenv("COREDIS_THREADS");
+  else
+    ::setenv("COREDIS_THREADS", saved.c_str(), 1);
+}
+
 }  // namespace
 }  // namespace coredis

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared machinery of the bench harnesses (bench_json, bench_serve):
+/// the machine-speed calibration probe and the narrow reader for the
+/// coredis-bench-v1 JSON this repository's tools emit. Keeping the two
+/// binaries on one probe and one reader is what makes their gates
+/// comparable — a serve baseline normalizes exactly like an engine one.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace coredis::bench {
+
+/// Single-core machine-speed probe: a fixed, deterministic spin over the
+/// kernel's cost profile (expm1 + divides). Recorded into every report
+/// so --check can compare *calibration-normalized* seconds — the
+/// committed baseline and a CI runner are different machines, and
+/// without this the tolerance would encode their hardware ratio instead
+/// of a regression margin.
+inline double calibration_seconds() {
+  // Min over several attempts: on shared containers a single probe can
+  // read 1.5x+ slow, which would skew every normalized ratio the gate
+  // computes; more attempts tighten the min at negligible cost.
+  double best = std::numeric_limits<double>::infinity();
+  for (int attempt = 0; attempt < 7; ++attempt) {
+    const auto start = std::chrono::steady_clock::now();
+    double acc = 0.0, x = 1e-3;
+    for (int i = 0; i < 2'000'000; ++i) {
+      acc += std::expm1(x) / (1.0 + x);
+      x += 1e-9;
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (acc > 0.0) best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+/// Extract `"key": <number>` scoped to the scenario object named `name`
+/// from our own schema (not a general JSON parser; the files it reads
+/// are the ones these tools write). Returns -1 when absent.
+inline double baseline_value(const std::string& json, const std::string& name,
+                             const std::string& key) {
+  // Appends instead of operator+ chains: GCC 12 misfires -Wrestrict on the
+  // latter (GCC PR105329).
+  std::string anchor = "\"name\": \"";
+  anchor += name;
+  anchor += '"';
+  const std::size_t at = json.find(anchor);
+  if (at == std::string::npos) return -1.0;
+  const std::size_t end = json.find('}', at);
+  std::string field = "\"";
+  field += key;
+  field += "\":";
+  const std::size_t k = json.find(field, at);
+  if (k == std::string::npos || k > end) return -1.0;
+  return std::strtod(json.c_str() + k + field.size(), nullptr);
+}
+
+/// The report's own calibration probe, or `fallback` for files written
+/// before the field existed.
+inline double baseline_calibration(const std::string& json, double fallback) {
+  const std::size_t at = json.find("\"calibration_seconds\":");
+  if (at == std::string::npos) return fallback;
+  return std::strtod(json.c_str() + at + 22, nullptr);
+}
+
+/// Read a whole file; throws with the path on failure.
+inline std::string slurp_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace coredis::bench

@@ -49,6 +49,7 @@
 #define COREDIS_BENCH_FORK 1
 #endif
 
+#include "bench_common.hpp"
 #include "core/engine.hpp"
 #include "exp/campaign.hpp"
 #include "exp/storage.hpp"
@@ -115,31 +116,6 @@ long self_peak_rss_kb() {
 #else
   return 0;
 #endif
-}
-
-/// Single-core machine-speed probe: a fixed, deterministic spin over the
-/// kernel's cost profile (expm1 + divides). Recorded into the report so
-/// --check can compare *calibration-normalized* seconds_per_run — the
-/// committed baseline and a CI runner are different machines, and without
-/// this the tolerance would encode their hardware ratio instead of a
-/// regression margin.
-double calibration_seconds() {
-  // Min over several attempts: on shared containers a single probe can
-  // read 1.5x+ slow, which would skew every normalized ratio the gate
-  // computes; more attempts tighten the min at negligible cost.
-  double best = std::numeric_limits<double>::infinity();
-  for (int attempt = 0; attempt < 7; ++attempt) {
-    const auto start = std::chrono::steady_clock::now();
-    double acc = 0.0, x = 1e-3;
-    for (int i = 0; i < 2'000'000; ++i) {
-      acc += std::expm1(x) / (1.0 + x);
-      x += 1e-9;
-    }
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
-    if (acc > 0.0) best = std::min(best, elapsed.count());
-  }
-  return best;
 }
 
 std::vector<GridPoint> pinned_grid(bool smoke) {
@@ -526,27 +502,6 @@ std::string to_json(const std::vector<Measurement>& measurements,
   return out.str();
 }
 
-/// Extract `"key": <number>` scoped to the scenario object named `name`
-/// from our own schema (not a general JSON parser; the files it reads are
-/// the ones this tool writes).
-double baseline_value(const std::string& json, const std::string& name,
-                      const std::string& key) {
-  // Appends instead of operator+ chains: GCC 12 misfires -Wrestrict on the
-  // latter (GCC PR105329).
-  std::string anchor = "\"name\": \"";
-  anchor += name;
-  anchor += '"';
-  const std::size_t at = json.find(anchor);
-  if (at == std::string::npos) return -1.0;
-  const std::size_t end = json.find('}', at);
-  std::string field = "\"";
-  field += key;
-  field += "\":";
-  const std::size_t k = json.find(field, at);
-  if (k == std::string::npos || k > end) return -1.0;
-  return std::strtod(json.c_str() + k + field.size(), nullptr);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -599,7 +554,7 @@ int main(int argc, char** argv) {
       grid = std::move(selected);
     }
 
-    const double calibration = calibration_seconds();
+    const double calibration = bench::calibration_seconds();
     std::fprintf(stderr, "calibration: %.4f s\n", calibration);
     std::vector<Measurement> measurements;
     for (const GridPoint& point : grid) {
@@ -637,21 +592,13 @@ int main(int argc, char** argv) {
     const std::string baseline_path = cli.get_string("check", "");
     if (baseline_path.empty()) return 0;
 
-    std::ifstream in(baseline_path);
-    if (!in) throw std::runtime_error("cannot read " + baseline_path);
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const std::string baseline = buffer.str();
+    const std::string baseline = bench::slurp_file(baseline_path);
 
     // Normalize by the two machines' calibration probes: the comparison is
     // then "slowdown relative to what this machine should deliver", so the
     // tolerance is a regression margin, not a hardware-speed ratio.
     // Baselines written before the calibration field fall back to raw.
-    const std::size_t cal_at = baseline.find("\"calibration_seconds\":");
-    const double base_cal =
-        cal_at == std::string::npos
-            ? calibration
-            : std::strtod(baseline.c_str() + cal_at + 22, nullptr);
+    const double base_cal = bench::baseline_calibration(baseline, calibration);
     const double speed_ratio =
         base_cal > 0.0 ? calibration / base_cal : 1.0;
     std::fprintf(stderr, "machine speed vs baseline: %.2fx\n", speed_ratio);
@@ -663,10 +610,10 @@ int main(int argc, char** argv) {
       // noise-robust benchmark estimator (scheduler hiccups only ever add
       // time), so a small grid point does not flake on one slow run.
       double base =
-          baseline_value(baseline, m.point.name, "seconds_per_run_min");
+          bench::baseline_value(baseline, m.point.name, "seconds_per_run_min");
       double mine = m.seconds_per_run_min;
       if (base <= 0.0) {  // pre-min baseline: fall back to the mean
-        base = baseline_value(baseline, m.point.name, "seconds_per_run");
+        base = bench::baseline_value(baseline, m.point.name, "seconds_per_run");
         mine = m.seconds_per_run;
       }
       if (base <= 0.0) {
@@ -674,7 +621,7 @@ int main(int argc, char** argv) {
                      m.point.name.c_str());
         continue;
       }
-      const double base_runs = baseline_value(baseline, m.point.name, "runs");
+      const double base_runs = bench::baseline_value(baseline, m.point.name, "runs");
       if (base_runs > 0.0 && static_cast<int>(base_runs) != m.runs) {
         std::fprintf(stderr,
                      "%-16s warning: %d runs vs %d in baseline — run seeds "
@@ -685,7 +632,7 @@ int main(int argc, char** argv) {
         // Same workload definition: the simulated results must be the
         // exact bits the baseline recorded (%.17g round-trips doubles).
         const double base_makespan =
-            baseline_value(baseline, m.point.name, "makespan_mean");
+            bench::baseline_value(baseline, m.point.name, "makespan_mean");
         if (base_makespan > 0.0 && base_makespan != m.makespan_mean) {
           drifted = true;
           std::fprintf(stderr,

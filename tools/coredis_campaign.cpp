@@ -33,6 +33,9 @@
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <csignal>
+#include <cstring>
 #include <sys/wait.h>
 #include <unistd.h>
 #define COREDIS_CAMPAIGN_FORK 1
@@ -134,11 +137,52 @@ int merge_to(const exp::Campaign& campaign, std::size_t workers,
   return 0;
 }
 
+#if defined(COREDIS_CAMPAIGN_FORK)
+/// Set by the coordinator's SIGINT/SIGTERM handler; checked by the reap
+/// loop (installed without SA_RESTART, so a blocked waitpid returns
+/// EINTR and the loop sees the flag promptly).
+volatile std::sig_atomic_t g_coordinator_signal = 0;
+
+extern "C" void coordinator_signal_handler(int sig) {
+  g_coordinator_signal = sig;
+}
+
+/// Remove a dead worker's scratch files. Workers leave via _Exit (and
+/// signaled ones never unwind at all), so the self-deleting ScratchFile
+/// destructors (exp/storage.cpp) do not run — the coordinator sweeps the
+/// pid-tagged names (`coredis_<tag>_<pid>_<seq>.bin`) from the spill
+/// directory instead. Best-effort: a failed removal must not mask the
+/// run's own outcome.
+void remove_worker_scratch(const std::string& dir, pid_t pid) {
+  namespace fs = std::filesystem;
+  std::error_code ignored;
+  const fs::path parent =
+      dir.empty() ? fs::temp_directory_path(ignored) : fs::path(dir);
+  // Appends instead of operator+ chains: GCC 12 misfires -Wrestrict on
+  // the latter (GCC PR105329).
+  std::string pid_tag = "_";
+  pid_tag += std::to_string(pid);
+  pid_tag += '_';
+  fs::directory_iterator it(parent, ignored), end;
+  for (; !ignored && it != end; it.increment(ignored)) {
+    const std::string name = it->path().filename().string();
+    if (name.rfind("coredis_", 0) == 0 &&
+        name.find(pid_tag) != std::string::npos && name.ends_with(".bin"))
+      fs::remove(it->path(), ignored);
+  }
+}
+#endif
+
 /// Coordinator: fork one worker per shard (each with its fair share of
 /// the machine's thread budget), re-issue a lost shard with resume — the
 /// rerun adopts the dead worker's shard-file prefix — and merge. Where
 /// fork() does not exist the shards run sequentially in-process, which
 /// preserves every artifact byte.
+///
+/// SIGINT/SIGTERM while coordinating forwards the signal to every live
+/// worker, reaps them, sweeps their scratch files, and exits 128+signal.
+/// Shard files are deliberately retained: each holds a valid prefix that
+/// --resume adopts.
 int run_distributed(const exp::Campaign& campaign, std::size_t workers,
                     bool keep_shards, const exp::GridRunOptions& base) {
   const std::string& out = base.jsonl_path;
@@ -163,6 +207,11 @@ int run_distributed(const exp::Campaign& campaign, std::size_t workers,
     if (pid < 0)
       throw std::runtime_error("cannot fork worker " + std::to_string(k));
     if (pid == 0) {
+      // Children take the default signal dispositions back: the
+      // coordinator's flag-setting handler is meaningless in a worker,
+      // and a forwarded SIGTERM must actually kill it.
+      std::signal(SIGINT, SIG_DFL);
+      std::signal(SIGTERM, SIG_DFL);
       int status = 1;
       try {
         exp::run_campaign_shard(campaign, {k, workers},
@@ -178,22 +227,59 @@ int run_distributed(const exp::Campaign& campaign, std::size_t workers,
     ++attempts[k];
   };
 
+  // Interruption plumbing: flag-setting handlers without SA_RESTART, so
+  // the blocking waitpid below returns EINTR when the user hits Ctrl-C.
+  g_coordinator_signal = 0;
+  struct sigaction action {};
+  action.sa_handler = coordinator_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  struct sigaction old_int {}, old_term {};
+  ::sigaction(SIGINT, &action, &old_int);
+  ::sigaction(SIGTERM, &action, &old_term);
+  const auto restore_handlers = [&] {
+    ::sigaction(SIGINT, &old_int, nullptr);
+    ::sigaction(SIGTERM, &old_term, nullptr);
+  };
+
   std::cerr << "coordinating " << workers << " workers over "
             << campaign.cells() << " cells -> " << out << '\n';
   for (std::size_t k = 0; k < workers; ++k) spawn(k, base.resume);
 
   std::size_t alive = workers;
   bool gave_up = false;
-  while (alive > 0) {
+  while (alive > 0 && g_coordinator_signal == 0) {
     int status = 0;
-    const pid_t pid = ::wait(&status);
-    if (pid < 0) break;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;  // loop head re-checks the signal flag
+      // ECHILD (or worse) with live workers on the books means the pid
+      // table is wrong — stop loudly rather than merge a partial run.
+      std::string message = "coordinator: waitpid failed with ";
+      message += std::to_string(alive);
+      message += " workers outstanding: ";
+      message += std::strerror(errno);
+      restore_handlers();
+      throw std::runtime_error(message);
+    }
     std::size_t k = workers;
     for (std::size_t i = 0; i < workers; ++i)
       if (pids[i] == pid) k = i;
-    if (k == workers) continue;  // not one of ours
+    if (k == workers) {
+      // Every child we fork is a shard worker; an unknown pid means the
+      // shard bookkeeping no longer matches reality, and retrying or
+      // merging on top of that would be guesswork.
+      std::string message = "coordinator: reaped unknown child pid ";
+      message += std::to_string(pid);
+      message += "; shard bookkeeping is corrupt";
+      restore_handlers();
+      throw std::runtime_error(message);
+    }
     pids[k] = -1;
     --alive;
+    // Workers exit via _Exit, so their self-deleting scratch files
+    // survived them; sweep the dead pid's names.
+    remove_worker_scratch(base.storage_dir, pid);
     if (WIFEXITED(status) && WEXITSTATUS(status) == 0) continue;
     if (attempts[k] < kMaxAttempts) {
       // The shard file holds a valid prefix of the lost shard; re-issue
@@ -208,6 +294,26 @@ int run_distributed(const exp::Campaign& campaign, std::size_t workers,
       gave_up = true;
     }
   }
+
+  if (g_coordinator_signal != 0) {
+    const int sig = static_cast<int>(g_coordinator_signal);
+    std::cerr << "coordinator: caught signal " << sig
+              << "; stopping " << alive << " workers\n";
+    for (std::size_t i = 0; i < workers; ++i)
+      if (pids[i] > 0) ::kill(pids[i], sig);
+    for (std::size_t i = 0; i < workers; ++i) {
+      if (pids[i] <= 0) continue;
+      int status = 0;
+      while (::waitpid(pids[i], &status, 0) < 0 && errno == EINTR) {
+      }
+      remove_worker_scratch(base.storage_dir, pids[i]);
+    }
+    restore_handlers();
+    std::cerr << "coordinator: interrupted; shard files retained — rerun "
+                 "with --resume to continue\n";
+    return 128 + sig;
+  }
+  restore_handlers();
   if (gave_up)
     throw std::runtime_error(
         "distributed campaign failed: a shard kept dying; fix the cause and "

@@ -1,0 +1,119 @@
+/// \file coredis_serve.cpp
+/// The scheduler-as-a-service daemon (DESIGN.md section 9): binds an
+/// AF_UNIX socket and answers newline-delimited JSON what-if/admission
+/// queries until a `shutdown` request or SIGINT/SIGTERM. Graceful stops
+/// join every connection and unlink the socket, so supervisors can
+/// restart without cleanup.
+///
+///   coredis_serve --socket /run/coredis.sock [--pool 64] [--threads 0]
+///                 [--max-connections 64] [--replace]
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define COREDIS_SERVE_POSIX 1
+#include <atomic>
+#include <csignal>
+#include <pthread.h>
+#include <thread>
+#endif
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace coredis;
+
+  CliParser cli(argc, argv);
+  cli.describe("socket", "AF_UNIX socket path to bind (required)")
+      .describe("pool", "warm workspace pool capacity (default 64)")
+      .describe("threads", "batch evaluation threads (default: hardware)")
+      .describe("max-connections", "concurrent connections served (default 64)")
+      .describe("replace", "unlink a pre-existing socket path before binding");
+  if (cli.wants_help()) {
+    std::cout << cli.usage(
+        "serve what-if and admission queries over a local socket");
+    return 0;
+  }
+  cli.reject_unknown();
+
+  const std::string socket_path = cli.get_string("socket", "");
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "coredis_serve: --socket is required\n");
+    return 2;
+  }
+  const long pool_capacity = cli.get_int("pool", 64);
+  const long threads = cli.get_int("threads", 0);
+  const long max_connections = cli.get_int("max-connections", 64);
+  if (pool_capacity < 1 || threads < 0 || max_connections < 1) {
+    std::fprintf(stderr,
+                 "coredis_serve: --pool and --max-connections must be >= 1, "
+                 "--threads >= 0\n");
+    return 2;
+  }
+
+  serve::ServerOptions options;
+  options.socket_path = socket_path;
+  options.pool_capacity = static_cast<std::size_t>(pool_capacity);
+  options.threads = static_cast<std::size_t>(threads);
+  options.max_connections = static_cast<std::size_t>(max_connections);
+  options.replace_stale_socket = cli.get_bool("replace");
+  serve::Server server(options);
+
+#ifdef COREDIS_SERVE_POSIX
+  // Route SIGINT/SIGTERM through a dedicated sigwait thread: every
+  // thread blocks them (the mask is inherited by threads the server
+  // spawns), the waiter turns the first one into a graceful
+  // request_stop(). SIGPIPE is ignored outright — client hangups
+  // surface as EPIPE from send().
+  std::signal(SIGPIPE, SIG_IGN);
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+  std::atomic<bool> announce_signal{true};
+  std::thread waiter([&server, &signals, &announce_signal] {
+    int received = 0;
+    if (sigwait(&signals, &received) == 0) {
+      // Stay quiet when the "signal" is main() unparking us after a
+      // shutdown-op stop — announcing it would misread as an external
+      // kill in supervisor logs.
+      if (announce_signal.load())
+        std::fprintf(stderr, "coredis_serve: caught signal %d, stopping\n",
+                     received);
+      server.request_stop();
+    }
+  });
+#endif
+
+  std::printf("coredis_serve listening on %s\n", socket_path.c_str());
+  std::fflush(stdout);
+  server.run();
+
+#ifdef COREDIS_SERVE_POSIX
+  // A shutdown-op stop leaves the waiter parked in sigwait; poke it with
+  // the very signal it waits for (request_stop is idempotent).
+  announce_signal.store(false);
+  pthread_kill(waiter.native_handle(), SIGTERM);
+  waiter.join();
+#endif
+  std::printf("coredis_serve stopped\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& failure) {
+    std::fprintf(stderr, "coredis_serve: %s\n", failure.what());
+    return 1;
+  }
+}
