@@ -1,0 +1,108 @@
+/// Adaptive-policy baseline study (DESIGN.md section 10.4): the two
+/// registry-only policies next to the hand-built schedulers, over a
+/// Poisson arrival load sweep on identical workloads and fault streams —
+///
+///  * malleable co-scheduling: the paper's Algorithm 1 greedy re-run at
+///    every event (the reference the adaptive policies approximate);
+///  * bandit(window, explore): a contextual epsilon-greedy bandit over
+///    {rebalance, hold} keyed by recent fault pressure (the RL-for-
+///    scheduling baseline of arXiv 2401.09706, reduced to two arms);
+///  * reshape(gain): ReSHAPE-style speedup probing (arXiv cs/0703137) —
+///    growth grants are probes, and a job whose measured rate misses the
+///    model-ideal improvement by `gain` is capped at its current width;
+///  * EASY / FCFS: the rigid batch baselines.
+///
+/// Expected shape: both adaptive policies beat the rigid baselines at
+/// high load; reshape tracks malleable closely (its caps rarely bind on
+/// this workload) while the bandit lands between malleable and the
+/// rigid pair (its hold arm forfeits some rebalances while learning).
+/// At load -> 0 (solo jobs, no contention, nothing to learn) both
+/// converge to malleable exactly: the bandit's two arms agree when no
+/// other job is waiting, and reshape never resizes — hence never caps —
+/// a solo job. Normalization is the shared static no-RC pack baseline,
+/// so ratios are comparable across the load axis.
+
+#include "fig_common.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace {
+
+using namespace coredis;
+using namespace coredis::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main([&] {
+    const FigureOptions options = parse_options(
+        argc, argv, "Adaptive policies: bandit and reshape vs the hand-built "
+                    "schedulers across load",
+        /*default_runs=*/8);
+    const std::vector<double> grid =
+        options.full
+            ? std::vector<double>{0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}
+            : std::vector<double>{0.05, 0.5, 2.0, 8.0};
+
+    const std::vector<exp::ConfigSpec> configs = exp::parse_config_set(
+        "malleable, bandit(window=50, explore=0.1), reshape(gain=0.5), "
+        "easy, fcfs");
+    const exp::Sweep sweep = run_sweep(
+        "load", grid,
+        [&](double load) {
+          exp::Scenario scenario;
+          scenario.n = 20;
+          scenario.p = 200;
+          scenario.mtbf_years = 15.0;
+          scenario.runs = options.runs;
+          scenario.seed = options.seed;
+          scenario = options.apply(scenario);
+          scenario.arrival_law = extensions::ArrivalLaw::Poisson;
+          scenario.load_factor = load;  // sweep variable wins
+          return scenario;
+        },
+        configs, options.grid_options());
+
+    // Config order: 0 malleable, 1 bandit, 2 reshape, 3 EASY, 4 FCFS.
+    std::vector<exp::ShapeCheck> checks;
+    const std::size_t last = sweep.x.size() - 1;
+    const double malleable_hi = exp::normalized_at(sweep, last, 0);
+    const double bandit_hi = exp::normalized_at(sweep, last, 1);
+    const double reshape_hi = exp::normalized_at(sweep, last, 2);
+    const double fcfs_hi = exp::normalized_at(sweep, last, 4);
+    checks.push_back({"bandit beats rigid FCFS at high load",
+                      bandit_hi < fcfs_hi,
+                      "bandit=" + format_double(bandit_hi) +
+                          " fcfs=" + format_double(fcfs_hi)});
+    checks.push_back({"reshape beats rigid FCFS at high load",
+                      reshape_hi < fcfs_hi,
+                      "reshape=" + format_double(reshape_hi) +
+                          " fcfs=" + format_double(fcfs_hi)});
+    const double easy_hi = exp::normalized_at(sweep, last, 3);
+    checks.push_back({"bandit beats EASY backfilling at high load",
+                      bandit_hi < easy_hi,
+                      "bandit=" + format_double(bandit_hi) +
+                          " easy=" + format_double(easy_hi)});
+    checks.push_back({"reshape stays within 10% of malleable at high load",
+                      reshape_hi <= malleable_hi * 1.10,
+                      "reshape=" + format_double(reshape_hi) +
+                          " malleable=" + format_double(malleable_hi)});
+    const double malleable_lo = exp::normalized_at(sweep, 0, 0);
+    const double bandit_lo = exp::normalized_at(sweep, 0, 1);
+    const double reshape_lo = exp::normalized_at(sweep, 0, 2);
+    checks.push_back({"bandit converges to malleable as load -> 0",
+                      bandit_lo <= malleable_lo * 1.02,
+                      "bandit=" + format_double(bandit_lo, 4) +
+                          " malleable=" + format_double(malleable_lo, 4)});
+    checks.push_back({"reshape converges to malleable as load -> 0",
+                      reshape_lo <= malleable_lo * 1.02,
+                      "reshape=" + format_double(reshape_lo, 4) +
+                          " malleable=" + format_double(malleable_lo, 4)});
+
+    print_figure(
+        "Adaptive policies: load sweep (n = 20, p = 200, MTBF 15y)", sweep,
+        checks, options);
+    return 0;
+  });
+}

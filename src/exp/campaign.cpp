@@ -511,7 +511,7 @@ void run_cell_span(const std::vector<Scenario>& points,
           const std::size_t k = first + done + index;
           const CellRef ref = queue.at(k);
           const CellResult result =
-              run_cell(points[ref.point], configs, ref.rep);
+              run_cell(points[ref.point], configs, ref.rep, options.dispatch);
           // Per-worker reusable line buffer (the committer copies only
           // what it must spill).
           thread_local std::string line;
@@ -623,7 +623,7 @@ Campaign parse_campaign(const std::string& text, Scenario base) {
       std::string key;
       std::string value;
       if (!detail::split_assignment(raw, key, value)) continue;
-      if (key == "configs") {
+      if (key == "configs" || key == "policy" || key == "policies") {
         campaign.configs = parse_config_set(value);
         continue;
       }

@@ -36,11 +36,16 @@
 ///   load_factor = 0.25, 1, 4     # offered load rho, sweepable
 ///   # configuration set (default: paper)
 ///   configs = paper
+///   # or registry policy strings (policy/registry.hpp; alias: policy)
+///   policy = "bandit(window=50, explore=0.1), malleable"
 ///
-/// `configs` accepts `paper` (the six section-6.2 curves), `fault_free`
-/// (the Figure 5-6 trio), `online` (the malleable/EASY/FCFS arrival
-/// trio), or a comma list of baseline, ig_greedy, ig_local, stf_greedy,
-/// stf_local, rc_fault_free, malleable, easy, fcfs.
+/// `configs` (aliases `policy`, `policies`) accepts `paper` (the six
+/// section-6.2 curves), `fault_free` (the Figure 5-6 trio), `online`
+/// (the malleable/EASY/FCFS arrival trio), or a comma list mixing the
+/// preset names baseline, ig_greedy, ig_local, stf_greedy, stf_local,
+/// rc_fault_free, malleable, easy, fcfs with registry policy strings
+/// such as `pack(end=greedy)` or `reshape(gain=0.8)` (commas inside
+/// parentheses do not split; surrounding quotes optional).
 
 #include <cstddef>
 #include <string>
@@ -120,6 +125,10 @@ struct GridRunOptions {
   std::string storage_dir;
   /// Result payload the file-backed spill keeps resident in RAM.
   std::size_t spill_ram_budget_bytes = std::size_t{16} << 20;
+  /// Which dispatch executes each configuration (exp/runner.hpp): the
+  /// policy registry (production) or the frozen pre-registry switch.
+  /// The differential battery cmp-locks the two paths' artifacts.
+  DispatchPath dispatch = DispatchPath::Registry;
 };
 
 /// Run every (point, repetition) cell of `points` x `configs` through one

@@ -2,8 +2,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "extensions/online.hpp"
 #include "fault/exponential.hpp"
 #include "fault/weibull.hpp"
+#include "policy/registry.hpp"
 #include "speedup/synthetic.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
@@ -20,11 +23,13 @@ namespace coredis::exp {
 
 namespace {
 
-/// Derived, per-repetition seeds: workload, fault and arrival streams
-/// must be independent of each other but shared across configurations.
+/// Derived, per-repetition seeds: workload, fault, arrival and
+/// policy-private streams must be independent of each other but shared
+/// across configurations.
 constexpr std::uint64_t kWorkloadStream = 0x9E3779B97F4A7C15ULL;
 constexpr std::uint64_t kFaultStream = 0xC2B2AE3D27D4EB4FULL;
 constexpr std::uint64_t kArrivalStream = 0x5851F42D4C957F2DULL;
+constexpr std::uint64_t kPolicyStream = 0x94D049BB133111EBULL;
 
 core::Pack make_pack(const Scenario& scenario, std::uint64_t run) {
   Rng rng = Rng::child(scenario.seed ^ kWorkloadStream, run);
@@ -51,23 +56,15 @@ fault::GeneratorPtr make_faults(const Scenario& scenario, std::uint64_t run,
       Rng::child(scenario.seed ^ kFaultStream, run));
 }
 
-/// True when the two specs would run the exact same simulation: every
-/// semantics-bearing EngineConfig knob, the scheduler dispatch and the
-/// fault-stream switch must match before one run can stand in for the
-/// other (an ablation variant that only flips e.g. faults_in_blackout
-/// must not be aliased away).
+/// True when the two specs would run the exact same simulation. The
+/// canonical policy string encodes every semantics-bearing knob —
+/// scheduler dispatch, every EngineConfig field, every policy option —
+/// so equal strings plus an equal fault-stream switch mean one run can
+/// stand in for the other (an ablation variant that only flips e.g.
+/// faults_in_blackout spells a different string and is never aliased).
 bool same_simulation(const ConfigSpec& a, const ConfigSpec& b) {
-  const core::EngineConfig& x = a.engine;
-  const core::EngineConfig& y = b.engine;
-  return a.scheduler == b.scheduler &&
-         x.end_policy == y.end_policy &&
-         x.failure_policy == y.failure_policy &&
-         x.record_trace == y.record_trace &&
-         x.zero_redistribution_cost == y.zero_redistribution_cost &&
-         x.faults_in_blackout == y.faults_in_blackout &&
-         x.record_timeline == y.record_timeline &&
-         x.linear_event_scan == y.linear_event_scan &&
-         a.force_fault_free == b.force_fault_free;
+  return a.force_fault_free == b.force_fault_free &&
+         canonical_policy(a) == canonical_policy(b);
 }
 
 core::RunResult from_online(extensions::OnlineResult&& r) {
@@ -106,7 +103,13 @@ CellWorkspace::CellWorkspace(const Scenario& scenario, std::uint64_t rep)
       baseline_spec_(baseline_no_redistribution()),
       pack_(make_pack(scenario, rep)),
       resilience_(scenario.resilience_params()),
-      engine_(pack_, resilience_, scenario.p, baseline_spec_.engine) {}
+      engine_(pack_, resilience_, scenario.p, baseline_spec_.engine) {
+  // Policy-private randomness (e.g. the bandit's exploration draws):
+  // sharded like the fault stream — a plain integer seed derived per
+  // (campaign seed, rep), independent of the other streams.
+  std::uint64_t sm = scenario.seed ^ kPolicyStream;
+  policy_seed_ = splitmix64(sm) ^ rep;
+}
 
 // Release dates, shared by every non-engine configuration of this cell
 // (the arrival stream shards like the workload/fault streams: it is a
@@ -123,7 +126,8 @@ const std::vector<double>& CellWorkspace::release_times() {
   return releases_;
 }
 
-CellResult CellWorkspace::evaluate(const std::vector<ConfigSpec>& configs) {
+CellResult CellWorkspace::evaluate(const std::vector<ConfigSpec>& configs,
+                                   DispatchPath path) {
   CellResult cell;
   // Baseline: no redistribution, faults as configured. It also normalizes
   // the online-workload configurations — every scheduler of a repetition
@@ -145,6 +149,25 @@ CellResult CellWorkspace::evaluate(const std::vector<ConfigSpec>& configs) {
       continue;
     }
     auto faults = make_faults(scenario_, rep_, spec.force_fault_free);
+    if (path == DispatchPath::Registry ||
+        spec.scheduler == SchedulerKind::Registry) {
+      // The production path (DESIGN.md section 10.2): resolve the spec's
+      // canonical policy string and run the instantiated policy over the
+      // same warm state the legacy switch below uses — same engine, same
+      // shared model/evaluator, same lazy releases — so the two paths'
+      // artifacts are byte-identical (the differential battery locks it).
+      const policy::ResolvedPolicy resolved =
+          policy::resolve(canonical_policy(spec));
+      const std::function<const std::vector<double>&()> releases =
+          [this]() -> const std::vector<double>& { return release_times(); };
+      const policy::CellContext ctx{pack_,           resilience_,
+                                    scenario_.p,     *faults,
+                                    engine_.model(), engine_.evaluator(),
+                                    engine_,         releases,
+                                    policy_seed_};
+      cell.results.push_back(resolved.make()->run(ctx));
+      continue;
+    }
     switch (spec.scheduler) {
       case SchedulerKind::PackEngine:
         cell.results.push_back(engine_.run(*faults, spec.engine));
@@ -163,6 +186,11 @@ CellResult CellWorkspace::evaluate(const std::vector<ConfigSpec>& configs) {
             engine_.model(), engine_.evaluator())));
         break;
       }
+      case SchedulerKind::Registry:
+        // Unreachable: Registry specs take the branch above whatever the
+        // requested path — the legacy switch predates them.
+        throw std::logic_error("registry-only policy '" + spec.name +
+                               "' cannot run down the legacy dispatch");
     }
   }
   return cell;
@@ -170,9 +198,9 @@ CellResult CellWorkspace::evaluate(const std::vector<ConfigSpec>& configs) {
 
 CellResult run_cell(const Scenario& scenario,
                     const std::vector<ConfigSpec>& configs,
-                    std::uint64_t rep) {
+                    std::uint64_t rep, DispatchPath path) {
   CellWorkspace workspace(scenario, rep);
-  return workspace.evaluate(configs);
+  return workspace.evaluate(configs, path);
 }
 
 PointResult make_point_frame(const std::vector<ConfigSpec>& configs) {

@@ -1,9 +1,12 @@
 #include "exp/scenario.hpp"
 
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "exp/scenario_file.hpp"
+#include "policy/builtin.hpp"
+#include "policy/registry.hpp"
 
 namespace coredis::exp {
 
@@ -109,19 +112,54 @@ std::vector<ConfigSpec> fault_free_curves() {
   return {without, greedy, local};
 }
 
+std::string canonical_policy(const ConfigSpec& spec) {
+  if (!spec.policy.empty()) return spec.policy;
+  switch (spec.scheduler) {
+    case SchedulerKind::PackEngine:
+      return policy::pack_canonical(spec.engine);
+    case SchedulerKind::OnlineMalleable: return "malleable";
+    case SchedulerKind::BatchEasy: return "easy";
+    case SchedulerKind::BatchFcfs: return "fcfs";
+    case SchedulerKind::Registry:
+      break;  // Registry specs always carry their policy string
+  }
+  throw std::logic_error("ConfigSpec '" + spec.name +
+                         "' has SchedulerKind::Registry but no policy string");
+}
+
+namespace {
+
+/// Split a config selector at top-level commas only: commas inside a
+/// policy string's parentheses — `bandit(window=50, explore=0.1)` —
+/// belong to its option list.
+std::vector<std::string> split_selector(const std::string& spec) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  int depth = 0;
+  for (std::size_t i = 0; i <= spec.size(); ++i) {
+    if (i < spec.size() && spec[i] == '(') ++depth;
+    if (i < spec.size() && spec[i] == ')' && depth > 0) --depth;
+    if (i == spec.size() || (spec[i] == ',' && depth == 0)) {
+      items.push_back(detail::trim(spec.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return items;
+}
+
+}  // namespace
+
 std::vector<ConfigSpec> parse_config_set(const std::string& value) {
-  const std::string spec = detail::lower(detail::trim(value));
+  std::string spec = detail::lower(detail::trim(value));
+  // Campaign files may quote a selector whose policy strings carry
+  // spaces or commas: policy = "bandit(window=50, explore=0.1)".
+  if (spec.size() >= 2 && spec.front() == '"' && spec.back() == '"')
+    spec = detail::trim(spec.substr(1, spec.size() - 2));
   if (spec == "paper") return paper_curves();
   if (spec == "fault_free") return fault_free_curves();
   if (spec == "online") return online_curves();
   std::vector<ConfigSpec> configs;
-  std::size_t start = 0;
-  for (;;) {
-    const auto comma = spec.find(',', start);
-    const std::string name =
-        detail::trim(comma == std::string::npos
-                         ? spec.substr(start)
-                         : spec.substr(start, comma - start));
+  for (const std::string& name : split_selector(spec)) {
     if (name == "baseline") {
       configs.push_back(baseline_no_redistribution());
     } else if (name == "ig_greedy") {
@@ -141,13 +179,26 @@ std::vector<ConfigSpec> parse_config_set(const std::string& value) {
     } else if (name == "fcfs") {
       configs.push_back(online_fcfs());
     } else {
-      throw std::runtime_error(
-          "unknown configuration '" + name +
-          "' (paper|fault_free|online|baseline|ig_greedy|ig_local|"
-          "stf_greedy|stf_local|rc_fault_free|malleable|easy|fcfs)");
+      // Not a preset: resolve against the policy registry. The canonical
+      // string becomes both the display name and the policy field, so
+      // two spellings of one policy coalesce everywhere names key
+      // behavior (serve's config-union batching, campaign JSONL).
+      policy::ResolvedPolicy resolved;
+      try {
+        resolved = policy::resolve(name);
+      } catch (const std::runtime_error& error) {
+        throw std::runtime_error(
+            std::string(error.what()) +
+            " — or use a preset: paper|fault_free|online|baseline|"
+            "ig_greedy|ig_local|stf_greedy|stf_local|rc_fault_free|"
+            "malleable|easy|fcfs");
+      }
+      ConfigSpec config;
+      config.name = resolved.canonical;
+      config.policy = resolved.canonical;
+      config.scheduler = SchedulerKind::Registry;
+      configs.push_back(std::move(config));
     }
-    if (comma == std::string::npos) break;
-    start = comma + 1;
   }
   return configs;
 }

@@ -55,12 +55,17 @@ struct Scenario {
   [[nodiscard]] extensions::ArrivalSpec arrival_spec() const;
 };
 
-/// Which simulator executes a configuration at a scenario point.
+/// Which simulator executes a configuration at a scenario point. The
+/// four legacy kinds survive as the frozen pre-registry dispatch (the
+/// reference side of the policy differential battery); `Registry` marks
+/// configurations that only exist as registered policies
+/// (policy/registry.hpp) and cannot run down the legacy path.
 enum class SchedulerKind {
   PackEngine,       ///< the paper's engine (static pack; ignores releases)
   OnlineMalleable,  ///< extensions::run_online (arrival-driven, malleable)
   BatchEasy,        ///< extensions::run_batch with EASY backfilling
   BatchFcfs,        ///< extensions::run_batch, plain FCFS (no backfilling)
+  Registry,         ///< registry-only policy; dispatch via `policy`
 };
 
 /// One engine configuration to evaluate at a scenario point.
@@ -72,7 +77,20 @@ struct ConfigSpec {
   bool force_fault_free = false;
   /// Simulator dispatch; `engine` only applies to PackEngine.
   SchedulerKind scheduler = SchedulerKind::PackEngine;
+  /// Registry policy string (policy/registry.hpp grammar). Empty for the
+  /// named preset configurations — their registry spelling is *derived*
+  /// on demand (canonical_policy), so mutating `engine` after
+  /// construction, as the ablation benches do, cannot leave a stale
+  /// string behind. Non-empty for specs built from policy strings.
+  std::string policy;
 };
+
+/// The canonical registry policy string of a spec: `spec.policy` when
+/// set, otherwise the legacy scheduler/engine fields rendered through
+/// the policy grammar (`pack(end=..., fail=..., ...)`, `malleable`,
+/// `easy`, `fcfs`). Two specs with equal canonical strings and equal
+/// force_fault_free run the exact same simulation.
+[[nodiscard]] std::string canonical_policy(const ConfigSpec& spec);
 
 /// The named configurations of section 6.2.
 [[nodiscard]] ConfigSpec baseline_no_redistribution();
@@ -100,12 +118,17 @@ struct ConfigSpec {
 [[nodiscard]] std::vector<ConfigSpec> online_curves();
 
 /// Parse a `configs = ...` selector into ConfigSpecs: one of the curve
-/// sets (`paper`, `fault_free`, `online`) or a comma-separated list of
-/// configuration names (`baseline`, `ig_greedy`, `ig_local`,
-/// `stf_greedy`, `stf_local`, `rc_fault_free`, `malleable`, `easy`,
-/// `fcfs`). Shared by campaign files (campaign.hpp) and the serving
-/// protocol (serve/protocol.hpp), so both spell configurations
-/// identically. Throws std::runtime_error naming an unknown selector.
+/// sets (`paper`, `fault_free`, `online`), or a comma-separated list
+/// whose items are configuration names (`baseline`, `ig_greedy`,
+/// `ig_local`, `stf_greedy`, `stf_local`, `rc_fault_free`, `malleable`,
+/// `easy`, `fcfs`) or registry policy strings —
+/// `bandit(window=50, explore=0.1)`, `pack(end=greedy)` — resolved
+/// against policy/registry.hpp (commas inside parentheses do not split;
+/// optional surrounding double quotes are stripped). A policy-built
+/// spec is named by its canonical policy string. Shared by campaign
+/// files (campaign.hpp) and the serving protocol (serve/protocol.hpp),
+/// so both spell configurations identically. Throws std::runtime_error
+/// naming an unknown selector or the offending policy-string token.
 [[nodiscard]] std::vector<ConfigSpec> parse_config_set(
     const std::string& value);
 

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file adaptive.hpp
+/// Learned/adaptive co-scheduling baselines (DESIGN.md section 10.3):
+///
+///  * `bandit(window, explore)` — a contextual epsilon-greedy bandit in
+///    the spirit of the RL co-scheduler of arXiv 2401.09706: at every
+///    scheduling event it observes the recent fault pressure and picks
+///    between *rebalance* (the full malleable re-pack, paying
+///    redistribution costs) and *hold* (admit new jobs onto idle
+///    processors only, no resizes), learning per-context arm values
+///    from the measured work throughput between decisions.
+///
+///  * `reshape(gain)` — a ReSHAPE-style resize-point policy (arXiv
+///    cs/0703137): malleable co-scheduling whose growth grants are
+///    *probes* — after growing a job it measures the achieved progress
+///    rate against the rate at the previous size, and permanently caps
+///    the job's allocation once a grant delivers less than `gain` of
+///    the model-ideal speedup. Shrinks are always allowed.
+///
+/// Both are deterministic in (cell streams, policy_seed): the bandit's
+/// exploration draws come from the policy-private stream, ReSHAPE is
+/// measurement-driven and draws nothing.
+
+namespace coredis::policy {
+
+/// Registration hook (called once by the registry; see registry.hpp).
+void register_adaptive_policies();
+
+}  // namespace coredis::policy

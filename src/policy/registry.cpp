@@ -1,0 +1,110 @@
+#include "policy/registry.hpp"
+
+#include <cctype>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "policy/adaptive.hpp"
+#include "policy/builtin.hpp"
+
+namespace coredis::policy {
+
+namespace {
+
+std::vector<PolicyInfo>& mutable_registry() {
+  static std::vector<PolicyInfo> registry;
+  return registry;
+}
+
+/// Explicit registration under call_once (see registry.hpp): every
+/// policy module's hook runs exactly once, before any lookup, whatever
+/// thread asks first.
+void ensure_registered() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    register_builtin_policies();
+    register_adaptive_policies();
+  });
+}
+
+bool valid_identifier(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name.front())) &&
+      name.front() != '_')
+    return false;
+  for (char c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  return true;
+}
+
+}  // namespace
+
+void register_policy(PolicyInfo info) {
+  if (!valid_identifier(info.name))
+    throw std::logic_error("policy name '" + info.name +
+                           "' is not an identifier");
+  for (const OptionSpec& spec : info.options)
+    if (!valid_identifier(spec.name))
+      throw std::logic_error("policy '" + info.name + "' option '" +
+                             spec.name + "' is not an identifier");
+  for (const PolicyInfo& existing : mutable_registry())
+    if (existing.name == info.name)
+      throw std::logic_error("policy '" + info.name +
+                             "' is already registered");
+  mutable_registry().push_back(std::move(info));
+}
+
+const std::vector<PolicyInfo>& registered_policies() {
+  ensure_registered();
+  return mutable_registry();
+}
+
+const PolicyInfo* find_policy(const std::string& name) {
+  for (const PolicyInfo& info : registered_policies())
+    if (info.name == name) return &info;
+  return nullptr;
+}
+
+ResolvedPolicy resolve(const std::string& text) {
+  const RawPolicy raw = tokenize_policy(text);
+  const PolicyInfo* info = find_policy(raw.name);
+  if (info == nullptr) {
+    std::string names;
+    for (const PolicyInfo& registered : registered_policies()) {
+      if (!names.empty()) names += ", ";
+      names += registered.name;
+    }
+    throw std::runtime_error("unknown policy '" + raw.name +
+                             "' (registered: " + names + ")");
+  }
+  ResolvedPolicy resolved;
+  resolved.info = info;
+  resolved.options = validate_options(info->name, info->options, raw);
+  resolved.canonical = format_policy(info->name, resolved.options);
+  return resolved;
+}
+
+std::string list_policies_markdown() {
+  std::string out =
+      "| policy | options (default) | description |\n"
+      "|---|---|---|\n";
+  for (const PolicyInfo& info : registered_policies()) {
+    out += "| `" + info.name + "` | ";
+    if (info.options.empty()) {
+      out += "—";
+    } else {
+      bool first = true;
+      for (const OptionSpec& spec : info.options) {
+        if (!first) out += ", ";
+        first = false;
+        out += "`" + spec.name + "=" + spec.default_value + "` (" +
+               describe_type(spec) + ")";
+      }
+    }
+    out += " | " + info.doc + " |\n";
+  }
+  return out;
+}
+
+}  // namespace coredis::policy

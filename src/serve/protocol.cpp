@@ -58,6 +58,8 @@ bool parse_request(const std::string& line, Request& request,
   std::string scenario_text;
   bool have_scenario = false;
   std::string configs_text = "paper";
+  bool have_configs = false;
+  bool have_policy = false;
   double limit_days = -1.0;
 
   if (!expect_char(line, pos, '{')) {
@@ -97,6 +99,14 @@ bool parse_request(const std::string& line, Request& request,
       have_scenario = ok;
     } else if (key == "configs") {
       ok = scan_quoted(line, pos, configs_text);
+      have_configs = ok;
+    } else if (key == "policy") {
+      // Alias for 'configs' aimed at registry policy strings — same
+      // selector grammar, so "policy":"bandit(window=50)" just works.
+      // An unknown policy comes back as a structured error response
+      // naming the token, never a dropped connection.
+      ok = scan_quoted(line, pos, configs_text);
+      have_policy = ok;
     } else if (key == "id") {
       ok = scan_size(line, pos, request.id);
     } else if (key == "rep") {
@@ -130,6 +140,10 @@ bool parse_request(const std::string& line, Request& request,
   if (!parse_op(op_text, request.op)) {
     error = "unknown op '" + op_text +
             "' (ping|what_if|admit|stats|shutdown)";
+    return false;
+  }
+  if (have_configs && have_policy) {
+    error = "specify either 'configs' or 'policy', not both";
     return false;
   }
   if (request.op != Op::WhatIf && request.op != Op::Admit) return true;

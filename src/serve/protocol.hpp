@@ -21,7 +21,12 @@
 /// `scenario` is scenario-file text with ';' accepted as a line
 /// separator; it parses and validates exactly like a file on disk, so
 /// errors name the offending key. `configs` is the campaign selector
-/// grammar (exp::parse_config_set; default "paper"). `rep` picks the
+/// grammar (exp::parse_config_set; default "paper"); `policy` is an
+/// alias for it aimed at registry policy strings such as
+/// "bandit(window=50, explore=0.1)" — sending both fields is an error,
+/// and an unknown policy yields a structured
+/// {"id":N,"ok":false,"error":"unknown policy ..."} response naming the
+/// offending token, never a closed connection. `rep` picks the
 /// Monte-Carlo repetition (default 0). `admit` admits when the *first*
 /// configuration's makespan meets the bar: `limit_days` when given,
 /// otherwise the no-redistribution baseline (normalized <= 1).

@@ -198,6 +198,54 @@ TEST(Protocol, ParsesWhatIfRequest) {
   EXPECT_EQ(request.scenario_text, exp::format_scenario(request.scenario));
 }
 
+TEST(Protocol, PolicyFieldSelectsRegistryPolicies) {
+  // 'policy' is the registry-string alias of 'configs': same selector
+  // grammar, canonical names, SchedulerKind::Registry specs.
+  Request request;
+  std::string error;
+  ASSERT_TRUE(parse_request(
+      R"({"id":8,"op":"what_if","scenario":"n = 6; p = 24",)"
+      R"json("policy":"bandit(window=5), pack(end=greedy)"})json",
+      request, error))
+      << error;
+  ASSERT_EQ(request.configs.size(), 2u);
+  EXPECT_EQ(request.configs[0].name, "bandit(window=5)");
+  EXPECT_EQ(request.configs[0].scheduler, exp::SchedulerKind::Registry);
+  EXPECT_EQ(request.configs[1].name, "pack(end=greedy)");
+}
+
+TEST(Protocol, PolicyAndConfigsTogetherAreRejected) {
+  Request request;
+  std::string error;
+  EXPECT_FALSE(parse_request(
+      R"({"id":9,"op":"what_if","scenario":"n = 6",)"
+      R"("configs":"paper","policy":"bandit"})",
+      request, error));
+  EXPECT_NE(error.find("either 'configs' or 'policy'"), std::string::npos)
+      << error;
+}
+
+TEST(Protocol, UnknownPolicyIsAStructuredErrorNamingTheToken) {
+  Request request;
+  std::string error;
+  EXPECT_FALSE(parse_request(
+      R"({"id":10,"op":"what_if","scenario":"n = 6; p = 24",)"
+      R"json("policy":"frobnicate(x=1)"})json",
+      request, error));
+  EXPECT_NE(error.find("unknown policy 'frobnicate'"), std::string::npos)
+      << error;
+  // ...and so is a known policy with a bad option value.
+  EXPECT_FALSE(parse_request(
+      R"({"id":11,"op":"what_if","scenario":"n = 6; p = 24",)"
+      R"json("policy":"bandit(explore=7)"})json",
+      request, error));
+  EXPECT_NE(error.find("'explore'"), std::string::npos) << error;
+  // The error renders as a well-formed response line (what the server
+  // writes back instead of dropping the connection).
+  const std::string response = error_response(request.id, error);
+  EXPECT_EQ(response.find("{\"id\":11,\"ok\":false,\"error\":\""), 0u);
+}
+
 TEST(Protocol, WhitespaceTolerantAndOrderFree) {
   Request request;
   std::string error;
@@ -448,6 +496,27 @@ TEST(Server, EndToEndOverTempSocket) {
 
   const std::string bad = request_reply(fd, R"({"id":3,"op":"nope"})");
   EXPECT_NE(bad.find("\"ok\":false"), std::string::npos) << bad;
+
+  // Registry policy strings ride the 'policy' field end to end...
+  const std::string via_policy = request_reply(
+      fd, R"({"id":6,"op":"what_if","scenario":"n = 6; p = 24",)"
+          R"json("policy":"bandit(window=5)"})json");
+  EXPECT_NE(via_policy.find("\"ok\":true"), std::string::npos) << via_policy;
+  EXPECT_NE(via_policy.find("\"name\":\"bandit(window=5)\""),
+            std::string::npos)
+      << via_policy;
+
+  // ...and an unknown policy is a structured error on a live
+  // connection, not a hangup: the next request still answers.
+  const std::string unknown = request_reply(
+      fd, R"({"id":7,"op":"what_if","scenario":"n = 6; p = 24",)"
+          R"("policy":"frobnicate"})");
+  EXPECT_NE(unknown.find("\"id\":7,\"ok\":false"), std::string::npos)
+      << unknown;
+  EXPECT_NE(unknown.find("unknown policy 'frobnicate'"), std::string::npos)
+      << unknown;
+  EXPECT_EQ(request_reply(fd, R"({"id":8,"op":"ping"})"),
+            R"({"id":8,"ok":true,"op":"ping"})");
 
   const std::string stats = request_reply(fd, R"({"id":4,"op":"stats"})");
   EXPECT_NE(stats.find("\"op\":\"stats\""), std::string::npos) << stats;

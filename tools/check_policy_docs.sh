@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Pin README.md's "Policies" table to `coredis_sim --list-policies`.
+#
+# Usage: check_policy_docs.sh <path-to-coredis_sim> [repo-root]
+#
+# The table lives between `<!-- policies:begin -->` and
+# `<!-- policies:end -->` markers in README.md and must match the
+# binary's output byte for byte — edit the OptionSpec docs in
+# src/policy/ and re-paste, never the README alone.
+set -u
+
+sim="${1:?usage: check_policy_docs.sh <coredis_sim> [repo-root]}"
+root="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
+readme="$root/README.md"
+
+fail() {
+  echo "check_policy_docs: $*" >&2
+  exit 1
+}
+
+[ -x "$sim" ] || fail "simulator binary '$sim' is missing or not executable"
+[ -f "$readme" ] || fail "README.md not found at '$readme'"
+
+expected="$("$sim" --list-policies)" || fail "'$sim --list-policies' failed"
+
+embedded="$(awk '/<!-- policies:begin -->/{flag=1; next}
+                 /<!-- policies:end -->/{flag=0}
+                 flag' "$readme")"
+
+[ -n "$embedded" ] || fail "README.md lacks the <!-- policies:begin/end --> block"
+
+if [ "$embedded" != "$expected" ]; then
+  echo "check_policy_docs: README.md policies table drifted from" >&2
+  echo "  '$sim --list-policies'. Diff (README vs binary):" >&2
+  diff <(printf '%s\n' "$embedded") <(printf '%s\n' "$expected") >&2
+  exit 1
+fi
+
+echo "policy docs OK"

@@ -14,6 +14,13 @@
 ///    online workload (--arrival != none) the matrix becomes the three
 ///    arrival-driven schedulers (malleable / EASY / FCFS) instead.
 ///
+/// Plus two registry entry points (src/policy/): --policy "SELECTOR"
+/// evaluates an explicit configuration set — registry policy strings
+/// such as bandit(window=50, explore=0.1) and/or preset names — over
+/// --runs repetitions; --list-policies prints the registered policies
+/// and their documented options as a markdown table and exits (the
+/// README "Policies" table is drift-checked against it).
+///
 /// Workloads (--workload pack|malleable|easy|fcfs): `pack` is the
 /// paper's engine on a static pack (every task released at time 0; the
 /// engine ignores release dates by construction). The other three run
@@ -41,6 +48,7 @@
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario_file.hpp"
+#include "policy/registry.hpp"
 #include "extensions/batch.hpp"
 #include "extensions/online.hpp"
 #include "fault/exponential.hpp"
@@ -239,6 +247,24 @@ int run_online_single(const exp::Scenario& scenario,
   return 0;
 }
 
+/// --policy: evaluate an explicit selector (registry policy strings
+/// and/or preset names) over --runs repetitions, like --compare but for
+/// a caller-chosen configuration set.
+int run_policy(const exp::Scenario& scenario, const std::string& selector) {
+  const std::vector<exp::ConfigSpec> configs = exp::parse_config_set(selector);
+  const exp::PointResult point = exp::run_point(scenario, configs);
+  TextTable table({"configuration", "normalized", "ci95", "makespan (days)",
+                   "redistributions"});
+  for (const exp::ConfigOutcome& config : point.configs) {
+    table.add_row({config.name, format_double(config.normalized.mean(), 4),
+                   format_double(config.normalized.ci95_halfwidth(), 4),
+                   format_double(units::to_days(config.makespan.mean()), 1),
+                   format_double(config.redistributions.mean(), 1)});
+  }
+  std::cout << table.to_string() << '\n';
+  return 0;
+}
+
 int run_compare(const exp::Scenario& scenario) {
   // An online workload compares the three arrival-driven schedulers; the
   // static pack compares the paper's section 6.2 matrix.
@@ -317,6 +343,13 @@ int main(int argc, char** argv) {
         .describe("compare",
                   "run the section-6.2 configuration matrix (or the "
                   "malleable/EASY/FCFS trio when --arrival != none)")
+        .describe("policy",
+                  "evaluate a config selector over --runs repetitions: "
+                  "registry policy strings and/or preset names, e.g. "
+                  "\"bandit(window=50), malleable, fcfs\"")
+        .describe("list-policies",
+                  "print the registered policies and their options as a "
+                  "markdown table, then exit")
         .describe("profile",
                   "print the per-phase wall-time breakdown after the run "
                   "(single mode): Algorithm 1, event dispatch, probe scans "
@@ -330,6 +363,11 @@ int main(int argc, char** argv) {
       return 0;
     }
     cli.reject_unknown();
+
+    if (cli.get_bool("list-policies")) {
+      std::cout << policy::list_policies_markdown();
+      return 0;
+    }
 
     exp::Scenario scenario;
     scenario.n = 20;
@@ -370,6 +408,8 @@ int main(int argc, char** argv) {
                    "at time 0 (the static setting)\n";
     exp::validate_scenario(scenario);
 
+    if (const auto selector = cli.get("policy"))
+      return run_policy(scenario, *selector);
     if (cli.get_bool("compare")) return run_compare(scenario);
     return workload == exp::SchedulerKind::PackEngine
                ? run_single(scenario, cli)

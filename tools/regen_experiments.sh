@@ -39,6 +39,7 @@ run fig12_impact_ckpt_cost --runs 2
 run fig13_mtbf_x_ckpt      --runs 2
 run fig14_impact_seqfrac   --runs 2
 run fig_online_load        --runs 2
+run fig_policy_adaptive    --runs 2
 run baselines_dedicated_batch --runs 2
 run ablation_blackout      --runs 2
 run ablation_costmodel     --runs 2
