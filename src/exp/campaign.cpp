@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -10,12 +11,14 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
 
+#include "exp/cost_model.hpp"
 #include "exp/detail/jsonl.hpp"
 #include "exp/scenario_file.hpp"
 #include "exp/storage.hpp"
@@ -221,6 +224,23 @@ std::string shard_header_line(const std::vector<Scenario>& points,
       << fingerprint_hex(points, configs) << "\",\"shard\":" << shard.index
       << ",\"workers\":" << shard.count << ",\"begin\":" << begin
       << ",\"end\":" << end << ",\"cells\":" << total_cells(points) << ",";
+  append_config_names(out, configs);
+  return out.str();
+}
+
+/// A dynamically-dealt shard file's header: a third record shape (so
+/// deal shards, static shards and final artifacts can never be taken
+/// for one another), carrying the grid fingerprint and the worker's
+/// identity but — unlike the static shard header — no cell range: the
+/// worker's cells are whatever blocks the coordinator dealt it.
+std::string deal_header_line(const std::vector<Scenario>& points,
+                             const std::vector<ConfigSpec>& configs,
+                             std::size_t worker, std::size_t workers) {
+  std::ostringstream out;
+  out << "{\"coredis_campaign_deal\":1,\"fingerprint\":\""
+      << fingerprint_hex(points, configs) << "\",\"worker\":" << worker
+      << ",\"workers\":" << workers << ",\"cells\":" << total_cells(points)
+      << ",";
   append_config_names(out, configs);
   return out.str();
 }
@@ -460,6 +480,124 @@ JsonlScan scan_jsonl(const std::string& path, const std::string& header,
   return scan;
 }
 
+/// Called per valid deal-shard record with the global cell index, the
+/// byte offset of the line in the file and its length (without '\n').
+using DealScanSink =
+    std::function<void(std::size_t, std::uintmax_t, std::size_t)>;
+
+/// Scan a deal-mode shard file: records carry global cell indices in
+/// *completion* order — any cells, any order, duplicates allowed (a
+/// re-dealt block) — so unlike scan_jsonl there is no expected span,
+/// only per-record validation against the grid layout. A torn or
+/// corrupt line is tolerated as the very last line (the write the
+/// crash cut short); anywhere else it is a hard error.
+JsonlScan scan_deal_jsonl(const std::string& path, const std::string& header,
+                          const CellQueue& layout,
+                          const std::vector<ConfigSpec>& configs,
+                          const DealScanSink& on_record) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file)
+    throw std::runtime_error("cannot open deal shard: " + path);
+  const auto more_content = [&file] {
+    return file.peek() != std::ifstream::traits_type::eof();
+  };
+
+  JsonlScan scan;
+  std::string line;
+  if (!std::getline(file, line)) return scan;  // empty file: fresh start
+  if (file.eof()) {                            // torn header: rewrite it
+    scan.dropped_tail = true;
+    return scan;
+  }
+  if (line != header)
+    throw std::runtime_error(
+        "deal shard file does not match this campaign "
+        "(header/fingerprint mismatch): " +
+        path);
+  scan.valid_bytes = line.size() + 1;
+
+  while (std::getline(file, line)) {
+    if (file.eof()) {
+      scan.dropped_tail = true;
+      break;
+    }
+    ParsedCell cell;
+    const bool valid = parse_cell_line(line, configs, cell) &&
+                       cell.cell < layout.size() &&
+                       cell.point == layout.at(cell.cell).point &&
+                       cell.rep == layout.at(cell.cell).rep;
+    if (!valid) {
+      if (more_content())
+        throw std::runtime_error("corrupt deal shard record mid-file: " +
+                                 path);
+      scan.dropped_tail = true;
+      break;
+    }
+    if (on_record) on_record(cell.cell, scan.valid_bytes, line.size());
+    ++scan.cells_present;
+    scan.valid_bytes += line.size() + 1;
+  }
+  return scan;
+}
+
+/// Execution core shared by run_grid, run_shard and DealWorker: compute
+/// global cells [first, first + count), appending each record to `sink`
+/// (null: in-memory only) and retiring cells in index order through
+/// `fold`. Cost-guided LPT feed (DESIGN.md section 12.1): with
+/// CellOrder::CostLpt the worker pool receives the predicted-longest
+/// remaining cells first and every completed cell's wall-clock is timed
+/// back into the model. The permutation only decides who computes what
+/// when — the committer still retires cells in index order, so the
+/// ordering cannot reach one output byte. LPT does grow the committer's
+/// out-of-order backlog (cheap cells finish long before the expensive
+/// low-index ones retire); that backlog is exactly what the spill
+/// backend bounds.
+void execute_span(const std::vector<Scenario>& points,
+                  const std::vector<ConfigSpec>& configs,
+                  const CellQueue& queue, std::size_t first, std::size_t count,
+                  std::ofstream* sink, const GridRunOptions& options,
+                  const OrderedCommitter::Fold& fold) {
+  const std::unique_ptr<ResultSpill> spill = make_result_spill(
+      options.storage, options.storage_dir, options.spill_ram_budget_bytes);
+  OrderedCommitter committer(sink, first, *spill, configs, fold);
+  if (count > 0) {
+    const bool lpt = options.order == CellOrder::CostLpt;
+    std::unique_ptr<CostModel> own_model;
+    CostModel* model = options.cost_model;
+    if (lpt && model == nullptr) {
+      own_model = std::make_unique<CostModel>(points, configs);
+      model = own_model.get();
+    }
+    std::vector<std::size_t> order;
+    if (lpt) order = lpt_cell_order(*model, queue, first, count);
+    ParallelOptions parallel;
+    parallel.threads = options.threads;
+    parallel.schedule = options.schedule;
+    parallel_for(
+        count,
+        [&](std::size_t index) {
+          const std::size_t k = first + (lpt ? order[index] : index);
+          const CellRef ref = queue.at(k);
+          const auto start = std::chrono::steady_clock::now();
+          const CellResult result =
+              run_cell(points[ref.point], configs, ref.rep, options.dispatch);
+          if (model != nullptr)
+            model->observe(
+                ref.point,
+                std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count());
+          // Per-worker reusable line buffer (the committer copies only
+          // what it must spill).
+          thread_local std::string line;
+          cell_line(k, ref.point, ref.rep, result, configs, line);
+          committer.commit(k, result, line);
+        },
+        parallel);
+  }
+  COREDIS_EXPECTS(committer.drained());
+}
+
 /// Shared core of run_grid and run_shard: execute global cells
 /// [first, first + count) of the flattened grid, streaming records to
 /// `path` (under `header`; empty path keeps results in memory) and
@@ -500,27 +638,8 @@ void run_cell_span(const std::vector<Scenario>& points,
     }
   }
 
-  const std::unique_ptr<ResultSpill> spill = make_result_spill(
-      options.storage, options.storage_dir, options.spill_ram_budget_bytes);
-  OrderedCommitter committer(sink.is_open() ? &sink : nullptr, first + done,
-                             *spill, configs, fold);
-  if (done < count) {
-    parallel_for(
-        count - done,
-        [&](std::size_t index) {
-          const std::size_t k = first + done + index;
-          const CellRef ref = queue.at(k);
-          const CellResult result =
-              run_cell(points[ref.point], configs, ref.rep, options.dispatch);
-          // Per-worker reusable line buffer (the committer copies only
-          // what it must spill).
-          thread_local std::string line;
-          cell_line(k, ref.point, ref.rep, result, configs, line);
-          committer.commit(k, result, line);
-        },
-        options.threads);
-  }
-  COREDIS_EXPECTS(committer.drained());
+  execute_span(points, configs, queue, first + done, count - done,
+               sink.is_open() ? &sink : nullptr, options, fold);
   if (sink.is_open() && !sink)
     throw std::runtime_error("failed writing " + path);
 }
@@ -681,6 +800,27 @@ Campaign load_campaign(const std::string& path, Scenario base) {
 
 // --- orchestration --------------------------------------------------------
 
+CellOrder parse_cell_order(const std::string& text) {
+  const std::string value = lower(trim(text));
+  if (value == "index") return CellOrder::Index;
+  if (value == "lpt") return CellOrder::CostLpt;
+  throw std::runtime_error("cell order must be index or lpt (got '" + text +
+                           "')");
+}
+
+Schedule grid_default_schedule() {
+  return affinity_sharding_default() ? Schedule::Static : Schedule::Stealing;
+}
+
+Schedule parse_schedule(const std::string& text) {
+  const std::string value = lower(trim(text));
+  if (value == "dynamic") return Schedule::Dynamic;
+  if (value == "static") return Schedule::Static;
+  if (value == "stealing") return Schedule::Stealing;
+  throw std::runtime_error(
+      "schedule must be dynamic, static or stealing (got '" + text + "')");
+}
+
 std::vector<PointResult> run_grid(const std::vector<Scenario>& points,
                                   const std::vector<ConfigSpec>& configs,
                                   const GridRunOptions& options) {
@@ -788,6 +928,12 @@ void merge_shards(const std::vector<Scenario>& points,
         throw std::runtime_error("missing shard file " + path +
                                  ": run shard " + spec + " with --worker " +
                                  spec + " before merging");
+      if (detect_shard_mode(path) == ShardMode::Deal)
+        throw std::runtime_error(
+            "shard file " + path +
+            " carries a deal-mode header (dynamic dealing), not a static "
+            "contiguous shard: merge it with the deal merge (the CLI "
+            "auto-detects the mode from shard 0)");
       const JsonlScan scan = scan_jsonl(
           path, shard_header_line(points, configs, shard, begin, end), *queue,
           begin, end - begin, configs,
@@ -824,6 +970,233 @@ void run_campaign_shard(const Campaign& campaign, const ShardSpec& shard,
 void merge_campaign_shards(const Campaign& campaign, std::size_t workers,
                            const std::string& jsonl_path) {
   merge_shards(materialize(campaign), campaign.configs, workers, jsonl_path);
+}
+
+std::vector<Scenario> campaign_points(const Campaign& campaign) {
+  return materialize(campaign);
+}
+
+// --- dynamic dealing ------------------------------------------------------
+
+std::vector<DealBlock> plan_deal_blocks(const CostModel& model,
+                                        const CellQueue& queue,
+                                        std::size_t workers) {
+  COREDIS_EXPECTS(workers > 0);
+  std::vector<DealBlock> blocks;
+  const std::size_t total = queue.size();
+  if (total == 0) return blocks;
+  std::vector<double> by_point(model.points());
+  for (std::size_t p = 0; p < by_point.size(); ++p)
+    by_point[p] = model.predict(p);
+  const auto cell_cost = [&](std::size_t k) {
+    return by_point[queue.at(k).point];
+  };
+  double total_cost = 0.0;
+  for (std::size_t k = 0; k < total; ++k) total_cost += cell_cost(k);
+  // ~8 blocks per worker: granular enough that the last block dealt is
+  // a small fraction of a worker's share (the makespan tail), coarse
+  // enough that per-block protocol and header overhead stays noise.
+  const double target = total_cost / static_cast<double>(workers * 8);
+  std::vector<double> costs;  // parallel to blocks, for the LPT sort
+  DealBlock open{0, 0};
+  double accumulated = 0.0;
+  for (std::size_t k = 0; k < total; ++k) {
+    accumulated += cell_cost(k);
+    open.end = k + 1;
+    // Cut as soon as the open block reached the target; one cell above
+    // it at most (a cell cannot split).
+    if (accumulated >= target || k + 1 == total) {
+      blocks.push_back(open);
+      costs.push_back(accumulated);
+      open.begin = k + 1;
+      accumulated = 0.0;
+    }
+  }
+  std::vector<std::size_t> order(blocks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&costs](std::size_t a, std::size_t b) {
+                     return costs[a] > costs[b];
+                   });
+  std::vector<DealBlock> lpt;
+  lpt.reserve(blocks.size());
+  for (const std::size_t i : order) lpt.push_back(blocks[i]);
+  return lpt;
+}
+
+const char* to_string(ShardMode mode) {
+  return mode == ShardMode::Deal ? "deal" : "static";
+}
+
+ShardMode detect_shard_mode(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot open shard file: " + path);
+  std::string line;
+  std::getline(file, line);
+  if (line.rfind("{\"coredis_campaign_shard\":", 0) == 0)
+    return ShardMode::Static;
+  if (line.rfind("{\"coredis_campaign_deal\":", 0) == 0)
+    return ShardMode::Deal;
+  throw std::runtime_error(
+      "not a campaign shard file (neither a static-shard nor a deal-mode "
+      "header): " +
+      path);
+}
+
+DealWorker::DealWorker(std::vector<Scenario> points,
+                       std::vector<ConfigSpec> configs, std::size_t worker,
+                       std::size_t workers, const GridRunOptions& options)
+    : points_(std::move(points)),
+      configs_(std::move(configs)),
+      options_(options) {
+  COREDIS_EXPECTS(workers > 0 && worker < workers);
+  if (options_.jsonl_path.empty())
+    throw std::runtime_error(
+        "deal workers need a JSONL output path to derive their shard file");
+  queue_ = make_cell_queue(options_.storage, runs_per_point(points_),
+                           options_.storage_dir);
+  if (options_.cost_model == nullptr) {
+    model_ = std::make_unique<CostModel>(points_, configs_);
+    options_.cost_model = model_.get();
+  }
+  path_ = shard_path(options_.jsonl_path, {worker, workers});
+  const std::string header =
+      deal_header_line(points_, configs_, worker, workers);
+  namespace fs = std::filesystem;
+  if (options_.resume && fs::exists(path_)) {
+    const JsonlScan scan =
+        scan_deal_jsonl(path_, header, *queue_, configs_, {});
+    resumed_records_ = scan.cells_present;
+    // Drop the torn tail so appended blocks continue a clean prefix.
+    if (fs::file_size(path_) > scan.valid_bytes)
+      fs::resize_file(path_, scan.valid_bytes);
+    sink_.open(path_, std::ios::binary | std::ios::app);
+    if (!sink_) throw std::runtime_error("cannot write " + path_);
+    if (scan.valid_bytes == 0) {
+      sink_ << header << '\n';
+      sink_.flush();
+    }
+  } else {
+    sink_.open(path_, std::ios::binary | std::ios::trunc);
+    if (!sink_) throw std::runtime_error("cannot write " + path_);
+    sink_ << header << '\n';
+    sink_.flush();
+  }
+}
+
+DealWorker::~DealWorker() = default;
+
+std::size_t DealWorker::resumed_records() const noexcept {
+  return resumed_records_;
+}
+
+void DealWorker::run_block(std::size_t begin, std::size_t end) {
+  COREDIS_EXPECTS(begin <= end && end <= queue_->size());
+  execute_span(points_, configs_, *queue_, begin, end - begin, &sink_,
+               options_, {});
+  if (!sink_) throw std::runtime_error("failed writing " + path_);
+}
+
+void merge_deal_shards(const std::vector<Scenario>& points,
+                       const std::vector<ConfigSpec>& configs,
+                       std::size_t workers, const std::string& jsonl_path) {
+  namespace fs = std::filesystem;
+  if (workers == 0)
+    throw std::runtime_error("merge needs at least one shard");
+  const std::unique_ptr<CellQueue> queue =
+      make_cell_queue(StorageKind::Ram, runs_per_point(points));
+
+  // Pass 1: index every cell's first occurrence — (shard, offset,
+  // length) — across all worker files. Re-dealt blocks appear in more
+  // than one file (or twice in a resumed one); cells are deterministic
+  // in (point seed, rep), so every duplicate is byte-identical and
+  // keeping the first is safe.
+  struct Location {
+    std::size_t shard = 0;
+    std::uintmax_t offset = 0;
+    std::size_t length = 0;
+    bool present = false;
+  };
+  std::vector<Location> index(queue->size());
+  std::size_t missing = queue->size();
+  for (std::size_t k = 0; k < workers; ++k) {
+    const std::string path = shard_path(jsonl_path, {k, workers});
+    const std::string spec = std::to_string(k) + "/" + std::to_string(workers);
+    if (!fs::exists(path))
+      throw std::runtime_error("missing deal shard file " + path +
+                               ": every worker of a dealt campaign writes "
+                               "one, even if it computed nothing");
+    if (detect_shard_mode(path) == ShardMode::Static)
+      throw std::runtime_error(
+          "shard file " + path +
+          " carries a static-shard header, not mode deal: it was produced "
+          "by --worker " +
+          spec + " (fixed ranges); merge those with the static merge");
+    scan_deal_jsonl(path, deal_header_line(points, configs, k, workers),
+                    *queue, configs,
+                    [&index, &missing, k](std::size_t cell,
+                                          std::uintmax_t offset,
+                                          std::size_t length) {
+                      Location& slot = index[cell];
+                      if (slot.present) return;  // duplicate: keep the first
+                      slot = {k, offset, length, true};
+                      --missing;
+                    });
+  }
+  if (missing != 0) {
+    std::size_t first_missing = 0;
+    while (first_missing < index.size() && index[first_missing].present)
+      ++first_missing;
+    throw std::runtime_error(
+        "dealt campaign is incomplete: " + std::to_string(missing) + " of " +
+        std::to_string(queue->size()) + " cells missing (first: cell " +
+        std::to_string(first_missing) +
+        "); rerun the coordinator with --resume to deal the missing blocks");
+  }
+
+  // Pass 2: emit the single-process artifact — header, then every
+  // cell's record bytes in global cell order — crash-atomically, like
+  // the static merge.
+  std::vector<std::ifstream> shards(workers);
+  for (std::size_t k = 0; k < workers; ++k) {
+    const std::string path = shard_path(jsonl_path, {k, workers});
+    shards[k].open(path, std::ios::binary);
+    if (!shards[k])
+      throw std::runtime_error("cannot reopen deal shard file " + path);
+  }
+  const std::string temp_path = atomic_temp_path(jsonl_path);
+  std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + temp_path);
+  try {
+    out << header_line(points, configs) << '\n';
+    std::string record;
+    for (const Location& slot : index) {
+      record.resize(slot.length);
+      std::ifstream& shard = shards[slot.shard];
+      shard.seekg(static_cast<std::streamoff>(slot.offset));
+      shard.read(record.data(), static_cast<std::streamsize>(slot.length));
+      if (!shard)
+        throw std::runtime_error(
+            "deal shard file changed under the merge: " +
+            shard_path(jsonl_path, {slot.shard, workers}));
+      out << record << '\n';
+    }
+    out.flush();
+    if (!out) throw std::runtime_error("failed writing " + temp_path);
+    out.close();
+    commit_file(temp_path, jsonl_path);
+  } catch (...) {
+    out.close();
+    std::error_code ignored;
+    fs::remove(temp_path, ignored);
+    throw;
+  }
+}
+
+void merge_campaign_deal_shards(const Campaign& campaign, std::size_t workers,
+                                const std::string& jsonl_path) {
+  merge_deal_shards(materialize(campaign), campaign.configs, workers,
+                    jsonl_path);
 }
 
 std::vector<PointResult> summarize_jsonl(const Campaign& campaign,

@@ -48,6 +48,8 @@
 /// parentheses do not split; surrounding quotes optional).
 
 #include <cstddef>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -55,8 +57,11 @@
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
 #include "exp/storage.hpp"
+#include "util/parallel.hpp"
 
 namespace coredis::exp {
+
+class CostModel;
 
 /// Declarative parameter grid: a base scenario plus sweep axes. An empty
 /// axis keeps the base value. Axes nest n (outermost) -> p -> mtbf_years
@@ -107,6 +112,32 @@ struct Campaign {
 [[nodiscard]] Campaign load_campaign(const std::string& path,
                                      Scenario base = {});
 
+/// Execution order of a grid's remaining cells. Pure scheduling: the
+/// committer retires cells in index order whatever runs first, so the
+/// choice cannot reach one output byte (the battery cmp-locks this).
+enum class CellOrder {
+  /// Flat ascending cell index — the frozen pre-cost-model behavior.
+  Index,
+  /// Longest-predicted-first from an exp::CostModel (cost_model.hpp):
+  /// the most expensive cells start first, so with any balancing
+  /// schedule the makespan tail is one cell, not one unlucky point.
+  /// A homogeneous grid degenerates to Index order exactly.
+  CostLpt,
+};
+
+/// Parse "index" | "lpt" (case-insensitive); throws std::runtime_error
+/// naming the value otherwise.
+[[nodiscard]] CellOrder parse_cell_order(const std::string& text);
+
+/// The campaign cell loop's default parallel_for schedule: Stealing,
+/// unless COREDIS_AFFINITY=1 opted into the pinned Static schedule
+/// (an explicit operator request outranks the balancing default).
+[[nodiscard]] Schedule grid_default_schedule();
+
+/// Parse "dynamic" | "static" | "stealing" (case-insensitive); throws
+/// std::runtime_error naming the value otherwise.
+[[nodiscard]] Schedule parse_schedule(const std::string& text);
+
 struct GridRunOptions {
   /// Stream each completed cell as one JSON record to this file (plus a
   /// leading header record); empty keeps results in memory only.
@@ -129,6 +160,16 @@ struct GridRunOptions {
   /// policy registry (production) or the frozen pre-registry switch.
   /// The differential battery cmp-locks the two paths' artifacts.
   DispatchPath dispatch = DispatchPath::Registry;
+  /// Cell execution order (scheduling only — invisible in all outputs).
+  CellOrder order = CellOrder::CostLpt;
+  /// parallel_for schedule for the cell loop (util/parallel.hpp).
+  Schedule schedule = grid_default_schedule();
+  /// Cost model to steer CostLpt and refine from completed-cell
+  /// timings. Null builds a fresh per-run model; a caller-owned model
+  /// (must outlive the run and cover the same grid points) accumulates
+  /// refinement across runs — the cross-process dealer threads one
+  /// model through every block it hands out.
+  CostModel* cost_model = nullptr;
 };
 
 /// Run every (point, repetition) cell of `points` x `configs` through one
@@ -196,6 +237,102 @@ void run_campaign_shard(const Campaign& campaign, const ShardSpec& shard,
                         const GridRunOptions& options);
 void merge_campaign_shards(const Campaign& campaign, std::size_t workers,
                            const std::string& jsonl_path);
+
+/// The campaign's materialized grid points (grid.point(i) for every i) —
+/// the form the cost model and cell queue constructors take.
+[[nodiscard]] std::vector<Scenario> campaign_points(const Campaign& campaign);
+
+// --- dynamic dealing (DESIGN.md section 12.3) -----------------------------
+//
+// The static fabric above carves [0, cells) into one fixed contiguous
+// range per worker, so campaign wall-clock is the unluckiest range, not
+// total work / workers. Dynamic dealing keeps the same files and the
+// same byte-identical merge contract but hands out *blocks*: the
+// coordinator cuts the cell space into cost-balanced contiguous blocks,
+// deals them longest-predicted-first to whichever worker is idle, and
+// re-deals a lost worker's un-acked block. A worker streams each dealt
+// block's records — global cell indices, exact single-process bytes —
+// into its one shard file under a deal-mode header; blocks land in
+// completion order and a re-dealt block may appear in two files, so
+// merge_deal_shards indexes records by cell, dedupes (duplicates are
+// byte-identical: cells are deterministic in (point seed, rep)), and
+// emits in global cell order — cmp-identical to the single-process
+// artifact.
+
+/// One contiguous block of global cells handed to a worker.
+struct DealBlock {
+  std::size_t begin = 0;
+  std::size_t end = 0;  ///< exclusive
+};
+
+/// Cut [0, queue.size()) into contiguous blocks tiling the cell space,
+/// each carrying roughly 1/(workers * 8) of the model's total predicted
+/// cost (never splitting a cell), returned longest-predicted-first —
+/// the deal order that bounds the makespan tail by one block.
+[[nodiscard]] std::vector<DealBlock> plan_deal_blocks(const CostModel& model,
+                                                      const CellQueue& queue,
+                                                      std::size_t workers);
+
+/// How a shard file on disk was produced, detected from its header
+/// record shape. Throws std::runtime_error naming the path when the
+/// file opens on neither header (not a shard file at all).
+enum class ShardMode {
+  Static,  ///< fixed contiguous range (run_shard)
+  Deal,    ///< dynamically dealt blocks (DealWorker)
+};
+[[nodiscard]] ShardMode detect_shard_mode(const std::string& path);
+[[nodiscard]] const char* to_string(ShardMode mode);
+
+/// Worker-side session of a dealt campaign: opens (or resumes) the
+/// worker's shard file under a deal-mode header, then appends one
+/// record per cell for every dealt block. Each record line is flushed
+/// before run_block returns, so an ack sent after it covers bytes that
+/// are actually in the file; a torn line can only ever be the file's
+/// tail, which a resume truncates. Blocks may repeat cells already in
+/// the file (a re-dealt block after a crash): the duplicates are
+/// byte-identical and merge_deal_shards keeps the first.
+class DealWorker {
+ public:
+  DealWorker(std::vector<Scenario> points, std::vector<ConfigSpec> configs,
+             std::size_t worker, std::size_t workers,
+             const GridRunOptions& options);
+  DealWorker(const DealWorker&) = delete;
+  DealWorker& operator=(const DealWorker&) = delete;
+  ~DealWorker();
+
+  /// Valid records adopted from a resumed shard file (duplicates count).
+  [[nodiscard]] std::size_t resumed_records() const noexcept;
+
+  /// Compute cells [begin, end) and append their records. Within the
+  /// block the configured order/schedule apply; records retire in cell
+  /// order regardless. Throws on I/O failure (the coordinator treats a
+  /// dead worker and a thrown worker alike: re-deal).
+  void run_block(std::size_t begin, std::size_t end);
+
+ private:
+  std::vector<Scenario> points_;
+  std::vector<ConfigSpec> configs_;
+  GridRunOptions options_;
+  std::unique_ptr<CellQueue> queue_;
+  std::unique_ptr<CostModel> model_;
+  std::ofstream sink_;
+  std::string path_;
+  std::size_t resumed_records_ = 0;
+};
+
+/// Reassemble `workers` deal-mode shard files into the byte-identical
+/// single-process artifact at jsonl_path (crash-atomic, like
+/// merge_shards). Validates every shard's header and records, tolerates
+/// a torn trailing line per shard, dedupes re-dealt cells, and refuses
+/// loudly — naming the file, the missing cells and the shard's mode —
+/// when coverage is incomplete or a static-mode shard is mixed in.
+void merge_deal_shards(const std::vector<Scenario>& points,
+                       const std::vector<ConfigSpec>& configs,
+                       std::size_t workers, const std::string& jsonl_path);
+
+/// merge_deal_shards over the campaign's materialized grid.
+void merge_campaign_deal_shards(const Campaign& campaign, std::size_t workers,
+                                const std::string& jsonl_path);
 
 /// How much of a campaign a JSONL results file covers.
 struct JsonlCoverage {

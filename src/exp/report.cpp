@@ -323,6 +323,27 @@ std::string render_bench_trend(const std::vector<BenchBaseline>& files) {
     table.add_row(row);
   }
 
+  // Machine-probe table: the per-file calibration numbers behind the
+  // normalization above. The memory-bandwidth column appeared in PR 10;
+  // files without a probe show "-".
+  std::string machine;
+  bool any_probe = false;
+  for (const BenchBaseline& file : files)
+    any_probe |= file.calibration > 0.0 || file.mem_calibration > 0.0;
+  if (any_probe) {
+    TextTable probes({"file", "compute probe (ms)", "membw probe (ms)"});
+    for (const BenchBaseline& file : files) {
+      std::vector<std::string> row{file.label};
+      row.push_back(file.calibration > 0.0 ? format_ms(file.calibration)
+                                           : "-");
+      row.push_back(file.mem_calibration > 0.0
+                        ? format_ms(file.mem_calibration)
+                        : "-");
+      probes.add_row(row);
+    }
+    machine = "\n" + probes.to_string();
+  }
+
   // Peak-RSS series, appended only when some baseline recorded it
   // (bench_json gained per-scenario `peak_rss_kb` in PR 7) — older
   // trajectories render the unchanged timing table. Memory is not
@@ -330,7 +351,7 @@ std::string render_bench_trend(const std::vector<BenchBaseline>& files) {
   bool any_rss = false;
   for (const BenchBaseline& file : files)
     any_rss |= file.json.find("\"peak_rss_kb\":") != std::string::npos;
-  if (!any_rss) return table.to_string();
+  if (!any_rss) return table.to_string() + machine;
 
   std::vector<std::string> rss_headers{"scenario"};
   for (const BenchBaseline& file : files)
@@ -352,7 +373,7 @@ std::string render_bench_trend(const std::vector<BenchBaseline>& files) {
     }
     if (any) rss_table.add_row(row);
   }
-  return table.to_string() + "\n" + rss_table.to_string();
+  return table.to_string() + "\n" + rss_table.to_string() + machine;
 }
 
 double mean_normalized(const Sweep& sweep, std::size_t config) {

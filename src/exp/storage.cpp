@@ -12,7 +12,12 @@
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/mman.h>
 #include <unistd.h>
+#define COREDIS_STORAGE_HAVE_MMAP 1
 #endif
 
 #include "util/contracts.hpp"
@@ -83,6 +88,89 @@ class ScratchFile {
   fs::path path_;
   std::fstream stream_;
 };
+
+#if defined(COREDIS_STORAGE_HAVE_MMAP)
+
+/// A self-deleting scratch file mapped shared read-write, grown by
+/// ftruncate + remap in fixed chunks. Same naming scheme as ScratchFile
+/// so the coordinator's crash sweep catches these too; unlike
+/// ScratchFile it hands out raw bytes, not a stream — readers and
+/// writers memcpy against `data()`.
+class MmapScratch {
+ public:
+  static constexpr std::size_t kChunk = std::size_t{1} << 20;  // 1 MiB
+
+  MmapScratch(const std::string& dir, const char* tag) {
+    static std::atomic<std::uint64_t> sequence{0};
+    const fs::path parent =
+        dir.empty() ? fs::temp_directory_path() : fs::path(dir);
+    path_ = parent / ("coredis_" + std::string(tag) + "_" +
+                      std::to_string(process_tag()) + "_" +
+                      std::to_string(sequence.fetch_add(1)) + ".bin");
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+    if (fd_ < 0)
+      throw std::runtime_error("storage: cannot create mmap scratch file " +
+                               path_.string() + ": " + std::strerror(errno));
+  }
+
+  ~MmapScratch() {
+    if (map_ != nullptr) ::munmap(map_, capacity_);
+    if (fd_ >= 0) ::close(fd_);
+    std::error_code ignored;
+    fs::remove(path_, ignored);
+  }
+
+  MmapScratch(const MmapScratch&) = delete;
+  MmapScratch& operator=(const MmapScratch&) = delete;
+
+  [[nodiscard]] char* data() noexcept { return static_cast<char*>(map_); }
+  [[nodiscard]] const char* data() const noexcept {
+    return static_cast<const char*>(map_);
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const fs::path& path() const noexcept { return path_; }
+
+  /// Grow the file (and the mapping) to hold at least `bytes`. Growth is
+  /// chunked so a streaming writer remaps O(total/chunk) times, not per
+  /// record. Existing bytes keep their content and their address only
+  /// within a mapping generation — callers must not hold pointers into
+  /// `data()` across ensure() calls.
+  void ensure(std::size_t bytes) {
+    if (bytes <= capacity_) return;
+    const std::size_t grown = ((bytes + kChunk - 1) / kChunk) * kChunk;
+    if (::ftruncate(fd_, static_cast<off_t>(grown)) != 0)
+      throw std::runtime_error("storage: cannot grow mmap scratch file " +
+                               path_.string() + ": " + std::strerror(errno));
+    if (map_ != nullptr) ::munmap(map_, capacity_);
+    map_ = ::mmap(nullptr, grown, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+    if (map_ == MAP_FAILED) {
+      map_ = nullptr;
+      capacity_ = 0;
+      throw std::runtime_error("storage: cannot map scratch file " +
+                               path_.string() + ": " + std::strerror(errno));
+    }
+    capacity_ = grown;
+  }
+
+  /// Drop the file and the mapping back to zero (backlog fully drained):
+  /// disk usage stays bounded by the peak backlog.
+  void reset() {
+    if (map_ != nullptr) ::munmap(map_, capacity_);
+    map_ = nullptr;
+    capacity_ = 0;
+    if (::ftruncate(fd_, 0) != 0)
+      throw std::runtime_error("storage: cannot truncate mmap scratch file " +
+                               path_.string() + ": " + std::strerror(errno));
+  }
+
+ private:
+  fs::path path_;
+  int fd_ = -1;
+  void* map_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+#endif  // COREDIS_STORAGE_HAVE_MMAP
 
 // --- cell queues ----------------------------------------------------------
 
@@ -155,6 +243,48 @@ class FileCellQueue final : public CellQueue {
   mutable std::mutex mutex_;
   std::size_t size_ = 0;
 };
+
+#if defined(COREDIS_STORAGE_HAVE_MMAP)
+
+/// The same fixed-width 16-byte records as FileCellQueue, but the file
+/// is mapped once after the build: `at` is a pair of memcpys from an
+/// immutable mapping — no seek/read syscalls, no mutex, safe under any
+/// number of concurrent readers.
+class MmapCellQueue final : public CellQueue {
+ public:
+  MmapCellQueue(const std::vector<std::size_t>& runs_per_point,
+                const std::string& dir)
+      : scratch_(dir, "cellqueue_mmap") {
+    std::size_t total = 0;
+    for (const std::size_t runs : runs_per_point) total += runs;
+    scratch_.ensure(total * kRecordBytes);
+    char* out = scratch_.data();
+    for (std::size_t point = 0; point < runs_per_point.size(); ++point) {
+      for (std::size_t rep = 0; rep < runs_per_point[point]; ++rep) {
+        const std::uint64_t record[2] = {point, rep};
+        std::memcpy(out + size_ * kRecordBytes, record, kRecordBytes);
+        ++size_;
+      }
+    }
+  }
+
+  [[nodiscard]] CellRef at(std::size_t index) const override {
+    COREDIS_EXPECTS(index < size_);
+    std::uint64_t record[2] = {0, 0};
+    std::memcpy(record, scratch_.data() + index * kRecordBytes, kRecordBytes);
+    return {static_cast<std::size_t>(record[0]),
+            static_cast<std::size_t>(record[1])};
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept override { return size_; }
+
+ private:
+  static constexpr std::size_t kRecordBytes = 2 * sizeof(std::uint64_t);
+  MmapScratch scratch_;
+  std::size_t size_ = 0;
+};
+
+#endif  // COREDIS_STORAGE_HAVE_MMAP
 
 // --- result spills --------------------------------------------------------
 
@@ -265,17 +395,90 @@ class FileResultSpill final : public ResultSpill {
   std::size_t end_ = 0;  ///< append offset (== bytes live in the scratch file)
 };
 
+#if defined(COREDIS_STORAGE_HAVE_MMAP)
+
+/// Every record payload lives in the mapping; RAM holds only the
+/// (offset, size) index. Appends memcpy into the mapped tail (growing
+/// by chunked ftruncate + remap), takes memcpy back out, and a fully
+/// drained backlog truncates the file — the FileResultSpill contract
+/// without the seek/read/write syscall per record, and with residency
+/// delegated to the page cache instead of a fixed byte budget.
+class MmapResultSpill final : public ResultSpill {
+ public:
+  explicit MmapResultSpill(const std::string& dir)
+      : scratch_(dir, "spill_mmap") {}
+
+  void put(std::size_t index, std::string_view record) override {
+    scratch_.ensure(end_ + record.size());
+    std::memcpy(scratch_.data() + end_, record.data(), record.size());
+    pending_.emplace(index, Extent{end_, record.size()});
+    end_ += record.size();
+  }
+
+  [[nodiscard]] bool take(std::size_t index, std::string& out) override {
+    const auto it = pending_.find(index);
+    if (it == pending_.end()) return false;
+    out.assign(scratch_.data() + it->second.offset, it->second.size);
+    pending_.erase(it);
+    if (pending_.empty() && end_ != 0) {
+      scratch_.reset();
+      end_ = 0;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t pending() const noexcept override {
+    return pending_.size();
+  }
+
+  /// Payload bytes live in the page cache behind the mapping, not on
+  /// the heap — by the "resident in RAM" contract this backend holds 0.
+  [[nodiscard]] std::size_t resident_bytes() const noexcept override {
+    return 0;
+  }
+
+ private:
+  struct Extent {
+    std::size_t offset = 0;
+    std::size_t size = 0;
+  };
+
+  MmapScratch scratch_;
+  std::map<std::size_t, Extent> pending_;
+  std::size_t end_ = 0;  ///< append offset (== payload bytes in the mapping)
+};
+
+#endif  // COREDIS_STORAGE_HAVE_MMAP
+
+[[noreturn, maybe_unused]] void throw_no_mmap() {
+  throw std::runtime_error(
+      "storage backend 'mmap' needs POSIX mmap, which this platform "
+      "lacks (ram|file)");
+}
+
 }  // namespace
 
 StorageKind parse_storage_kind(const std::string& text) {
   if (text == "ram") return StorageKind::Ram;
   if (text == "file") return StorageKind::File;
+  if (text == "mmap") {
+#if defined(COREDIS_STORAGE_HAVE_MMAP)
+    return StorageKind::Mmap;
+#else
+    throw_no_mmap();
+#endif
+  }
   throw std::runtime_error("unknown storage backend '" + text +
-                           "' (ram|file)");
+                           "' (ram|file|mmap)");
 }
 
 const char* to_string(StorageKind kind) noexcept {
-  return kind == StorageKind::File ? "file" : "ram";
+  switch (kind) {
+    case StorageKind::File: return "file";
+    case StorageKind::Mmap: return "mmap";
+    case StorageKind::Ram: break;
+  }
+  return "ram";
 }
 
 std::unique_ptr<CellQueue> make_cell_queue(
@@ -283,6 +486,13 @@ std::unique_ptr<CellQueue> make_cell_queue(
     const std::string& dir) {
   if (kind == StorageKind::File)
     return std::make_unique<FileCellQueue>(runs_per_point, dir);
+  if (kind == StorageKind::Mmap) {
+#if defined(COREDIS_STORAGE_HAVE_MMAP)
+    return std::make_unique<MmapCellQueue>(runs_per_point, dir);
+#else
+    throw_no_mmap();
+#endif
+  }
   return std::make_unique<RamCellQueue>(runs_per_point);
 }
 
@@ -291,6 +501,13 @@ std::unique_ptr<ResultSpill> make_result_spill(StorageKind kind,
                                                std::size_t ram_budget_bytes) {
   if (kind == StorageKind::File)
     return std::make_unique<FileResultSpill>(dir, ram_budget_bytes);
+  if (kind == StorageKind::Mmap) {
+#if defined(COREDIS_STORAGE_HAVE_MMAP)
+    return std::make_unique<MmapResultSpill>(dir);
+#else
+    throw_no_mmap();
+#endif
+  }
   return std::make_unique<RamResultSpill>();
 }
 

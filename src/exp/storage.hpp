@@ -21,6 +21,14 @@
 ///    record payload resident and appends the rest to a scratch file
 ///    (record payloads on disk, a small offset index in RAM), truncating
 ///    the file whenever the backlog fully drains.
+///  * `mmap` — bounded *heap*, `file`'s durability with `ram`'s access
+///    path (POSIX only). The queue and the spill both live in a
+///    scratch file mapped shared read-write: lookups and record
+///    round-trips are memcpy against the mapping (no seek+read
+///    syscall pair, no lock on the queue), capacity grows by
+///    ftruncate + remap in 1 MiB chunks, and the kernel's page cache
+///    decides what is resident — under memory pressure cold pages
+///    drop to disk instead of growing the heap.
 ///
 /// The backend choice cannot reach any output: queues serve the same
 /// refs in the same order and spills return the same bytes, so a grid
@@ -42,11 +50,12 @@
 
 namespace coredis::exp {
 
-/// Backend selector for the storage layer ("ram" | "file").
-enum class StorageKind { Ram, File };
+/// Backend selector for the storage layer ("ram" | "file" | "mmap").
+enum class StorageKind { Ram, File, Mmap };
 
-/// Parse "ram" / "file" (used by --storage flags). Throws
-/// std::runtime_error naming the accepted values on anything else.
+/// Parse "ram" / "file" / "mmap" (used by --storage flags). Throws
+/// std::runtime_error naming the accepted values on anything else, and
+/// for "mmap" on platforms without POSIX mmap.
 [[nodiscard]] StorageKind parse_storage_kind(const std::string& text);
 [[nodiscard]] const char* to_string(StorageKind kind) noexcept;
 
@@ -83,16 +92,18 @@ class ResultSpill {
 };
 
 /// Build a cell queue over `runs_per_point` (point i contributes
-/// runs_per_point[i] consecutive cells). The file backend writes its
-/// layout into a scratch file under `dir` (empty: the system temp
-/// directory); construction streams, so peak RAM is O(points).
+/// runs_per_point[i] consecutive cells). The file and mmap backends
+/// keep their layout in a scratch file under `dir` (empty: the system
+/// temp directory); construction streams, so peak RAM is O(points).
 [[nodiscard]] std::unique_ptr<CellQueue> make_cell_queue(
     StorageKind kind, const std::vector<std::size_t>& runs_per_point,
     const std::string& dir = {});
 
 /// Build a result spill. The file backend keeps at most
 /// `ram_budget_bytes` of payload in RAM and spills the rest under `dir`;
-/// the ram backend ignores both knobs.
+/// the mmap backend puts every payload in its mapping under `dir` and
+/// ignores the budget (the page cache is the budget); the ram backend
+/// ignores both knobs.
 [[nodiscard]] std::unique_ptr<ResultSpill> make_result_spill(
     StorageKind kind, const std::string& dir = {},
     std::size_t ram_budget_bytes = std::size_t{16} << 20);

@@ -5,11 +5,13 @@
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #if defined(__linux__)
@@ -116,6 +118,10 @@ bool affinity_sharding_default() {
   return on;
 }
 
+Schedule default_schedule() {
+  return affinity_sharding_default() ? Schedule::Static : Schedule::Dynamic;
+}
+
 std::size_t thread_budget_share(std::size_t workers, std::size_t index) {
   if (workers == 0) return default_thread_count();
   const std::size_t total = default_thread_count();
@@ -168,8 +174,9 @@ void parallel_for(std::size_t count,
   };
 
 #if defined(__linux__)
-  const std::vector<int> cpus = options.affinity ? allowed_cpus()
-                                                 : std::vector<int>{};
+  const std::vector<int> cpus = options.schedule == Schedule::Static
+                                    ? allowed_cpus()
+                                    : std::vector<int>{};
 #endif
   // Static affinity schedule: worker t owns the contiguous shard
   // [t * count / T, (t + 1) * count / T) — every index is covered exactly
@@ -195,13 +202,106 @@ void parallel_for(std::size_t count,
     }
   };
 
+  // Work-stealing schedule: per-worker deques of contiguous index
+  // ranges, seeded with the worker's static shard. The owner pops LIFO
+  // from the back of its own deque and walks each range in increasing
+  // index order; a thief pops FIFO from the front of a victim's deque
+  // and takes the *far half* of the range it finds there, handing the
+  // near half back — so owner and thief keep contiguous, disjoint index
+  // runs and every index is executed exactly once. Plain mutexes per
+  // deque (not a lock-free Chase-Lev deque): the bodies this repo runs
+  // are simulation cells, microseconds to hundreds of milliseconds
+  // each, so an uncontended lock per index is noise — and the schedule
+  // stays trivially TSan-clean.
+  struct StealRange {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  struct StealDeque {
+    std::mutex mutex;
+    std::deque<StealRange> ranges;
+  };
+  std::vector<StealDeque> deques(
+      options.schedule == Schedule::Stealing ? threads : 0);
+  for (std::size_t t = 0; t < deques.size(); ++t) {
+    const StealRange shard{t * count / threads, (t + 1) * count / threads};
+    if (shard.begin < shard.end) deques[t].ranges.push_back(shard);
+  }
+
+  // Take one index from the back of the worker's own deque (the range
+  // there keeps shrinking from its front, preserving increasing order).
+  const auto take_local = [&deques](std::size_t t, std::size_t& index) {
+    StealDeque& mine = deques[t];
+    const std::lock_guard lock(mine.mutex);
+    if (mine.ranges.empty()) return false;
+    StealRange& range = mine.ranges.back();
+    index = range.begin++;
+    if (range.begin == range.end) mine.ranges.pop_back();
+    return true;
+  };
+
+  // Steal the far half of the victim's front range into `out`; the near
+  // half stays with the victim, so its owner keeps walking a contiguous
+  // run.
+  const auto steal_from = [&deques](std::size_t victim, StealRange& out) {
+    StealDeque& theirs = deques[victim];
+    const std::lock_guard lock(theirs.mutex);
+    if (theirs.ranges.empty()) return false;
+    StealRange& range = theirs.ranges.front();
+    const std::size_t mid = range.begin + (range.end - range.begin) / 2;
+    if (mid == range.begin) {  // single index: take the whole range
+      out = range;
+      theirs.ranges.pop_front();
+      return true;
+    }
+    out = {mid, range.end};
+    range.end = mid;
+    return true;
+  };
+
+  auto stealing_worker = [&](std::size_t t) {
+    // Two empty sweeps over all victims before giving up: a thief can
+    // briefly hold a stolen range outside any deque, so one empty sweep
+    // can race with work in flight. Exiting on that race only costs tail
+    // parallelism — every index is still executed by whoever holds it.
+    int empty_sweeps = 0;
+    while (empty_sweeps < 2) {
+      std::size_t i = 0;
+      if (take_local(t, i)) {
+        empty_sweeps = 0;
+        if (stop.load(std::memory_order_acquire)) return;
+        try {
+          body(i);
+        } catch (...) {
+          record_error();
+          return;
+        }
+        continue;
+      }
+      if (stop.load(std::memory_order_acquire)) return;
+      StealRange stolen;
+      bool found = false;
+      for (std::size_t k = 1; k < threads && !found; ++k)
+        found = steal_from((t + k) % threads, stolen);
+      if (found) {
+        empty_sweeps = 0;
+        const std::lock_guard lock(deques[t].mutex);
+        deques[t].ranges.push_back(stolen);
+        continue;
+      }
+      ++empty_sweeps;
+      std::this_thread::yield();
+    }
+  };
+
   std::vector<std::jthread> pool;
   pool.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
-    if (options.affinity)
-      pool.emplace_back(static_worker, t);
-    else
-      pool.emplace_back(dynamic_worker);
+    switch (options.schedule) {
+      case Schedule::Static: pool.emplace_back(static_worker, t); break;
+      case Schedule::Stealing: pool.emplace_back(stealing_worker, t); break;
+      case Schedule::Dynamic: pool.emplace_back(dynamic_worker); break;
+    }
   }
   pool.clear();  // join
 

@@ -10,14 +10,17 @@
 #include <filesystem>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "exp/campaign.hpp"
+#include "exp/cost_model.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario_file.hpp"
+#include "exp/storage.hpp"
 #include "util/atomic_file.hpp"
 
 namespace coredis::exp {
@@ -801,6 +804,251 @@ TEST(CampaignSummarize, MatchesTheRunThatProducedTheFile) {
             std::string::npos);
   EXPECT_NE(table.find('-'), std::string::npos);
   std::filesystem::remove(path);
+}
+
+// --- scheduling knobs: pure scheduling, zero output bytes -----------------
+
+TEST(CampaignSchedule, EveryScheduleOrderAndThreadCountSameBytes) {
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  std::string reference;
+  const auto check = [&](const std::string& tag, Schedule schedule,
+                         CellOrder order) {
+    const auto path = temp_jsonl("schedule_" + tag);
+    std::filesystem::remove(path);
+    GridRunOptions options;
+    options.jsonl_path = path.string();
+    options.schedule = schedule;
+    options.order = order;
+    (void)run_campaign(campaign, options);
+    const std::string content = read_file(path);
+    if (reference.empty()) {
+      reference = content;
+    } else {
+      EXPECT_EQ(content, reference) << tag;
+    }
+    std::filesystem::remove(path);
+  };
+  // The acceptance matrix: the stealing schedule across COREDIS_THREADS
+  // 1, 2 and 8, both cell orders...
+  for (const char* threads : {"1", "2", "8"}) {
+    const ThreadsEnv env(threads);
+    check(std::string("steal_t") + threads, Schedule::Stealing,
+          CellOrder::CostLpt);
+    check(std::string("steal_index_t") + threads, Schedule::Stealing,
+          CellOrder::Index);
+  }
+  // ...and every other schedule x order combination at a fixed count.
+  const ThreadsEnv env("3");
+  for (const Schedule schedule :
+       {Schedule::Dynamic, Schedule::Static, Schedule::Stealing})
+    for (const CellOrder order : {CellOrder::Index, CellOrder::CostLpt})
+      check("grid" + std::to_string(static_cast<int>(schedule)) +
+                std::to_string(static_cast<int>(order)),
+            schedule, order);
+}
+
+// --- dynamic dealing ------------------------------------------------------
+
+std::vector<std::size_t> campaign_runs(const std::vector<Scenario>& points) {
+  std::vector<std::size_t> runs;
+  for (const Scenario& point : points)
+    runs.push_back(static_cast<std::size_t>(point.runs));
+  return runs;
+}
+
+void remove_deal_files(const std::string& out, std::size_t workers) {
+  for (std::size_t k = 0; k < workers; ++k)
+    std::filesystem::remove(shard_path(out, {k, workers}));
+}
+
+TEST(CampaignDeal, PlanTilesTheCellSpaceLongestFirst) {
+  // Heterogeneous grid: the n=24 point's cells are predicted well above
+  // the n=6 point's.
+  const Campaign campaign =
+      parse_campaign("n = 6, 24\np = 48\nruns = 4\nconfigs = baseline\n");
+  const std::vector<Scenario> points = campaign_points(campaign);
+  const std::unique_ptr<CellQueue> queue =
+      make_cell_queue(StorageKind::Ram, campaign_runs(points));
+  const CostModel model(points, campaign.configs);
+  for (const std::size_t workers : {1u, 2u, 5u}) {
+    std::vector<DealBlock> blocks = plan_deal_blocks(model, *queue, workers);
+    ASSERT_FALSE(blocks.empty());
+    // The first block dealt is (one of) the predicted-longest.
+    const auto block_cost = [&](const DealBlock& block) {
+      double cost = 0.0;
+      for (std::size_t k = block.begin; k < block.end; ++k)
+        cost += model.predict(queue->at(k).point);
+      return cost;
+    };
+    for (std::size_t i = 1; i < blocks.size(); ++i)
+      EXPECT_GE(block_cost(blocks[0]), block_cost(blocks[i])) << i;
+    // Sorted by begin, the blocks tile [0, cells) exactly.
+    std::sort(blocks.begin(), blocks.end(),
+              [](const DealBlock& a, const DealBlock& b) {
+                return a.begin < b.begin;
+              });
+    std::size_t next = 0;
+    for (const DealBlock& block : blocks) {
+      EXPECT_EQ(block.begin, next);
+      EXPECT_LT(block.begin, block.end);
+      next = block.end;
+    }
+    EXPECT_EQ(next, queue->size());
+  }
+}
+
+TEST(CampaignDeal, DealtBlocksMergeByteIdenticalToSingleProcess) {
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  const std::vector<Scenario> points = campaign_points(campaign);
+  const auto single_path = temp_jsonl("deal_single");
+  std::filesystem::remove(single_path);
+  GridRunOptions options;
+  options.jsonl_path = single_path.string();
+  const std::vector<PointResult> single = run_campaign(campaign, options);
+  const std::string reference = read_file(single_path);
+
+  const auto out = temp_jsonl("deal_merge");
+  std::filesystem::remove(out);
+  GridRunOptions worker_options;
+  worker_options.jsonl_path = out.string();
+  {
+    // Two workers, blocks dealt out of cell order — completion order in
+    // each shard file differs from cell order, the merge restores it.
+    DealWorker w0(points, campaign.configs, 0, 2, worker_options);
+    DealWorker w1(points, campaign.configs, 1, 2, worker_options);
+    w0.run_block(6, 8);
+    w1.run_block(2, 6);
+    w0.run_block(0, 2);
+  }
+  merge_deal_shards(points, campaign.configs, 2, out.string());
+  EXPECT_EQ(read_file(out), reference);
+  expect_same_points(summarize_jsonl(campaign, out.string()), single);
+  remove_deal_files(out.string(), 2);
+  std::filesystem::remove(out);
+  std::filesystem::remove(single_path);
+}
+
+TEST(CampaignDeal, RedealtOverlappingBlocksDedupeByteIdentically) {
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  const std::vector<Scenario> points = campaign_points(campaign);
+  const auto single_path = temp_jsonl("deal_overlap_single");
+  std::filesystem::remove(single_path);
+  GridRunOptions options;
+  options.jsonl_path = single_path.string();
+  (void)run_campaign(campaign, options);
+  const std::string reference = read_file(single_path);
+
+  const auto out = temp_jsonl("deal_overlap");
+  std::filesystem::remove(out);
+  GridRunOptions worker_options;
+  worker_options.jsonl_path = out.string();
+  {
+    // Worker 0 died after flushing [0, 5) but before its ack: the
+    // coordinator re-dealt the whole block to worker 1. Cells 3 and 4
+    // exist in both files; the duplicates are byte-identical and the
+    // merge keeps the first it saw.
+    DealWorker w0(points, campaign.configs, 0, 2, worker_options);
+    DealWorker w1(points, campaign.configs, 1, 2, worker_options);
+    w0.run_block(0, 5);
+    w1.run_block(3, 8);
+  }
+  merge_deal_shards(points, campaign.configs, 2, out.string());
+  EXPECT_EQ(read_file(out), reference);
+  remove_deal_files(out.string(), 2);
+  std::filesystem::remove(out);
+  std::filesystem::remove(single_path);
+}
+
+TEST(CampaignDeal, TornTailResumesAndRedealCompletesTheMerge) {
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  const std::vector<Scenario> points = campaign_points(campaign);
+  const auto single_path = temp_jsonl("deal_torn_single");
+  std::filesystem::remove(single_path);
+  GridRunOptions options;
+  options.jsonl_path = single_path.string();
+  (void)run_campaign(campaign, options);
+  const std::string reference = read_file(single_path);
+
+  const auto out = temp_jsonl("deal_torn");
+  std::filesystem::remove(out);
+  GridRunOptions worker_options;
+  worker_options.jsonl_path = out.string();
+  {
+    DealWorker w0(points, campaign.configs, 0, 1, worker_options);
+    w0.run_block(0, 8);
+  }
+  // Tear the file mid-last-record, as a kill mid-write would.
+  const std::string shard = shard_path(out.string(), {0, 1});
+  const std::string bytes = read_file(shard);
+  write_file(shard, bytes.substr(0, bytes.size() - 17));
+  {
+    // The respawned worker adopts the valid prefix (7 of 8 records) and
+    // recomputes the whole re-dealt block; duplicates dedupe in the
+    // merge.
+    GridRunOptions resume_options = worker_options;
+    resume_options.resume = true;
+    DealWorker again(points, campaign.configs, 0, 1, resume_options);
+    EXPECT_EQ(again.resumed_records(), 7u);
+    again.run_block(0, 8);
+  }
+  merge_deal_shards(points, campaign.configs, 1, out.string());
+  EXPECT_EQ(read_file(out), reference);
+  remove_deal_files(out.string(), 1);
+  std::filesystem::remove(out);
+  std::filesystem::remove(single_path);
+}
+
+TEST(CampaignDeal, MergeRefusesGapsAndMixedModes) {
+  const Campaign campaign = parse_campaign(kSmokeCampaign);
+  const std::vector<Scenario> points = campaign_points(campaign);
+  const auto out = temp_jsonl("deal_refuse");
+  std::filesystem::remove(out);
+  GridRunOptions worker_options;
+  worker_options.jsonl_path = out.string();
+  {
+    DealWorker w0(points, campaign.configs, 0, 2, worker_options);
+    DealWorker w1(points, campaign.configs, 1, 2, worker_options);
+    w0.run_block(0, 3);
+    w1.run_block(5, 8);  // cells 3 and 4 never dealt
+  }
+  try {
+    merge_deal_shards(points, campaign.configs, 2, out.string());
+    FAIL() << "must refuse an incomplete deal";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("incomplete"), std::string::npos) << what;
+    EXPECT_NE(what.find("cell 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("--resume"), std::string::npos) << what;
+  }
+  EXPECT_FALSE(std::filesystem::exists(out));
+
+  // A static shard mixed into a deal merge is refused naming its mode —
+  // and vice versa.
+  GridRunOptions static_options;
+  static_options.jsonl_path = out.string();
+  run_shard(points, campaign.configs, {1, 2}, static_options);
+  try {
+    merge_deal_shards(points, campaign.configs, 2, out.string());
+    FAIL() << "must refuse a static shard in a deal merge";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("static-shard header"),
+              std::string::npos)
+        << error.what();
+  }
+  EXPECT_EQ(detect_shard_mode(shard_path(out.string(), {0, 2})),
+            ShardMode::Deal);
+  EXPECT_EQ(detect_shard_mode(shard_path(out.string(), {1, 2})),
+            ShardMode::Static);
+  try {
+    merge_shards(points, campaign.configs, 2, out.string());
+    FAIL() << "must refuse a deal shard in a static merge";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("deal-mode header"),
+              std::string::npos)
+        << error.what();
+  }
+  remove_deal_files(out.string(), 2);
+  std::filesystem::remove(out);
 }
 
 }  // namespace

@@ -355,11 +355,11 @@ TEST(LazyEquivalence, WeibullHeavyIteratedGreedyBattery) {
   }
 }
 
-TEST(ParallelFor, AffinityShardingMatchesDynamicAcrossThreadCounts) {
-  // The affinity schedule is a locality optimization, never a semantic
-  // one: for a body indexed by i, every (schedule, thread count) pair —
-  // including the COREDIS_THREADS-driven default — must fill the exact
-  // same result vector.
+TEST(ParallelFor, EverySchedulePairMatchesAcrossThreadCounts) {
+  // The schedule choice is a locality/balance optimization, never a
+  // semantic one: for a body indexed by i, every (schedule, thread
+  // count) pair — including the COREDIS_THREADS-driven default — must
+  // fill the exact same result vector.
   constexpr std::size_t kCount = 97;  // not a multiple of any shard count
   const auto value_of = [](std::size_t i) {
     // Deterministic per-index payload with float content (so any
@@ -370,50 +370,54 @@ TEST(ParallelFor, AffinityShardingMatchesDynamicAcrossThreadCounts) {
   std::vector<double> reference(kCount);
   for (std::size_t i = 0; i < kCount; ++i) reference[i] = value_of(i);
 
-  for (const bool affinity : {false, true}) {
+  for (const Schedule schedule :
+       {Schedule::Dynamic, Schedule::Static, Schedule::Stealing}) {
     for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
                                       std::size_t{3}, std::size_t{7}}) {
       std::vector<double> got(kCount, -1.0);
       ParallelOptions options;
       options.threads = threads;
-      options.affinity = affinity;
+      options.schedule = schedule;
       parallel_for(kCount, [&](std::size_t i) { got[i] = value_of(i); },
                    options);
-      EXPECT_EQ(got, reference)
-          << "affinity=" << affinity << " threads=" << threads;
+      EXPECT_EQ(got, reference) << "schedule=" << static_cast<int>(schedule)
+                                << " threads=" << threads;
     }
   }
 
   // COREDIS_THREADS-crossed: the env-driven default thread count feeds
-  // both schedules through the same sharding arithmetic.
+  // every schedule through the same sharding arithmetic.
   for (const char* env_threads : {"2", "5"}) {
     ASSERT_EQ(0, setenv("COREDIS_THREADS", env_threads, 1));
-    for (const bool affinity : {false, true}) {
+    for (const Schedule schedule :
+         {Schedule::Dynamic, Schedule::Static, Schedule::Stealing}) {
       std::vector<double> got(kCount, -1.0);
       ParallelOptions options;  // threads = 0: resolve from the env
-      options.affinity = affinity;
+      options.schedule = schedule;
       parallel_for(kCount, [&](std::size_t i) { got[i] = value_of(i); },
                    options);
-      EXPECT_EQ(got, reference) << "affinity=" << affinity
+      EXPECT_EQ(got, reference) << "schedule=" << static_cast<int>(schedule)
                                 << " COREDIS_THREADS=" << env_threads;
     }
   }
   unsetenv("COREDIS_THREADS");
 }
 
-TEST(ParallelFor, AffinityShardingPropagatesTheFirstError) {
+TEST(ParallelFor, StaticAndStealingSchedulesPropagateTheFirstError) {
   // Same exception contract as the dynamic schedule: a throwing body
   // aborts the loop promptly and the caller sees a propagated error.
-  ParallelOptions options;
-  options.threads = 3;
-  options.affinity = true;
-  EXPECT_THROW(
-      parallel_for(64,
-                   [](std::size_t i) {
-                     if (i % 5 == 0) throw std::runtime_error("boom");
-                   },
-                   options),
-      std::runtime_error);
+  for (const Schedule schedule : {Schedule::Static, Schedule::Stealing}) {
+    ParallelOptions options;
+    options.threads = 3;
+    options.schedule = schedule;
+    EXPECT_THROW(
+        parallel_for(64,
+                     [](std::size_t i) {
+                       if (i % 5 == 0) throw std::runtime_error("boom");
+                     },
+                     options),
+        std::runtime_error);
+  }
 }
 
 TEST(ProbeMany, BitIdenticalToScalarQueries) {

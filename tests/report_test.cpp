@@ -213,14 +213,38 @@ BenchBaseline latest_baseline() {
 
 TEST(Report, BenchTrendGolden) {
   // smoke_a: 10 ms at cal 0.005 -> 20 ms normalized, vs 12 ms -> 1.67x.
-  // smoke_b only exists in the latest file, so its speedup is "-".
+  // smoke_b only exists in the latest file, so its speedup is "-". The
+  // machine-probe table shows the calibrations behind the
+  // normalization; neither file records the PR 10 membw probe, so that
+  // column is all "-".
   const std::string expected =
       "scenario  BENCH_PR2 (ms)  BENCH_PR6 (ms)  speedup\n"
       "-------------------------------------------------\n"
       " smoke_a           20.00           12.00    1.67x\n"
-      " smoke_b               -           20.00        -\n";
+      " smoke_b               -           20.00        -\n"
+      "\n"
+      "     file  compute probe (ms)  membw probe (ms)\n"
+      "-----------------------------------------------\n"
+      "BENCH_PR2                5.00                 -\n"
+      "BENCH_PR6               10.00                 -\n";
   EXPECT_EQ(render_bench_trend({seed_baseline(), latest_baseline()}),
             expected);
+}
+
+TEST(Report, BenchTrendShowsTheMembwProbeWhenRecorded) {
+  // A PR 10-era baseline carries both probes; its membw cell renders in
+  // ms like the compute one while the pre-PR10 file keeps "-".
+  BenchBaseline with_membw = latest_baseline();
+  with_membw.label = "BENCH_PR10";
+  with_membw.mem_calibration = 0.0025;
+  const std::string rendered =
+      render_bench_trend({seed_baseline(), with_membw});
+  EXPECT_NE(rendered.find("BENCH_PR10               10.00              2.50"),
+            std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find(" BENCH_PR2                5.00                 -"),
+            std::string::npos)
+      << rendered;
 }
 
 TEST(Report, BenchTrendAppendsThePeakRssSeriesWhenRecorded) {
@@ -249,16 +273,26 @@ TEST(Report, BenchTrendAppendsThePeakRssSeriesWhenRecorded) {
       "  scenario  BENCH_PR2 (peak MB)  BENCH_PR7 (peak MB)\n"
       "----------------------------------------------------\n"
       "   smoke_a                    -                 10.0\n"
-      "grid_spill                    -                 39.0\n";
+      "grid_spill                    -                 39.0\n"
+      "\n"
+      "     file  compute probe (ms)  membw probe (ms)\n"
+      "-----------------------------------------------\n"
+      "BENCH_PR2                5.00                 -\n"
+      "BENCH_PR7               10.00                 -\n";
   EXPECT_EQ(render_bench_trend({seed_baseline(), with_rss}), expected);
 }
 
 TEST(Report, BenchTrendSeedOnlyAndEmptyListsAreNotErrors) {
-  // One file: values but no trend yet.
+  // One file: values but no trend yet (the machine table still shows
+  // its probe).
   const std::string seed_only =
       "scenario  BENCH_PR2 (ms)  speedup\n"
       "---------------------------------\n"
-      " smoke_a           10.00        -\n";
+      " smoke_a           10.00        -\n"
+      "\n"
+      "     file  compute probe (ms)  membw probe (ms)\n"
+      "-----------------------------------------------\n"
+      "BENCH_PR2                5.00                 -\n";
   EXPECT_EQ(render_bench_trend({seed_baseline()}), seed_only);
   // No files at all: the header-only seed table, not a throw — the CLI
   // leans on this to keep `bench_trend` usable on a baseline-less clone.

@@ -1,8 +1,10 @@
-/// Storage-layer tests (exp/storage.hpp): the ram and file backends must
-/// be interchangeable — identical cell layouts, identical record bytes
-/// through the spill — the file spill must honour a tiny RAM budget, and
-/// a whole-grid run over the file backend must reproduce the ram
-/// backend's JSONL artifact and aggregates bit for bit.
+/// Storage-layer tests (exp/storage.hpp): the ram, file and mmap
+/// backends must be interchangeable — identical cell layouts, identical
+/// record bytes through the spill — the file spill must honour a tiny
+/// RAM budget, the mmap spill must survive ftruncate+remap growth
+/// across chunk boundaries, and a whole-grid run over each backend must
+/// reproduce the ram backend's JSONL artifact and aggregates bit for
+/// bit.
 
 #include <cstddef>
 #include <filesystem>
@@ -20,17 +22,20 @@
 namespace coredis::exp {
 namespace {
 
-TEST(StorageKindSelector, ParsesAndNamesBothBackends) {
+TEST(StorageKindSelector, ParsesAndNamesEveryBackend) {
   EXPECT_EQ(parse_storage_kind("ram"), StorageKind::Ram);
   EXPECT_EQ(parse_storage_kind("file"), StorageKind::File);
+  EXPECT_EQ(parse_storage_kind("mmap"), StorageKind::Mmap);
   EXPECT_STREQ(to_string(StorageKind::Ram), "ram");
   EXPECT_STREQ(to_string(StorageKind::File), "file");
+  EXPECT_STREQ(to_string(StorageKind::Mmap), "mmap");
   try {
-    (void)parse_storage_kind("mmap");
+    (void)parse_storage_kind("tmpfs");
     FAIL() << "must throw";
   } catch (const std::runtime_error& error) {
-    EXPECT_NE(std::string(error.what()).find("mmap"), std::string::npos);
-    EXPECT_NE(std::string(error.what()).find("ram|file"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("tmpfs"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("ram|file|mmap"),
+              std::string::npos);
   }
 }
 
@@ -39,15 +44,17 @@ TEST(CellQueueBackends, ServeTheSameLayoutInTheSameOrder) {
   const std::vector<std::size_t> runs_per_point{3, 1, 0, 2};
   const std::unique_ptr<CellQueue> ram =
       make_cell_queue(StorageKind::Ram, runs_per_point);
-  const std::unique_ptr<CellQueue> file =
-      make_cell_queue(StorageKind::File, runs_per_point);
   ASSERT_EQ(ram->size(), 6u);
-  ASSERT_EQ(file->size(), 6u);
-  for (std::size_t k = 0; k < ram->size(); ++k) {
-    const CellRef a = ram->at(k);
-    const CellRef b = file->at(k);
-    EXPECT_EQ(a.point, b.point) << "cell " << k;
-    EXPECT_EQ(a.rep, b.rep) << "cell " << k;
+  for (const StorageKind kind : {StorageKind::File, StorageKind::Mmap}) {
+    const std::unique_ptr<CellQueue> other =
+        make_cell_queue(kind, runs_per_point);
+    ASSERT_EQ(other->size(), 6u) << to_string(kind);
+    for (std::size_t k = 0; k < ram->size(); ++k) {
+      const CellRef a = ram->at(k);
+      const CellRef b = other->at(k);
+      EXPECT_EQ(a.point, b.point) << to_string(kind) << " cell " << k;
+      EXPECT_EQ(a.rep, b.rep) << to_string(kind) << " cell " << k;
+    }
   }
   // The layout itself: points in order, repetitions contiguous.
   EXPECT_EQ(ram->at(0).point, 0u);
@@ -58,7 +65,8 @@ TEST(CellQueueBackends, ServeTheSameLayoutInTheSameOrder) {
 }
 
 TEST(ResultSpillBackends, RoundTripExactBytesOutOfOrder) {
-  for (const StorageKind kind : {StorageKind::Ram, StorageKind::File}) {
+  for (const StorageKind kind :
+       {StorageKind::Ram, StorageKind::File, StorageKind::Mmap}) {
     // A 16-byte budget forces the file backend to spill most records.
     const std::unique_ptr<ResultSpill> spill = make_result_spill(kind, "", 16);
     const std::vector<std::string> records{
@@ -128,10 +136,46 @@ TEST(ResultSpillBackends, ScratchFilesAreRemovedOnDestruction) {
     EXPECT_FALSE(std::filesystem::is_empty(dir));
   }
   EXPECT_TRUE(std::filesystem::is_empty(dir));
+  {
+    const std::unique_ptr<ResultSpill> spill =
+        make_result_spill(StorageKind::Mmap, dir);
+    spill->put(0, "mapped");
+    const std::unique_ptr<CellQueue> queue =
+        make_cell_queue(StorageKind::Mmap, {2, 2}, dir);
+    EXPECT_EQ(queue->size(), 4u);
+    EXPECT_FALSE(std::filesystem::is_empty(dir));
+  }
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
   std::filesystem::remove_all(dir);
 }
 
-TEST(StorageGrid, FileBackendReproducesTheRamArtifactBitForBit) {
+TEST(ResultSpillBackends, MmapSpillRemapsAcrossChunkBoundaries) {
+  // Records whose total crosses the 1 MiB growth chunk several times:
+  // every put after the first remap reads back bytes written into an
+  // earlier mapping generation, and a drained backlog truncates the
+  // scratch file so the next fill starts over.
+  const std::unique_ptr<ResultSpill> spill =
+      make_result_spill(StorageKind::Mmap);
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::string> records;
+    for (std::size_t k = 0; k < 7; ++k)
+      records.push_back(std::string((std::size_t{1} << 19) + k,
+                                    static_cast<char>('a' + k)) +
+                        std::to_string(round));
+    for (const std::size_t k : {6u, 0u, 3u, 1u, 5u, 2u, 4u})
+      spill->put(k, records[k]);
+    EXPECT_EQ(spill->pending(), records.size());
+    EXPECT_EQ(spill->resident_bytes(), 0u) << "payload lives in the mapping";
+    std::string out;
+    for (std::size_t k = 0; k < records.size(); ++k) {
+      ASSERT_TRUE(spill->take(k, out)) << "round " << round << " cell " << k;
+      EXPECT_EQ(out, records[k]) << "round " << round << " cell " << k;
+    }
+    EXPECT_EQ(spill->pending(), 0u);
+  }
+}
+
+TEST(StorageGrid, EveryBackendReproducesTheRamArtifactBitForBit) {
   // The pinned smoke grid of campaign_test, run once per backend; the
   // file run gets a 1-byte spill budget (every out-of-order record goes
   // to disk) and 8 threads (maximum reordering pressure).
@@ -162,6 +206,14 @@ TEST(StorageGrid, FileBackendReproducesTheRamArtifactBitForBit) {
   file.spill_ram_budget_bytes = 1;
   std::filesystem::remove(file.jsonl_path);
   const std::vector<PointResult> file_points = run_campaign(campaign, file);
+
+  GridRunOptions mapped = ram;
+  mapped.jsonl_path = path_of("mmap");
+  mapped.storage = StorageKind::Mmap;
+  std::filesystem::remove(mapped.jsonl_path);
+  (void)run_campaign(campaign, mapped);
+  EXPECT_EQ(read_all(mapped.jsonl_path), read_all(file.jsonl_path));
+  std::filesystem::remove(mapped.jsonl_path);
 
   EXPECT_EQ(read_all(ram.jsonl_path), read_all(file.jsonl_path));
   ASSERT_EQ(ram_points.size(), file_points.size());

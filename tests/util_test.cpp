@@ -268,6 +268,76 @@ TEST(ParallelFor, SingleThreadFallback) {
   EXPECT_EQ(sum, 45);
 }
 
+TEST(ParallelFor, StealingVisitsEveryIndexExactlyOnce) {
+  // Exactly-once across awkward (count, threads) pairs: counts that do
+  // not tile the shard arithmetic, single-index shards, more threads
+  // than indices.
+  for (const std::size_t count :
+       {std::size_t{1}, std::size_t{2}, std::size_t{7}, std::size_t{97},
+        std::size_t{1000}}) {
+    for (const std::size_t threads :
+         {std::size_t{2}, std::size_t{3}, std::size_t{8}, std::size_t{13}}) {
+      std::vector<std::atomic<int>> hits(count);
+      ParallelOptions options;
+      options.threads = threads;
+      options.schedule = Schedule::Stealing;
+      parallel_for(count, [&](std::size_t i) { hits[i].fetch_add(1); },
+                   options);
+      for (std::size_t i = 0; i < count; ++i)
+        EXPECT_EQ(hits[i].load(), 1)
+            << "i=" << i << " count=" << count << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, StealingBalancesAFrontLoadedQueue) {
+  // A front-loaded cost profile under the stealing schedule: all the
+  // slow indices sit in the low shards. The gate only requires the loop
+  // to land far under the 64 ms a serialized slow half would cost —
+  // catching a stealing bug that degenerates to one worker — with a
+  // wide margin so the test stays robust on loaded runners.
+  constexpr std::size_t kCount = 64;
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelOptions options;
+  options.threads = 8;
+  options.schedule = Schedule::Stealing;
+  const auto started = std::chrono::steady_clock::now();
+  parallel_for(kCount,
+               [&](std::size_t i) {
+                 if (i < kCount / 2)
+                   std::this_thread::sleep_for(std::chrono::milliseconds(2));
+                 hits[i].fetch_add(1);
+               },
+               options);
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Sequential slow half is 64 ms; eight stealing workers should land
+  // far under half of that even on a noisy single-core runner we only
+  // require "meaningfully better than sequential".
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            60);
+}
+
+TEST(ParallelFor, StealingStopsWorkersAfterAThrow) {
+  constexpr std::size_t count = 20000;
+  std::atomic<int> executed{0};
+  ParallelOptions options;
+  options.threads = 8;
+  options.schedule = Schedule::Stealing;
+  EXPECT_THROW(
+      parallel_for(
+          count,
+          [&](std::size_t i) {
+            if (i == 0) throw std::runtime_error("boom");
+            executed.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          },
+          options),
+      std::runtime_error);
+  EXPECT_LT(executed.load(), 1000);
+}
+
 TEST(Cli, ParsesFormsAndDefaults) {
   const char* argv[] = {"prog", "--runs", "12", "--seed=99", "--verbose"};
   CliParser cli(5, argv);

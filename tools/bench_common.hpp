@@ -10,12 +10,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace coredis::bench {
 
@@ -42,6 +45,44 @@ inline double calibration_seconds() {
     if (acc > 0.0) best = std::min(best, elapsed.count());
   }
   return best;
+}
+
+/// Memory-bandwidth probe, the compute probe's sibling: a fixed
+/// streaming sweep (read-modify-write over a 32 MiB buffer, far past
+/// any LLC) whose runtime is bound by DRAM bandwidth, not ALU speed.
+/// The two probes span the two resources our workloads mix — small-n
+/// engine cells are compute-shaped, the storage/spill scenarios and
+/// big-n coefficient tables are bandwidth-shaped — so a gate can
+/// normalize by a blend instead of pretending every machine pair
+/// differs by one scalar.
+inline double calibration_mem_seconds() {
+  constexpr std::size_t kWords = (std::size_t{32} << 20) / sizeof(std::uint64_t);
+  std::vector<std::uint64_t> buffer(kWords, 1);
+  double best = std::numeric_limits<double>::infinity();
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < kWords; ++i) {
+      acc += buffer[i];
+      buffer[i] = acc ^ (acc >> 7);
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (acc != 0) best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+/// Blend the compute and memory speed ratios (mine / baseline's) into
+/// one normalization factor — the geometric mean, so neither resource
+/// dominates and the blend of two equal ratios is that ratio. Either
+/// memory probe missing (pre-PR10 baseline) degrades to the compute
+/// ratio alone.
+inline double blended_speed_ratio(double my_cal, double base_cal,
+                                  double my_mem, double base_mem) {
+  const double compute = base_cal > 0.0 ? my_cal / base_cal : 1.0;
+  if (my_mem <= 0.0 || base_mem <= 0.0) return compute;
+  return std::sqrt(compute * (my_mem / base_mem));
 }
 
 /// Extract `"key": <number>` scoped to the scenario object named `name`
@@ -71,6 +112,15 @@ inline double baseline_calibration(const std::string& json, double fallback) {
   const std::size_t at = json.find("\"calibration_seconds\":");
   if (at == std::string::npos) return fallback;
   return std::strtod(json.c_str() + at + 22, nullptr);
+}
+
+/// The report's memory-bandwidth probe, or `fallback` (use 0 to detect
+/// pre-PR10 files without the field).
+inline double baseline_mem_calibration(const std::string& json,
+                                       double fallback) {
+  const std::size_t at = json.find("\"calibration_mem_seconds\":");
+  if (at == std::string::npos) return fallback;
+  return std::strtod(json.c_str() + at + 26, nullptr);
 }
 
 /// Read a whole file; throws with the path on failure.

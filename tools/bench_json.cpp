@@ -24,6 +24,16 @@
 /// (`grid_ram8`/`grid_spill`). Every scenario runs in a forked child on
 /// POSIX so the report can record a true per-scenario peak RSS next to
 /// its timings.
+///
+/// The grid_hetero_* scenarios (PR 10) time the heterogeneous campaign
+/// — n 100 vs 1000 under both fault laws, a ~2-orders-of-magnitude
+/// cell-cost spread — single-process (`grid_hetero_w1`), through the
+/// cost-guided dynamic dealer's 4-worker critical path
+/// (`grid_hetero_w4`), and through the frozen static contiguous-shard
+/// schedule (`grid_hetero_w4_static`); `--check-deal-gap R` gates
+/// static/dynamic >= R within one run. Reports carry two machine
+/// probes, `calibration_seconds` (compute) and `calibration_mem_seconds`
+/// (memory bandwidth); `--check` normalizes by their geometric blend.
 
 #include <algorithm>
 #include <chrono>
@@ -52,6 +62,7 @@
 #include "bench_common.hpp"
 #include "core/engine.hpp"
 #include "exp/campaign.hpp"
+#include "exp/cost_model.hpp"
 #include "exp/storage.hpp"
 #include "extensions/online.hpp"
 #include "fault/exponential.hpp"
@@ -89,6 +100,12 @@ struct GridPoint {
   int grid_threads = 1;
   /// Grid scenario only: file storage backend with a 1 MiB spill budget.
   bool grid_file_storage = false;
+  /// Grid scenario only: campaign text override (null = kGridCampaign).
+  const char* grid_campaign = nullptr;
+  /// Grid scenario only, workers > 1: estimate the *dynamic dealer's*
+  /// critical path (cost-guided blocks, dealt longest-first to the
+  /// earliest-free worker) instead of the static contiguous shards'.
+  bool grid_dynamic_deal = false;
 };
 
 struct Measurement {
@@ -117,6 +134,23 @@ long self_peak_rss_kb() {
   return 0;
 #endif
 }
+
+/// The heterogeneous campaign behind the grid_hetero_* scenarios: the
+/// n x p cross spans a ~2-orders-of-magnitude cell-cost spread (an
+/// (n=1000, p=10000) cell costs ~100x an (n=100, p=1000) one) under
+/// both fault laws and both whole-allocation heuristics. Point order
+/// clusters the two most expensive points — (n=1000, p=10000) x both
+/// laws — into the *last* contiguous static shard, so the frozen
+/// schedule's critical path is nearly the whole campaign: exactly the
+/// workload shape cost-guided dynamic dealing is for.
+constexpr const char* kHeteroCampaign =
+    "n = 100, 1000\n"
+    "p = 2000, 10000\n"
+    "runs = 4\n"
+    "seed = 20260726\n"
+    "mtbf_years = 100\n"
+    "fault_law = exponential, weibull\n"
+    "configs = baseline, stf_local, ig_local\n";
 
 std::vector<GridPoint> pinned_grid(bool smoke) {
   std::vector<GridPoint> grid;
@@ -177,6 +211,25 @@ std::vector<GridPoint> pinned_grid(bool smoke) {
     grid_point.name = "grid_spill";
     grid_point.grid_file_storage = true;
     grid.push_back(grid_point);
+    // Heterogeneity scenarios (kHeteroCampaign): a grid whose points
+    // differ by ~2 orders of magnitude in cell cost, the regime the
+    // cost-guided dealer exists for. grid_hetero_w1 is the
+    // single-process floor; grid_hetero_w4 estimates the dynamic
+    // dealer's 4-worker critical path and grid_hetero_w4_static the
+    // frozen contiguous-shard schedule's — their ratio is the PR 10
+    // speedup claim, gated by --check-deal-gap.
+    GridPoint hetero{"grid_hetero_w1", 1000, 10000,
+                     core::FailurePolicy::IteratedGreedy, true, 1, 0.0};
+    hetero.grid_campaign = kHeteroCampaign;
+    hetero.grid_workers = 1;
+    grid.push_back(hetero);
+    hetero.name = "grid_hetero_w4";
+    hetero.grid_workers = 4;
+    hetero.grid_dynamic_deal = true;
+    grid.push_back(hetero);
+    hetero.name = "grid_hetero_w4_static";
+    hetero.grid_dynamic_deal = false;
+    grid.push_back(hetero);
   }
   return grid;
 }
@@ -263,7 +316,8 @@ Measurement run_grid_point(const GridPoint& point) {
   m.point = point;
   m.runs = 1;
 
-  const exp::Campaign campaign = exp::parse_campaign(kGridCampaign);
+  const exp::Campaign campaign = exp::parse_campaign(
+      point.grid_campaign != nullptr ? point.grid_campaign : kGridCampaign);
   const std::string base =
       (fs::temp_directory_path() / ("coredis_bench_" + point.name + ".jsonl"))
           .string();
@@ -293,6 +347,41 @@ Measurement run_grid_point(const GridPoint& point) {
     std::vector<exp::PointResult> points;
     wall = seconds_of([&] { points = exp::run_campaign(campaign, options); });
     m.makespan_mean = points.at(0).baseline_makespan.mean();
+  } else if (point.grid_dynamic_deal) {
+    // Dynamic dealer's critical path on a one-core runner, the sibling
+    // of the static max-over-shards estimator below: plan the
+    // cost-balanced blocks, execute each once (timed, through a real
+    // DealWorker so the merge is the production path), then replay the
+    // deal — blocks in plan order, each to the earliest-free of W
+    // virtual workers at its measured cost. The estimate is the replay
+    // makespan plus the (timed) merge.
+    const std::vector<exp::Scenario> grid_points =
+        exp::campaign_points(campaign);
+    std::vector<std::size_t> runs_per_point;
+    for (const exp::Scenario& grid_point : grid_points)
+      runs_per_point.push_back(static_cast<std::size_t>(grid_point.runs));
+    const std::unique_ptr<exp::CellQueue> queue =
+        exp::make_cell_queue(exp::StorageKind::Ram, runs_per_point);
+    const exp::CostModel model(grid_points, campaign.configs);
+    const std::vector<exp::DealBlock> blocks =
+        exp::plan_deal_blocks(model, *queue, workers);
+    std::vector<double> block_seconds;
+    {
+      exp::DealWorker worker(grid_points, campaign.configs, 0, 1, options);
+      for (const exp::DealBlock& block : blocks)
+        block_seconds.push_back(seconds_of(
+            [&] { worker.run_block(block.begin, block.end); }));
+    }
+    std::vector<double> busy(workers, 0.0);
+    for (std::size_t i = 0; i < blocks.size(); ++i)
+      *std::min_element(busy.begin(), busy.end()) += block_seconds[i];
+    wall = *std::max_element(busy.begin(), busy.end());
+    wall += seconds_of([&] {
+      exp::merge_deal_shards(grid_points, campaign.configs, 1, base);
+    });
+    m.makespan_mean =
+        exp::summarize_jsonl(campaign, base).at(0).baseline_makespan.mean();
+    fs::remove(exp::shard_path(base, {0, 1}));
   } else {
     double slowest = 0.0;
     for (std::size_t k = 0; k < workers; ++k) {
@@ -479,11 +568,12 @@ Measurement measure_point(const GridPoint& point, int runs) {
 }
 
 std::string to_json(const std::vector<Measurement>& measurements,
-                    double calibration) {
+                    double calibration, double mem_calibration) {
   std::ostringstream out;
   out.precision(17);
   out << "{\n  \"schema\": \"coredis-bench-v1\",\n  \"calibration_seconds\": "
-      << calibration << ",\n  \"harness_peak_rss_kb\": " << self_peak_rss_kb()
+      << calibration << ",\n  \"calibration_mem_seconds\": " << mem_calibration
+      << ",\n  \"harness_peak_rss_kb\": " << self_peak_rss_kb()
       << ",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < measurements.size(); ++i) {
     const Measurement& m = measurements[i];
@@ -523,7 +613,12 @@ int main(int argc, char** argv) {
         .describe("check-makespan",
                   "with --check: fail when a scenario's makespan_mean "
                   "differs from the baseline's at matching run counts "
-                  "(catches silent semantic drift)");
+                  "(catches silent semantic drift)")
+        .describe("check-deal-gap",
+                  "fail unless grid_hetero_w4_static / grid_hetero_w4 in "
+                  "THIS run is at least this ratio (the dynamic dealer's "
+                  "speedup over the frozen static schedule; both "
+                  "scenarios must have been measured)");
     if (cli.wants_help()) {
       std::cout << cli.usage("Pinned-grid performance baseline (JSON)");
       return 0;
@@ -555,7 +650,9 @@ int main(int argc, char** argv) {
     }
 
     const double calibration = bench::calibration_seconds();
-    std::fprintf(stderr, "calibration: %.4f s\n", calibration);
+    const double mem_calibration = bench::calibration_mem_seconds();
+    std::fprintf(stderr, "calibration: %.4f s compute, %.4f s membw\n",
+                 calibration, mem_calibration);
     std::vector<Measurement> measurements;
     for (const GridPoint& point : grid) {
       measurements.push_back(measure_point(point, runs * point.runs_scale));
@@ -577,8 +674,22 @@ int main(int argc, char** argv) {
       if (w1 > 0.0 && w4 > 0.0)
         std::fprintf(stderr, "grid scaling: 4 workers %.2fx vs 1\n", w1 / w4);
     }
+    {
+      // The PR 10 claim at a glance: frozen static schedule over the
+      // cost-guided dynamic dealer on the heterogeneous campaign.
+      double dealt = 0.0, frozen = 0.0;
+      for (const Measurement& m : measurements) {
+        if (m.point.name == "grid_hetero_w4") dealt = m.seconds_per_run;
+        if (m.point.name == "grid_hetero_w4_static")
+          frozen = m.seconds_per_run;
+      }
+      if (dealt > 0.0 && frozen > 0.0)
+        std::fprintf(stderr, "hetero dealing: dynamic %.2fx vs static\n",
+                     frozen / dealt);
+    }
 
-    const std::string json = to_json(measurements, calibration);
+    const std::string json = to_json(measurements, calibration,
+                                     mem_calibration);
     const std::string out_path = cli.get_string("out", "");
     if (!out_path.empty()) {
       std::ofstream out(out_path);
@@ -589,18 +700,47 @@ int main(int argc, char** argv) {
       std::cout << json;
     }
 
+    // Gate the dynamic-vs-static gap *after* the report is written, so a
+    // failing run still uploads its JSON for inspection. The gap is
+    // within-run — both sides ran on this machine seconds apart — so no
+    // calibration enters it.
+    const double min_gap = cli.get_double("check-deal-gap", 0.0);
+    if (min_gap > 0.0) {
+      double dealt = 0.0, frozen = 0.0;
+      for (const Measurement& m : measurements) {
+        if (m.point.name == "grid_hetero_w4") dealt = m.seconds_per_run_min;
+        if (m.point.name == "grid_hetero_w4_static")
+          frozen = m.seconds_per_run_min;
+      }
+      if (dealt <= 0.0 || frozen <= 0.0)
+        throw std::runtime_error(
+            "--check-deal-gap needs both grid_hetero_w4 and "
+            "grid_hetero_w4_static in this run");
+      if (frozen / dealt < min_gap) {
+        std::fprintf(stderr,
+                     "deal gap %.2fx below the required %.2fx  REGRESSION\n",
+                     frozen / dealt, min_gap);
+        return 1;
+      }
+      std::fprintf(stderr, "deal gap %.2fx (>= %.2fx required)\n",
+                   frozen / dealt, min_gap);
+    }
+
     const std::string baseline_path = cli.get_string("check", "");
     if (baseline_path.empty()) return 0;
 
     const std::string baseline = bench::slurp_file(baseline_path);
 
-    // Normalize by the two machines' calibration probes: the comparison is
-    // then "slowdown relative to what this machine should deliver", so the
-    // tolerance is a regression margin, not a hardware-speed ratio.
-    // Baselines written before the calibration field fall back to raw.
+    // Normalize by the two machines' probes — compute and memory
+    // bandwidth, blended geometrically (bench_common.hpp): the
+    // comparison is then "slowdown relative to what this machine should
+    // deliver", so the tolerance is a regression margin, not a
+    // hardware-speed ratio. Baselines without one or both probes
+    // degrade to the compute ratio or raw seconds.
     const double base_cal = bench::baseline_calibration(baseline, calibration);
-    const double speed_ratio =
-        base_cal > 0.0 ? calibration / base_cal : 1.0;
+    const double base_mem = bench::baseline_mem_calibration(baseline, 0.0);
+    const double speed_ratio = bench::blended_speed_ratio(
+        calibration, base_cal, mem_calibration, base_mem);
     std::fprintf(stderr, "machine speed vs baseline: %.2fx\n", speed_ratio);
 
     bool regressed = false;

@@ -50,6 +50,11 @@ int main(int argc, char** argv) {
         cal == std::string::npos
             ? 0.0
             : std::strtod(file.json.c_str() + cal + 22, nullptr);
+    const std::size_t mem = file.json.find("\"calibration_mem_seconds\":");
+    file.mem_calibration =
+        mem == std::string::npos
+            ? 0.0
+            : std::strtod(file.json.c_str() + mem + 26, nullptr);
     files.push_back(std::move(file));
   }
   std::cout << coredis::exp::render_bench_trend(files);
